@@ -1,0 +1,34 @@
+"""Shared fixtures for the figure-regeneration bench suite.
+
+One :class:`SimulationCache` is shared across every bench module so that
+the ~dozen distinct simulations behind the seventeen figures each run
+exactly once per pytest session.  Benches run at ``small`` scale so the
+whole suite regenerates in a couple of minutes; use the CLI
+(``warped-compression all``) for the full-size tables.
+"""
+
+import pytest
+
+from repro.harness.sweeps import SimulationCache
+
+
+@pytest.fixture(scope="session")
+def cache():
+    return SimulationCache(scale="small")
+
+
+@pytest.fixture
+def regenerate(cache, benchmark):
+    """Run one experiment under pytest-benchmark and print its table.
+
+    ``pedantic`` with a single round: re-running a cached experiment
+    would only measure cache hits.
+    """
+
+    def _run(driver):
+        result = benchmark.pedantic(driver, args=(cache,), iterations=1, rounds=1)
+        print()
+        print(result.render())
+        return result
+
+    return _run

@@ -1,0 +1,74 @@
+"""Ablation benches for design choices called out in DESIGN.md.
+
+Not paper figures — these quantify the mechanisms our reconstruction had
+to pin down: gating hysteresis, wake-up cost, operand-collector count,
+unit provisioning, and the Section 5.2 divergence-handling alternatives.
+"""
+
+from repro.harness.ablations import (
+    collectors,
+    compressor_count,
+    divergence_policies,
+    gate_delay,
+    wakeup_latency,
+)
+
+
+def test_ablation_gate_delay(regenerate):
+    result = regenerate(gate_delay)
+    avg = result.row("AVERAGE")
+    energies = avg[1:6]
+    times = avg[6:]
+    # Longer hysteresis keeps banks awake longer: leakage (and thus
+    # total energy) is monotonically non-decreasing in the delay ...
+    assert energies == sorted(energies)
+    # ... while the enormous-delay point effectively disables gating and
+    # must not be slower than aggressive gating (which stalls on wakes).
+    assert times[-1] <= times[0] + 1e-9
+    # Even with gating effectively off, compression still saves energy.
+    assert energies[-1] < 1.0
+
+
+def test_ablation_wakeup_latency(regenerate):
+    result = regenerate(wakeup_latency)
+    avg = result.row("AVERAGE")
+    # Wake latency only ever adds stalls.
+    assert avg[1] <= avg[-1] + 1e-9
+    # At the paper's default hysteresis, wake stalls are rare: going
+    # from 0 to 40 cycles moves execution time by only a few percent.
+    assert avg[-1] - avg[1] < 0.10
+
+
+def test_ablation_collectors(regenerate):
+    result = regenerate(collectors)
+    avg = result.row("AVERAGE")
+    # Fewer collectors can only slow things down.
+    assert avg[1] >= avg[-1] - 1e-9
+    # The default (8) is near the saturation point: doubling to 16
+    # barely helps.
+    assert abs(avg[3] - avg[4]) < 0.05
+
+
+def test_ablation_divergence_policies(regenerate):
+    result = regenerate(divergence_policies)
+    avg = result.row("AVERAGE")
+    warped, buffered, per_thread = avg[1:]
+    # Every design saves energy on average.
+    assert warped < 1.0
+    # Buffered recompression compresses more registers, so its RF energy
+    # is at most slightly worse than the chosen design's (it pays extra
+    # compressor activations but keeps more banks cold).
+    assert buffered < 1.0
+    # The per-thread window forfeits inter-thread similarity on float
+    # data: it must not beat the warp-level window on average.
+    assert per_thread >= min(warped, buffered) - 0.05
+
+
+def test_ablation_compressor_count(regenerate):
+    result = regenerate(compressor_count)
+    avg = result.row("AVERAGE")
+    # More units never hurt.
+    assert avg[1] >= avg[-1] - 1e-9
+    # The paper's 2c/4d provisioning is already at the knee: quadrupling
+    # units gains almost nothing.
+    assert abs(avg[3] - avg[4]) < 0.03

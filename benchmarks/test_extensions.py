@@ -1,0 +1,45 @@
+"""Extension benches: register-file-cache orthogonality (paper Section 7).
+
+The paper argues compression is orthogonal to prior RF-power approaches
+like the register file cache; these benches measure that composition.
+"""
+
+from repro.harness.extensions import (
+    extended_suite,
+    rfc_orthogonality,
+    rfc_size_sweep,
+)
+
+
+def test_extension_rfc_orthogonality(regenerate):
+    result = regenerate(rfc_orthogonality)
+    avg = result.row("AVERAGE")
+    warped, rfc, combined = avg[1:]
+    # Each technique saves energy on its own.
+    assert warped < 1.0
+    assert rfc < 1.0
+    # The combination beats both individually — the orthogonality claim.
+    assert combined < min(warped, rfc)
+    # And lands in the ballpark of composing the two savings.
+    assert combined < warped * rfc + 0.15
+
+
+def test_extension_generalises_to_new_workloads(regenerate):
+    """The savings are not an artifact of the paper's twelve benchmarks."""
+    result = regenerate(extended_suite)
+    avg_energy = result.cell("AVERAGE", "wc_total")
+    # Savings on never-tuned workloads land in the same band as the
+    # paper suite's.
+    assert 0.6 <= avg_energy <= 0.9
+    # Every extended kernel individually saves energy.
+    for row in result.rows:
+        assert row[1] < 1.0, row[0]
+
+
+def test_extension_rfc_size(regenerate):
+    result = regenerate(rfc_size_sweep)
+    avg = result.row("AVERAGE")
+    # Larger caches monotonically (to noise) reduce energy: more reads
+    # hit and fewer evictions reach the banks.
+    assert avg[-1] <= avg[1] + 0.02
+    assert avg[-1] < avg[1]

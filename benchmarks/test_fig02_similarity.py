@@ -1,0 +1,35 @@
+"""Regenerate Figure 2: register-value similarity bins by phase.
+
+Paper shape: in the non-divergent phase most writes are *not* random
+(79% on average); the random share grows substantially during divergence
+(21% -> 57% in the paper).
+"""
+
+import numpy as np
+
+from repro.harness.experiments import fig02
+
+
+def test_fig02(regenerate):
+    result = regenerate(fig02)
+    avg = result.row("AVERAGE")
+    nd_zero, nd_random = avg[1], avg[4]
+    d_zero, d_random = avg[5], avg[8]
+    # Majority of non-divergent writes fall outside the random bin.
+    assert nd_random < 0.45
+    # Similarity drops under divergence: the zero bin collapses and the
+    # weight shifts to the coarse bins (merged registers keep stale
+    # values in inactive lanes).
+    assert d_zero < nd_zero / 2
+    d_coarse = avg[7] + avg[8]
+    nd_coarse = avg[3] + avg[4]
+    assert d_coarse > nd_coarse
+    # LIB's constant inputs put nearly everything in the zero bin.
+    assert result.cell("lib", "nd_zero") > 0.8
+    # AES's random data lands mostly in the random bin; it never
+    # diverges, so its divergent bars are N/A.
+    assert result.cell("aes", "nd_random") > 0.4
+    assert result.cell("aes", "d_zero") is None
+    # Non-divergent fractions are distributions.
+    for row in result.rows:
+        assert np.isclose(sum(row[1:5]), 1.0, atol=1e-6)

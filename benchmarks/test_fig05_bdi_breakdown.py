@@ -1,0 +1,22 @@
+"""Regenerate Figure 5: which <base,delta> wins the full BDI search.
+
+Paper shape: base-8 encodings are rarely selected (thread registers are
+written at 4-byte granularity), which is what justifies restricting
+warped-compression to the three base-4 choices.
+"""
+
+from repro.harness.experiments import fig05
+
+
+def test_fig05(regenerate):
+    result = regenerate(fig05)
+    avg = result.row("AVERAGE")
+    headers = result.headers
+    base4 = sum(avg[headers.index(k)] for k in ("<4,0>", "<4,1>", "<4,2>"))
+    base8 = sum(
+        avg[headers.index(k)] for k in ("<8,0>", "<8,1>", "<8,2>", "<8,4>")
+    )
+    # Base-4 dominates base-8 by a wide margin.
+    assert base4 > 4 * base8
+    # A meaningful share of writes compresses at all.
+    assert avg[headers.index("uncompressed")] < 0.6

@@ -1,0 +1,17 @@
+"""Regenerate Figure 8: compression ratio, non-divergent vs divergent.
+
+Paper shape: average non-divergent ratio ~2.5x, divergent ~1.3x; LIB
+compresses nearly perfectly (8x in bank granularity).
+"""
+
+from repro.harness.experiments import fig08
+
+
+def test_fig08(regenerate):
+    result = regenerate(fig08)
+    nd = result.cell("AVERAGE", "nondivergent")
+    d = result.cell("AVERAGE", "divergent")
+    assert 1.8 <= nd <= 5.0  # paper: 2.5
+    assert d < nd  # divergence hurts compressibility
+    assert result.cell("lib", "nondivergent") > 6.0
+    assert result.cell("aes", "nondivergent") < 2.0

@@ -1,0 +1,26 @@
+"""Regenerate Figure 9: register-file energy, baseline vs warped.
+
+Paper headline: warped-compression cuts total register-file energy by
+~25% on average (35% dynamic, 10% leakage), with LIB the biggest winner
+and AES nearly unchanged; compression/decompression overheads stay small.
+"""
+
+from repro.harness.experiments import fig09
+
+
+def test_fig09(regenerate):
+    result = regenerate(fig09)
+    avg_total = result.cell("AVERAGE", "wc_total")
+    # Average saving in the paper's ballpark (25%); allow a wide band for
+    # the scaled-down single-SM workloads.
+    assert 0.6 <= avg_total <= 0.95
+    # Dynamic energy saved substantially on average.
+    avg_base_dyn = result.cell("AVERAGE", "base_dyn")
+    avg_wc_dyn = result.cell("AVERAGE", "wc_dyn")
+    assert avg_wc_dyn < 0.8 * avg_base_dyn
+    # Per-benchmark extremes.
+    assert result.cell("lib", "wc_total") < 0.5
+    assert result.cell("aes", "wc_total") > 0.85
+    # Compression/decompression overhead is a small fraction of total.
+    assert result.cell("AVERAGE", "wc_comp") < 0.1
+    assert result.cell("AVERAGE", "wc_decomp") < 0.1

@@ -1,0 +1,25 @@
+"""Regenerate Figure 10: power-gated cycle share per register bank.
+
+Paper shape: compressed data packs into the lowest banks of each
+eight-bank cluster, so the gated fraction rises towards the top bank of
+every cluster.
+"""
+
+import numpy as np
+
+from repro.harness.experiments import fig10
+
+
+def test_fig10(regenerate):
+    result = regenerate(fig10)
+    fractions = np.array(result.column("gated_fraction")[:-1])
+    assert fractions.shape == (32,)
+    assert (fractions >= 0).all() and (fractions <= 1).all()
+    for cluster in range(4):
+        span = fractions[cluster * 8 : (cluster + 1) * 8]
+        # Top bank gated at least as much as bottom bank.
+        assert span[7] >= span[0] - 1e-9
+        # Overall upward trend within the cluster.
+        assert span[4:].mean() >= span[:4].mean() - 1e-9
+    # Some gating opportunity exists at all.
+    assert fractions.mean() > 0.05

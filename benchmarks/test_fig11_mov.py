@@ -1,0 +1,18 @@
+"""Regenerate Figure 11: dummy-MOV share of the instruction stream.
+
+Paper shape: under 2% on average — only the first divergent update of a
+compressed register injects a MOV.
+"""
+
+from repro.harness.experiments import fig11
+
+
+def test_fig11(regenerate):
+    result = regenerate(fig11)
+    assert result.cell("AVERAGE", "mov_fraction") < 0.03
+    # Benchmarks that never diverge never inject.
+    assert result.cell("aes", "mov_fraction") == 0.0
+    assert result.cell("kmeans", "mov_fraction") == 0.0
+    assert result.cell("lib", "mov_fraction") == 0.0
+    # Divergent benchmarks inject at least occasionally.
+    assert result.cell("pathfinder", "mov_fraction") > 0.0

@@ -1,0 +1,19 @@
+"""Regenerate Figure 12: compressed-register share by phase.
+
+Paper shape: for most benchmarks the compressed share barely changes
+between phases (few registers are decompressed during divergence);
+benchmarks with no divergence report N/A for the divergent bar.
+"""
+
+from repro.harness.experiments import fig12
+
+
+def test_fig12(regenerate):
+    result = regenerate(fig12)
+    # N/A bars for benchmarks that never diverge (paper calls out AES).
+    for name in ("aes", "kmeans", "lib"):
+        assert result.cell(name, "divergent") is None, name
+    nd = result.cell("AVERAGE", "nondivergent")
+    assert 0.05 <= nd <= 1.0
+    # LIB keeps nearly all registers compressed.
+    assert result.cell("lib", "nondivergent") > 0.5

@@ -1,0 +1,16 @@
+"""Regenerate Figure 14: energy under GTO vs LRR warp scheduling.
+
+Paper shape: the savings are scheduler-insensitive — LRR averages 26%
+vs GTO's 25%.
+"""
+
+from repro.harness.experiments import fig14
+
+
+def test_fig14(regenerate):
+    result = regenerate(fig14)
+    gto = result.cell("AVERAGE", "gto")
+    lrr = result.cell("AVERAGE", "lrr")
+    assert gto < 1.0 and lrr < 1.0  # both save energy
+    # Scheduler choice moves the average by only a few points.
+    assert abs(gto - lrr) < 0.08

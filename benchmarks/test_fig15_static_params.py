@@ -1,0 +1,23 @@
+"""Regenerate Figure 15: compression ratio for static parameter choices.
+
+Paper shape: <4,0>-only (the scalarization-equivalent design) compresses
+~30% worse than the dynamic three-way choice; <4,1>-only can beat
+<4,2>-only on some benchmarks despite reaching fewer registers.
+"""
+
+from repro.harness.experiments import fig15
+
+
+def test_fig15(regenerate):
+    result = regenerate(fig15)
+    avg = result.row("AVERAGE")
+    headers = result.headers
+    warped = avg[headers.index("warped")]
+    only40 = avg[headers.index("<4,0>")]
+    assert warped > 1.2
+    # The static <4,0> choice loses a substantial share of the dynamic
+    # scheme's compression (paper: ~30%).
+    assert only40 < 0.9 * warped
+    # Dynamic selection dominates every static choice per benchmark.
+    for row in result.rows:
+        assert row[1] >= max(row[2:]) - 1e-9, row[0]

@@ -1,0 +1,18 @@
+"""Regenerate Figure 16: energy for static parameter choices.
+
+Paper shape: the dynamic warped-compression scheme consumes less energy
+than the <4,0>-only scalarization-equivalent design.
+"""
+
+from repro.harness.experiments import fig16
+
+
+def test_fig16(regenerate):
+    result = regenerate(fig16)
+    avg = result.row("AVERAGE")
+    headers = result.headers
+    warped = avg[headers.index("warped")]
+    only40 = avg[headers.index("<4,0>")]
+    assert warped < 1.0
+    # Dynamic selection saves more energy than <4,0> alone on average.
+    assert warped < only40

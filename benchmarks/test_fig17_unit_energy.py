@@ -1,0 +1,20 @@
+"""Regenerate Figure 17: sensitivity to comp/decomp unit energy.
+
+Paper shape: even at 2.5x unit activation energy, warped-compression
+still saves a significant share (paper: 14% saved in the worst case vs
+25% at baseline constants).
+"""
+
+from repro.harness.experiments import fig17
+
+
+def test_fig17(regenerate):
+    result = regenerate(fig17)
+    avg = result.row("AVERAGE")
+    base, worst = avg[1], avg[-1]
+    assert base < 1.0
+    # More expensive units monotonically erode the saving...
+    assert list(avg[1:]) == sorted(avg[1:])
+    # ...but never erase it.
+    assert worst < 1.0
+    assert worst - base < 0.25

@@ -1,0 +1,17 @@
+"""Regenerate Figure 19: sensitivity to wire switching activity.
+
+Paper shape: the more the wires toggle, the more moving fewer bits is
+worth — savings grow from the 0%-activity point to 31% at 100%.
+"""
+
+from repro.harness.experiments import fig19
+
+
+def test_fig19(regenerate):
+    result = regenerate(fig19)
+    avg = result.row("AVERAGE")
+    zero_act, full_act = avg[1], avg[-1]
+    # Higher wire activity monotonically improves the relative saving.
+    assert list(avg[1:]) == sorted(avg[1:], reverse=True)
+    assert full_act < zero_act
+    assert full_act < 1.0

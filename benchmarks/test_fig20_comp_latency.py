@@ -1,0 +1,16 @@
+"""Regenerate Figure 20: execution time vs compression latency.
+
+Paper shape: slowdown grows with compressor latency, reaching ~14% at 8
+cycles (averaged with the decompression sweep of Figure 21).
+"""
+
+from repro.harness.experiments import fig20
+
+
+def test_fig20(regenerate):
+    result = regenerate(fig20)
+    avg = result.row("AVERAGE")
+    # Monotone growth with latency for the suite average.
+    assert list(avg[1:]) == sorted(avg[1:])
+    # 8-cycle compression hurts measurably but not catastrophically.
+    assert 1.0 <= avg[-1] <= 1.5

@@ -1,0 +1,17 @@
+"""Regenerate Figure 21: execution time vs decompression latency.
+
+Paper shape: like Figure 20, monotone growth, ~14% at 8 cycles;
+decompression sits on the operand-read path so it bites reads of
+compressed registers.
+"""
+
+from repro.harness.experiments import fig21
+
+
+def test_fig21(regenerate):
+    result = regenerate(fig21)
+    avg = result.row("AVERAGE")
+    assert list(avg[1:]) == sorted(avg[1:])
+    assert 1.0 <= avg[-1] <= 1.6
+    # Default (1 cycle) is the cheapest point.
+    assert avg[1] == min(avg[1:])

@@ -1,0 +1,22 @@
+"""Regenerate paper Table 1: compressed sizes per <base,delta> pair."""
+
+from repro.harness.experiments import table1
+
+
+def test_table1(regenerate):
+    result = regenerate(table1)
+    # The exact Table 1 rows.
+    expected = {
+        "<1,0>": (1, 1),
+        "<2,1>": (65, 5),
+        "<4,0>": (4, 1),
+        "<4,1>": (35, 3),
+        "<4,2>": (66, 5),
+        "<8,0>": (8, 1),
+        "<8,1>": (23, 2),
+        "<8,2>": (38, 3),
+        "<8,4>": (68, 5),
+    }
+    for row in result.rows:
+        name, size, banks = row
+        assert (size, banks) == expected[name], name

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Design-space exploration on a benchmark subset.
+
+Walks the paper's Section 6.6-6.8 knobs on three representative
+workloads (best case, worst case, divergent case):
+
+* static vs dynamic compression parameter choice (Figures 15/16),
+* compression/decompression latency scaling (Figures 20/21),
+* energy-constant sensitivity via re-pricing (Figures 17-19).
+
+Run: python examples/design_space.py
+"""
+
+from repro.harness.experiments import (
+    fig15,
+    fig16,
+    fig17,
+    fig18,
+    fig19,
+    fig20,
+    fig21,
+)
+from repro.harness.sweeps import SimulationCache
+
+SUBSET = ["lib", "aes", "spmv"]
+
+
+def main():
+    cache = SimulationCache(scale="small", subset=SUBSET, verbose=True)
+    print(f"benchmarks: {', '.join(SUBSET)} (small scale)\n")
+
+    for driver in (fig15, fig16, fig20, fig21, fig17, fig18, fig19):
+        print(driver(cache).render())
+        print()
+
+    print(
+        "Reading guide: the dynamic scheme ('warped') should dominate the\n"
+        "static parameter columns; energy savings should shrink as the\n"
+        "compression units get more expensive (fig17) and grow as bank\n"
+        "accesses or wire activity get more expensive (fig18/fig19);\n"
+        "execution time should rise with either latency knob (fig20/21)."
+    )
+
+
+if __name__ == "__main__":
+    main()

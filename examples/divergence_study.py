@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Branch divergence vs register compression (paper Section 5.2).
+
+Compares the three ways warped-compression could handle divergent writes
+on the divergent half of the benchmark suite:
+
+* ``warped``          — store divergent writes uncompressed; a dummy MOV
+                        decompresses a compressed destination first (the
+                        paper's chosen design),
+* ``warped-buffered`` — merge divergent writes into a buffer and
+                        recompress (the rejected higher-cost alternative),
+* ``per-thread``      — shrink the compression window to a single thread
+                        register (the rejected narrow-width alternative).
+
+Run: python examples/divergence_study.py
+"""
+
+from repro import run_functional
+from repro.kernels import get_benchmark
+
+#: The divergent half of the suite, plus lib/backprop whose float data
+#: exposes the per-thread policy's weakness.
+BENCHMARK_NAMES = ["bfs", "spmv", "nw", "pathfinder", "gaussian", "lib", "backprop"]
+POLICIES = ["warped", "warped-buffered", "per-thread"]
+
+
+def main():
+    print(
+        f"{'benchmark':>11s} {'policy':>16s} {'ratio':>6s} "
+        f"{'movs':>5s} {'mov%':>6s} {'nondiv':>7s}"
+    )
+    for name in BENCHMARK_NAMES:
+        bench = get_benchmark(name)
+        spec = bench.launch("small")
+        for policy in POLICIES:
+            gmem = spec.fresh_memory()
+            stats = run_functional(
+                spec.kernel,
+                spec.grid_dim,
+                spec.cta_dim,
+                spec.params,
+                gmem,
+                policy=policy,
+            ).value
+            bench.verify(gmem, spec)
+            print(
+                f"{name:>11s} {policy:>16s} "
+                f"{stats.overall_compression_ratio():6.2f} "
+                f"{stats.movs_injected:5d} "
+                f"{stats.mov_fraction * 100:5.2f}% "
+                f"{stats.nondivergent_fraction * 100:6.1f}%"
+            )
+        print()
+
+    print(
+        "Reading guide: the buffered variant compresses best (it never\n"
+        "gives up on a divergent write) but needs the merge buffers the\n"
+        "paper rejects.  Per-thread narrow-width can win on small-integer\n"
+        "DP workloads (pathfinder, gaussian) yet collapses to 1x on float\n"
+        "data like lib and backprop, where values are wide but identical\n"
+        "across threads — the inter-thread similarity only the warp-level\n"
+        "window can exploit.  The chosen design keeps MOV overhead well\n"
+        "under the paper's 2% bound."
+    )
+
+
+if __name__ == "__main__":
+    main()

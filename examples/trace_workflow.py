@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Trace-driven compression studies.
+
+Captures a benchmark's register-write trace once, saves it to disk, and
+replays it through every compression policy — the workflow for
+evaluating a *new* encoding against recorded workloads without touching
+the simulator.
+
+Run: python examples/trace_workflow.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.gpu.trace import RegisterTrace, capture_trace, replay_trace
+from repro.kernels import get_benchmark
+
+POLICIES = ["warped", "static-4-0", "static-4-1", "static-4-2", "per-thread"]
+
+
+def main():
+    bench = get_benchmark("backprop")
+    spec = bench.launch("small")
+
+    print(f"capturing register trace of {bench.name} ...")
+    gmem = spec.fresh_memory()
+    trace = capture_trace(
+        spec.kernel, spec.grid_dim, spec.cta_dim, spec.params, gmem
+    )
+    bench.verify(gmem, spec)
+    print(
+        f"  {len(trace)} register writes over {trace.instructions} "
+        f"instructions ({trace.divergent_instructions} divergent)"
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / f"{bench.name}.npz"
+        trace.save(str(path))
+        print(f"  serialised to {path.name}: {path.stat().st_size} bytes")
+        loaded = RegisterTrace.load(str(path))
+
+    print()
+    print(f"{'policy':>16s} {'ratio':>6s} {'movs':>5s} {'compressed%':>12s}")
+    for policy in POLICIES:
+        stats = replay_trace(loaded, policy=policy).value
+        occupancy = stats.compressed_register_fraction(divergent=False)
+        print(
+            f"{policy:>16s} {stats.overall_compression_ratio():6.2f} "
+            f"{stats.movs_injected:5d} "
+            f"{(occupancy or 0.0) * 100:11.1f}%"
+        )
+
+    print()
+    print(
+        "One functional run produced the trace; every policy row above\n"
+        "was computed by replay alone.  Plug a new CompressionPolicy into\n"
+        "replay_trace() to evaluate a novel encoding against the same\n"
+        "recorded workload."
+    )
+
+
+if __name__ == "__main__":
+    main()

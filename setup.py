@@ -1,0 +1,18 @@
+"""Legacy installation shim.
+
+``pip install -e .`` uses pyproject.toml; this file exists for offline
+environments without the ``wheel`` package, where ``python setup.py
+develop`` is the only editable-install path (and needs the console
+script declared here, since legacy setuptools ignores
+``[project.scripts]``).
+"""
+
+from setuptools import setup
+
+setup(
+    entry_points={
+        "console_scripts": [
+            "warped-compression = repro.harness.runner:main",
+        ]
+    }
+)

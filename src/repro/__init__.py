@@ -1,0 +1,56 @@
+"""Warped-Compression (ISCA 2015) reproduction.
+
+A register-compression study platform for GPUs: a cycle-level SIMT
+simulator with a banked register file, the warped-compression BDI codec
+and policies, an energy model, twelve benchmark kernels, and an experiment
+harness regenerating every figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import run_kernel
+    from repro.kernels import get_benchmark
+
+    bench = get_benchmark("pathfinder")
+    spec = bench.launch()
+    result = run_kernel(
+        spec.kernel, spec.grid_dim, spec.cta_dim, spec.params,
+        spec.fresh_memory(), policy="warped",
+    )
+    print(result.stats.value.overall_compression_ratio())
+"""
+
+from repro.core import (
+    CompressionMode,
+    Encoding,
+    WarpedCompressionPolicy,
+    banks_required,
+    best_encoding,
+    choose_mode,
+    make_policy,
+)
+from repro.gpu import GPU, GPUConfig, LaunchSpec, SimulationResult, run_kernel
+from repro.gpu.builder import KernelBuilder
+from repro.gpu.functional import run_functional
+from repro.gpu.memory import GlobalMemory
+from repro.power import EnergyParams
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GPU",
+    "GPUConfig",
+    "GlobalMemory",
+    "CompressionMode",
+    "Encoding",
+    "EnergyParams",
+    "KernelBuilder",
+    "LaunchSpec",
+    "SimulationResult",
+    "WarpedCompressionPolicy",
+    "banks_required",
+    "best_encoding",
+    "choose_mode",
+    "make_policy",
+    "run_functional",
+    "run_kernel",
+]

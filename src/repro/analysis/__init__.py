@@ -1,0 +1,26 @@
+"""Value-similarity characterisation and run statistics.
+
+* :mod:`repro.analysis.similarity` — arithmetic-distance binning of warp
+  register writes (paper Section 3, Figure 2) and the exhaustive
+  ``<base, delta>`` selection study (Figure 5).
+* :mod:`repro.analysis.stats` — counters accumulated during simulation and
+  the aggregate result records experiments consume.
+* :mod:`repro.analysis.report` — plain-text table rendering for the
+  harness.
+"""
+
+from repro.analysis.similarity import (
+    SimilarityBin,
+    best_bdi_choice,
+    classify_write,
+)
+from repro.analysis.stats import RunStats, TimingStats, ValueStats
+
+__all__ = [
+    "RunStats",
+    "SimilarityBin",
+    "TimingStats",
+    "ValueStats",
+    "best_bdi_choice",
+    "classify_write",
+]

@@ -1,0 +1,64 @@
+"""Terminal bar charts for experiment results.
+
+The paper's figures are bar charts; for terminal workflows the harness
+can render any experiment column as horizontal bars so trends are
+visible without leaving the shell (``warped-compression fig09 --chart``).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import ExperimentResult
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def _bar(value: float, scale: float, width: int) -> str:
+    if scale <= 0:
+        return ""
+    cells = max(0.0, value) / scale * width
+    full = int(cells)
+    remainder = cells - full
+    partial = _BLOCKS[int(remainder * 8)] if full < width else ""
+    return "█" * full + partial
+
+
+def bar_chart(
+    labels: list[str],
+    values: list[float],
+    title: str = "",
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Render one horizontal bar per (label, value)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have the same length")
+    if not labels:
+        raise ValueError("nothing to plot")
+    scale = max((v for v in values if v is not None), default=0.0)
+    label_width = max(len(str(l)) for l in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        if value is None:
+            lines.append(f"{label:>{label_width}} │ N/A")
+            continue
+        bar = _bar(value, scale, width)
+        lines.append(f"{label:>{label_width}} │{bar} {value:.3f}{unit}")
+    return "\n".join(lines)
+
+
+def chart_experiment(
+    result: ExperimentResult, column: str | None = None, width: int = 40
+) -> str:
+    """Bar-chart one column of an experiment (default: the last).
+
+    Benchmarks are the bars; the AVERAGE row is kept as the final bar so
+    the suite mean is visible at a glance.
+    """
+    if not result.rows:
+        raise ValueError(f"experiment {result.exp_id} has no rows")
+    column = column or result.headers[-1]
+    idx = result.headers.index(column)
+    labels = [str(row[0]) for row in result.rows]
+    values = [row[idx] for row in result.rows]
+    title = f"{result.exp_id}: {result.title} [{column}]"
+    return bar_chart(labels, values, title=title, width=width)

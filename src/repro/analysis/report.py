@@ -1,0 +1,66 @@
+"""Plain-text table rendering for experiment results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def fmt(value, width: int = 8, digits: int = 3) -> str:
+    """Format one table cell: floats rounded, None as N/A."""
+    if value is None:
+        return "N/A".rjust(width)
+    if isinstance(value, float):
+        return f"{value:.{digits}f}".rjust(width)
+    return str(value).rjust(width)
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table/figure: id, title, and tabular data."""
+
+    exp_id: str
+    title: str
+    headers: list[str]
+    rows: list[list] = field(default_factory=list)
+    notes: str = ""
+
+    def add_row(self, *cells) -> None:
+        self.rows.append(list(cells))
+
+    def column(self, name: str) -> list:
+        """All values of one column (for assertions in benches/tests)."""
+        idx = self.headers.index(name)
+        return [row[idx] for row in self.rows]
+
+    def row(self, label: str) -> list:
+        """The row whose first cell equals ``label``."""
+        for r in self.rows:
+            if r[0] == label:
+                return r
+        raise KeyError(f"no row labelled {label!r} in {self.exp_id}")
+
+    def cell(self, label: str, column: str):
+        return self.row(label)[self.headers.index(column)]
+
+    def render(self) -> str:
+        """Fixed-width text table."""
+        label_width = max(
+            [len(str(r[0])) for r in self.rows] + [len(self.headers[0]), 10]
+        )
+        cell_width = max(
+            [len(h) for h in self.headers[1:]] + [9]
+        )
+        lines = [f"== {self.exp_id}: {self.title} =="]
+        header = self.headers[0].ljust(label_width) + "".join(
+            h.rjust(cell_width + 1) for h in self.headers[1:]
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            cells = str(row[0]).ljust(label_width) + "".join(
+                " " + fmt(c, cell_width) for c in row[1:]
+            )
+            lines.append(cells)
+        if self.notes:
+            lines.append(f"note: {self.notes}")
+        return "\n".join(lines)

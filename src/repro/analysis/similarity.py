@@ -1,0 +1,125 @@
+"""Register-value similarity characterisation (paper Section 3).
+
+The paper measures similarity as the *arithmetic distance* between
+successive thread registers within one warp register: for a write of 32
+values, the 31 distances ``|v[i+1] - v[i]|`` are computed and the write is
+placed in one of four bins by the largest distance observed:
+
+* **zero** — all successive registers identical,
+* **128**  — all distances at most 128,
+* **32K**  — all distances at most 2**15,
+* **random** — anything larger.
+
+During divergence only the active lanes carry freshly-written values, so
+distances are taken between successive *active* lanes.
+
+This module also implements the exhaustive best-``<base, delta>``
+selection of the Figure 5 design-space study, vectorised for the
+simulator's write rate.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+import numpy as np
+
+
+class SimilarityBin(IntEnum):
+    """Figure 2's four categories, ordered by increasing distance."""
+
+    ZERO = 0
+    D128 = 1
+    D32K = 2
+    RANDOM = 3
+
+    @property
+    def label(self) -> str:
+        return {"ZERO": "zero", "D128": "128", "D32K": "32K", "RANDOM": "random"}[
+            self.name
+        ]
+
+
+def successive_distances(values: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """``|v[i+1] - v[i]|`` over successive active lanes, as int64.
+
+    Values are interpreted as signed 32-bit integers (the paper's
+    arithmetic distance is on the stored bit patterns; nearby floats and
+    nearby addresses are both nearby in this interpretation).
+    """
+    active = np.asarray(values, dtype=np.uint32)[np.asarray(mask, dtype=bool)]
+    if active.size < 2:
+        return np.zeros(0, dtype=np.int64)
+    signed = active.view(np.int32).astype(np.int64)
+    return np.abs(np.diff(signed))
+
+
+def classify_write(values: np.ndarray, mask: np.ndarray) -> SimilarityBin:
+    """Bin one register write by its largest successive distance.
+
+    A write touching fewer than two lanes is trivially in the zero bin.
+    """
+    distances = successive_distances(values, mask)
+    if distances.size == 0:
+        return SimilarityBin.ZERO
+    worst = int(distances.max())
+    if worst == 0:
+        return SimilarityBin.ZERO
+    if worst <= 128:
+        return SimilarityBin.D128
+    if worst <= 1 << 15:
+        return SimilarityBin.D32K
+    return SimilarityBin.RANDOM
+
+
+#: Histogram keys of the Figure 5 study, in plot order.
+BDI_CHOICES = (
+    "<4,0>",
+    "<4,1>",
+    "<4,2>",
+    "<8,0>",
+    "<8,1>",
+    "<8,2>",
+    "<8,4>",
+    "uncompressed",
+)
+
+
+def best_bdi_choice(values: np.ndarray) -> str:
+    """The ``<base, delta>`` pair a full BDI search would pick (Figure 5).
+
+    Evaluates all seven candidate encodings on a 128-byte warp register
+    and returns the one needing the fewest register banks (ties to the
+    smaller compressed size), or ``"uncompressed"``.
+    """
+    lanes = np.asarray(values, dtype=np.uint32)
+    if lanes.size % 2:
+        raise ValueError("warp register must have an even number of lanes")
+
+    candidates: list[tuple[int, int, str]] = []  # (banks, size, name)
+
+    d4 = (lanes - lanes[0]).astype(np.int32)
+    hi4, lo4 = int(d4.max()), int(d4.min())
+    if hi4 == 0 and lo4 == 0:
+        candidates.append((1, 4, "<4,0>"))
+    if -128 <= lo4 and hi4 <= 127:
+        candidates.append((3, 35, "<4,1>"))
+    if -32768 <= lo4 and hi4 <= 32767:
+        candidates.append((5, 66, "<4,2>"))
+
+    chunks8 = lanes.view(np.uint64)
+    d8 = (chunks8 - chunks8[0]).view(np.int64)
+    hi8, lo8 = int(d8.max()), int(d8.min())
+    if hi8 == 0 and lo8 == 0:
+        candidates.append((1, 8, "<8,0>"))
+    if -(1 << 7) <= lo8 and hi8 < 1 << 7:
+        candidates.append((2, 23, "<8,1>"))
+    if -(1 << 15) <= lo8 and hi8 < 1 << 15:
+        candidates.append((3, 38, "<8,2>"))
+    if -(1 << 31) <= lo8 and hi8 < 1 << 31:
+        candidates.append((5, 68, "<8,4>"))
+
+    if not candidates:
+        return "uncompressed"
+    banks, _, name = min(candidates, key=lambda c: (c[0], c[1]))
+    return name if banks < 8 else "uncompressed"

@@ -1,0 +1,210 @@
+"""Statistics accumulated during simulation.
+
+:class:`ValueStats` gathers every per-write and per-instruction counter
+the paper's characterisation and evaluation figures need; it is shared by
+the functional runner and the timing SM so the same figures can be
+produced from either.  :class:`TimingStats` adds cycle-level counters, and
+:class:`RunStats` is the per-run record the harness consumes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.similarity import (
+    SimilarityBin,
+    best_bdi_choice,
+    classify_write,
+)
+from repro.core.banks import BANKS_PER_WARP_REGISTER
+from repro.core.codec import CompressionMode
+
+_NONDIV, _DIV = 0, 1
+
+
+@dataclass
+class ValueStats:
+    """Value-similarity and compression counters (phase-split).
+
+    Phase index 0 is non-divergent, 1 is divergent, following the paired
+    bars of Figures 2, 8 and 12.
+    """
+
+    collect_bdi: bool = False
+    similarity: np.ndarray = field(
+        default_factory=lambda: np.zeros((2, 4), dtype=np.int64)
+    )
+    instructions: int = 0
+    divergent_instructions: int = 0
+    writes: np.ndarray = field(
+        default_factory=lambda: np.zeros(2, dtype=np.int64)
+    )
+    achievable_banks: np.ndarray = field(
+        default_factory=lambda: np.zeros(2, dtype=np.int64)
+    )
+    stored_banks: np.ndarray = field(
+        default_factory=lambda: np.zeros(2, dtype=np.int64)
+    )
+    mode_histogram: Counter = field(default_factory=Counter)
+    bdi_histogram: Counter = field(default_factory=Counter)
+    movs_injected: int = 0
+    occupancy_sum: np.ndarray = field(
+        default_factory=lambda: np.zeros(2, dtype=np.float64)
+    )
+    occupancy_samples: np.ndarray = field(
+        default_factory=lambda: np.zeros(2, dtype=np.int64)
+    )
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_instruction(self, divergent: bool) -> None:
+        self.instructions += 1
+        if divergent:
+            self.divergent_instructions += 1
+
+    def record_write(
+        self,
+        values: np.ndarray,
+        divergent: bool,
+        achievable_mode: CompressionMode,
+        stored_banks: int,
+        stored_mode: CompressionMode,
+    ) -> None:
+        """Record one warp-register write.
+
+        ``values`` is the *merged* 32-lane register as stored — during a
+        divergent write the masked-off lanes keep their stale values,
+        which is exactly what the compressor sees and why the random bin
+        grows under divergence (paper Figure 2).
+        """
+        phase = _DIV if divergent else _NONDIV
+        full = np.ones(len(values), dtype=bool)
+        self.similarity[phase, classify_write(values, full)] += 1
+        self.writes[phase] += 1
+        self.achievable_banks[phase] += achievable_mode.banks
+        self.stored_banks[phase] += stored_banks
+        self.mode_histogram[stored_mode] += 1
+        if self.collect_bdi:
+            self.bdi_histogram[best_bdi_choice(values)] += 1
+
+    def record_mov(self) -> None:
+        self.movs_injected += 1
+
+    def record_occupancy(self, compressed_fraction: float, divergent: bool) -> None:
+        phase = _DIV if divergent else _NONDIV
+        self.occupancy_sum[phase] += compressed_fraction
+        self.occupancy_samples[phase] += 1
+
+    # ------------------------------------------------------------------
+    # Derived metrics
+    # ------------------------------------------------------------------
+    def similarity_fractions(self, divergent: bool) -> dict[SimilarityBin, float]:
+        """Figure 2: fraction of writes per bin for one phase."""
+        phase = _DIV if divergent else _NONDIV
+        total = int(self.similarity[phase].sum())
+        if total == 0:
+            return {b: 0.0 for b in SimilarityBin}
+        return {
+            b: self.similarity[phase, b] / total for b in SimilarityBin
+        }
+
+    @property
+    def nondivergent_fraction(self) -> float:
+        """Figure 3: share of warp instructions that are non-divergent."""
+        if self.instructions == 0:
+            return 1.0
+        return 1.0 - self.divergent_instructions / self.instructions
+
+    def compression_ratio(self, divergent: bool, achievable: bool = True) -> float:
+        """Figure 8 (achievable) / Figure 15 (stored) compression ratio.
+
+        Bank-granularity ratio: eight banks per write divided by the banks
+        the compressed representations occupy.
+        """
+        phase = _DIV if divergent else _NONDIV
+        banks = self.achievable_banks if achievable else self.stored_banks
+        if self.writes[phase] == 0:
+            return 1.0
+        return (
+            BANKS_PER_WARP_REGISTER * int(self.writes[phase])
+        ) / int(banks[phase])
+
+    def overall_compression_ratio(self, achievable: bool = False) -> float:
+        """Ratio over all writes regardless of phase."""
+        total_writes = int(self.writes.sum())
+        banks = self.achievable_banks if achievable else self.stored_banks
+        if total_writes == 0:
+            return 1.0
+        return (BANKS_PER_WARP_REGISTER * total_writes) / int(banks.sum())
+
+    @property
+    def mov_fraction(self) -> float:
+        """Figure 11: dummy MOVs as a fraction of all instructions."""
+        total = self.instructions + self.movs_injected
+        return self.movs_injected / total if total else 0.0
+
+    def compressed_register_fraction(self, divergent: bool) -> float | None:
+        """Figure 12: mean compressed share of allocated registers.
+
+        ``None`` when the phase never occurred (the paper's "N/A" bars for
+        benchmarks that do not diverge).
+        """
+        phase = _DIV if divergent else _NONDIV
+        if self.occupancy_samples[phase] == 0:
+            return None
+        return float(self.occupancy_sum[phase] / self.occupancy_samples[phase])
+
+    def bdi_fractions(self) -> dict[str, float]:
+        """Figure 5: share of writes best served by each encoding."""
+        total = sum(self.bdi_histogram.values())
+        if total == 0:
+            return {}
+        return {k: v / total for k, v in sorted(self.bdi_histogram.items())}
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "ValueStats") -> None:
+        """Fold another SM's counters into this one."""
+        self.similarity += other.similarity
+        self.instructions += other.instructions
+        self.divergent_instructions += other.divergent_instructions
+        self.writes += other.writes
+        self.achievable_banks += other.achievable_banks
+        self.stored_banks += other.stored_banks
+        self.mode_histogram.update(other.mode_histogram)
+        self.bdi_histogram.update(other.bdi_histogram)
+        self.movs_injected += other.movs_injected
+        self.occupancy_sum += other.occupancy_sum
+        self.occupancy_samples += other.occupancy_samples
+
+
+@dataclass
+class TimingStats:
+    """Cycle-level counters from the timing SM."""
+
+    cycles: int = 0
+    issued: int = 0
+    collector_stall_cycles: int = 0
+    bank_wakeup_stalls: int = 0
+
+    def merge(self, other: "TimingStats") -> None:
+        self.cycles = max(self.cycles, other.cycles)
+        self.issued += other.issued
+        self.collector_stall_cycles += other.collector_stall_cycles
+        self.bank_wakeup_stalls += other.bank_wakeup_stalls
+
+
+@dataclass
+class RunStats:
+    """Everything one simulation run produced."""
+
+    benchmark: str
+    policy: str
+    value: ValueStats
+    timing: TimingStats | None = None
+    energy_breakdown: object | None = None  # EnergyBreakdown
+    energy_model: object | None = None  # EnergyModel (for re-pricing sweeps)
+    gated_fractions: list[float] | None = None

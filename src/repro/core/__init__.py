@@ -1,0 +1,80 @@
+"""Warped-compression core: BDI compression, codecs, units, and policies.
+
+This package implements the paper's primary contribution — the
+base-delta-immediate (BDI) compression machinery specialised for GPU warp
+registers — independent of any particular simulator.  The GPU timing model
+in :mod:`repro.gpu` consumes these building blocks.
+
+Public surface:
+
+* :mod:`repro.core.bdi` — the generic BDI algorithm over byte strings, for
+  any ``<base, delta>`` parameter pair (paper Table 1 / Section 4).
+* :mod:`repro.core.codec` — the fast warp-register codec restricted to the
+  three choices the paper selects (``<4,0>``, ``<4,1>``, ``<4,2>``).
+* :mod:`repro.core.banks` — register-bank geometry arithmetic.
+* :mod:`repro.core.indicator` — the 2-bit compression-range indicator
+  vector stored alongside the bank arbiter.
+* :mod:`repro.core.units` — pipelined compressor/decompressor unit models.
+* :mod:`repro.core.policy` — storage policies (dynamic warped-compression,
+  static single-parameter, per-thread narrow width, uncompressed baseline).
+"""
+
+from repro.core.banks import BANK_BYTES, WARP_REGISTER_BYTES, banks_required
+from repro.core.bdi import (
+    ALL_ENCODINGS,
+    TABLE1_ENCODINGS,
+    BDIBlock,
+    Encoding,
+    best_encoding,
+    can_encode,
+    compressed_size,
+    decode,
+    encode,
+)
+from repro.core.codec import (
+    CompressionMode,
+    WarpRegisterCodec,
+    choose_mode,
+    decode_register,
+    encode_register,
+)
+from repro.core.indicator import CompressionRangeIndicator
+from repro.core.policy import (
+    CompressionDecision,
+    CompressionPolicy,
+    PerThreadNarrowPolicy,
+    StaticBDIPolicy,
+    UncompressedPolicy,
+    WarpedCompressionPolicy,
+    make_policy,
+)
+from repro.core.units import UnitPool
+
+__all__ = [
+    "ALL_ENCODINGS",
+    "BANK_BYTES",
+    "BDIBlock",
+    "CompressionDecision",
+    "CompressionMode",
+    "CompressionPolicy",
+    "CompressionRangeIndicator",
+    "Encoding",
+    "PerThreadNarrowPolicy",
+    "StaticBDIPolicy",
+    "TABLE1_ENCODINGS",
+    "UncompressedPolicy",
+    "UnitPool",
+    "WARP_REGISTER_BYTES",
+    "WarpRegisterCodec",
+    "WarpedCompressionPolicy",
+    "banks_required",
+    "best_encoding",
+    "can_encode",
+    "choose_mode",
+    "compressed_size",
+    "decode",
+    "decode_register",
+    "encode",
+    "encode_register",
+    "make_policy",
+]

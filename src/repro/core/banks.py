@@ -1,0 +1,67 @@
+"""Register-bank geometry arithmetic.
+
+The paper's baseline register file (Section 2.1) is built from 16-byte-wide
+SRAM banks.  A 128-byte warp register (32 threads x 4 bytes) spans eight
+consecutive banks.  Compressed registers occupy only the lowest
+``ceil(size / 16)`` banks of their eight-bank cluster, which is what makes
+bank-level power gating possible (Section 5.3, Figure 10).
+"""
+
+from __future__ import annotations
+
+#: Width of one register bank entry in bytes (128 bits, paper Table 2).
+BANK_BYTES = 16
+
+#: Size of one uncompressed warp register in bytes (32 threads x 4 B).
+WARP_REGISTER_BYTES = 128
+
+#: Number of banks an uncompressed warp register spans.
+BANKS_PER_WARP_REGISTER = WARP_REGISTER_BYTES // BANK_BYTES
+
+
+def banks_required(nbytes: int, bank_bytes: int = BANK_BYTES) -> int:
+    """Number of register banks needed to store ``nbytes`` of data.
+
+    Storage is allocated in whole banks: any compressed representation that
+    exceeds a 16-byte boundary spills into an additional bank (paper
+    Section 4, Table 1).
+
+    >>> banks_required(4)
+    1
+    >>> banks_required(35)
+    3
+    >>> banks_required(66)
+    5
+    >>> banks_required(128)
+    8
+    """
+    if nbytes < 0:
+        raise ValueError(f"nbytes must be non-negative, got {nbytes}")
+    if bank_bytes <= 0:
+        raise ValueError(f"bank_bytes must be positive, got {bank_bytes}")
+    if nbytes == 0:
+        return 0
+    return -(-nbytes // bank_bytes)
+
+
+def bank_bytes_used(nbytes: int, bank_bytes: int = BANK_BYTES) -> int:
+    """Total bytes of bank storage consumed (whole-bank granularity)."""
+    return banks_required(nbytes, bank_bytes) * bank_bytes
+
+
+def compression_ratio_in_banks(
+    compressed_bytes: int,
+    original_bytes: int = WARP_REGISTER_BYTES,
+    bank_bytes: int = BANK_BYTES,
+) -> float:
+    """Effective compression ratio measured in bank granularity.
+
+    The register file can only save energy in whole-bank units, so the
+    paper reports compression ratio as original banks / used banks
+    (e.g. ``<4,1>`` stores 35 bytes in 3 banks: ratio 8/3).
+    """
+    used = banks_required(compressed_bytes, bank_bytes)
+    total = banks_required(original_bytes, bank_bytes)
+    if used == 0:
+        raise ValueError("compressed size of zero bytes has no bank ratio")
+    return total / used

@@ -1,0 +1,251 @@
+"""Generic base-delta-immediate (BDI) compression.
+
+Implements the BDI algorithm of Pekhimenko et al. (PACT 2012) as used by
+the paper (Section 4): the input is divided into fixed-size chunks, the
+first chunk is the *base*, and every chunk is re-expressed as a signed
+delta from the base.  If every delta fits in the (smaller) delta width the
+block is compressible; the compressed length is given by paper eq. (1)::
+
+    L_comp = L_base + L_delta * (L_input / L_base - 1)
+
+This module is the exploratory, any-parameter implementation used for the
+design-space study of Figure 5 (which ``<base, delta>`` pair wins most
+often).  The performance-critical fixed-parameter codec lives in
+:mod:`repro.core.codec`.
+
+All chunk values are little-endian unsigned integers; deltas are computed
+with wrap-around (modulo ``2**(8*base_size)``) arithmetic and interpreted
+as signed two's-complement values of the delta width, exactly as a
+hardware subtractor would produce them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.banks import BANK_BYTES, banks_required
+
+
+@dataclass(frozen=True, order=True)
+class Encoding:
+    """A ``<base_size, delta_size>`` BDI parameter pair, sizes in bytes.
+
+    ``delta_size == 0`` is the special repeated-value encoding: every chunk
+    must equal the base exactly (paper Table 1, the "zero bin" case).
+    """
+
+    base_size: int
+    delta_size: int
+
+    def __post_init__(self) -> None:
+        if self.base_size not in (1, 2, 4, 8):
+            raise ValueError(f"unsupported base size {self.base_size}")
+        if not 0 <= self.delta_size < self.base_size:
+            raise ValueError(
+                f"delta size {self.delta_size} must be in [0, {self.base_size})"
+            )
+
+    def compressed_size(self, input_size: int) -> int:
+        """Compressed length in bytes for an ``input_size``-byte block."""
+        return compressed_size(input_size, self.base_size, self.delta_size)
+
+    def banks(self, input_size: int = 128, bank_bytes: int = BANK_BYTES) -> int:
+        """Register banks needed for the compressed block (Table 1)."""
+        return banks_required(self.compressed_size(input_size), bank_bytes)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{self.base_size},{self.delta_size}>"
+
+
+def compressed_size(input_size: int, base_size: int, delta_size: int) -> int:
+    """Paper equation (1): static compressed length of a BDI block."""
+    if input_size % base_size != 0:
+        raise ValueError(
+            f"input size {input_size} is not a multiple of base size {base_size}"
+        )
+    nchunks = input_size // base_size
+    return base_size + delta_size * (nchunks - 1)
+
+
+#: Every ``<base, delta>`` row of paper Table 1, in table order.
+TABLE1_ENCODINGS: tuple[Encoding, ...] = (
+    Encoding(1, 0),
+    Encoding(2, 1),
+    Encoding(4, 0),
+    Encoding(4, 1),
+    Encoding(4, 2),
+    Encoding(8, 0),
+    Encoding(8, 1),
+    Encoding(8, 2),
+    Encoding(8, 4),
+)
+
+#: The parameter set explored by the paper's dynamic-selection study
+#: (Section 4): base 4 or 8, all delta widths.
+ALL_ENCODINGS: tuple[Encoding, ...] = (
+    Encoding(4, 0),
+    Encoding(4, 1),
+    Encoding(4, 2),
+    Encoding(8, 0),
+    Encoding(8, 1),
+    Encoding(8, 2),
+    Encoding(8, 4),
+)
+
+#: The three fixed choices warped-compression keeps (Section 4, Figure 5).
+WARPED_ENCODINGS: tuple[Encoding, ...] = (
+    Encoding(4, 0),
+    Encoding(4, 1),
+    Encoding(4, 2),
+)
+
+
+@dataclass(frozen=True)
+class BDIBlock:
+    """A compressed BDI block: encoding, base chunk value, signed deltas."""
+
+    encoding: Encoding
+    input_size: int
+    base: int
+    deltas: tuple[int, ...]
+
+    @property
+    def size(self) -> int:
+        """Compressed size in bytes."""
+        return self.encoding.compressed_size(self.input_size)
+
+
+def _chunks(data: bytes, size: int) -> list[int]:
+    if len(data) % size != 0:
+        raise ValueError(
+            f"data length {len(data)} is not a multiple of chunk size {size}"
+        )
+    return [
+        int.from_bytes(data[i : i + size], "little")
+        for i in range(0, len(data), size)
+    ]
+
+
+def _signed_delta(chunk: int, base: int, base_size: int) -> int:
+    """Wrap-around difference ``chunk - base`` as a signed base-width value."""
+    mod = 1 << (8 * base_size)
+    raw = (chunk - base) % mod
+    if raw >= mod // 2:
+        raw -= mod
+    return raw
+
+
+def _fits(delta: int, delta_size: int) -> bool:
+    if delta_size == 0:
+        return delta == 0
+    bound = 1 << (8 * delta_size - 1)
+    return -bound <= delta < bound
+
+
+def can_encode(data: bytes, encoding: Encoding) -> bool:
+    """Whether every chunk's delta to the first chunk fits the delta width."""
+    base_chunks = _chunks(data, encoding.base_size)
+    base = base_chunks[0]
+    return all(
+        _fits(_signed_delta(c, base, encoding.base_size), encoding.delta_size)
+        for c in base_chunks
+    )
+
+
+def encode(data: bytes, encoding: Encoding) -> BDIBlock:
+    """Compress ``data`` with ``encoding``; raises if not compressible."""
+    base_chunks = _chunks(data, encoding.base_size)
+    base = base_chunks[0]
+    deltas = []
+    for chunk in base_chunks[1:]:
+        delta = _signed_delta(chunk, base, encoding.base_size)
+        if not _fits(delta, encoding.delta_size):
+            raise ValueError(
+                f"delta {delta} does not fit {encoding} for chunk {chunk:#x}"
+            )
+        deltas.append(delta)
+    return BDIBlock(encoding, len(data), base, tuple(deltas))
+
+
+def decode(block: BDIBlock) -> bytes:
+    """Reconstruct the original bytes from a compressed block."""
+    enc = block.encoding
+    mod = 1 << (8 * enc.base_size)
+    chunks = [block.base]
+    chunks.extend((block.base + d) % mod for d in block.deltas)
+    return b"".join(c.to_bytes(enc.base_size, "little") for c in chunks)
+
+
+def to_bytes(block: BDIBlock) -> bytes:
+    """Serialise the compressed payload (base then packed deltas).
+
+    Used by tests to check the claimed compressed size is achievable with a
+    real bit layout; the simulator itself only needs sizes.
+    """
+    enc = block.encoding
+    out = bytearray(block.base.to_bytes(enc.base_size, "little"))
+    mod = 1 << (8 * enc.delta_size) if enc.delta_size else 1
+    for delta in block.deltas:
+        if enc.delta_size:
+            out += (delta % mod).to_bytes(enc.delta_size, "little")
+    return bytes(out)
+
+
+def from_bytes(payload: bytes, encoding: Encoding, input_size: int) -> BDIBlock:
+    """Inverse of :func:`to_bytes`."""
+    expected = encoding.compressed_size(input_size)
+    if len(payload) != expected:
+        raise ValueError(
+            f"payload length {len(payload)} != expected {expected} for {encoding}"
+        )
+    base = int.from_bytes(payload[: encoding.base_size], "little")
+    deltas = []
+    if encoding.delta_size:
+        span = 1 << (8 * encoding.delta_size)
+        for i in range(encoding.base_size, len(payload), encoding.delta_size):
+            raw = int.from_bytes(payload[i : i + encoding.delta_size], "little")
+            deltas.append(raw - span if raw >= span // 2 else raw)
+    else:
+        deltas = [0] * (input_size // encoding.base_size - 1)
+    return BDIBlock(encoding, input_size, base, tuple(deltas))
+
+
+def best_encoding(
+    data: bytes,
+    candidates: Iterable[Encoding] = ALL_ENCODINGS,
+    bank_bytes: int = BANK_BYTES,
+) -> Encoding | None:
+    """Select the candidate with the best bank-granularity compression.
+
+    Mirrors the paper's design-space methodology: on every register write
+    the exploratory BDI engine computes the compression ratio of each
+    parameter pair and keeps the one that needs the fewest register banks.
+    Ties are broken towards the smaller compressed byte size, then the
+    simpler (smaller delta) encoding.  Returns ``None`` when no candidate
+    compresses to fewer banks than the raw data.
+    """
+    raw_banks = banks_required(len(data), bank_bytes)
+    best: Encoding | None = None
+    best_key: tuple[int, int, int] | None = None
+    for enc in candidates:
+        if len(data) % enc.base_size != 0 or not can_encode(data, enc):
+            continue
+        size = enc.compressed_size(len(data))
+        key = (banks_required(size, bank_bytes), size, enc.delta_size)
+        if key[0] >= raw_banks:
+            continue
+        if best_key is None or key < best_key:
+            best, best_key = enc, key
+    return best
+
+
+def compressible_sizes(
+    data: bytes, candidates: Sequence[Encoding] = ALL_ENCODINGS
+) -> dict[Encoding, int]:
+    """Map of every candidate that can encode ``data`` to its byte size."""
+    return {
+        enc: enc.compressed_size(len(data))
+        for enc in candidates
+        if len(data) % enc.base_size == 0 and can_encode(data, enc)
+    }

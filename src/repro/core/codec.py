@@ -1,0 +1,206 @@
+"""Fast warp-register codec for the three warped-compression choices.
+
+The paper restricts runtime compression to the fixed parameter set
+``<4,0>``, ``<4,1>``, ``<4,2>`` (Section 4, Figure 5): the 128-byte warp
+register is split into 32 four-byte chunks — one per thread register — the
+first active chunk is the base, and every other chunk must be expressible
+as a 0/1/2-byte signed delta.  A register that fits none of the three is
+stored uncompressed.
+
+This module is the hot path of the simulator, so mode selection is
+vectorised over ``numpy`` ``uint32`` lanes; the bit-exact reference
+implementation (arbitrary parameters, byte-level layout) lives in
+:mod:`repro.core.bdi` and the two are cross-checked by property tests.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+import numpy as np
+
+from repro.core.banks import (
+    BANK_BYTES,
+    BANKS_PER_WARP_REGISTER,
+    WARP_REGISTER_BYTES,
+    banks_required,
+)
+from repro.core.bdi import BDIBlock, Encoding
+
+
+class CompressionMode(IntEnum):
+    """The 2-bit compression-range indicator values (paper Section 4).
+
+    The numeric values are the actual indicator encodings stored in the
+    bank arbiter: two bits distinguish the three compressed sizes plus the
+    uncompressed state.
+    """
+
+    B4D0 = 0  #: ``<4,0>`` — all 32 thread registers identical (1 bank).
+    B4D1 = 1  #: ``<4,1>`` — deltas fit one signed byte (3 banks).
+    B4D2 = 2  #: ``<4,2>`` — deltas fit two signed bytes (5 banks).
+    UNCOMPRESSED = 3  #: stored raw across all 8 banks.
+
+    @property
+    def compressed_bytes(self) -> int:
+        """Compressed payload size in bytes (Table 1, base-4 rows)."""
+        return _MODE_BYTES[self]
+
+    @property
+    def banks(self) -> int:
+        """Register banks occupied by this representation."""
+        return _MODE_BANKS[self]
+
+    @property
+    def encoding(self) -> Encoding | None:
+        """The equivalent generic :class:`~repro.core.bdi.Encoding`."""
+        return _MODE_ENCODING[self]
+
+    @property
+    def is_compressed(self) -> bool:
+        return self is not CompressionMode.UNCOMPRESSED
+
+
+_MODE_BYTES = {
+    CompressionMode.B4D0: 4,
+    CompressionMode.B4D1: 35,
+    CompressionMode.B4D2: 66,
+    CompressionMode.UNCOMPRESSED: WARP_REGISTER_BYTES,
+}
+_MODE_BANKS = {
+    mode: banks_required(nbytes) for mode, nbytes in _MODE_BYTES.items()
+}
+_MODE_ENCODING = {
+    CompressionMode.B4D0: Encoding(4, 0),
+    CompressionMode.B4D1: Encoding(4, 1),
+    CompressionMode.B4D2: Encoding(4, 2),
+    CompressionMode.UNCOMPRESSED: None,
+}
+
+#: Modes ordered from fewest to most banks, i.e. preference order.
+COMPRESSED_MODES = (
+    CompressionMode.B4D0,
+    CompressionMode.B4D1,
+    CompressionMode.B4D2,
+)
+
+
+def _as_lanes(values: np.ndarray) -> np.ndarray:
+    lanes = np.asarray(values, dtype=np.uint32)
+    if lanes.ndim != 1:
+        raise ValueError(f"warp register must be 1-D, got shape {lanes.shape}")
+    return lanes
+
+
+def choose_mode(values: np.ndarray) -> CompressionMode:
+    """Pick the cheapest mode that can represent a warp register.
+
+    ``values`` is the array of 32 thread-register values (``uint32``).
+    Deltas are wrap-around differences to lane 0 reinterpreted as signed
+    32-bit values, matching the hardware subtractor in Figure 7.
+    """
+    lanes = _as_lanes(values)
+    deltas = (lanes - lanes[0]).astype(np.int32)
+    magnitude = int(np.max(deltas)), int(np.min(deltas))
+    high, low = magnitude
+    if high == 0 and low == 0:
+        return CompressionMode.B4D0
+    if high <= 127 and low >= -128:
+        return CompressionMode.B4D1
+    if high <= 32767 and low >= -32768:
+        return CompressionMode.B4D2
+    return CompressionMode.UNCOMPRESSED
+
+
+def encode_register(values: np.ndarray) -> tuple[CompressionMode, BDIBlock | None]:
+    """Compress a warp register; returns the mode and block (``None`` raw)."""
+    lanes = _as_lanes(values)
+    mode = choose_mode(lanes)
+    if mode is CompressionMode.UNCOMPRESSED:
+        return mode, None
+    deltas = (lanes - lanes[0]).astype(np.int32)
+    block = BDIBlock(
+        encoding=_MODE_ENCODING[mode],
+        input_size=lanes.size * 4,
+        base=int(lanes[0]),
+        deltas=tuple(int(d) for d in deltas[1:]),
+    )
+    return mode, block
+
+
+def decode_register(block: BDIBlock) -> np.ndarray:
+    """Reconstruct the 32 ``uint32`` thread registers from a block."""
+    if block.encoding.base_size != 4:
+        raise ValueError(f"not a warp-register block: {block.encoding}")
+    base = np.uint32(block.base)
+    deltas = np.asarray((0,) + block.deltas, dtype=np.int64)
+    return ((int(base) + deltas) % (1 << 32)).astype(np.uint32)
+
+
+class WarpRegisterCodec:
+    """Stateless codec facade used by the register file model.
+
+    Wraps mode selection and (de)compression while counting activations so
+    the power model can charge compressor/decompressor unit energy.
+    """
+
+    def __init__(self, modes: tuple[CompressionMode, ...] = COMPRESSED_MODES):
+        for mode in modes:
+            if not mode.is_compressed:
+                raise ValueError("codec mode list must not contain UNCOMPRESSED")
+        self.modes = tuple(sorted(modes))
+        self.compressions = 0
+        self.decompressions = 0
+
+    def compress(self, values: np.ndarray) -> CompressionMode:
+        """Pick a storage mode restricted to this codec's allowed modes."""
+        self.compressions += 1
+        mode = choose_mode(values)
+        if mode is CompressionMode.UNCOMPRESSED:
+            return mode
+        for allowed in self.modes:
+            if allowed >= mode:
+                return allowed
+        return CompressionMode.UNCOMPRESSED
+
+    def decompress(self) -> None:
+        """Record a decompression activation (values live uncompressed)."""
+        self.decompressions += 1
+
+    def reset_counters(self) -> None:
+        self.compressions = 0
+        self.decompressions = 0
+
+
+def bank_span(mode: CompressionMode) -> range:
+    """Bank offsets (within the 8-bank cluster) a register in ``mode`` uses.
+
+    Compressed data is stored starting at the lowest bank index of the
+    cluster (Section 6.2), so higher-index banks are the ones freed up and
+    power-gated — the effect Figure 10 plots.
+    """
+    return range(mode.banks)
+
+
+def full_bank_span() -> range:
+    """Bank offsets of an uncompressed warp register."""
+    return range(BANKS_PER_WARP_REGISTER)
+
+
+def compression_ratio(mode: CompressionMode) -> float:
+    """Bank-granularity compression ratio achieved by ``mode``."""
+    return BANKS_PER_WARP_REGISTER / mode.banks
+
+
+__all__ = [
+    "BANK_BYTES",
+    "COMPRESSED_MODES",
+    "CompressionMode",
+    "WarpRegisterCodec",
+    "bank_span",
+    "choose_mode",
+    "compression_ratio",
+    "decode_register",
+    "encode_register",
+    "full_bank_span",
+]

@@ -1,0 +1,65 @@
+"""Compression-range indicator vector.
+
+Each warp register carries a 2-bit indicator recording which of the three
+compression choices (or uncompressed) it is stored with.  The paper keeps
+this vector in the bank arbiter so it can be read in parallel with bank
+arbitration (Section 4); the arbiter then knows exactly which banks hold
+the register before issuing any bank access.
+"""
+
+from __future__ import annotations
+
+from repro.core.codec import CompressionMode
+
+
+class CompressionRangeIndicator:
+    """2-bit-per-register metadata vector held by the bank arbiter.
+
+    Indexed by warp-register *slot* (the linearised register-file address
+    of a warp register).  New slots default to :data:`UNCOMPRESSED`, which
+    matches hardware reset state and means an unwritten register costs the
+    full eight banks — the conservative baseline behaviour.
+    """
+
+    BITS_PER_ENTRY = 2
+
+    def __init__(self, num_slots: int):
+        if num_slots <= 0:
+            raise ValueError(f"num_slots must be positive, got {num_slots}")
+        self.num_slots = num_slots
+        self._modes = [CompressionMode.UNCOMPRESSED] * num_slots
+
+    def get(self, slot: int) -> CompressionMode:
+        """Mode of the register stored at ``slot``."""
+        return self._modes[self._check(slot)]
+
+    def set(self, slot: int, mode: CompressionMode) -> None:
+        """Record the storage mode chosen for a register write."""
+        self._modes[self._check(slot)] = mode
+
+    def reset(self, slot: int) -> None:
+        """Return a slot to its power-on (uncompressed) state."""
+        self.set(slot, CompressionMode.UNCOMPRESSED)
+
+    def banks(self, slot: int) -> int:
+        """Banks that must be accessed to read the register at ``slot``."""
+        return self.get(slot).banks
+
+    def compressed_count(self) -> int:
+        """Number of slots currently holding compressed registers."""
+        return sum(1 for m in self._modes if m.is_compressed)
+
+    @property
+    def storage_bits(self) -> int:
+        """Total metadata overhead of the vector in bits."""
+        return self.num_slots * self.BITS_PER_ENTRY
+
+    def _check(self, slot: int) -> int:
+        if not 0 <= slot < self.num_slots:
+            raise IndexError(
+                f"slot {slot} out of range for {self.num_slots}-entry indicator"
+            )
+        return slot
+
+    def __len__(self) -> int:
+        return self.num_slots

@@ -1,0 +1,215 @@
+"""Register-storage compression policies.
+
+A policy decides, for every warp-register writeback, how the value is
+stored: which compression mode, how many physical banks, and whether a
+compressor unit activation must be charged.  The policies model the design
+points the paper evaluates:
+
+* :class:`WarpedCompressionPolicy` — the proposed scheme: dynamic choice
+  among ``<4,0>/<4,1>/<4,2>``, divergent writes stored uncompressed
+  (Section 5.2), a dummy MOV decompresses a compressed destination before
+  its first divergent update.
+* :class:`StaticBDIPolicy` — a single fixed parameter pair (Section 6.6
+  design-space study; ``<4,0>`` alone is equivalent to scalarization).
+* :class:`PerThreadNarrowPolicy` — the rejected alternative that shrinks
+  the compression window to one thread register (Section 5.2): each lane
+  is stored in 1/2/4 bytes by narrow-width detection, exploiting no
+  inter-thread similarity.
+* :class:`UncompressedPolicy` — the baseline register file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.banks import BANKS_PER_WARP_REGISTER, banks_required
+from repro.core.codec import (
+    COMPRESSED_MODES,
+    CompressionMode,
+    WarpRegisterCodec,
+)
+
+
+@dataclass(frozen=True)
+class CompressionDecision:
+    """Outcome of a policy for one register writeback.
+
+    ``banks`` may differ from ``mode.banks`` only for policies whose
+    storage layout the 2-bit indicator cannot express exactly (the
+    per-thread narrow-width design point); the register file tracks the
+    physical bank count separately from the indicator.
+    """
+
+    mode: CompressionMode
+    banks: int
+    compressor_used: bool
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.banks <= BANKS_PER_WARP_REGISTER:
+            raise ValueError(f"banks must be in [1, 8], got {self.banks}")
+
+    @property
+    def is_compressed(self) -> bool:
+        return self.banks < BANKS_PER_WARP_REGISTER
+
+
+_UNCOMPRESSED_DECISION = CompressionDecision(
+    CompressionMode.UNCOMPRESSED, BANKS_PER_WARP_REGISTER, compressor_used=False
+)
+
+
+class CompressionPolicy:
+    """Base interface; subclasses implement :meth:`decide`."""
+
+    #: Human-readable policy name used in reports.
+    name = "base"
+
+    #: Whether a divergent write to a compressed destination must be
+    #: preceded by a decompressing dummy MOV (Section 5.2).
+    requires_mov_on_divergent_write = False
+
+    #: Whether the register file performs any compression at all.
+    enabled = True
+
+    def decide(
+        self, values: np.ndarray, divergent: bool
+    ) -> CompressionDecision:
+        """Choose the storage representation for one register write."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Clear any per-run counters."""
+
+
+class UncompressedPolicy(CompressionPolicy):
+    """Baseline: every register occupies all eight banks, always."""
+
+    name = "uncompressed"
+    enabled = False
+
+    def decide(
+        self, values: np.ndarray, divergent: bool
+    ) -> CompressionDecision:
+        return _UNCOMPRESSED_DECISION
+
+
+class WarpedCompressionPolicy(CompressionPolicy):
+    """The paper's proposal (dynamic ``<4,0>/<4,1>/<4,2>`` selection).
+
+    Parameters
+    ----------
+    modes:
+        Allowed compressed modes (defaults to all three choices).
+    compress_divergent:
+        When ``True``, models the rejected buffered alternative of
+        Section 5.2 that merges divergent writes into a temporary buffer
+        and re-compresses; the SM model charges the extra read-modify-write
+        traffic.  Default ``False`` = the paper's chosen design.
+    """
+
+    name = "warped-compression"
+    requires_mov_on_divergent_write = True
+
+    def __init__(
+        self,
+        modes: tuple[CompressionMode, ...] = COMPRESSED_MODES,
+        compress_divergent: bool = False,
+    ):
+        self.codec = WarpRegisterCodec(modes)
+        self.compress_divergent = compress_divergent
+        if compress_divergent:
+            # The buffered design never leaves a register uncompressed due
+            # to divergence, so the dummy-MOV mechanism is unnecessary.
+            self.requires_mov_on_divergent_write = False
+
+    def decide(
+        self, values: np.ndarray, divergent: bool
+    ) -> CompressionDecision:
+        if divergent and not self.compress_divergent:
+            return _UNCOMPRESSED_DECISION
+        mode = self.codec.compress(values)
+        return CompressionDecision(mode, mode.banks, compressor_used=True)
+
+    def reset(self) -> None:
+        self.codec.reset_counters()
+
+
+class StaticBDIPolicy(WarpedCompressionPolicy):
+    """A single static ``<4,d>`` choice (Section 6.6).
+
+    ``StaticBDIPolicy(CompressionMode.B4D0)`` is the scalarization-
+    equivalent design point: only registers whose 32 lanes are identical
+    compress, to a single bank.
+    """
+
+    def __init__(self, mode: CompressionMode):
+        if not mode.is_compressed:
+            raise ValueError("static policy requires a compressed mode")
+        super().__init__(modes=(mode,))
+        self.static_mode = mode
+        self.name = {
+            CompressionMode.B4D0: "static<4,0>",
+            CompressionMode.B4D1: "static<4,1>",
+            CompressionMode.B4D2: "static<4,2>",
+        }[mode]
+
+
+class PerThreadNarrowPolicy(CompressionPolicy):
+    """Per-thread narrow-width storage (rejected design of Section 5.2).
+
+    Each 4-byte thread register is stored in 1, 2 or 4 bytes depending on
+    whether its value sign-extends from 8 or 16 bits.  The packed sizes of
+    all 32 lanes are summed and rounded up to whole banks.  Because no
+    inter-thread similarity is used, a warp of 32 distinct 32-bit values
+    (e.g. large addresses) saves nothing even when lane-to-lane deltas are
+    tiny — which is exactly why the paper rejects this window.
+
+    Divergence is irrelevant to this policy (each lane is independent), so
+    no dummy MOVs are needed; partial writes simply repack.
+    """
+
+    name = "per-thread-narrow"
+
+    def decide(
+        self, values: np.ndarray, divergent: bool
+    ) -> CompressionDecision:
+        lanes = np.asarray(values, dtype=np.uint32).astype(np.int64)
+        signed = np.where(lanes >= 1 << 31, lanes - (1 << 32), lanes)
+        nbytes = np.full(signed.shape, 4, dtype=np.int64)
+        nbytes[(signed >= -(1 << 15)) & (signed < 1 << 15)] = 2
+        nbytes[(signed >= -(1 << 7)) & (signed < 1 << 7)] = 1
+        total = int(nbytes.sum())
+        banks = banks_required(total)
+        mode = (
+            CompressionMode.UNCOMPRESSED
+            if banks >= BANKS_PER_WARP_REGISTER
+            else CompressionMode.B4D2
+        )
+        return CompressionDecision(mode, banks, compressor_used=True)
+
+
+def make_policy(name: str) -> CompressionPolicy:
+    """Factory used by the experiment harness.
+
+    Accepted names: ``baseline``, ``warped``, ``warped-buffered``,
+    ``static-4-0``, ``static-4-1``, ``static-4-2``, ``per-thread``.
+    """
+    factories = {
+        "baseline": UncompressedPolicy,
+        "warped": WarpedCompressionPolicy,
+        "warped-buffered": lambda: WarpedCompressionPolicy(
+            compress_divergent=True
+        ),
+        "static-4-0": lambda: StaticBDIPolicy(CompressionMode.B4D0),
+        "static-4-1": lambda: StaticBDIPolicy(CompressionMode.B4D1),
+        "static-4-2": lambda: StaticBDIPolicy(CompressionMode.B4D2),
+        "per-thread": PerThreadNarrowPolicy,
+    }
+    try:
+        return factories[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r}; choose from {sorted(factories)}"
+        ) from None

@@ -1,0 +1,30 @@
+"""Cycle-level SIMT GPU simulator substrate.
+
+This package is the reproduction's stand-in for GPGPU-Sim: a from-scratch
+GPU model detailed exactly where the paper's evaluation needs detail —
+warp scheduling, SIMT divergence, the banked register file with its bank
+arbiter and operand collectors, and the added compression/decompression
+pipeline stages — and deliberately simple elsewhere (fixed-latency memory,
+unlimited ALUs).
+
+Layering (bottom to top):
+
+* :mod:`repro.gpu.config` — microarchitectural parameters (paper Table 2).
+* :mod:`repro.gpu.isa`, :mod:`repro.gpu.program`, :mod:`repro.gpu.builder`
+  — the PTX-like instruction set, kernel container, and the structured
+  kernel-builder DSL benchmarks are written in.
+* :mod:`repro.gpu.simt`, :mod:`repro.gpu.interpreter`,
+  :mod:`repro.gpu.memory` — functional warp-lockstep execution with an
+  immediate-post-dominator reconvergence stack.
+* :mod:`repro.gpu.regfile`, :mod:`repro.gpu.arbiter`,
+  :mod:`repro.gpu.collector`, :mod:`repro.gpu.scoreboard`,
+  :mod:`repro.gpu.scheduler` — the register-file pipeline components.
+* :mod:`repro.gpu.sm`, :mod:`repro.gpu.gpu`, :mod:`repro.gpu.launch` —
+  the SM cycle loop and multi-SM kernel launch.
+"""
+
+from repro.gpu.config import GPUConfig
+from repro.gpu.gpu import GPU, SimulationResult
+from repro.gpu.launch import LaunchSpec, run_kernel
+
+__all__ = ["GPU", "GPUConfig", "LaunchSpec", "SimulationResult", "run_kernel"]

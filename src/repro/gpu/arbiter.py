@@ -1,0 +1,68 @@
+"""Bank arbiter: per-cycle read/write port booking.
+
+Each register bank has one read port and one write port (Section 2.1).
+Every cycle the arbiter grants at most one read and one write per bank;
+requests that lose arbitration retry the next cycle.  The arbiter also
+consults the gating controller so that an access to a power-gated bank
+first triggers (and waits out) the bank wake-up.
+
+Grant-time is when the energy model charges bank access energy, so the
+arbiter reports every successful grant to the supplied callbacks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.power.gating import BankGatingController
+
+
+class BankArbiter:
+    """Cycle-scoped port allocator over ``num_banks`` banks."""
+
+    def __init__(
+        self,
+        num_banks: int,
+        gating: BankGatingController | None = None,
+    ):
+        self.num_banks = num_banks
+        self.gating = gating
+        self._read_busy = [False] * num_banks
+        self._write_busy = [False] * num_banks
+        self._cycle = -1
+
+    def begin_cycle(self, cycle: int) -> None:
+        """Reset port state at the start of a cycle."""
+        self._cycle = cycle
+        self._read_busy = [False] * self.num_banks
+        self._write_busy = [False] * self.num_banks
+        if self.gating is not None:
+            self.gating.settle(cycle)
+
+    def _bank_ready(self, bank: int) -> bool:
+        if self.gating is None:
+            return True
+        return self.gating.ready_cycle_for_access(bank, self._cycle) <= self._cycle
+
+    def grant_reads(self, banks: Iterable[int]) -> list[int]:
+        """Grant read ports for as many of ``banks`` as possible this cycle.
+
+        Returns the granted subset; the caller keeps the remainder pending.
+        Banks that are waking from a gated state are not granted until the
+        wake-up completes (the wake is initiated as a side effect).
+        """
+        granted = []
+        for bank in banks:
+            if not self._read_busy[bank] and self._bank_ready(bank):
+                self._read_busy[bank] = True
+                granted.append(bank)
+        return granted
+
+    def grant_writes(self, banks: Iterable[int]) -> list[int]:
+        """Write-port counterpart of :meth:`grant_reads`."""
+        granted = []
+        for bank in banks:
+            if not self._write_busy[bank] and self._bank_ready(bank):
+                self._write_busy[bank] = True
+                granted.append(bank)
+        return granted

@@ -1,0 +1,471 @@
+"""Structured kernel-builder DSL.
+
+Benchmark kernels are authored against this builder rather than written as
+raw instruction lists: it allocates registers and predicates, provides one
+method per opcode, and lowers structured control flow (``if_``/``else_``,
+``while_loop``, ``for_range``) to predicated branches with correct
+immediate-post-dominator reconvergence points — the information the SIMT
+stack (Section 5.2's divergence machinery) needs.
+
+Example::
+
+    b = KernelBuilder("axpy", params=("n", "a", "x", "y"))
+    tid = b.global_tid_x()
+    n = b.param("n")
+    with b.if_(b.isetp(Cmp.LT, tid, n)):
+        addr_x = b.imad(tid, 4, b.param("x"))
+        addr_y = b.imad(tid, 4, b.param("y"))
+        val = b.ffma(b.ldg(addr_x), b.param("a"), b.ldg(addr_y))
+        b.stg(addr_y, val)
+    kernel = b.build()
+"""
+
+from __future__ import annotations
+
+import struct
+from contextlib import contextmanager
+from dataclasses import replace
+from typing import Iterator
+
+from repro.gpu.isa import Cmp, Imm, Instruction, Op, Operand, Pred, Reg, SReg
+from repro.gpu.program import Kernel
+
+
+def float_bits(value: float) -> int:
+    """IEEE-754 single-precision bit pattern of ``value`` as an int."""
+    return struct.unpack("<I", struct.pack("<f", float(value)))[0]
+
+
+def fimm(value: float) -> Imm:
+    """A float immediate (stored as its 32-bit pattern)."""
+    return Imm(float_bits(value))
+
+
+class _LoopFrame:
+    """Handle yielded by :meth:`KernelBuilder.while_loop`."""
+
+    def __init__(self, builder: "KernelBuilder", head: str, end: str):
+        self._builder = builder
+        self.head_label = head
+        self.end_label = end
+
+    def break_if(self, pred: Pred) -> None:
+        """Exit the loop for lanes where ``pred`` holds."""
+        self._builder._emit(
+            Instruction(
+                Op.BRA,
+                guard=pred,
+                label_target=self.end_label,
+                label_reconv=self.end_label,
+            )
+        )
+
+    def break_unless(self, pred: Pred) -> None:
+        """Exit the loop for lanes where ``pred`` does not hold."""
+        self.break_if(~pred)
+
+
+class KernelBuilder:
+    """Builds a :class:`~repro.gpu.program.Kernel` imperatively."""
+
+    def __init__(
+        self,
+        name: str,
+        params: tuple[str, ...] | list[str] = (),
+        shared_bytes: int = 0,
+    ):
+        self.name = name
+        self.param_names = tuple(params)
+        self.shared_bytes = shared_bytes
+        self._instrs: list[Instruction] = []
+        self._labels: dict[str, int] = {}
+        self._next_reg = 0
+        self._next_pred = 0
+        self._fresh_counter = 0
+        self._closed_if: list[tuple[int, str, str]] | None = None
+        self._built = False
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def reg(self) -> Reg:
+        """Allocate a fresh architectural register."""
+        r = Reg(self._next_reg)
+        self._next_reg += 1
+        return r
+
+    def _pred(self) -> Pred:
+        p = Pred(self._next_pred % 8)
+        self._next_pred += 1
+        return p
+
+    def _fresh(self, stem: str) -> str:
+        self._fresh_counter += 1
+        return f".{stem}_{self._fresh_counter}"
+
+    def _emit(self, instr: Instruction) -> int:
+        if self._built:
+            raise RuntimeError("builder already finalised")
+        self._instrs.append(instr)
+        return len(self._instrs) - 1
+
+    def _define(self, label: str) -> None:
+        self._labels[label] = len(self._instrs)
+
+    @staticmethod
+    def _operand(value: Operand | int | float) -> Operand:
+        if isinstance(value, (Reg, Imm)):
+            return value
+        if isinstance(value, bool):
+            raise TypeError("bool is not a valid operand; use a predicate")
+        if isinstance(value, int):
+            return Imm(value)
+        if isinstance(value, float):
+            return fimm(value)
+        raise TypeError(f"cannot use {value!r} as an operand")
+
+    # ------------------------------------------------------------------
+    # Arithmetic / logic
+    # ------------------------------------------------------------------
+    def _binary(self, op: Op, a, b, dst: Reg | None) -> Reg:
+        dst = dst or self.reg()
+        self._emit(
+            Instruction(op, dst=dst, srcs=(self._operand(a), self._operand(b)))
+        )
+        return dst
+
+    def _ternary(self, op: Op, a, b, c, dst: Reg | None) -> Reg:
+        dst = dst or self.reg()
+        self._emit(
+            Instruction(
+                op,
+                dst=dst,
+                srcs=(self._operand(a), self._operand(b), self._operand(c)),
+            )
+        )
+        return dst
+
+    def _unary(self, op: Op, a, dst: Reg | None) -> Reg:
+        dst = dst or self.reg()
+        self._emit(Instruction(op, dst=dst, srcs=(self._operand(a),)))
+        return dst
+
+    def iadd(self, a, b, dst=None) -> Reg:
+        return self._binary(Op.IADD, a, b, dst)
+
+    def isub(self, a, b, dst=None) -> Reg:
+        return self._binary(Op.ISUB, a, b, dst)
+
+    def imul(self, a, b, dst=None) -> Reg:
+        return self._binary(Op.IMUL, a, b, dst)
+
+    def imad(self, a, b, c, dst=None) -> Reg:
+        """dst = a * b + c (the address-computation workhorse)."""
+        return self._ternary(Op.IMAD, a, b, c, dst)
+
+    def imin(self, a, b, dst=None) -> Reg:
+        return self._binary(Op.IMIN, a, b, dst)
+
+    def imax(self, a, b, dst=None) -> Reg:
+        return self._binary(Op.IMAX, a, b, dst)
+
+    def and_(self, a, b, dst=None) -> Reg:
+        return self._binary(Op.AND, a, b, dst)
+
+    def or_(self, a, b, dst=None) -> Reg:
+        return self._binary(Op.OR, a, b, dst)
+
+    def xor(self, a, b, dst=None) -> Reg:
+        return self._binary(Op.XOR, a, b, dst)
+
+    def not_(self, a, dst=None) -> Reg:
+        return self._unary(Op.NOT, a, dst)
+
+    def shl(self, a, b, dst=None) -> Reg:
+        return self._binary(Op.SHL, a, b, dst)
+
+    def shr(self, a, b, dst=None) -> Reg:
+        return self._binary(Op.SHR, a, b, dst)
+
+    def sar(self, a, b, dst=None) -> Reg:
+        return self._binary(Op.SAR, a, b, dst)
+
+    def fadd(self, a, b, dst=None) -> Reg:
+        return self._binary(Op.FADD, a, b, dst)
+
+    def fsub(self, a, b, dst=None) -> Reg:
+        return self._binary(Op.FSUB, a, b, dst)
+
+    def fmul(self, a, b, dst=None) -> Reg:
+        return self._binary(Op.FMUL, a, b, dst)
+
+    def ffma(self, a, b, c, dst=None) -> Reg:
+        return self._ternary(Op.FFMA, a, b, c, dst)
+
+    def fmin(self, a, b, dst=None) -> Reg:
+        return self._binary(Op.FMIN, a, b, dst)
+
+    def fmax(self, a, b, dst=None) -> Reg:
+        return self._binary(Op.FMAX, a, b, dst)
+
+    def fabs(self, a, dst=None) -> Reg:
+        return self._unary(Op.FABS, a, dst)
+
+    def fneg(self, a, dst=None) -> Reg:
+        return self._unary(Op.FNEG, a, dst)
+
+    def i2f(self, a, dst=None) -> Reg:
+        return self._unary(Op.I2F, a, dst)
+
+    def f2i(self, a, dst=None) -> Reg:
+        return self._unary(Op.F2I, a, dst)
+
+    def frcp(self, a, dst=None) -> Reg:
+        return self._unary(Op.FRCP, a, dst)
+
+    def fsqrt(self, a, dst=None) -> Reg:
+        return self._unary(Op.FSQRT, a, dst)
+
+    def fexp(self, a, dst=None) -> Reg:
+        return self._unary(Op.FEXP, a, dst)
+
+    def flog(self, a, dst=None) -> Reg:
+        return self._unary(Op.FLOG, a, dst)
+
+    def fdiv(self, a, b, dst=None) -> Reg:
+        return self._binary(Op.FDIV, a, b, dst)
+
+    def fsin(self, a, dst=None) -> Reg:
+        return self._unary(Op.FSIN, a, dst)
+
+    def fcos(self, a, dst=None) -> Reg:
+        return self._unary(Op.FCOS, a, dst)
+
+    # ------------------------------------------------------------------
+    # Data movement
+    # ------------------------------------------------------------------
+    def mov(self, src, dst=None, guard: Pred | None = None) -> Reg:
+        dst = dst or self.reg()
+        self._emit(
+            Instruction(Op.MOV, dst=dst, srcs=(self._operand(src),), guard=guard)
+        )
+        return dst
+
+    def sel(self, pred: Pred, a, b, dst=None) -> Reg:
+        """dst = pred ? a : b, lane-wise — branch-free select."""
+        dst = dst or self.reg()
+        self._emit(
+            Instruction(
+                Op.SEL,
+                dst=dst,
+                srcs=(self._operand(a), self._operand(b)),
+                pred_src=pred,
+            )
+        )
+        return dst
+
+    def s2r(self, sreg: SReg, dst=None) -> Reg:
+        dst = dst or self.reg()
+        self._emit(Instruction(Op.S2R, dst=dst, sreg=sreg))
+        return dst
+
+    def param(self, name: str, dst=None) -> Reg:
+        """Read a kernel parameter (scalar or buffer base address)."""
+        try:
+            index = self.param_names.index(name)
+        except ValueError:
+            raise KeyError(
+                f"kernel {self.name!r} has no parameter {name!r}; "
+                f"declared: {self.param_names}"
+            ) from None
+        dst = dst or self.reg()
+        self._emit(Instruction(Op.PARAM, dst=dst, param_index=index))
+        return dst
+
+    def tid_x(self) -> Reg:
+        return self.s2r(SReg.TID_X)
+
+    def ctaid_x(self) -> Reg:
+        return self.s2r(SReg.CTAID_X)
+
+    def ntid_x(self) -> Reg:
+        return self.s2r(SReg.NTID_X)
+
+    def global_tid_x(self) -> Reg:
+        """ctaid.x * ntid.x + tid.x — the canonical global thread index."""
+        return self.imad(self.ctaid_x(), self.ntid_x(), self.tid_x())
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+    def isetp(self, cmp: Cmp, a, b, dst: Pred | None = None) -> Pred:
+        dst = dst or self._pred()
+        self._emit(
+            Instruction(
+                Op.ISETP,
+                pred_dst=dst,
+                srcs=(self._operand(a), self._operand(b)),
+                cmp=cmp,
+            )
+        )
+        return dst
+
+    def fsetp(self, cmp: Cmp, a, b, dst: Pred | None = None) -> Pred:
+        dst = dst or self._pred()
+        self._emit(
+            Instruction(
+                Op.FSETP,
+                pred_dst=dst,
+                srcs=(self._operand(a), self._operand(b)),
+                cmp=cmp,
+            )
+        )
+        return dst
+
+    # ------------------------------------------------------------------
+    # Memory
+    # ------------------------------------------------------------------
+    def ldg(self, addr: Reg, offset: int = 0, dst=None, guard=None) -> Reg:
+        dst = dst or self.reg()
+        self._emit(
+            Instruction(Op.LDG, dst=dst, srcs=(addr,), offset=offset, guard=guard)
+        )
+        return dst
+
+    def stg(self, addr: Reg, value, offset: int = 0, guard=None) -> None:
+        self._emit(
+            Instruction(
+                Op.STG,
+                srcs=(addr, self._operand(value)),
+                offset=offset,
+                guard=guard,
+            )
+        )
+
+    def lds(self, addr: Reg, offset: int = 0, dst=None, guard=None) -> Reg:
+        dst = dst or self.reg()
+        self._emit(
+            Instruction(Op.LDS, dst=dst, srcs=(addr,), offset=offset, guard=guard)
+        )
+        return dst
+
+    def sts(self, addr: Reg, value, offset: int = 0, guard=None) -> None:
+        self._emit(
+            Instruction(
+                Op.STS,
+                srcs=(addr, self._operand(value)),
+                offset=offset,
+                guard=guard,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Control flow
+    # ------------------------------------------------------------------
+    def bar(self) -> None:
+        """CTA-wide barrier; must be reached warp-uniformly."""
+        self._emit(Instruction(Op.BAR))
+
+    def exit_(self, guard: Pred | None = None) -> None:
+        """Terminate the (guarded subset of the) warp's threads."""
+        self._emit(Instruction(Op.EXIT, guard=guard))
+
+    def nop(self) -> None:
+        self._emit(Instruction(Op.NOP))
+
+    @contextmanager
+    def if_(self, pred: Pred) -> Iterator[None]:
+        """Execute the body only on lanes where ``pred`` holds."""
+        end = self._fresh("endif")
+        bra_idx = self._emit(
+            Instruction(Op.BRA, guard=~pred, label_target=end, label_reconv=end)
+        )
+        yield
+        self._define(end)
+        self._closed_if = [(bra_idx, end, end)]
+
+    @contextmanager
+    def else_(self) -> Iterator[None]:
+        """Alternative body; must immediately follow an ``if_`` block."""
+        if not self._closed_if:
+            raise RuntimeError("else_ must immediately follow an if_ block")
+        bra_idx, end, _ = self._closed_if.pop()
+        if self._labels.get(end) != len(self._instrs):
+            raise RuntimeError("else_ must immediately follow its if_ block")
+        else_label = self._fresh("else")
+        # End of the then-body: skip over the else-body to the join point.
+        self._emit(
+            Instruction(Op.BRA, label_target=end, label_reconv=end)
+        )
+        self._define(else_label)
+        # Retarget the if-branch at the else-body; the join point (and the
+        # reconvergence label) moves to the end of the else-body.
+        self._instrs[bra_idx] = replace(
+            self._instrs[bra_idx], label_target=else_label
+        )
+        yield
+        self._define(end)
+
+    @contextmanager
+    def while_loop(self) -> Iterator[_LoopFrame]:
+        """A loop; exit lanes via ``loop.break_if``/``break_unless``."""
+        head = self._fresh("loop")
+        end = self._fresh("endloop")
+        self._define(head)
+        frame = _LoopFrame(self, head, end)
+        yield frame
+        self._emit(Instruction(Op.BRA, label_target=head, label_reconv=end))
+        self._define(end)
+
+    @contextmanager
+    def for_range(self, start, bound, step: int = 1) -> Iterator[Reg]:
+        """``for i in range(start, bound, step)`` over a fresh register.
+
+        ``bound`` may be a register or immediate; the comparison is
+        ``i < bound`` for positive steps and ``i > bound`` otherwise.
+        """
+        if step == 0:
+            raise ValueError("for_range step must be non-zero")
+        i = self.mov(start)
+        bound_op = self._operand(bound)
+        with self.while_loop() as loop:
+            cmp = Cmp.LT if step > 0 else Cmp.GT
+            loop.break_unless(self.isetp(cmp, i, bound_op))
+            yield i
+            self.iadd(i, step, dst=i)
+
+    # ------------------------------------------------------------------
+    # Finalisation
+    # ------------------------------------------------------------------
+    def build(self) -> Kernel:
+        """Resolve labels and produce an immutable kernel."""
+        if not self._instrs or self._instrs[-1].op is not Op.EXIT:
+            self.exit_()
+        resolved = []
+        for i, instr in enumerate(self._instrs):
+            if instr.op is Op.BRA:
+                instr = replace(
+                    instr,
+                    target=self._resolve(instr.label_target, i),
+                    reconv=self._resolve(instr.label_reconv, i),
+                )
+            resolved.append(instr)
+        self._built = True
+        return Kernel(
+            name=self.name,
+            instructions=resolved,
+            num_registers=max(self._next_reg, 1),
+            param_names=self.param_names,
+            shared_bytes=self.shared_bytes,
+            labels=dict(self._labels),
+        )
+
+    def _resolve(self, label: str | None, at: int) -> int:
+        if label is None:
+            raise ValueError(f"branch at {at} has no target label")
+        try:
+            return self._labels[label]
+        except KeyError:
+            raise ValueError(
+                f"branch at {at} references undefined label {label!r}"
+            ) from None

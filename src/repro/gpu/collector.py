@@ -1,0 +1,88 @@
+"""Operand collectors.
+
+An operand collector buffers one in-flight instruction while its source
+operands are gathered from the register banks (Section 2.1).  Each source
+operand is a :class:`OperandRead`: the set of banks still to be read plus,
+for compressed registers, a decompression pass through a decompressor
+unit (Section 5's added pipeline stage).
+
+The pool is a fixed set of collector slots; instruction issue stalls when
+none is free — one of the structural hazards the paper's dummy-MOV traffic
+analysis (Section 5.2) models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.codec import CompressionMode
+from repro.core.units import UnitPool
+
+
+@dataclass
+class OperandRead:
+    """Progress of one source operand's register-file read."""
+
+    warp_slot: int
+    reg: int
+    mode: CompressionMode
+    pending_banks: set[int]
+    banks_total: int
+    #: cycle the decompressed value is available; None = not yet started
+    ready_at: int | None = None
+    decompression_needed: bool = False
+
+    def banks_done(self) -> bool:
+        return not self.pending_banks
+
+    def ready(self, cycle: int) -> bool:
+        return self.ready_at is not None and cycle >= self.ready_at
+
+    def advance(self, cycle: int, decompressors: UnitPool | None) -> bool:
+        """Try to finish this operand at ``cycle``; True when ready.
+
+        Once all banks are read, an uncompressed operand is immediately
+        ready; a compressed one must win a decompressor issue slot and
+        wait out the decompression latency.
+        """
+        if self.ready_at is None:
+            if not self.banks_done():
+                return False
+            if not self.decompression_needed:
+                self.ready_at = cycle
+            else:
+                if decompressors is None:
+                    raise RuntimeError(
+                        "compressed operand but no decompressors configured"
+                    )
+                started = decompressors.try_start(cycle)
+                if started is None:
+                    return False  # structural hazard; retry next cycle
+                self.ready_at = started
+        return self.ready(cycle)
+
+
+@dataclass
+class CollectorPool:
+    """Counting allocator for the SM's operand collector slots."""
+
+    capacity: int
+    in_use: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError(f"collector capacity must be positive: {self.capacity}")
+
+    @property
+    def available(self) -> bool:
+        return self.in_use < self.capacity
+
+    def allocate(self) -> None:
+        if not self.available:
+            raise RuntimeError("no free operand collector")
+        self.in_use += 1
+
+    def release(self) -> None:
+        if self.in_use <= 0:
+            raise RuntimeError("releasing an unallocated collector")
+        self.in_use -= 1

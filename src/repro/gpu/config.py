@@ -1,0 +1,112 @@
+"""GPU microarchitectural configuration (paper Table 2 defaults)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.banks import BANK_BYTES, BANKS_PER_WARP_REGISTER
+
+
+@dataclass(frozen=True)
+class GPUConfig:
+    """Simulated GPU parameters.
+
+    The defaults reproduce paper Table 2 except ``num_sms``: the paper
+    simulates a 15-SM GTX 480-class part, but every reported metric is a
+    per-register-file ratio, so experiments default to one SM for speed
+    (the launcher distributes CTAs across however many are configured).
+    """
+
+    # ----- chip ------------------------------------------------------
+    clock_ghz: float = 1.4
+    num_sms: int = 1
+
+    # ----- SM front end ----------------------------------------------
+    warp_size: int = 32
+    max_warps_per_sm: int = 48
+    max_threads_per_sm: int = 1536
+    num_schedulers: int = 2
+    scheduler_policy: str = "gto"  #: ``gto`` or ``lrr``
+    num_collectors: int = 8
+
+    # ----- register file ---------------------------------------------
+    register_file_bytes: int = 128 * 1024
+    num_banks: int = 32
+    bank_bytes: int = BANK_BYTES
+    entries_per_bank: int = 256
+
+    # ----- compression -----------------------------------------------
+    num_compressors: int = 2
+    num_decompressors: int = 4
+    compression_latency: int = 2
+    decompression_latency: int = 1
+    bank_wakeup_latency: int = 10
+    #: idle cycles before an empty bank is gated (sleep hysteresis,
+    #: prevents gate/wake thrash for registers whose width oscillates)
+    bank_gate_delay: int = 64
+    #: per-warp register-file-cache entries (0 = no RFC; extension
+    #: reproducing Gebhart et al. 2011 for the orthogonality study)
+    rfc_entries_per_warp: int = 0
+
+    # ----- execution latencies (cycles) -------------------------------
+    alu_latency: int = 4
+    sfu_latency: int = 8
+    global_mem_latency: int = 120
+    shared_mem_latency: int = 24
+
+    def __post_init__(self) -> None:
+        if self.scheduler_policy not in ("gto", "lrr"):
+            raise ValueError(
+                f"scheduler_policy must be 'gto' or 'lrr', got "
+                f"{self.scheduler_policy!r}"
+            )
+        if self.num_banks % BANKS_PER_WARP_REGISTER != 0:
+            raise ValueError(
+                f"num_banks ({self.num_banks}) must be a multiple of "
+                f"{BANKS_PER_WARP_REGISTER} (one warp register per cluster)"
+            )
+        expected = self.num_banks * self.bank_bytes * self.entries_per_bank
+        if expected != self.register_file_bytes:
+            raise ValueError(
+                f"register file geometry inconsistent: {self.num_banks} banks "
+                f"x {self.bank_bytes} B x {self.entries_per_bank} entries = "
+                f"{expected} B != {self.register_file_bytes} B"
+            )
+
+    # ----- derived geometry -------------------------------------------
+    @property
+    def banks_per_cluster(self) -> int:
+        """Banks spanned by one uncompressed warp register."""
+        return BANKS_PER_WARP_REGISTER
+
+    @property
+    def num_clusters(self) -> int:
+        """Independent eight-bank clusters (4 with Table 2 geometry)."""
+        return self.num_banks // self.banks_per_cluster
+
+    @property
+    def warp_register_slots(self) -> int:
+        """Total warp-register slots in the register file (1024 default)."""
+        return self.num_clusters * self.entries_per_bank
+
+    @property
+    def thread_registers_per_sm(self) -> int:
+        """Table 2's "Max. Registers / SM" (32768 default)."""
+        return self.warp_register_slots * self.warp_size
+
+    def max_resident_warps(self, regs_per_thread: int, cta_warps: int) -> int:
+        """Occupancy limit for a kernel needing ``regs_per_thread`` registers.
+
+        Bounded by the scheduler warp limit, the thread limit, and the
+        register file capacity; rounded down to whole CTAs.
+        """
+        if regs_per_thread <= 0:
+            raise ValueError("kernels must use at least one register")
+        by_regs = self.warp_register_slots // regs_per_thread
+        by_threads = self.max_threads_per_sm // self.warp_size
+        limit = min(self.max_warps_per_sm, by_threads, by_regs)
+        return (limit // cta_warps) * cta_warps
+
+    def with_overrides(self, **kwargs) -> "GPUConfig":
+        """A modified copy — convenience for design-space sweeps."""
+        return replace(self, **kwargs)

@@ -1,0 +1,200 @@
+"""Functional (timing-free) kernel execution.
+
+Runs warps round-robin to completion, applying register writes
+immediately.  Used for kernel correctness tests (outputs compared against
+reference CPU implementations) and for the characterisation figures that
+need only value statistics (Figures 2, 3, 5): it is roughly an order of
+magnitude faster than the cycle-level model.
+
+Compression *state* is still tracked (each register's would-be storage
+mode under the supplied policy), so divergence-handling statistics such as
+dummy-MOV counts and compressed-register occupancy can also be produced
+functionally.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.analysis.stats import RunStats, ValueStats
+from repro.core.codec import CompressionMode, choose_mode
+from repro.core.policy import CompressionPolicy, make_policy
+from repro.gpu.interpreter import Interpreter, WarpContext, make_warp_context
+from repro.gpu.memory import GlobalMemory, SharedMemory
+from repro.gpu.program import Kernel
+from repro.gpu.simt import popcount
+
+_MAX_STEPS = 50_000_000
+
+
+class FunctionalRunner:
+    """Executes a launch functionally while modelling compression state."""
+
+    def __init__(
+        self,
+        policy: str | CompressionPolicy = "warped",
+        collect_bdi: bool = False,
+        warp_size: int = 32,
+    ):
+        self.policy = (
+            make_policy(policy) if isinstance(policy, str) else policy
+        )
+        self.collect_bdi = collect_bdi
+        self.warp_size = warp_size
+        self.interpreter = Interpreter(warp_size)
+
+    def run(
+        self,
+        kernel: Kernel,
+        grid_dim: tuple[int, int],
+        cta_dim: tuple[int, int],
+        params: list[int],
+        gmem: GlobalMemory,
+    ) -> RunStats:
+        stats = ValueStats(collect_bdi=self.collect_bdi)
+        params_arr = np.asarray(
+            [int(p) & 0xFFFFFFFF for p in params], dtype=np.uint32
+        )
+        cta_threads = cta_dim[0] * cta_dim[1]
+        warps_per_cta = -(-cta_threads // self.warp_size)
+        num_ctas = grid_dim[0] * grid_dim[1]
+
+        steps = 0
+        for cta_id in range(num_ctas):
+            shared = SharedMemory(kernel.shared_bytes)
+            warps = [
+                make_warp_context(
+                    kernel=kernel,
+                    warp_id=cta_id * warps_per_cta + w,
+                    cta_id=cta_id,
+                    cta_dim=cta_dim,
+                    grid_dim=grid_dim,
+                    warp_in_cta=w,
+                    params=params_arr,
+                    gmem=gmem,
+                    shared=shared,
+                    warp_size=self.warp_size,
+                )
+                for w in range(warps_per_cta)
+            ]
+            # Per-register storage mode under the policy (for MOV and
+            # occupancy accounting).
+            modes = {
+                ctx.warp_id: [CompressionMode.UNCOMPRESSED]
+                * kernel.num_registers
+                for ctx in warps
+            }
+            allocated = warps_per_cta * kernel.num_registers
+            steps = self._run_cta(warps, modes, allocated, stats, steps)
+        return RunStats(
+            benchmark=kernel.name, policy=self.policy.name, value=stats
+        )
+
+    def _run_cta(
+        self,
+        warps: list[WarpContext],
+        modes: dict[int, list[CompressionMode]],
+        allocated: int,
+        stats: ValueStats,
+        steps: int,
+    ) -> int:
+        """Run one CTA's warps round-robin, respecting barriers."""
+        compressed = 0
+        pending = deque(warps)
+        while pending:
+            progressed = False
+            for _ in range(len(pending)):
+                ctx = pending.popleft()
+                if ctx.done:
+                    progressed = True
+                    continue
+                if ctx.at_barrier:
+                    pending.append(ctx)
+                    continue
+                compressed, steps, hit_barrier = self._run_warp(
+                    ctx, modes[ctx.warp_id], allocated, compressed, stats, steps
+                )
+                progressed = True
+                if not ctx.done:
+                    pending.append(ctx)
+            if pending and not progressed:
+                live = [c for c in pending if not c.done]
+                if live and all(c.at_barrier for c in live):
+                    for c in live:
+                        c.at_barrier = False
+                elif live:
+                    raise RuntimeError(
+                        "functional runner deadlock: warps blocked"
+                    )
+        return steps
+
+    def _run_warp(
+        self,
+        ctx: WarpContext,
+        warp_modes: list[CompressionMode],
+        allocated: int,
+        compressed: int,
+        stats: ValueStats,
+        steps: int,
+    ) -> tuple[int, int, bool]:
+        """Execute ``ctx`` until it finishes or reaches a barrier."""
+        interp = self.interpreter
+        policy = self.policy
+        while not ctx.done:
+            steps += 1
+            if steps > _MAX_STEPS:
+                raise RuntimeError("functional execution exceeded step limit")
+            result = interp.execute(ctx)
+            if result is None:
+                break
+            stats.record_instruction(result.base_divergent)
+            stats.record_occupancy(
+                compressed / allocated if allocated else 0.0,
+                result.base_divergent,
+            )
+            if result.is_barrier:
+                ctx.at_barrier = True
+                return compressed, steps, True
+            if result.dst is None:
+                continue
+            # Dummy-MOV bookkeeping: first divergent update to a
+            # compressed destination decompresses it in place.
+            if (
+                policy.requires_mov_on_divergent_write
+                and result.divergent
+                and warp_modes[result.dst].is_compressed
+            ):
+                stats.record_mov()
+                compressed -= 1
+                warp_modes[result.dst] = CompressionMode.UNCOMPRESSED
+            decision = policy.decide(result.values, result.divergent)
+            old = warp_modes[result.dst]
+            warp_modes[result.dst] = decision.mode
+            compressed += int(decision.mode.is_compressed) - int(
+                old.is_compressed
+            )
+            stats.record_write(
+                result.values,
+                result.divergent,
+                achievable_mode=choose_mode(result.values),
+                stored_banks=decision.banks,
+                stored_mode=decision.mode,
+            )
+            interp.apply(ctx, result)
+        return compressed, steps, False
+
+
+def run_functional(
+    kernel: Kernel,
+    grid_dim: tuple[int, int],
+    cta_dim: tuple[int, int],
+    params: list[int],
+    gmem: GlobalMemory,
+    policy: str = "warped",
+    collect_bdi: bool = False,
+) -> RunStats:
+    """One-shot functional run (correctness tests, characterisation)."""
+    runner = FunctionalRunner(policy=policy, collect_bdi=collect_bdi)
+    return runner.run(kernel, grid_dim, cta_dim, params, gmem)

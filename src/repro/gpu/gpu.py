@@ -1,0 +1,166 @@
+"""Top-level GPU: SM array, CTA dispatch, and run results."""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.stats import RunStats, TimingStats, ValueStats
+from repro.core.policy import CompressionPolicy, make_policy
+from repro.gpu.config import GPUConfig
+from repro.gpu.memory import GlobalMemory
+from repro.gpu.program import Kernel
+from repro.gpu.sm import SMCore
+from repro.power.energy import EnergyBreakdown, EnergyModel
+from repro.power.params import EnergyParams
+
+
+@dataclass
+class SimulationResult:
+    """Aggregated outcome of one kernel launch."""
+
+    stats: RunStats
+    cycles: int
+
+    @property
+    def energy(self) -> EnergyBreakdown | None:
+        return self.stats.energy_breakdown
+
+
+class GPU:
+    """A multi-SM GPU running one kernel at a time.
+
+    CTAs are dispatched greedily: each SM is filled to its occupancy
+    limit, and whenever a CTA retires the next pending one launches on
+    that SM — the same throughput-oriented dispatch real GPUs use.
+    """
+
+    def __init__(
+        self,
+        config: GPUConfig | None = None,
+        policy: str | CompressionPolicy = "warped",
+        energy_params: EnergyParams | None = None,
+        collect_bdi: bool = False,
+        max_cycles: int = 20_000_000,
+    ):
+        self.config = config or GPUConfig()
+        self.energy_params = energy_params or EnergyParams(
+            clock_ghz=self.config.clock_ghz
+        )
+        self.collect_bdi = collect_bdi
+        self.max_cycles = max_cycles
+        self._policy_spec = policy
+
+    def _make_policy(self) -> CompressionPolicy:
+        if isinstance(self._policy_spec, CompressionPolicy):
+            return self._policy_spec
+        return make_policy(self._policy_spec)
+
+    def run(
+        self,
+        kernel: Kernel,
+        grid_dim: tuple[int, int],
+        cta_dim: tuple[int, int],
+        params: list[int] | np.ndarray,
+        gmem: GlobalMemory,
+    ) -> SimulationResult:
+        """Simulate one kernel launch to completion."""
+        num_ctas = grid_dim[0] * grid_dim[1]
+        if num_ctas <= 0:
+            raise ValueError(f"empty grid {grid_dim}")
+        params = np.asarray(
+            [int(p) & 0xFFFFFFFF for p in params], dtype=np.uint32
+        )
+
+        sms = []
+        for _ in range(self.config.num_sms):
+            policy = self._make_policy()
+            energy = EnergyModel(
+                self.energy_params,
+                self.config.num_banks,
+                num_compressors=self.config.num_compressors
+                if policy.enabled
+                else 0,
+                num_decompressors=self.config.num_decompressors
+                if policy.enabled
+                else 0,
+            )
+            sm = SMCore(self.config, policy, energy, self.collect_bdi)
+            sm.prepare_kernel(kernel, grid_dim, cta_dim, params, gmem)
+            sms.append(sm)
+
+        queue = deque(range(num_ctas))
+        for sm in sms:
+            while queue and sm.can_accept_cta():
+                sm.launch_cta(queue.popleft())
+
+        cycles = 0
+        while any(sm.busy for sm in sms) or queue:
+            cycles += 1
+            if cycles > self.max_cycles:
+                raise RuntimeError(
+                    f"kernel {kernel.name!r} exceeded {self.max_cycles} cycles"
+                )
+            for sm in sms:
+                if sm.busy:
+                    sm.tick()
+                while queue and sm.can_accept_cta():
+                    sm.launch_cta(queue.popleft())
+
+        # Aggregate across SMs.
+        value = ValueStats(collect_bdi=self.collect_bdi)
+        timing = TimingStats()
+        gated: list[float] | None = None
+        for sm in sms:
+            sm.finalize()
+            value.merge(sm.value_stats)
+            timing.merge(sm.timing)
+            fractions = sm.gated_fractions()
+            if fractions is not None:
+                if gated is None:
+                    gated = [0.0] * len(fractions)
+                gated = [g + f for g, f in zip(gated, fractions)]
+        if gated is not None:
+            gated = [g / len(sms) for g in gated]
+
+        energy_model = self._merge_energy(sms)
+        stats = RunStats(
+            benchmark=kernel.name,
+            policy=sms[0].policy.name,
+            value=value,
+            timing=timing,
+            energy_breakdown=energy_model.breakdown(),
+            energy_model=energy_model,
+            gated_fractions=gated,
+        )
+        return SimulationResult(stats=stats, cycles=timing.cycles)
+
+    def _merge_energy(self, sms: list[SMCore]) -> EnergyModel:
+        merged = EnergyModel(
+            self.energy_params,
+            self.config.num_banks * len(sms),
+            num_compressors=sum(sm.energy.num_compressors for sm in sms),
+            num_decompressors=sum(sm.energy.num_decompressors for sm in sms),
+        )
+        # Leakage needs a single time base: every SM ran for the same wall
+        # clock, so use the longest SM's cycle count.
+        cycles = max(sm.energy.cycles for sm in sms)
+        merged.cycles = cycles
+        for sm in sms:
+            e = sm.energy
+            merged.bank_reads += e.bank_reads
+            merged.bank_writes += e.bank_writes
+            merged.wire_transfers += e.wire_transfers
+            merged.compressions += e.compressions
+            merged.decompressions += e.decompressions
+            merged.rfc_accesses += e.rfc_accesses
+            # Scale gated cycles to the common time base conservatively:
+            # cycles the SM did not run count as fully gated only if the
+            # design gates (it had a controller).
+            gated = e.gated_bank_cycles
+            if e.num_compressors or e.num_decompressors:
+                gated += (cycles - e.cycles) * self.config.num_banks
+            merged.gated_bank_cycles += gated
+        return merged

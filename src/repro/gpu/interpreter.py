@@ -1,0 +1,389 @@
+"""Functional warp-lockstep interpreter.
+
+Executes one warp instruction at a time: reads source operands, computes
+all 32 lanes under the current SIMT active mask, resolves branches against
+the reconvergence stack, and *returns* register writes instead of applying
+them.  This split lets the timing model (:mod:`repro.gpu.sm`) defer the
+architectural write to the writeback stage — where compression happens —
+while the functional runner applies results immediately.
+
+Deferring writes is safe because the SM scoreboard blocks RAW/WAW hazards:
+no instruction can issue and read (or rewrite) a register with a pending
+write, so issue-time operand values are always final.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpu.isa import Cmp, Imm, Instruction, Op, OpClass, Reg, SReg, op_class
+from repro.gpu.memory import GlobalMemory, SharedMemory
+from repro.gpu.program import Kernel
+from repro.gpu.simt import SimtStack, popcount
+
+
+@dataclass
+class WarpContext:
+    """All architectural state of one resident warp."""
+
+    warp_id: int
+    kernel: Kernel
+    stack: SimtStack
+    registers: np.ndarray  #: (num_registers, warp_size) uint32
+    preds: np.ndarray  #: (8, warp_size) bool
+    sregs: dict[SReg, np.ndarray]  #: per-lane special-register values
+    params: np.ndarray  #: (num_params,) uint32
+    gmem: GlobalMemory
+    shared: SharedMemory
+    cta_id: int = 0
+    at_barrier: bool = False
+
+    @property
+    def warp_size(self) -> int:
+        return self.registers.shape[1]
+
+    @property
+    def done(self) -> bool:
+        self.stack.settle()
+        return self.stack.done
+
+
+@dataclass
+class ExecResult:
+    """Outcome of executing one warp instruction."""
+
+    instr: Instruction
+    pc: int
+    exec_mask: int  #: lanes that actually executed (guard applied)
+    base_mask: int  #: SIMT active mask before the guard
+    divergent: bool  #: fewer than warp_size lanes executed (guard included)
+    op_class: OpClass
+    #: SIMT-stack divergence only (paper Figure 3's notion): the active
+    #: mask is partial.  A uniformly-executed guarded branch is *not*
+    #: divergent by this measure even though its taken subset is.
+    base_divergent: bool = False
+    dst: int | None = None
+    values: np.ndarray | None = None  #: merged 32-lane dst values
+    src_regs: tuple[int, ...] = ()
+    is_barrier: bool = False
+    is_exit: bool = False
+
+
+_LANES = np.arange(64, dtype=np.uint64)
+
+
+def _mask_array(mask: int, warp_size: int) -> np.ndarray:
+    """Expand an int bitmask into a per-lane boolean array."""
+    return ((np.uint64(mask) >> _LANES[:warp_size]) & np.uint64(1)).astype(bool)
+
+
+def _mask_int(arr: np.ndarray) -> int:
+    """Pack a per-lane boolean array into an int bitmask."""
+    lanes = _LANES[: len(arr)]
+    return int((arr.astype(np.uint64) << lanes).sum())
+
+
+class Interpreter:
+    """Stateless executor over :class:`WarpContext` objects."""
+
+    def __init__(self, warp_size: int = 32):
+        self.warp_size = warp_size
+
+    # ------------------------------------------------------------------
+    # Fetch / peek
+    # ------------------------------------------------------------------
+    def peek(self, ctx: WarpContext) -> tuple[Instruction, int, int] | None:
+        """Next instruction, its execution mask, and PC — without effects.
+
+        Returns ``None`` when the warp has finished.  The SM uses this for
+        scoreboard checks and dummy-MOV injection before committing to
+        issue.
+        """
+        ctx.stack.settle()
+        if ctx.stack.done:
+            return None
+        pc = ctx.stack.pc
+        instr = ctx.kernel.instructions[pc]
+        base_mask = ctx.stack.active_mask
+        exec_mask = self._guard_mask(ctx, instr, base_mask)
+        return instr, exec_mask, pc
+
+    def _guard_mask(
+        self, ctx: WarpContext, instr: Instruction, base_mask: int
+    ) -> int:
+        if instr.guard is None:
+            return base_mask
+        bits = ctx.preds[instr.guard.index]
+        if instr.guard.negated:
+            bits = ~bits
+        return base_mask & _mask_int(bits)
+
+    # ------------------------------------------------------------------
+    # Execute
+    # ------------------------------------------------------------------
+    def execute(self, ctx: WarpContext) -> ExecResult | None:
+        """Execute the next instruction of ``ctx``; ``None`` when done.
+
+        Register writes are returned in the result, not applied; all other
+        architectural effects (PC, SIMT stack, predicates, memory) are
+        applied immediately.
+        """
+        peeked = self.peek(ctx)
+        if peeked is None:
+            return None
+        instr, exec_mask, pc = peeked
+        base_mask = ctx.stack.active_mask
+        result = ExecResult(
+            instr=instr,
+            pc=pc,
+            exec_mask=exec_mask,
+            base_mask=base_mask,
+            divergent=popcount(exec_mask) < self.warp_size,
+            base_divergent=popcount(base_mask) < self.warp_size,
+            op_class=op_class(instr.op),
+            src_regs=instr.source_registers(),
+        )
+
+        if instr.op is Op.BRA:
+            ctx.stack.branch(
+                taken_mask=exec_mask, target=instr.target, reconv=instr.reconv
+            )
+            return result
+        if instr.op is Op.EXIT:
+            ctx.stack.advance()
+            ctx.stack.exit_lanes(exec_mask)
+            result.is_exit = True
+            return result
+        if instr.op is Op.BAR:
+            ctx.stack.advance()
+            result.is_barrier = True
+            return result
+        if instr.op is Op.NOP:
+            ctx.stack.advance()
+            return result
+
+        mask_arr = _mask_array(exec_mask, self.warp_size)
+        if instr.op in (Op.ISETP, Op.FSETP):
+            self._setp(ctx, instr, mask_arr)
+            ctx.stack.advance()
+            return result
+        if instr.op in (Op.STG, Op.STS):
+            self._store(ctx, instr, mask_arr)
+            ctx.stack.advance()
+            return result
+
+        computed = self._compute(ctx, instr, mask_arr)
+        dst = instr.dst.index
+        merged = ctx.registers[dst].copy()
+        merged[mask_arr] = computed[mask_arr]
+        result.dst = dst
+        result.values = merged
+        ctx.stack.advance()
+        return result
+
+    def apply(self, ctx: WarpContext, result: ExecResult) -> None:
+        """Apply a deferred register write (functional mode/writeback)."""
+        if result.dst is not None:
+            ctx.registers[result.dst] = result.values
+
+    # ------------------------------------------------------------------
+    # Operand access
+    # ------------------------------------------------------------------
+    def _read(self, ctx: WarpContext, operand) -> np.ndarray:
+        if isinstance(operand, Reg):
+            return ctx.registers[operand.index]
+        if isinstance(operand, Imm):
+            return self._broadcast(ctx, operand.u32)
+        raise TypeError(f"unreadable operand {operand!r}")
+
+    def _broadcast(self, ctx: WarpContext, value: int) -> np.ndarray:
+        return np.full(self.warp_size, value & 0xFFFFFFFF, dtype=np.uint32)
+
+    # ------------------------------------------------------------------
+    # Semantics
+    # ------------------------------------------------------------------
+    def _compute(
+        self, ctx: WarpContext, instr: Instruction, mask_arr: np.ndarray
+    ) -> np.ndarray:
+        op = instr.op
+        read = lambda i: self._read(ctx, instr.srcs[i])  # noqa: E731
+
+        if op is Op.MOV:
+            return read(0).copy()
+        if op is Op.S2R:
+            return ctx.sregs[instr.sreg].copy()
+        if op is Op.PARAM:
+            return self._broadcast(ctx, int(ctx.params[instr.param_index]))
+        if op is Op.SEL:
+            pbits = ctx.preds[instr.pred_src.index]
+            if instr.pred_src.negated:
+                pbits = ~pbits
+            return np.where(pbits, read(0), read(1)).astype(np.uint32)
+        if op in (Op.LDG, Op.LDS):
+            addrs = (read(0).astype(np.int64) + instr.offset).astype(np.uint32)
+            space = ctx.gmem if op is Op.LDG else ctx.shared
+            return space.load_warp(addrs, mask_arr)
+
+        if op in _INT_BINOPS:
+            return _INT_BINOPS[op](read(0), read(1))
+        if op in _FLOAT_BINOPS:
+            a = read(0).view(np.float32)
+            b = read(1).view(np.float32)
+            with np.errstate(all="ignore"):
+                return _FLOAT_BINOPS[op](a, b).astype(np.float32).view(np.uint32)
+        if op is Op.IMAD:
+            a, b, c = read(0), read(1), read(2)
+            return (a.astype(np.uint64) * b + c).astype(np.uint32)
+        if op is Op.FFMA:
+            a = read(0).view(np.float32)
+            b = read(1).view(np.float32)
+            c = read(2).view(np.float32)
+            with np.errstate(all="ignore"):
+                return (a * b + c).astype(np.float32).view(np.uint32)
+        if op is Op.NOT:
+            return ~read(0)
+        if op in _FLOAT_UNOPS:
+            a = read(0).view(np.float32)
+            with np.errstate(all="ignore"):
+                return _FLOAT_UNOPS[op](a).astype(np.float32).view(np.uint32)
+        if op is Op.I2F:
+            return read(0).view(np.int32).astype(np.float32).view(np.uint32)
+        if op is Op.F2I:
+            with np.errstate(all="ignore"):
+                vals = np.trunc(read(0).view(np.float32))
+                vals = np.nan_to_num(vals, nan=0.0, posinf=2**31 - 1, neginf=-(2**31))
+            return np.clip(vals, -(2**31), 2**31 - 1).astype(np.int32).view(np.uint32)
+        raise NotImplementedError(f"no semantics for {op}")
+
+    def _setp(
+        self, ctx: WarpContext, instr: Instruction, mask_arr: np.ndarray
+    ) -> None:
+        a = self._read(ctx, instr.srcs[0])
+        b = self._read(ctx, instr.srcs[1])
+        if instr.op is Op.ISETP:
+            a, b = a.view(np.int32), b.view(np.int32)
+        else:
+            a, b = a.view(np.float32), b.view(np.float32)
+        with np.errstate(all="ignore"):
+            outcome = _CMP_FNS[instr.cmp](a, b)
+        pred = ctx.preds[instr.pred_dst.index]
+        pred[mask_arr] = outcome[mask_arr]
+
+    def _store(
+        self, ctx: WarpContext, instr: Instruction, mask_arr: np.ndarray
+    ) -> None:
+        addrs = (
+            self._read(ctx, instr.srcs[0]).astype(np.int64) + instr.offset
+        ).astype(np.uint32)
+        values = self._read(ctx, instr.srcs[1])
+        space = ctx.gmem if instr.op is Op.STG else ctx.shared
+        space.store_warp(addrs, values, mask_arr)
+
+
+def _shift_amount(b: np.ndarray) -> np.ndarray:
+    return (b & 31).astype(np.uint32)
+
+
+_INT_BINOPS = {
+    Op.IADD: lambda a, b: a + b,
+    Op.ISUB: lambda a, b: a - b,
+    Op.IMUL: lambda a, b: (a.astype(np.uint64) * b).astype(np.uint32),
+    Op.IMIN: lambda a, b: np.minimum(a.view(np.int32), b.view(np.int32)).view(
+        np.uint32
+    ),
+    Op.IMAX: lambda a, b: np.maximum(a.view(np.int32), b.view(np.int32)).view(
+        np.uint32
+    ),
+    Op.AND: lambda a, b: a & b,
+    Op.OR: lambda a, b: a | b,
+    Op.XOR: lambda a, b: a ^ b,
+    Op.SHL: lambda a, b: a << _shift_amount(b),
+    Op.SHR: lambda a, b: a >> _shift_amount(b),
+    Op.SAR: lambda a, b: (a.view(np.int32) >> _shift_amount(b).view(np.int32)).view(
+        np.uint32
+    ),
+}
+
+_FLOAT_BINOPS = {
+    Op.FADD: lambda a, b: a + b,
+    Op.FSUB: lambda a, b: a - b,
+    Op.FMUL: lambda a, b: a * b,
+    Op.FMIN: np.minimum,
+    Op.FMAX: np.maximum,
+    Op.FDIV: lambda a, b: a / b,
+}
+
+_FLOAT_UNOPS = {
+    Op.FABS: np.abs,
+    Op.FNEG: lambda a: -a,
+    Op.FRCP: lambda a: 1.0 / a,
+    Op.FSQRT: np.sqrt,
+    Op.FEXP: np.exp,
+    Op.FLOG: np.log,
+    Op.FSIN: np.sin,
+    Op.FCOS: np.cos,
+}
+
+_CMP_FNS = {
+    Cmp.EQ: lambda a, b: a == b,
+    Cmp.NE: lambda a, b: a != b,
+    Cmp.LT: lambda a, b: a < b,
+    Cmp.LE: lambda a, b: a <= b,
+    Cmp.GT: lambda a, b: a > b,
+    Cmp.GE: lambda a, b: a >= b,
+}
+
+
+def make_warp_context(
+    kernel: Kernel,
+    warp_id: int,
+    cta_id: int,
+    cta_dim: tuple[int, int],
+    grid_dim: tuple[int, int],
+    warp_in_cta: int,
+    params: np.ndarray,
+    gmem: GlobalMemory,
+    shared: SharedMemory,
+    warp_size: int = 32,
+) -> WarpContext:
+    """Create the architectural state for one warp of a CTA.
+
+    ``cta_dim``/``grid_dim`` are (x, y) shapes; threads are linearised
+    x-major within the CTA, 32 consecutive threads per warp.  Lanes beyond
+    the CTA's thread count start exited.
+    """
+    ctas_x, _ = grid_dim
+    cta_threads = cta_dim[0] * cta_dim[1]
+    lane = np.arange(warp_size)
+    linear_tid = warp_in_cta * warp_size + lane
+    valid = linear_tid < cta_threads
+    tid_x = (linear_tid % cta_dim[0]).astype(np.uint32)
+    tid_y = (linear_tid // cta_dim[0]).astype(np.uint32)
+    sregs = {
+        SReg.TID_X: tid_x,
+        SReg.TID_Y: tid_y,
+        SReg.CTAID_X: np.full(warp_size, cta_id % ctas_x, dtype=np.uint32),
+        SReg.CTAID_Y: np.full(warp_size, cta_id // ctas_x, dtype=np.uint32),
+        SReg.NTID_X: np.full(warp_size, cta_dim[0], dtype=np.uint32),
+        SReg.NTID_Y: np.full(warp_size, cta_dim[1], dtype=np.uint32),
+        SReg.NCTAID_X: np.full(warp_size, grid_dim[0], dtype=np.uint32),
+        SReg.NCTAID_Y: np.full(warp_size, grid_dim[1], dtype=np.uint32),
+        SReg.LANEID: lane.astype(np.uint32),
+    }
+    initial_mask = _mask_int(valid)
+    if initial_mask == 0:
+        raise ValueError("warp has no valid threads")
+    return WarpContext(
+        warp_id=warp_id,
+        kernel=kernel,
+        stack=SimtStack(warp_size, start_pc=0, mask=initial_mask),
+        registers=np.zeros((kernel.num_registers, warp_size), dtype=np.uint32),
+        preds=np.zeros((8, warp_size), dtype=bool),
+        sregs=sregs,
+        params=np.asarray(params, dtype=np.uint32),
+        gmem=gmem,
+        shared=shared,
+        cta_id=cta_id,
+    )

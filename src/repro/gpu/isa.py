@@ -1,0 +1,237 @@
+"""The simulator's PTX-like instruction set.
+
+Benchmark kernels are written (via :mod:`repro.gpu.builder`) in a small
+RISC ISA that mirrors the subset of PTX/SASS the paper's workloads
+exercise: 32-bit integer and IEEE-754 single arithmetic, predicate-setting
+compares, select, special-register and kernel-parameter reads, global and
+shared memory access, and SIMT control flow (predicated branches with
+explicit reconvergence points, thread exit, CTA barriers).
+
+Registers are 32-bit and warp-wide: one architectural register names 32
+thread registers, exactly the unit the paper compresses.  Predicate
+registers live in a separate (uncompressed) 1-bit file, as on real GPUs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class Op(Enum):
+    """Opcodes, grouped by execution class."""
+
+    # integer ALU
+    IADD = "iadd"
+    ISUB = "isub"
+    IMUL = "imul"
+    IMAD = "imad"  # dst = a * b + c
+    IMIN = "imin"
+    IMAX = "imax"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NOT = "not"
+    SHL = "shl"
+    SHR = "shr"  # logical
+    SAR = "sar"  # arithmetic
+    # float ALU
+    FADD = "fadd"
+    FSUB = "fsub"
+    FMUL = "fmul"
+    FFMA = "ffma"  # dst = a * b + c
+    FMIN = "fmin"
+    FMAX = "fmax"
+    FABS = "fabs"
+    FNEG = "fneg"
+    I2F = "i2f"
+    F2I = "f2i"
+    # special function unit
+    FRCP = "frcp"
+    FSQRT = "fsqrt"
+    FEXP = "fexp"
+    FLOG = "flog"
+    FDIV = "fdiv"
+    FSIN = "fsin"
+    FCOS = "fcos"
+    # data movement
+    MOV = "mov"
+    SEL = "sel"  # dst = pred ? a : b
+    S2R = "s2r"  # special register read
+    PARAM = "param"  # kernel parameter read
+    # predicates
+    ISETP = "isetp"
+    FSETP = "fsetp"
+    # memory
+    LDG = "ldg"
+    STG = "stg"
+    LDS = "lds"
+    STS = "sts"
+    # control
+    BRA = "bra"
+    BAR = "bar"
+    EXIT = "exit"
+    NOP = "nop"
+
+
+class OpClass(Enum):
+    """Latency/resource class of an opcode."""
+
+    ALU = "alu"
+    SFU = "sfu"
+    GLOBAL = "global"
+    SHARED = "shared"
+    CONTROL = "control"
+
+
+_SFU_OPS = {Op.FRCP, Op.FSQRT, Op.FEXP, Op.FLOG, Op.FDIV, Op.FSIN, Op.FCOS}
+_GLOBAL_OPS = {Op.LDG, Op.STG}
+_SHARED_OPS = {Op.LDS, Op.STS}
+_CONTROL_OPS = {Op.BRA, Op.BAR, Op.EXIT, Op.NOP}
+
+
+def op_class(op: Op) -> OpClass:
+    """Execution class used by the timing model to pick a latency."""
+    if op in _SFU_OPS:
+        return OpClass.SFU
+    if op in _GLOBAL_OPS:
+        return OpClass.GLOBAL
+    if op in _SHARED_OPS:
+        return OpClass.SHARED
+    if op in _CONTROL_OPS:
+        return OpClass.CONTROL
+    return OpClass.ALU
+
+
+class Cmp(Enum):
+    """Comparison operators for ISETP/FSETP."""
+
+    EQ = "eq"
+    NE = "ne"
+    LT = "lt"
+    LE = "le"
+    GT = "gt"
+    GE = "ge"
+
+
+class SReg(Enum):
+    """Special registers readable with S2R."""
+
+    TID_X = "tid.x"
+    TID_Y = "tid.y"
+    CTAID_X = "ctaid.x"
+    CTAID_Y = "ctaid.y"
+    NTID_X = "ntid.x"
+    NTID_Y = "ntid.y"
+    NCTAID_X = "nctaid.x"
+    NCTAID_Y = "nctaid.y"
+    LANEID = "laneid"
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A 32-bit warp-wide architectural register operand."""
+
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError(f"register index must be non-negative: {self.index}")
+
+    def __str__(self) -> str:
+        return f"r{self.index}"
+
+
+@dataclass(frozen=True)
+class Imm:
+    """A 32-bit immediate operand (int, or float stored as its bits)."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not -(1 << 31) <= self.value < (1 << 32):
+            raise ValueError(f"immediate out of 32-bit range: {self.value}")
+
+    @property
+    def u32(self) -> int:
+        return self.value & 0xFFFFFFFF
+
+    def __str__(self) -> str:
+        return f"#{self.value}"
+
+
+@dataclass(frozen=True)
+class Pred:
+    """A predicate register operand, optionally negated."""
+
+    index: int
+    negated: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.index < 8:
+            raise ValueError(f"predicate index must be in [0, 8): {self.index}")
+
+    def __invert__(self) -> "Pred":
+        return Pred(self.index, not self.negated)
+
+    def __str__(self) -> str:
+        return f"{'!' if self.negated else ''}p{self.index}"
+
+
+Operand = Reg | Imm
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One warp instruction.
+
+    ``guard`` predicates the whole instruction (lanes with a false guard
+    are masked off — a *partial write* in the paper's terms).  ``target``
+    and ``reconv`` are instruction indices, filled in by the builder's
+    label resolution, and only meaningful for BRA.
+    """
+
+    op: Op
+    dst: Reg | None = None
+    srcs: tuple[Operand, ...] = ()
+    pred_dst: Pred | None = None
+    pred_src: Pred | None = None
+    guard: Pred | None = None
+    cmp: Cmp | None = None
+    sreg: SReg | None = None
+    param_index: int | None = None
+    offset: int = 0  # byte offset for memory ops
+    target: int | None = None
+    reconv: int | None = None
+    label_target: str | None = field(default=None, compare=False)
+    label_reconv: str | None = field(default=None, compare=False)
+
+    def source_registers(self) -> tuple[int, ...]:
+        """Indices of banked registers this instruction reads."""
+        return tuple(s.index for s in self.srcs if isinstance(s, Reg))
+
+    def writes_register(self) -> bool:
+        return self.dst is not None
+
+    def __str__(self) -> str:
+        parts = [self.op.value]
+        if self.cmp:
+            parts.append(self.cmp.value)
+        operands = []
+        if self.pred_dst:
+            operands.append(str(self.pred_dst))
+        if self.dst:
+            operands.append(str(self.dst))
+        operands.extend(str(s) for s in self.srcs)
+        if self.pred_src:
+            operands.append(str(self.pred_src))
+        if self.sreg:
+            operands.append(self.sreg.value)
+        if self.param_index is not None:
+            operands.append(f"param[{self.param_index}]")
+        if self.label_target:
+            operands.append(f"-> {self.label_target}")
+        text = " ".join(parts) + " " + ", ".join(operands)
+        if self.guard:
+            text = f"@{self.guard} {text}"
+        return text.strip()

@@ -1,0 +1,66 @@
+"""Kernel launch convenience layer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gpu.config import GPUConfig
+from repro.gpu.gpu import GPU, SimulationResult
+from repro.gpu.memory import GlobalMemory
+from repro.gpu.program import Kernel
+from repro.power.params import EnergyParams
+
+
+@dataclass
+class LaunchSpec:
+    """Everything needed to launch a kernel.
+
+    Benchmarks construct one of these (kernel + pre-initialised global
+    memory + grid geometry + parameter vector) so that the same launch can
+    be replayed under many simulator configurations.
+    """
+
+    kernel: Kernel
+    grid_dim: tuple[int, int]
+    cta_dim: tuple[int, int]
+    params: list[int]
+    gmem_factory: object = None  #: zero-arg callable building GlobalMemory
+    buffers: dict = field(default_factory=dict)  #: name -> base address
+    meta: dict = field(default_factory=dict)  #: benchmark-specific extras
+
+    def fresh_memory(self) -> GlobalMemory:
+        if self.gmem_factory is None:
+            return GlobalMemory()
+        return self.gmem_factory()
+
+    @property
+    def total_threads(self) -> int:
+        return (
+            self.grid_dim[0]
+            * self.grid_dim[1]
+            * self.cta_dim[0]
+            * self.cta_dim[1]
+        )
+
+
+def run_kernel(
+    kernel: Kernel,
+    grid_dim: tuple[int, int],
+    cta_dim: tuple[int, int],
+    params: list[int],
+    gmem: GlobalMemory,
+    config: GPUConfig | None = None,
+    policy: str = "warped",
+    energy_params: EnergyParams | None = None,
+    collect_bdi: bool = False,
+) -> SimulationResult:
+    """Run one kernel launch on a freshly-constructed GPU."""
+    gpu = GPU(
+        config=config,
+        policy=policy,
+        energy_params=energy_params,
+        collect_bdi=collect_bdi,
+    )
+    return gpu.run(kernel, grid_dim, cta_dim, params, gmem)

@@ -1,0 +1,169 @@
+"""Global and shared memory models.
+
+The paper's evaluation does not depend on memory-system detail beyond
+latency (its metrics are register-file events), so memory is functional:
+a flat 32-bit byte-addressed global space backed by allocated numpy
+buffers, and a per-CTA shared scratchpad.  All accesses are 4-byte words,
+4-byte aligned — the granularity of the thread registers being studied.
+
+Gather/scatter over the 32 lanes of a warp is vectorised when every lane
+falls inside one buffer (the overwhelmingly common case for the workloads
+here) with a per-lane fallback otherwise.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+import numpy as np
+
+_ALIGN = 256
+
+
+class MemoryError_(Exception):
+    """An out-of-bounds or misaligned simulated memory access."""
+
+
+class GlobalMemory:
+    """Flat byte-addressed global memory built from allocated buffers.
+
+    Addresses start at a non-zero base so that 0 behaves like an obvious
+    null pointer.  Buffers are word (``uint32``) arrays; floats are stored
+    via their bit patterns.
+    """
+
+    def __init__(self, base_address: int = 0x1000):
+        self._next = base_address
+        self._bases: list[int] = []
+        self._buffers: list[np.ndarray] = []
+        self._names: list[str] = []
+
+    def alloc(self, words: int, name: str = "") -> int:
+        """Allocate a zeroed buffer of ``words`` 32-bit words; returns base."""
+        if words <= 0:
+            raise ValueError(f"allocation must be positive, got {words} words")
+        base = self._next
+        self._bases.append(base)
+        self._buffers.append(np.zeros(words, dtype=np.uint32))
+        self._names.append(name or f"buf{len(self._bases)}")
+        self._next = base + ((words * 4 + _ALIGN - 1) // _ALIGN) * _ALIGN
+        return base
+
+    def alloc_array(self, data: np.ndarray, name: str = "") -> int:
+        """Allocate and initialise a buffer from ``data``.
+
+        Integer arrays are stored as ``uint32``; float arrays as the bit
+        patterns of their ``float32`` values.
+        """
+        flat = np.asarray(data).ravel()
+        if flat.dtype.kind == "f":
+            words = flat.astype(np.float32).view(np.uint32)
+        else:
+            words = flat.astype(np.int64).astype(np.uint32)
+        base = self.alloc(len(words), name)
+        self._buffers[-1][:] = words
+        return base
+
+    def _locate(self, address: int) -> tuple[int, np.ndarray]:
+        idx = bisect_right(self._bases, address) - 1
+        if idx < 0:
+            raise MemoryError_(f"access to unmapped address {address:#x}")
+        base, buf = self._bases[idx], self._buffers[idx]
+        if address >= base + len(buf) * 4:
+            raise MemoryError_(
+                f"access to {address:#x} beyond buffer {self._names[idx]!r} "
+                f"(base {base:#x}, {len(buf)} words)"
+            )
+        return base, buf
+
+    def load_warp(self, addresses: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        """Gather one word per active lane; inactive lanes read zero."""
+        out = np.zeros(len(addresses), dtype=np.uint32)
+        if not mask.any():
+            return out
+        active_addrs = addresses[mask].astype(np.int64)
+        if (active_addrs % 4).any():
+            raise MemoryError_("misaligned global load")
+        base, buf = self._locate(int(active_addrs.min()))
+        offsets = (active_addrs - base) >> 2
+        if int(active_addrs.max()) < base + len(buf) * 4:
+            out[mask] = buf[offsets]
+            return out
+        # Slow path: lanes straddle buffers.
+        values = np.empty(len(active_addrs), dtype=np.uint32)
+        for i, addr in enumerate(active_addrs):
+            b, lane_buf = self._locate(int(addr))
+            values[i] = lane_buf[(int(addr) - b) >> 2]
+        out[mask] = values
+        return out
+
+    def store_warp(
+        self, addresses: np.ndarray, values: np.ndarray, mask: np.ndarray
+    ) -> None:
+        """Scatter one word per active lane."""
+        if not mask.any():
+            return
+        active_addrs = addresses[mask].astype(np.int64)
+        active_vals = values[mask].astype(np.uint32)
+        if (active_addrs % 4).any():
+            raise MemoryError_("misaligned global store")
+        base, buf = self._locate(int(active_addrs.min()))
+        if int(active_addrs.max()) < base + len(buf) * 4:
+            buf[(active_addrs - base) >> 2] = active_vals
+            return
+        for addr, val in zip(active_addrs, active_vals):
+            b, lane_buf = self._locate(int(addr))
+            lane_buf[(int(addr) - b) >> 2] = val
+
+    def read_array(self, base: int, words: int, dtype=np.uint32) -> np.ndarray:
+        """Host-side read-back of a buffer region (for result checking)."""
+        buf_base, buf = self._locate(base)
+        start = (base - buf_base) >> 2
+        region = buf[start : start + words]
+        if len(region) != words:
+            raise MemoryError_(f"read of {words} words exceeds buffer")
+        if np.dtype(dtype).kind == "f":
+            return region.view(np.uint32).view(np.float32).copy()
+        return region.copy()
+
+
+class SharedMemory:
+    """Per-CTA scratchpad, addressed from zero, word granularity."""
+
+    def __init__(self, nbytes: int):
+        if nbytes % 4:
+            raise ValueError(f"shared size must be word-aligned: {nbytes}")
+        self._words = np.zeros(max(nbytes // 4, 1), dtype=np.uint32)
+        self.nbytes = nbytes
+
+    def load_warp(self, addresses: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        out = np.zeros(len(addresses), dtype=np.uint32)
+        if not mask.any():
+            return out
+        offsets = addresses[mask].astype(np.int64)
+        if (offsets % 4).any():
+            raise MemoryError_("misaligned shared load")
+        idx = offsets >> 2
+        if idx.max() >= len(self._words) or idx.min() < 0:
+            raise MemoryError_(
+                f"shared load at byte {int(offsets.max())} exceeds "
+                f"{self.nbytes}-byte CTA allocation"
+            )
+        out[mask] = self._words[idx]
+        return out
+
+    def store_warp(
+        self, addresses: np.ndarray, values: np.ndarray, mask: np.ndarray
+    ) -> None:
+        if not mask.any():
+            return
+        offsets = addresses[mask].astype(np.int64)
+        if (offsets % 4).any():
+            raise MemoryError_("misaligned shared store")
+        idx = offsets >> 2
+        if idx.max() >= len(self._words) or idx.min() < 0:
+            raise MemoryError_(
+                f"shared store at byte {int(offsets.max())} exceeds "
+                f"{self.nbytes}-byte CTA allocation"
+            )
+        self._words[idx] = values[mask].astype(np.uint32)

@@ -1,0 +1,73 @@
+"""Kernel container: an instruction list plus launch metadata."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gpu.isa import Instruction, Op
+
+
+@dataclass
+class Kernel:
+    """A compiled kernel ready for launch.
+
+    ``num_registers`` is the per-thread architectural register count —
+    the quantity that limits occupancy and sizes the register-file
+    allocation (paper Section 2.1).  ``param_names`` documents the launch
+    parameter order; parameters are 32-bit scalars or buffer addresses.
+    """
+
+    name: str
+    instructions: list[Instruction]
+    num_registers: int
+    param_names: tuple[str, ...] = ()
+    shared_bytes: int = 0
+    labels: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.instructions:
+            raise ValueError(f"kernel {self.name!r} has no instructions")
+        if self.num_registers <= 0:
+            raise ValueError(f"kernel {self.name!r} uses no registers")
+        self._validate()
+
+    def _validate(self) -> None:
+        end = len(self.instructions)
+        for i, instr in enumerate(self.instructions):
+            if instr.op is Op.BRA:
+                if instr.target is None or instr.reconv is None:
+                    raise ValueError(
+                        f"{self.name}[{i}]: unresolved branch {instr}"
+                    )
+                if not 0 <= instr.target <= end or not 0 <= instr.reconv <= end:
+                    raise ValueError(
+                        f"{self.name}[{i}]: branch target/reconv out of range"
+                    )
+            for reg in instr.source_registers():
+                if reg >= self.num_registers:
+                    raise ValueError(
+                        f"{self.name}[{i}]: reads r{reg} but kernel declares "
+                        f"{self.num_registers} registers"
+                    )
+            if instr.dst is not None and instr.dst.index >= self.num_registers:
+                raise ValueError(
+                    f"{self.name}[{i}]: writes {instr.dst} but kernel declares "
+                    f"{self.num_registers} registers"
+                )
+        if not any(i.op is Op.EXIT for i in self.instructions):
+            raise ValueError(f"kernel {self.name!r} has no EXIT instruction")
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def listing(self) -> str:
+        """Human-readable disassembly with labels."""
+        by_index: dict[int, list[str]] = {}
+        for label, index in self.labels.items():
+            by_index.setdefault(index, []).append(label)
+        lines = [f".kernel {self.name}  regs={self.num_registers}"]
+        for i, instr in enumerate(self.instructions):
+            for label in by_index.get(i, ()):
+                lines.append(f"{label}:")
+            lines.append(f"  {i:4d}  {instr}")
+        return "\n".join(lines)

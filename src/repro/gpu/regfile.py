@@ -1,0 +1,174 @@
+"""Banked register file model.
+
+Geometry follows paper Table 2: 32 banks of 256 x 128-bit entries,
+organised as four clusters of eight banks.  One warp register (32 x 32-bit
+thread registers) occupies one entry index across the eight banks of one
+cluster; warp-register *slots* are striped across clusters so consecutive
+registers of a warp land in different clusters (minimising bank conflicts,
+as in the Fermi-style design the paper models).
+
+The register file stores, per slot: the functional 32-lane values, the
+compression mode (mirrored in the arbiter's compression-range indicator),
+and the number of physical banks currently occupied.  Compressed data
+always occupies the *lowest*-index banks of the slot's cluster
+(Section 6.2), so the high banks of each cluster are the ones the gating
+controller can turn off — the Figure 10 effect.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.banks import BANKS_PER_WARP_REGISTER
+from repro.core.codec import CompressionMode
+from repro.core.indicator import CompressionRangeIndicator
+from repro.gpu.config import GPUConfig
+from repro.power.gating import BankGatingController
+
+
+class RegisterFile:
+    """One SM's register file: values, modes, and bank occupancy."""
+
+    def __init__(self, config: GPUConfig, gating: BankGatingController | None):
+        self.config = config
+        self.gating = gating
+        self.num_slots = config.warp_register_slots
+        self.values = np.zeros(
+            (self.num_slots, config.warp_size), dtype=np.uint32
+        )
+        self.indicator = CompressionRangeIndicator(self.num_slots)
+        self._banks_used = np.zeros(self.num_slots, dtype=np.int8)
+        self._valid = np.zeros(self.num_slots, dtype=bool)
+        self._allocated = np.zeros(self.num_slots, dtype=bool)
+        # Registers of one warp are laid out contiguously in slot space;
+        # striping across clusters comes from slot -> cluster mapping.
+        self._regs_per_warp = 0
+        self.compressed_slots = 0
+        self.allocated_slots = 0
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    def slot(self, warp_slot: int, reg: int) -> int:
+        """Linear warp-register slot of register ``reg`` of a warp."""
+        return warp_slot * self._regs_per_warp + reg
+
+    def cluster(self, slot: int) -> int:
+        return slot % self.config.num_clusters
+
+    def entry(self, slot: int) -> int:
+        return slot // self.config.num_clusters
+
+    def banks_of(self, slot: int, nbanks: int) -> list[int]:
+        """Absolute bank indices of the first ``nbanks`` banks of a slot."""
+        base = self.cluster(slot) * BANKS_PER_WARP_REGISTER
+        return list(range(base, base + nbanks))
+
+    # ------------------------------------------------------------------
+    # Warp allocation
+    # ------------------------------------------------------------------
+    def configure_kernel(self, regs_per_warp: int) -> None:
+        """Set the per-warp register count for the resident kernel."""
+        if regs_per_warp <= 0:
+            raise ValueError("kernels must use at least one register")
+        self._regs_per_warp = regs_per_warp
+
+    @property
+    def regs_per_warp(self) -> int:
+        return self._regs_per_warp
+
+    def allocate_warp(self, warp_slot: int) -> np.ndarray:
+        """Reserve slots for a warp; returns the (regs, lanes) value view."""
+        lo = self.slot(warp_slot, 0)
+        hi = self.slot(warp_slot, self._regs_per_warp)
+        if hi > self.num_slots:
+            raise ValueError(
+                f"warp slot {warp_slot} exceeds register file capacity"
+            )
+        if self._allocated[lo:hi].any():
+            raise RuntimeError(f"warp slot {warp_slot} already allocated")
+        self._allocated[lo:hi] = True
+        self.allocated_slots += self._regs_per_warp
+        self.values[lo:hi] = 0
+        return self.values[lo:hi]
+
+    def free_warp(self, warp_slot: int, cycle: int) -> None:
+        """Release a completed warp's registers (enables gating)."""
+        lo = self.slot(warp_slot, 0)
+        hi = self.slot(warp_slot, self._regs_per_warp)
+        for s in range(lo, hi):
+            if self._valid[s] and self.gating is not None:
+                for bank in self.banks_of(s, int(self._banks_used[s])):
+                    self.gating.entry_freed(bank, cycle)
+            if self.indicator.get(s).is_compressed:
+                self.compressed_slots -= 1
+            self._valid[s] = False
+            self._banks_used[s] = 0
+            self.indicator.reset(s)
+        self._allocated[lo:hi] = False
+        self.allocated_slots -= self._regs_per_warp
+
+    # ------------------------------------------------------------------
+    # Access metadata
+    # ------------------------------------------------------------------
+    def read_banks(self, warp_slot: int, reg: int) -> list[int]:
+        """Banks that must be read to source this register.
+
+        An unwritten register reads the full eight banks (its indicator is
+        in the reset, uncompressed state).
+        """
+        s = self.slot(warp_slot, reg)
+        if self._valid[s]:
+            return self.banks_of(s, int(self._banks_used[s]))
+        return self.banks_of(s, BANKS_PER_WARP_REGISTER)
+
+    def mode_of(self, warp_slot: int, reg: int) -> CompressionMode:
+        return self.indicator.get(self.slot(warp_slot, reg))
+
+    def is_compressed(self, warp_slot: int, reg: int) -> bool:
+        return self.mode_of(warp_slot, reg).is_compressed
+
+    # ------------------------------------------------------------------
+    # Write commit
+    # ------------------------------------------------------------------
+    def write_commit(
+        self,
+        warp_slot: int,
+        reg: int,
+        mode: CompressionMode,
+        banks: int,
+        cycle: int,
+    ) -> list[int]:
+        """Update metadata for a committed write; returns banks written.
+
+        The functional values are applied separately (they live in the
+        ``values`` array that warp contexts view directly).  Handles the
+        valid-bit bookkeeping that drives power gating: banks freed by a
+        better compression are released, newly-occupied banks allocated.
+        """
+        s = self.slot(warp_slot, reg)
+        old_banks = int(self._banks_used[s]) if self._valid[s] else 0
+        was_compressed = self.indicator.get(s).is_compressed
+
+        if self.gating is not None:
+            cluster_banks = self.banks_of(s, BANKS_PER_WARP_REGISTER)
+            for b in cluster_banks[old_banks:banks]:
+                self.gating.entry_allocated(b, cycle)
+            for b in cluster_banks[banks:old_banks]:
+                self.gating.entry_freed(b, cycle)
+
+        self._valid[s] = True
+        self._banks_used[s] = banks
+        self.indicator.set(s, mode)
+        if mode.is_compressed and not was_compressed:
+            self.compressed_slots += 1
+        elif was_compressed and not mode.is_compressed:
+            self.compressed_slots -= 1
+        return self.banks_of(s, banks)
+
+    @property
+    def compressed_fraction(self) -> float:
+        """Share of allocated registers currently compressed (Figure 12)."""
+        if self.allocated_slots == 0:
+            return 0.0
+        return self.compressed_slots / self.allocated_slots

@@ -1,0 +1,95 @@
+"""Register file cache (extension beyond the paper).
+
+The paper positions register compression as *orthogonal* to the register
+file cache of Gebhart et al. (ISCA 2011), the main prior approach to RF
+dynamic power.  This module implements a small per-warp write-allocate
+RFC so the claim can be measured: reads that hit the cache skip the
+banks entirely; results are written to the cache and only reach the
+banks on eviction — at which point the full 32-lane value is present, so
+evictions compress without the divergence complications of Section 5.2.
+
+Modelled faithfully for energy (cache accesses, eviction writebacks,
+fills for partially-written allocations) and approximately for timing
+(eviction writebacks are treated as buffered, off the critical path).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RegisterFileCache:
+    """Per-warp LRU cache of recently written registers.
+
+    ``entries_per_warp`` follows Gebhart et al.'s six-entry design.
+    Entries are allocated on writes (write-allocate, write-back); reads
+    refresh LRU order but never allocate.
+    """
+
+    entries_per_warp: int = 6
+    read_hits: int = field(default=0, init=False)
+    read_misses: int = field(default=0, init=False)
+    writes: int = field(default=0, init=False)
+    evictions: int = field(default=0, init=False)
+    _lines: dict[int, OrderedDict[int, bool]] = field(
+        default_factory=dict, init=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.entries_per_warp <= 0:
+            raise ValueError(
+                f"cache needs at least one entry, got {self.entries_per_warp}"
+            )
+
+    def _warp(self, warp_slot: int) -> OrderedDict[int, bool]:
+        return self._lines.setdefault(warp_slot, OrderedDict())
+
+    def read(self, warp_slot: int, reg: int) -> bool:
+        """Look up a source operand; True = hit (no bank access needed)."""
+        lines = self._warp(warp_slot)
+        if reg in lines:
+            lines.move_to_end(reg)
+            self.read_hits += 1
+            return True
+        self.read_misses += 1
+        return False
+
+    def contains(self, warp_slot: int, reg: int) -> bool:
+        return reg in self._warp(warp_slot)
+
+    def write(self, warp_slot: int, reg: int) -> int | None:
+        """Allocate/update ``reg``; returns an evicted register or None.
+
+        The evicted register is always dirty (every cached line was put
+        there by a write) and must be written back to the banks.
+        """
+        lines = self._warp(warp_slot)
+        self.writes += 1
+        if reg in lines:
+            lines.move_to_end(reg)
+            return None
+        evicted = None
+        if len(lines) >= self.entries_per_warp:
+            evicted, _ = lines.popitem(last=False)
+            self.evictions += 1
+        lines[reg] = True
+        return evicted
+
+    def flush_warp(self, warp_slot: int) -> list[int]:
+        """Drop all of a retiring warp's lines; returns dirty registers."""
+        lines = self._lines.pop(warp_slot, OrderedDict())
+        dirty = list(lines)
+        self.evictions += len(dirty)
+        return dirty
+
+    @property
+    def accesses(self) -> int:
+        """Total cache-array accesses (for the energy model)."""
+        return self.read_hits + self.writes
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.read_hits + self.read_misses
+        return self.read_hits / total if total else 0.0

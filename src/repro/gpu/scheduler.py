@@ -1,0 +1,77 @@
+"""Warp schedulers: Greedy-Then-Oldest and Loose Round-Robin.
+
+The paper's baseline uses GTO (Table 2): keep issuing from the same warp
+until it stalls, then switch to the oldest ready warp.  Section 6.5
+replaces it with LRR, which rotates to the next ready warp every
+scheduling cycle, to show the energy results are scheduler-insensitive
+(Figure 14).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+class WarpScheduler:
+    """One of the SM's schedulers, owning a subset of the warp slots."""
+
+    def __init__(self, policy: str):
+        if policy not in ("gto", "lrr"):
+            raise ValueError(f"unknown scheduler policy {policy!r}")
+        self.policy = policy
+        self._warps: list[int] = []  # insertion order = age order
+        self._last_issued: int | None = None
+        self._rr_index = 0
+
+    def add_warp(self, warp_slot: int) -> None:
+        """Register a newly-launched warp (age = arrival order)."""
+        if warp_slot in self._warps:
+            raise ValueError(f"warp {warp_slot} already scheduled")
+        self._warps.append(warp_slot)
+
+    def remove_warp(self, warp_slot: int) -> None:
+        """Drop a finished warp."""
+        self._warps.remove(warp_slot)
+        if self._last_issued == warp_slot:
+            self._last_issued = None
+
+    def pick(self, can_issue: Callable[[int], bool]) -> int | None:
+        """Select a warp to issue from this cycle, or ``None``.
+
+        ``can_issue`` encapsulates all readiness checks (scoreboard,
+        barrier, collector availability, instruction availability).
+        """
+        if not self._warps:
+            return None
+        if self.policy == "gto":
+            return self._pick_gto(can_issue)
+        return self._pick_lrr(can_issue)
+
+    def _pick_gto(self, can_issue: Callable[[int], bool]) -> int | None:
+        # Greedy: stick with the last-issued warp while it can issue.
+        if self._last_issued is not None and self._last_issued in self._warps:
+            if can_issue(self._last_issued):
+                return self._last_issued
+        # Then-oldest: scan in age (arrival) order.
+        for warp in self._warps:
+            if can_issue(warp):
+                self._last_issued = warp
+                return warp
+        return None
+
+    def _pick_lrr(self, can_issue: Callable[[int], bool]) -> int | None:
+        n = len(self._warps)
+        for i in range(n):
+            warp = self._warps[(self._rr_index + i) % n]
+            if can_issue(warp):
+                # Loose round-robin: next cycle starts after this warp.
+                self._rr_index = (self._warps.index(warp) + 1) % n
+                return warp
+        return None
+
+    @property
+    def warps(self) -> tuple[int, ...]:
+        return tuple(self._warps)
+
+    def __len__(self) -> int:
+        return len(self._warps)

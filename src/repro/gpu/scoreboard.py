@@ -1,0 +1,65 @@
+"""Per-warp register scoreboard.
+
+Tracks registers (and predicate registers) with pending writes so the
+schedulers never issue an instruction whose sources are not yet written
+(RAW) or whose destination is still being written (WAW).  WAR hazards need
+no protection: operands are captured into the collector at issue.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+
+class Scoreboard:
+    """Pending-write sets keyed by warp slot."""
+
+    def __init__(self) -> None:
+        self._regs: dict[int, set[int]] = defaultdict(set)
+        self._preds: dict[int, set[int]] = defaultdict(set)
+
+    def reserve(
+        self, warp_slot: int, reg: int | None, pred: int | None = None
+    ) -> None:
+        """Mark a destination register/predicate as pending."""
+        if reg is not None:
+            self._regs[warp_slot].add(reg)
+        if pred is not None:
+            self._preds[warp_slot].add(pred)
+
+    def release(
+        self, warp_slot: int, reg: int | None, pred: int | None = None
+    ) -> None:
+        """Clear a pending destination after writeback."""
+        if reg is not None:
+            self._regs[warp_slot].discard(reg)
+        if pred is not None:
+            self._preds[warp_slot].discard(pred)
+
+    def blocked(
+        self,
+        warp_slot: int,
+        read_regs: tuple[int, ...],
+        write_reg: int | None,
+        read_preds: tuple[int, ...] = (),
+        write_pred: int | None = None,
+    ) -> bool:
+        """Whether an instruction with these operands must wait."""
+        regs = self._regs[warp_slot]
+        if write_reg is not None and write_reg in regs:
+            return True
+        if any(r in regs for r in read_regs):
+            return True
+        preds = self._preds[warp_slot]
+        if write_pred is not None and write_pred in preds:
+            return True
+        return any(p in preds for p in read_preds)
+
+    def clear_warp(self, warp_slot: int) -> None:
+        """Drop all state for a retired warp."""
+        self._regs.pop(warp_slot, None)
+        self._preds.pop(warp_slot, None)
+
+    def pending(self, warp_slot: int) -> int:
+        """Number of outstanding writes for a warp (drain check)."""
+        return len(self._regs[warp_slot]) + len(self._preds[warp_slot])

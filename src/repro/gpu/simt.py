@@ -1,0 +1,127 @@
+"""SIMT reconvergence stack (immediate post-dominator scheme).
+
+Models the divergence hardware described in Section 5.2's background: on a
+divergent branch, the current stack top becomes the reconvergence entry
+(its PC moved to the join point, keeping the pre-branch mask), and entries
+for the taken and fall-through lane subsets are pushed; when the executing
+entry's PC reaches its reconvergence PC it is popped, merging lanes back.
+
+Masks are Python ints used as 32-bit (warp-size) bitmaps: bit ``i`` set
+means lane ``i`` participates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def popcount(mask: int) -> int:
+    """Number of active lanes in a bitmap mask."""
+    return bin(mask).count("1")
+
+
+def full_mask(warp_size: int) -> int:
+    """Mask with all ``warp_size`` lanes active."""
+    return (1 << warp_size) - 1
+
+
+@dataclass
+class StackEntry:
+    """One SIMT stack entry: where to execute, with which lanes."""
+
+    pc: int
+    mask: int
+    reconv: int | None  #: ``None`` marks the base entry (never popped).
+
+
+class SimtStack:
+    """Per-warp divergence stack.
+
+    The warp is finished when every lane has exited; the stack then
+    reports :attr:`done`.
+    """
+
+    def __init__(self, warp_size: int, start_pc: int = 0, mask: int | None = None):
+        self.warp_size = warp_size
+        initial = full_mask(warp_size) if mask is None else mask
+        if initial == 0:
+            raise ValueError("warp must start with at least one active lane")
+        self._stack: list[StackEntry] = [StackEntry(start_pc, initial, None)]
+
+    # ------------------------------------------------------------------
+    # State inspection
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return not self._stack
+
+    @property
+    def top(self) -> StackEntry:
+        if not self._stack:
+            raise RuntimeError("warp has finished; stack is empty")
+        return self._stack[-1]
+
+    @property
+    def pc(self) -> int:
+        return self.top.pc
+
+    @property
+    def active_mask(self) -> int:
+        return self.top.mask
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+    # ------------------------------------------------------------------
+    # Execution interface
+    # ------------------------------------------------------------------
+    def settle(self) -> None:
+        """Pop entries whose PC reached their reconvergence point.
+
+        Called before each fetch so the visible top entry is always an
+        executable one.
+        """
+        while self._stack:
+            top = self._stack[-1]
+            if top.mask == 0:
+                self._stack.pop()
+                continue
+            if top.reconv is not None and top.pc == top.reconv:
+                self._stack.pop()
+                continue
+            break
+
+    def advance(self) -> None:
+        """Move the executing entry past the current instruction."""
+        self.top.pc += 1
+
+    def branch(self, taken_mask: int, target: int, reconv: int) -> None:
+        """Resolve a (possibly divergent) branch at the current entry.
+
+        ``taken_mask`` is the subset of the active mask jumping to
+        ``target``; the rest fall through to ``pc + 1``.  ``reconv`` is the
+        branch's immediate post-dominator.
+        """
+        top = self.top
+        taken = taken_mask & top.mask
+        fallthrough = top.mask & ~taken
+        if taken and fallthrough:
+            # Divergence: the current entry becomes the reconvergence
+            # entry (keeping the union mask); the fall-through subset
+            # executes first, then the taken subset, then they merge.
+            branch_pc = top.pc
+            top.pc = reconv
+            if target != reconv:
+                self._stack.append(StackEntry(target, taken, reconv))
+            self._stack.append(StackEntry(branch_pc + 1, fallthrough, reconv))
+        elif taken:
+            top.pc = target
+        else:
+            top.pc += 1
+
+    def exit_lanes(self, mask: int) -> None:
+        """Permanently retire ``mask`` lanes from every stack entry."""
+        for entry in self._stack:
+            entry.mask &= ~mask
+        self.settle()

@@ -1,0 +1,621 @@
+"""Streaming multiprocessor: the cycle-level pipeline model.
+
+Each cycle an SM (in reverse pipeline order so stage hand-offs take one
+cycle):
+
+1. **writeback** — ops holding a compression decision contend for bank
+   write ports; a fully-written op commits its value, updates the
+   compression-range indicator and gating valid bits, and releases its
+   scoreboard entry.
+2. **compress** — completed executions that write a register pass through
+   a compressor unit (2-cycle latency by default); divergent writes and
+   the baseline design bypass compression.
+3. **execute** — fixed-latency function units by op class.
+4. **collect** — operand collectors read source banks through the bank
+   arbiter (one read port per bank per cycle); compressed operands then
+   take a decompressor unit (1-cycle latency by default).
+5. **issue** — two warp schedulers (GTO or LRR) each pick one ready warp;
+   the instruction is functionally executed immediately (its register
+   write deferred to writeback) so branches resolve at issue.  A
+   divergent instruction about to update a *compressed* destination
+   instead injects the dummy decompressing MOV of Section 5.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+from repro.analysis.stats import TimingStats, ValueStats
+from repro.core.banks import BANKS_PER_WARP_REGISTER
+from repro.core.codec import CompressionMode, choose_mode
+from repro.core.policy import CompressionDecision, CompressionPolicy
+from repro.core.units import UnitPool
+from repro.gpu.arbiter import BankArbiter
+from repro.gpu.collector import CollectorPool, OperandRead
+from repro.gpu.config import GPUConfig
+from repro.gpu.interpreter import (
+    ExecResult,
+    Interpreter,
+    WarpContext,
+    make_warp_context,
+)
+from repro.gpu.isa import Instruction, Op, OpClass
+from repro.gpu.memory import GlobalMemory, SharedMemory
+from repro.gpu.program import Kernel
+from repro.gpu.regfile import RegisterFile
+from repro.gpu.rfc import RegisterFileCache
+from repro.gpu.scheduler import WarpScheduler
+from repro.gpu.scoreboard import Scoreboard
+from repro.gpu.simt import popcount
+from repro.power.energy import EnergyModel
+from repro.power.gating import BankGatingController
+
+
+class OpState(Enum):
+    COLLECT = "collect"
+    EXEC = "exec"
+    COMPRESS = "compress"
+    WRITE = "write"
+
+
+@dataclass
+class InflightOp:
+    """One instruction moving through the register-file pipeline."""
+
+    warp_slot: int
+    result: ExecResult
+    reads: list[OperandRead]
+    state: OpState = OpState.COLLECT
+    holds_collector: bool = False
+    exec_done: int = 0
+    decision: CompressionDecision | None = None
+    write_ready: int = 0
+    pending_write_banks: list[int] = field(default_factory=list)
+    is_mov: bool = False
+
+
+@dataclass
+class _CtaState:
+    cta_id: int
+    warp_slots: list[int]
+    shared: SharedMemory
+    remaining: int
+
+
+class SMCore:
+    """One streaming multiprocessor."""
+
+    def __init__(
+        self,
+        config: GPUConfig,
+        policy: CompressionPolicy,
+        energy: EnergyModel,
+        collect_bdi: bool = False,
+    ):
+        self.config = config
+        self.policy = policy
+        self.energy = energy
+        self.interpreter = Interpreter(config.warp_size)
+        self.gating = (
+            BankGatingController(
+                config.num_banks,
+                config.bank_wakeup_latency,
+                config.bank_gate_delay,
+            )
+            if policy.enabled
+            else None
+        )
+        self.regfile = RegisterFile(config, self.gating)
+        self.rfc = (
+            RegisterFileCache(config.rfc_entries_per_warp)
+            if config.rfc_entries_per_warp > 0
+            else None
+        )
+        self.arbiter = BankArbiter(config.num_banks, self.gating)
+        self.collectors = CollectorPool(config.num_collectors)
+        self.scoreboard = Scoreboard()
+        self.schedulers = [
+            WarpScheduler(config.scheduler_policy)
+            for _ in range(config.num_schedulers)
+        ]
+        self.compressors = UnitPool(
+            config.num_compressors, config.compression_latency
+        )
+        self.decompressors = UnitPool(
+            config.num_decompressors, config.decompression_latency
+        )
+        self.value_stats = ValueStats(collect_bdi=collect_bdi)
+        self.timing = TimingStats()
+        self.cycle = 0
+        self._warps: dict[int, WarpContext] = {}
+        self._inflight: list[InflightOp] = []
+        self._ctas: dict[int, _CtaState] = {}
+        self._warp_cta: dict[int, int] = {}
+        self._free_slots: list[int] = []
+        self._next_issue: dict[int, int] = {}
+        self._kernel: Kernel | None = None
+        self._grid_dim = (1, 1)
+        self._cta_dim = (1, 1)
+        self._params: np.ndarray | None = None
+        self._gmem: GlobalMemory | None = None
+        self._cta_warps = 0
+        self._latency = {
+            OpClass.ALU: config.alu_latency,
+            OpClass.SFU: config.sfu_latency,
+            OpClass.GLOBAL: config.global_mem_latency,
+            OpClass.SHARED: config.shared_mem_latency,
+            OpClass.CONTROL: 1,
+        }
+
+    # ------------------------------------------------------------------
+    # Kernel / CTA management
+    # ------------------------------------------------------------------
+    def prepare_kernel(
+        self,
+        kernel: Kernel,
+        grid_dim: tuple[int, int],
+        cta_dim: tuple[int, int],
+        params: np.ndarray,
+        gmem: GlobalMemory,
+    ) -> None:
+        """Configure the SM for a kernel launch."""
+        self._kernel = kernel
+        self._grid_dim = grid_dim
+        self._cta_dim = cta_dim
+        self._params = params
+        self._gmem = gmem
+        cta_threads = cta_dim[0] * cta_dim[1]
+        self._cta_warps = -(-cta_threads // self.config.warp_size)
+        self.regfile.configure_kernel(kernel.num_registers)
+        max_warps = self.config.max_resident_warps(
+            kernel.num_registers, self._cta_warps
+        )
+        if max_warps < self._cta_warps:
+            raise ValueError(
+                f"kernel {kernel.name!r} CTA needs {self._cta_warps} warps but "
+                f"occupancy allows {max_warps}"
+            )
+        self._free_slots = list(range(max_warps))
+
+    def can_accept_cta(self) -> bool:
+        return len(self._free_slots) >= self._cta_warps
+
+    def launch_cta(self, cta_id: int) -> None:
+        """Make one CTA's warps resident."""
+        if not self.can_accept_cta():
+            raise RuntimeError("SM cannot accept another CTA")
+        shared = SharedMemory(self._kernel.shared_bytes)
+        slots = [self._free_slots.pop(0) for _ in range(self._cta_warps)]
+        for i, slot in enumerate(slots):
+            storage = self.regfile.allocate_warp(slot)
+            ctx = make_warp_context(
+                kernel=self._kernel,
+                warp_id=slot,
+                cta_id=cta_id,
+                cta_dim=self._cta_dim,
+                grid_dim=self._grid_dim,
+                warp_in_cta=i,
+                params=self._params,
+                gmem=self._gmem,
+                shared=shared,
+                warp_size=self.config.warp_size,
+            )
+            ctx.registers = storage  # register file is the backing store
+            self._warps[slot] = ctx
+            self._warp_cta[slot] = cta_id
+            self._next_issue[slot] = self.cycle
+            self.schedulers[slot % len(self.schedulers)].add_warp(slot)
+        self._ctas[cta_id] = _CtaState(cta_id, slots, shared, len(slots))
+
+    @property
+    def busy(self) -> bool:
+        return bool(self._warps) or bool(self._inflight)
+
+    # ------------------------------------------------------------------
+    # Cycle loop
+    # ------------------------------------------------------------------
+    def tick(self) -> None:
+        self.cycle += 1
+        self.arbiter.begin_cycle(self.cycle)
+        self._writeback_stage()
+        self._compress_stage()
+        self._execute_stage()
+        self._collect_stage()
+        self._issue_stage()
+        self._retire_warps()
+        self.timing.cycles = self.cycle
+
+    # ----- writeback ---------------------------------------------------
+    def _writeback_stage(self) -> None:
+        for op in list(self._inflight):
+            if op.state is not OpState.WRITE or self.cycle < op.write_ready:
+                continue
+            granted = self.arbiter.grant_writes(op.pending_write_banks)
+            if granted:
+                self.energy.record_write(len(granted))
+                remaining = [
+                    b for b in op.pending_write_banks if b not in granted
+                ]
+                op.pending_write_banks = remaining
+            if not op.pending_write_banks:
+                self._commit(op)
+                self._inflight.remove(op)
+
+    def _commit(self, op: InflightOp) -> None:
+        result = op.result
+        ctx = self._warps[op.warp_slot]
+        self.interpreter.apply(ctx, result)
+        self.regfile.write_commit(
+            op.warp_slot,
+            result.dst,
+            op.decision.mode,
+            op.decision.banks,
+            self.cycle,
+        )
+        if not op.is_mov:
+            self.value_stats.record_write(
+                result.values,
+                result.divergent,
+                achievable_mode=choose_mode(result.values),
+                stored_banks=op.decision.banks,
+                stored_mode=op.decision.mode,
+            )
+        self.scoreboard.release(op.warp_slot, result.dst)
+
+    # ----- compress ----------------------------------------------------
+    def _compress_stage(self) -> None:
+        for op in self._inflight:
+            if op.state is not OpState.COMPRESS:
+                continue
+            ready = self.compressors.try_start(self.cycle)
+            if ready is None:
+                continue  # both compressor issue slots taken this cycle
+            op.state = OpState.WRITE
+            op.write_ready = ready
+            op.pending_write_banks = self.regfile.banks_of(
+                self.regfile.slot(op.warp_slot, op.result.dst),
+                op.decision.banks,
+            )
+
+    # ----- execute -----------------------------------------------------
+    def _execute_stage(self) -> None:
+        for op in list(self._inflight):
+            if op.state is not OpState.EXEC or self.cycle < op.exec_done:
+                continue
+            result = op.result
+            if result.dst is None:
+                self.scoreboard.release(
+                    op.warp_slot,
+                    None,
+                    result.instr.pred_dst.index
+                    if result.instr.pred_dst
+                    else None,
+                )
+                self._inflight.remove(op)
+                continue
+            if result.instr.pred_dst is not None:
+                self.scoreboard.release(
+                    op.warp_slot, None, result.instr.pred_dst.index
+                )
+            if self.rfc is not None:
+                self._commit_to_cache(op)
+                self._inflight.remove(op)
+                continue
+            op.decision = self._decide(op)
+            slot = self.regfile.slot(op.warp_slot, result.dst)
+            if (
+                self.policy.enabled
+                and op.decision.compressor_used
+                and not op.is_mov
+            ):
+                op.state = OpState.COMPRESS
+                # Try for a compressor this very cycle; on a structural
+                # hazard the compress stage retries next cycle.
+                ready = self.compressors.try_start(self.cycle)
+                if ready is not None:
+                    op.state = OpState.WRITE
+                    op.write_ready = ready
+                    op.pending_write_banks = self.regfile.banks_of(
+                        slot, op.decision.banks
+                    )
+            else:
+                op.state = OpState.WRITE
+                op.write_ready = self.cycle
+                op.pending_write_banks = self.regfile.banks_of(
+                    slot, op.decision.banks
+                )
+
+    def _decide(self, op: InflightOp) -> CompressionDecision:
+        if op.is_mov:
+            # The dummy MOV's entire purpose is to leave the destination
+            # uncompressed so the following divergent write can proceed.
+            return CompressionDecision(
+                CompressionMode.UNCOMPRESSED,
+                BANKS_PER_WARP_REGISTER,
+                compressor_used=False,
+            )
+        return self.policy.decide(op.result.values, op.result.divergent)
+
+    # ----- collect -----------------------------------------------------
+    def _collect_stage(self) -> None:
+        for op in self._inflight:
+            if op.state is not OpState.COLLECT:
+                continue
+            all_ready = True
+            for read in op.reads:
+                if read.pending_banks:
+                    granted = self.arbiter.grant_reads(read.pending_banks)
+                    if granted:
+                        self.energy.record_read(len(granted))
+                        read.pending_banks.difference_update(granted)
+                if not read.advance(self.cycle, self.decompressors):
+                    all_ready = False
+            if all_ready:
+                if op.holds_collector:
+                    self.collectors.release()
+                    op.holds_collector = False
+                op.state = OpState.EXEC
+                op.exec_done = self.cycle + self._latency[op.result.op_class]
+
+    # ----- issue -------------------------------------------------------
+    def _issue_stage(self) -> None:
+        for scheduler in self.schedulers:
+            picked = scheduler.pick(self._can_issue)
+            if picked is not None:
+                self._issue(picked)
+
+    def _needs_mov(self, warp_slot: int, instr: Instruction, exec_mask: int) -> bool:
+        if self.rfc is not None:
+            # With a register file cache, divergent writes merge into the
+            # cache line; no decompressing MOV is ever needed.
+            return False
+        if not self.policy.requires_mov_on_divergent_write:
+            return False
+        if instr.dst is None:
+            return False
+        if popcount(exec_mask) >= self.config.warp_size:
+            return False
+        return self.regfile.is_compressed(warp_slot, instr.dst.index)
+
+    def _can_issue(self, warp_slot: int) -> bool:
+        ctx = self._warps[warp_slot]
+        if ctx.at_barrier or self.cycle < self._next_issue[warp_slot]:
+            return False
+        peeked = self.interpreter.peek(ctx)
+        if peeked is None:
+            return False
+        instr, exec_mask, _ = peeked
+        if self._needs_mov(warp_slot, instr, exec_mask):
+            if not self.collectors.available:
+                return False
+            return not self.scoreboard.blocked(
+                warp_slot, (instr.dst.index,), instr.dst.index
+            )
+        srcs = instr.source_registers()
+        # RFC hits bypass the operand collector, but RAW hazards must be
+        # checked on every source regardless of caching.
+        uncached = srcs
+        if self.rfc is not None:
+            uncached = tuple(
+                r for r in srcs if not self.rfc.contains(warp_slot, r)
+            )
+        if uncached and not self.collectors.available:
+            self.timing.collector_stall_cycles += 1
+            return False
+        read_preds = tuple(
+            p.index
+            for p in (instr.guard, instr.pred_src)
+            if p is not None
+        )
+        return not self.scoreboard.blocked(
+            warp_slot,
+            srcs,
+            instr.dst.index if instr.dst else None,
+            read_preds,
+            instr.pred_dst.index if instr.pred_dst else None,
+        )
+
+    def _issue(self, warp_slot: int) -> None:
+        ctx = self._warps[warp_slot]
+        instr, exec_mask, pc = self.interpreter.peek(ctx)
+        if self._needs_mov(warp_slot, instr, exec_mask):
+            self._issue_mov(warp_slot, instr.dst.index)
+            return
+        result = self.interpreter.execute(ctx)
+        self.timing.issued += 1
+        self.value_stats.record_instruction(result.base_divergent)
+        self.value_stats.record_occupancy(
+            self.regfile.compressed_fraction, result.base_divergent
+        )
+        if result.is_barrier:
+            self._enter_barrier(warp_slot)
+            return
+        if result.instr.op is Op.BRA:
+            # Branch resolution delay before the warp may issue again.
+            self._next_issue[warp_slot] = self.cycle + self.config.alu_latency
+            return
+        if result.is_exit and result.dst is None:
+            return
+        self._enqueue(warp_slot, result, is_mov=False)
+
+    def _issue_mov(self, warp_slot: int, reg: int) -> None:
+        """Inject the decompressing dummy MOV of Section 5.2."""
+        ctx = self._warps[warp_slot]
+        values = ctx.registers[reg].copy()
+        result = ExecResult(
+            instr=Instruction(Op.MOV, dst=None),
+            pc=-1,
+            exec_mask=(1 << self.config.warp_size) - 1,
+            base_mask=(1 << self.config.warp_size) - 1,
+            divergent=False,
+            op_class=OpClass.ALU,
+            dst=reg,
+            values=values,
+            src_regs=(reg,),
+        )
+        self.value_stats.record_mov()
+        self.timing.issued += 1
+        self._enqueue(warp_slot, result, is_mov=True)
+
+    def _enqueue(
+        self, warp_slot: int, result: ExecResult, is_mov: bool
+    ) -> None:
+        reads = []
+        for reg in dict.fromkeys(result.src_regs):
+            if self.rfc is not None and self.rfc.read(warp_slot, reg):
+                self.energy.record_rfc(1)
+                continue
+            mode = self.regfile.mode_of(warp_slot, reg)
+            banks = self.regfile.read_banks(warp_slot, reg)
+            reads.append(
+                OperandRead(
+                    warp_slot=warp_slot,
+                    reg=reg,
+                    mode=mode,
+                    pending_banks=set(banks),
+                    banks_total=len(banks),
+                    decompression_needed=mode.is_compressed,
+                )
+            )
+        op = InflightOp(
+            warp_slot=warp_slot, result=result, reads=reads, is_mov=is_mov
+        )
+        if reads:
+            self.collectors.allocate()
+            op.holds_collector = True
+        if not reads:
+            # No operands to gather: skip straight to execution.
+            op.state = OpState.EXEC
+            op.exec_done = self.cycle + self._latency[result.op_class]
+        self.scoreboard.reserve(
+            warp_slot,
+            result.dst,
+            result.instr.pred_dst.index if result.instr.pred_dst else None,
+        )
+        self._inflight.append(op)
+
+    # ----- register file cache (extension) ------------------------------
+    def _commit_to_cache(self, op: InflightOp) -> None:
+        """Write a result into the RFC; banks are touched only on evict."""
+        result = op.result
+        ctx = self._warps[op.warp_slot]
+        slot = self.regfile.slot(op.warp_slot, result.dst)
+        if (
+            result.divergent
+            and not self.rfc.contains(op.warp_slot, result.dst)
+            and self.regfile.is_compressed(op.warp_slot, result.dst)
+        ):
+            # Write-allocating a partially-written register fills the
+            # line from the register file first.
+            banks = self.regfile.read_banks(op.warp_slot, result.dst)
+            self.energy.record_read(len(banks))
+            self.energy.record_decompression(1)
+        self.interpreter.apply(ctx, result)
+        self.energy.record_rfc(1)
+        decision = (
+            self.policy.decide(result.values, divergent=False)
+            if self.policy.enabled
+            else CompressionDecision(
+                CompressionMode.UNCOMPRESSED,
+                BANKS_PER_WARP_REGISTER,
+                compressor_used=False,
+            )
+        )
+        self.value_stats.record_write(
+            result.values,
+            result.divergent,
+            achievable_mode=choose_mode(result.values),
+            stored_banks=decision.banks,
+            stored_mode=decision.mode,
+        )
+        evicted = self.rfc.write(op.warp_slot, result.dst)
+        if evicted is not None:
+            self._evict_to_banks(op.warp_slot, evicted)
+        self.scoreboard.release(op.warp_slot, result.dst)
+
+    def _evict_to_banks(self, warp_slot: int, reg: int) -> None:
+        """Write an evicted cache line back to the register banks.
+
+        Evictions carry the full merged 32-lane value, so they always
+        compress cleanly; the writeback is treated as buffered (energy
+        charged, no port contention on the critical path).
+        """
+        slot = self.regfile.slot(warp_slot, reg)
+        values = self.regfile.values[slot]
+        if self.policy.enabled:
+            decision = self.policy.decide(values, divergent=False)
+            if decision.compressor_used:
+                self.energy.record_compression(1)
+        else:
+            decision = CompressionDecision(
+                CompressionMode.UNCOMPRESSED,
+                BANKS_PER_WARP_REGISTER,
+                compressor_used=False,
+            )
+        self.regfile.write_commit(
+            warp_slot, reg, decision.mode, decision.banks, self.cycle
+        )
+        self.energy.record_write(decision.banks)
+
+    # ----- barriers / retirement ---------------------------------------
+    def _enter_barrier(self, warp_slot: int) -> None:
+        ctx = self._warps[warp_slot]
+        ctx.at_barrier = True
+        cta = self._ctas[self._warp_cta[warp_slot]]
+        # Warps whose threads have all exited no longer participate.
+        live = [
+            s
+            for s in cta.warp_slots
+            if s in self._warps and not self._warps[s].done
+        ]
+        if all(self._warps[s].at_barrier for s in live):
+            for s in live:
+                self._warps[s].at_barrier = False
+
+    def _retire_warps(self) -> None:
+        for warp_slot, ctx in list(self._warps.items()):
+            if not ctx.done or self.scoreboard.pending(warp_slot):
+                continue
+            if any(op.warp_slot == warp_slot for op in self._inflight):
+                continue
+            if self.rfc is not None:
+                for reg in self.rfc.flush_warp(warp_slot):
+                    self._evict_to_banks(warp_slot, reg)
+            self.schedulers[warp_slot % len(self.schedulers)].remove_warp(
+                warp_slot
+            )
+            self.scoreboard.clear_warp(warp_slot)
+            del self._warps[warp_slot]
+            del self._next_issue[warp_slot]
+            cta = self._ctas[self._warp_cta.pop(warp_slot)]
+            cta.remaining -= 1
+            if cta.remaining == 0:
+                for slot in cta.warp_slots:
+                    self.regfile.free_warp(slot, self.cycle)
+                    self._free_slots.append(slot)
+                self._free_slots.sort()
+                del self._ctas[cta.cta_id]
+
+    # ------------------------------------------------------------------
+    # Finalisation
+    # ------------------------------------------------------------------
+    def finalize(self) -> None:
+        """Close gating intervals and push unit activations to energy."""
+        if self.gating is not None:
+            self.gating.finalize(self.cycle)
+            self.energy.finalize(
+                self.cycle,
+                [self.gating.gated_cycles(b) for b in range(self.config.num_banks)],
+            )
+        else:
+            self.energy.finalize(self.cycle)
+        self.energy.record_compression(self.compressors.activations)
+        self.energy.record_decompression(self.decompressors.activations)
+
+    def gated_fractions(self) -> list[float] | None:
+        if self.gating is None:
+            return None
+        return self.gating.gated_fractions(self.cycle)

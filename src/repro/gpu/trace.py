@@ -1,0 +1,192 @@
+"""Register-value trace capture and trace-driven replay.
+
+The characterisation half of the paper (Figures 2, 3, 5, 8) depends only
+on the *sequence of register writes* a kernel produces — not on timing.
+This module lets that sequence be captured once and replayed through any
+number of compression policies or codecs, which makes large design-space
+sweeps (e.g. evaluating a new encoding) orders of magnitude cheaper than
+re-running kernels.
+
+A trace is a flat record of write events::
+
+    (warp_id, register, values[32], divergent)
+
+plus the instruction-phase counters the divergence figures need.  Traces
+serialise to ``.npz`` so they can be collected once and analysed in
+separate processes or shared as artifacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.stats import RunStats, ValueStats
+from repro.core.codec import CompressionMode, choose_mode
+from repro.core.policy import CompressionPolicy, make_policy
+from repro.gpu.memory import GlobalMemory
+from repro.gpu.program import Kernel
+
+
+@dataclass
+class RegisterTrace:
+    """A captured stream of warp-register writes."""
+
+    kernel_name: str
+    warp_size: int = 32
+    warp_ids: list[int] = field(default_factory=list)
+    registers: list[int] = field(default_factory=list)
+    divergent: list[bool] = field(default_factory=list)
+    values: list[np.ndarray] = field(default_factory=list)
+    instructions: int = 0
+    divergent_instructions: int = 0
+    num_registers: int = 0
+
+    def record(
+        self, warp_id: int, register: int, values: np.ndarray, divergent: bool
+    ) -> None:
+        self.warp_ids.append(warp_id)
+        self.registers.append(register)
+        self.divergent.append(divergent)
+        self.values.append(np.asarray(values, dtype=np.uint32).copy())
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def save(self, path: str) -> None:
+        """Write the trace as a compressed ``.npz`` archive."""
+        np.savez_compressed(
+            path,
+            kernel_name=np.array(self.kernel_name),
+            warp_size=np.array(self.warp_size),
+            warp_ids=np.asarray(self.warp_ids, dtype=np.int64),
+            registers=np.asarray(self.registers, dtype=np.int64),
+            divergent=np.asarray(self.divergent, dtype=bool),
+            values=np.stack(self.values)
+            if self.values
+            else np.zeros((0, self.warp_size), dtype=np.uint32),
+            instructions=np.array(self.instructions),
+            divergent_instructions=np.array(self.divergent_instructions),
+            num_registers=np.array(self.num_registers),
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "RegisterTrace":
+        """Read a trace previously written by :meth:`save`."""
+        with np.load(path, allow_pickle=False) as data:
+            trace = cls(
+                kernel_name=str(data["kernel_name"]),
+                warp_size=int(data["warp_size"]),
+            )
+            trace.warp_ids = data["warp_ids"].tolist()
+            trace.registers = data["registers"].tolist()
+            trace.divergent = data["divergent"].tolist()
+            trace.values = list(data["values"])
+            trace.instructions = int(data["instructions"])
+            trace.divergent_instructions = int(data["divergent_instructions"])
+            trace.num_registers = int(data["num_registers"])
+        return trace
+
+
+def capture_trace(
+    kernel: Kernel,
+    grid_dim: tuple[int, int],
+    cta_dim: tuple[int, int],
+    params: list[int],
+    gmem: GlobalMemory,
+) -> RegisterTrace:
+    """Run a kernel functionally and capture its register-write trace."""
+    from repro.gpu.functional import FunctionalRunner
+
+    trace = RegisterTrace(kernel_name=kernel.name)
+    trace.num_registers = kernel.num_registers
+    runner = FunctionalRunner(policy="baseline")
+
+    original = runner._run_warp
+
+    def tapped(ctx, warp_modes, allocated, compressed, stats, steps):
+        interp = runner.interpreter
+        original_execute = interp.execute
+
+        def tapping_execute(context):
+            result = original_execute(context)
+            if result is not None:
+                if result.dst is not None:
+                    trace.record(
+                        context.warp_id,
+                        result.dst,
+                        result.values,
+                        result.divergent,
+                    )
+                trace.instructions += 1
+                if result.base_divergent:
+                    trace.divergent_instructions += 1
+            return result
+
+        interp.execute = tapping_execute
+        try:
+            return original(ctx, warp_modes, allocated, compressed, stats, steps)
+        finally:
+            interp.execute = original_execute
+
+    runner._run_warp = tapped
+    runner.run(kernel, grid_dim, cta_dim, params, gmem)
+    return trace
+
+
+def replay_trace(
+    trace: RegisterTrace,
+    policy: str | CompressionPolicy = "warped",
+    collect_bdi: bool = False,
+) -> RunStats:
+    """Replay a captured trace through a compression policy.
+
+    Reconstructs the same :class:`ValueStats` a live run under that
+    policy would produce — including dummy-MOV and compressed-occupancy
+    bookkeeping — without executing any instructions.
+    """
+    policy = make_policy(policy) if isinstance(policy, str) else policy
+    stats = ValueStats(collect_bdi=collect_bdi)
+    stats.instructions = trace.instructions
+    stats.divergent_instructions = trace.divergent_instructions
+
+    modes: dict[tuple[int, int], CompressionMode] = {}
+    compressed = 0
+    allocated = (
+        (max(trace.warp_ids) + 1) * trace.num_registers
+        if trace.warp_ids
+        else 0
+    )
+    for warp_id, reg, values, divergent in zip(
+        trace.warp_ids, trace.registers, trace.values, trace.divergent
+    ):
+        key = (warp_id, reg)
+        old = modes.get(key, CompressionMode.UNCOMPRESSED)
+        if (
+            policy.requires_mov_on_divergent_write
+            and divergent
+            and old.is_compressed
+        ):
+            stats.record_mov()
+            compressed -= 1
+            old = CompressionMode.UNCOMPRESSED
+        decision = policy.decide(values, divergent)
+        modes[key] = decision.mode
+        compressed += int(decision.mode.is_compressed) - int(old.is_compressed)
+        stats.record_occupancy(
+            compressed / allocated if allocated else 0.0, divergent
+        )
+        stats.record_write(
+            values,
+            divergent,
+            achievable_mode=choose_mode(values),
+            stored_banks=decision.banks,
+            stored_mode=decision.mode,
+        )
+    return RunStats(
+        benchmark=trace.kernel_name, policy=policy.name, value=stats
+    )

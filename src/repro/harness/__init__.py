@@ -1,0 +1,13 @@
+"""Experiment harness: one driver per paper table/figure.
+
+* :mod:`repro.harness.sweeps` — cached simulation runner so that figures
+  sharing the same (benchmark, configuration) reuse one simulation.
+* :mod:`repro.harness.experiments` — ``fig02`` ... ``fig21`` and
+  ``table1`` drivers returning renderable tables.
+* :mod:`repro.harness.runner` — the ``warped-compression`` CLI.
+"""
+
+from repro.harness.experiments import EXPERIMENTS, run_experiment
+from repro.harness.sweeps import SimulationCache
+
+__all__ = ["EXPERIMENTS", "SimulationCache", "run_experiment"]

@@ -1,0 +1,174 @@
+"""Ablation studies for design choices the paper leaves implicit.
+
+These go beyond the paper's own figures: each isolates one mechanism of
+the warped-compression design (or of our reconstruction of it) and
+quantifies its contribution.
+
+* :func:`gate_delay` — the sleep-hysteresis window.  Too short thrashes
+  (wake stalls), too long forfeits leakage savings.
+* :func:`wakeup_latency` — sensitivity to the 10-cycle bank wake cost.
+* :func:`collectors` — operand-collector count (structural issue
+  bandwidth of the register file).
+* :func:`divergence_policies` — the Section 5.2 alternatives measured
+  end-to-end: chosen design vs buffered recompression vs per-thread
+  narrow width.
+* :func:`compressor_count` — how many compressor/decompressor units the
+  two-scheduler SM actually needs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.report import ExperimentResult
+from repro.gpu.config import GPUConfig
+from repro.gpu.launch import run_kernel
+from repro.harness.sweeps import SimulationCache
+from repro.kernels import get_benchmark
+
+AVERAGE = "AVERAGE"
+
+#: A representative trio: best case, worst case, divergent case.
+DEFAULT_SUBSET = ("lib", "aes", "spmv")
+
+
+def _run(
+    name: str,
+    scale: str,
+    policy: str = "warped",
+    config: GPUConfig | None = None,
+):
+    bench = get_benchmark(name)
+    spec = bench.launch(scale)
+    gmem = spec.fresh_memory()
+    result = run_kernel(
+        spec.kernel,
+        spec.grid_dim,
+        spec.cta_dim,
+        spec.params,
+        gmem,
+        config=config,
+        policy=policy,
+    )
+    bench.verify(gmem, spec)
+    return result
+
+
+def _average_row(result: ExperimentResult) -> None:
+    columns = zip(*(row[1:] for row in result.rows))
+    result.add_row(AVERAGE, *(float(np.mean(col)) for col in columns))
+
+
+def gate_delay(cache: SimulationCache) -> ExperimentResult:
+    """Sweep the bank-gating hysteresis window."""
+    delays = [0, 16, 64, 256, 4096]
+    result = ExperimentResult(
+        exp_id="abl-gate-delay",
+        title="Energy (vs baseline) and slowdown vs gating hysteresis",
+        headers=["benchmark"]
+        + [f"E@{d}" for d in delays]
+        + [f"T@{d}" for d in delays],
+        notes="E = normalised RF energy, T = normalised execution time",
+    )
+    for name in cache.benchmarks(list(DEFAULT_SUBSET)):
+        base = cache.timing_run(name, policy="baseline")
+        energies, times = [], []
+        for delay in delays:
+            cfg = GPUConfig(bank_gate_delay=delay)
+            run = _run(name, cache.scale, config=cfg)
+            energies.append(
+                run.energy.normalized_to(base.energy)["total"]
+            )
+            times.append(run.cycles / base.cycles)
+        result.add_row(name, *energies, *times)
+    _average_row(result)
+    return result
+
+
+def wakeup_latency(cache: SimulationCache) -> ExperimentResult:
+    """Sweep the power-gated bank wake-up latency (paper default 10)."""
+    latencies = [0, 5, 10, 20, 40]
+    result = ExperimentResult(
+        exp_id="abl-wakeup",
+        title="Execution time (vs baseline) vs bank wake-up latency",
+        headers=["benchmark"] + [f"wake={w}" for w in latencies],
+    )
+    for name in cache.benchmarks(list(DEFAULT_SUBSET)):
+        base = cache.timing_run(name, policy="baseline")
+        cells = []
+        for wake in latencies:
+            cfg = GPUConfig(bank_wakeup_latency=wake)
+            run = _run(name, cache.scale, config=cfg)
+            cells.append(run.cycles / base.cycles)
+        result.add_row(name, *cells)
+    _average_row(result)
+    return result
+
+
+def collectors(cache: SimulationCache) -> ExperimentResult:
+    """Sweep the operand-collector count (structural RF bandwidth)."""
+    counts = [2, 4, 8, 16]
+    result = ExperimentResult(
+        exp_id="abl-collectors",
+        title="Execution time (vs 8-collector warped) vs collector count",
+        headers=["benchmark"] + [f"oc={c}" for c in counts],
+    )
+    for name in cache.benchmarks(list(DEFAULT_SUBSET)):
+        reference = cache.timing_run(name, policy="warped").cycles
+        cells = []
+        for count in counts:
+            cfg = GPUConfig(num_collectors=count)
+            run = _run(name, cache.scale, config=cfg)
+            cells.append(run.cycles / reference)
+        result.add_row(name, *cells)
+    _average_row(result)
+    return result
+
+
+def divergence_policies(cache: SimulationCache) -> ExperimentResult:
+    """End-to-end comparison of the Section 5.2 design alternatives."""
+    policies = ["warped", "warped-buffered", "per-thread"]
+    result = ExperimentResult(
+        exp_id="abl-divergence",
+        title="Normalised RF energy per divergence-handling design",
+        headers=["benchmark"] + policies,
+    )
+    for name in cache.benchmarks():
+        base = cache.timing_run(name, policy="baseline")
+        cells = []
+        for policy in policies:
+            run = cache.timing_run(name, policy=policy)
+            cells.append(run.energy.normalized_to(base.energy)["total"])
+        result.add_row(name, *cells)
+    _average_row(result)
+    return result
+
+
+def compressor_count(cache: SimulationCache) -> ExperimentResult:
+    """How many compressor/decompressor units does the SM need?"""
+    configs = [(1, 1), (1, 2), (2, 4), (4, 8)]
+    result = ExperimentResult(
+        exp_id="abl-units",
+        title="Execution time (vs baseline) per compressor/decompressor count",
+        headers=["benchmark"] + [f"{c}c/{d}d" for c, d in configs],
+        notes="paper provisions 2 compressors / 4 decompressors",
+    )
+    for name in cache.benchmarks(list(DEFAULT_SUBSET)):
+        base = cache.timing_run(name, policy="baseline")
+        cells = []
+        for comps, decomps in configs:
+            cfg = GPUConfig(num_compressors=comps, num_decompressors=decomps)
+            run = _run(name, cache.scale, config=cfg)
+            cells.append(run.cycles / base.cycles)
+        result.add_row(name, *cells)
+    _average_row(result)
+    return result
+
+
+ABLATIONS = {
+    "abl-gate-delay": gate_delay,
+    "abl-wakeup": wakeup_latency,
+    "abl-collectors": collectors,
+    "abl-divergence": divergence_policies,
+    "abl-units": compressor_count,
+}

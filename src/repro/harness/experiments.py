@@ -1,0 +1,498 @@
+"""One driver per paper table/figure.
+
+Every public ``figNN``/``tableN`` function takes a
+:class:`~repro.harness.sweeps.SimulationCache` and returns an
+:class:`~repro.analysis.report.ExperimentResult` whose rows mirror the
+corresponding plot in the paper (one row per benchmark plus an average
+row, columns = the plotted series).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.analysis.report import ExperimentResult
+from repro.analysis.similarity import BDI_CHOICES, SimilarityBin
+from repro.core.bdi import TABLE1_ENCODINGS
+from repro.harness.sweeps import SimulationCache
+
+AVERAGE = "AVERAGE"
+
+_STATIC_POLICIES = ("static-4-0", "static-4-1", "static-4-2")
+
+
+def _mean(values: list[float]) -> float:
+    return float(np.mean(values)) if values else 0.0
+
+
+def _mean_opt(values: list[float | None]) -> float | None:
+    present = [v for v in values if v is not None]
+    return float(np.mean(present)) if present else None
+
+
+# ----------------------------------------------------------------------
+# Table 1 — static BDI size arithmetic
+# ----------------------------------------------------------------------
+def table1(cache: SimulationCache) -> ExperimentResult:
+    """Compressed sizes and bank counts per <base, delta> pair."""
+    result = ExperimentResult(
+        exp_id="table1",
+        title="Possible combinations of chunk size",
+        headers=["<base,delta>", "comp_bytes", "banks"],
+        notes="computed from eq. (1) for a 128-byte warp register",
+    )
+    for enc in TABLE1_ENCODINGS:
+        result.add_row(str(enc), enc.compressed_size(128), enc.banks(128))
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 2 — value-similarity bins
+# ----------------------------------------------------------------------
+def fig02(cache: SimulationCache) -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="fig02",
+        title="Characterization of register values (fractions of writes)",
+        headers=["benchmark"]
+        + [f"nd_{b.label}" for b in SimilarityBin]
+        + [f"d_{b.label}" for b in SimilarityBin],
+    )
+    columns: list[list[float | None]] = [[] for _ in range(8)]
+    for name in cache.benchmarks():
+        v = cache.functional_run(name).value
+        nd = v.similarity_fractions(divergent=False)
+        cells: list[float | None] = [nd[b] for b in SimilarityBin]
+        if int(v.writes[1]) > 0:
+            d = v.similarity_fractions(divergent=True)
+            cells += [d[b] for b in SimilarityBin]
+        else:
+            # No divergent writes at all: N/A, like the paper's AES bars.
+            cells += [None] * 4
+        result.add_row(name, *cells)
+        for col, cell in zip(columns, cells):
+            col.append(cell)
+    result.add_row(AVERAGE, *[_mean_opt(col) for col in columns])
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 3 — non-divergent instruction share
+# ----------------------------------------------------------------------
+def fig03(cache: SimulationCache) -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="fig03",
+        title="Ratio of non-diverged warp instructions",
+        headers=["benchmark", "nondivergent"],
+    )
+    values = []
+    for name in cache.benchmarks():
+        v = cache.functional_run(name).value
+        result.add_row(name, v.nondivergent_fraction)
+        values.append(v.nondivergent_fraction)
+    result.add_row(AVERAGE, _mean(values))
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 5 — best <base,delta> breakdown
+# ----------------------------------------------------------------------
+def fig05(cache: SimulationCache) -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="fig05",
+        title="Breakdown of <base,delta> achieving best compression",
+        headers=["benchmark"] + list(BDI_CHOICES),
+    )
+    sums = np.zeros(len(BDI_CHOICES))
+    rows = 0
+    for name in cache.benchmarks():
+        v = cache.functional_run(name, collect_bdi=True).value
+        fractions = v.bdi_fractions()
+        cells = [fractions.get(c, 0.0) for c in BDI_CHOICES]
+        result.add_row(name, *cells)
+        sums += np.array(cells)
+        rows += 1
+    result.add_row(AVERAGE, *(sums / rows))
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 8 — compression ratio by phase
+# ----------------------------------------------------------------------
+def fig08(cache: SimulationCache) -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="fig08",
+        title="Compression ratio (achievable), non-divergent vs divergent",
+        headers=["benchmark", "nondivergent", "divergent"],
+        notes="divergent ratio assumes decompress-merge-recompress "
+        "(the paper's Figure 8 methodology)",
+    )
+    nd_all, d_all = [], []
+    for name in cache.benchmarks():
+        v = cache.functional_run(name).value
+        nd = v.compression_ratio(divergent=False, achievable=True)
+        has_div = int(v.writes[1]) > 0
+        d = v.compression_ratio(divergent=True, achievable=True) if has_div else None
+        result.add_row(name, nd, d)
+        nd_all.append(nd)
+        if d is not None:
+            d_all.append(d)
+    result.add_row(AVERAGE, _mean(nd_all), _mean(d_all))
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 9 — register file energy
+# ----------------------------------------------------------------------
+def fig09(cache: SimulationCache) -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="fig09",
+        title="Register file energy, normalised to the uncompressed baseline",
+        headers=[
+            "benchmark",
+            "base_dyn",
+            "base_leak",
+            "wc_dyn",
+            "wc_leak",
+            "wc_comp",
+            "wc_decomp",
+            "wc_total",
+        ],
+    )
+    totals = []
+    sums = np.zeros(6)
+    for name in cache.benchmarks():
+        base = cache.timing_run(name, policy="baseline").energy
+        wc = cache.timing_run(name, policy="warped").energy
+        norm = wc.normalized_to(base)
+        row = [
+            base.dynamic_pj / base.total_pj,
+            base.leakage_pj / base.total_pj,
+            norm["dynamic"],
+            norm["leakage"],
+            norm["compression"],
+            norm["decompression"],
+        ]
+        result.add_row(name, *row, norm["total"])
+        totals.append(norm["total"])
+        sums += np.array(row)
+    n = len(totals)
+    result.add_row(AVERAGE, *(sums / n), _mean(totals))
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 10 — power-gated cycles per bank
+# ----------------------------------------------------------------------
+def fig10(cache: SimulationCache) -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="fig10",
+        title="Fraction of cycles each register bank is power-gated "
+        "(suite average)",
+        headers=["bank", "gated_fraction"],
+        notes="banks 0-7, 8-15, 16-23, 24-31 are the four clusters; "
+        "compressed data packs into the lowest banks of each cluster",
+    )
+    per_bank: np.ndarray | None = None
+    count = 0
+    for name in cache.benchmarks():
+        run = cache.timing_run(name, policy="warped")
+        fractions = run.stats.gated_fractions
+        if fractions is None:
+            continue
+        arr = np.asarray(fractions)
+        per_bank = arr if per_bank is None else per_bank + arr
+        count += 1
+    per_bank = per_bank / count
+    for bank, fraction in enumerate(per_bank):
+        result.add_row(f"bank{bank:02d}", float(fraction))
+    result.add_row(AVERAGE, float(per_bank.mean()))
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 11 — dummy MOV share
+# ----------------------------------------------------------------------
+def fig11(cache: SimulationCache) -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="fig11",
+        title="Dummy MOV instructions as a fraction of all instructions",
+        headers=["benchmark", "mov_fraction"],
+    )
+    values = []
+    for name in cache.benchmarks():
+        v = cache.timing_run(name, policy="warped").stats.value
+        result.add_row(name, v.mov_fraction)
+        values.append(v.mov_fraction)
+    result.add_row(AVERAGE, _mean(values))
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 12 — compressed-register occupancy by phase
+# ----------------------------------------------------------------------
+def fig12(cache: SimulationCache) -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="fig12",
+        title="Fraction of allocated registers in compressed state",
+        headers=["benchmark", "nondivergent", "divergent"],
+        notes="divergent column is N/A for benchmarks that never diverge",
+    )
+    nd_all, d_all = [], []
+    for name in cache.benchmarks():
+        v = cache.timing_run(name, policy="warped").stats.value
+        nd = v.compressed_register_fraction(divergent=False)
+        d = v.compressed_register_fraction(divergent=True)
+        result.add_row(name, nd, d)
+        nd_all.append(nd)
+        d_all.append(d)
+    result.add_row(AVERAGE, _mean_opt(nd_all), _mean_opt(d_all))
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 13 — execution-time impact
+# ----------------------------------------------------------------------
+def fig13(cache: SimulationCache) -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="fig13",
+        title="Execution time with compression, normalised to baseline",
+        headers=["benchmark", "slowdown"],
+    )
+    values = []
+    for name in cache.benchmarks():
+        base = cache.timing_run(name, policy="baseline").cycles
+        wc = cache.timing_run(name, policy="warped").cycles
+        result.add_row(name, wc / base)
+        values.append(wc / base)
+    result.add_row(AVERAGE, _mean(values))
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 14 — GTO vs LRR energy
+# ----------------------------------------------------------------------
+def fig14(cache: SimulationCache) -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="fig14",
+        title="Normalised RF energy under GTO and LRR warp scheduling",
+        headers=["benchmark", "gto", "lrr"],
+    )
+    gto_all, lrr_all = [], []
+    for name in cache.benchmarks():
+        row = []
+        for sched in ("gto", "lrr"):
+            base = cache.timing_run(
+                name, policy="baseline", scheduler=sched
+            ).energy
+            wc = cache.timing_run(name, policy="warped", scheduler=sched).energy
+            row.append(wc.normalized_to(base)["total"])
+        result.add_row(name, *row)
+        gto_all.append(row[0])
+        lrr_all.append(row[1])
+    result.add_row(AVERAGE, _mean(gto_all), _mean(lrr_all))
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figures 15/16 — static compression parameter choices
+# ----------------------------------------------------------------------
+def fig15(cache: SimulationCache) -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="fig15",
+        title="Compression ratio: dynamic warped-compression vs static "
+        "parameter choices",
+        headers=["benchmark", "warped", "<4,0>", "<4,1>", "<4,2>"],
+    )
+    sums = np.zeros(4)
+    rows = 0
+    for name in cache.benchmarks():
+        cells = []
+        for policy in ("warped",) + _STATIC_POLICIES:
+            v = cache.functional_run(name, policy=policy).value
+            cells.append(v.overall_compression_ratio(achievable=False))
+        result.add_row(name, *cells)
+        sums += np.array(cells)
+        rows += 1
+    result.add_row(AVERAGE, *(sums / rows))
+    return result
+
+
+def fig16(cache: SimulationCache) -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="fig16",
+        title="Normalised RF energy: dynamic vs static parameter choices",
+        headers=["benchmark", "warped", "<4,0>", "<4,1>", "<4,2>"],
+    )
+    sums = np.zeros(4)
+    rows = 0
+    for name in cache.benchmarks():
+        base = cache.timing_run(name, policy="baseline").energy
+        cells = []
+        for policy in ("warped",) + _STATIC_POLICIES:
+            wc = cache.timing_run(name, policy=policy).energy
+            cells.append(wc.normalized_to(base)["total"])
+        result.add_row(name, *cells)
+        sums += np.array(cells)
+        rows += 1
+    result.add_row(AVERAGE, *(sums / rows))
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figures 17/18/19 — energy-constant sweeps (re-priced, no re-simulation)
+# ----------------------------------------------------------------------
+def _reprice_sweep(
+    cache: SimulationCache,
+    exp_id: str,
+    title: str,
+    scales: list[float],
+    scale_kwargs: Callable[[float], dict],
+) -> ExperimentResult:
+    headers = ["benchmark"] + [f"x{s:g}" for s in scales]
+    result = ExperimentResult(exp_id=exp_id, title=title, headers=headers)
+    sums = np.zeros(len(scales))
+    rows = 0
+    for name in cache.benchmarks():
+        base_run = cache.timing_run(name, policy="baseline")
+        wc_run = cache.timing_run(name, policy="warped")
+        cells = []
+        for s in scales:
+            params = base_run.stats.energy_model.params.scaled(
+                **scale_kwargs(s)
+            )
+            base = base_run.stats.energy_model.reprice(params)
+            wc = wc_run.stats.energy_model.reprice(params)
+            cells.append(wc.normalized_to(base)["total"])
+        result.add_row(name, *cells)
+        sums += np.array(cells)
+        rows += 1
+    result.add_row(AVERAGE, *(sums / rows))
+    return result
+
+
+def fig17(cache: SimulationCache) -> ExperimentResult:
+    return _reprice_sweep(
+        cache,
+        "fig17",
+        "Normalised RF energy vs compression/decompression unit energy",
+        [1.0, 1.5, 2.0, 2.5],
+        lambda s: dict(comp_decomp=s),
+    )
+
+
+def fig18(cache: SimulationCache) -> ExperimentResult:
+    return _reprice_sweep(
+        cache,
+        "fig18",
+        "Normalised RF energy vs per-bank access energy",
+        [1.0, 1.5, 2.0, 2.5],
+        lambda s: dict(bank_access=s),
+    )
+
+
+def fig19(cache: SimulationCache) -> ExperimentResult:
+    activities = [0.0, 0.25, 0.5, 0.75, 1.0]
+    headers = ["benchmark"] + [f"act{int(a * 100)}%" for a in activities]
+    result = ExperimentResult(
+        exp_id="fig19",
+        title="Normalised RF energy vs wire switching activity",
+        headers=headers,
+        notes="baseline re-priced at the same activity factor",
+    )
+    sums = np.zeros(len(activities))
+    rows = 0
+    for name in cache.benchmarks():
+        base_run = cache.timing_run(name, policy="baseline")
+        wc_run = cache.timing_run(name, policy="warped")
+        cells = []
+        for a in activities:
+            params = base_run.stats.energy_model.params.scaled(wire_activity=a)
+            base = base_run.stats.energy_model.reprice(params)
+            wc = wc_run.stats.energy_model.reprice(params)
+            cells.append(wc.normalized_to(base)["total"])
+        result.add_row(name, *cells)
+        sums += np.array(cells)
+        rows += 1
+    result.add_row(AVERAGE, *(sums / rows))
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figures 20/21 — latency sweeps
+# ----------------------------------------------------------------------
+def _latency_sweep(
+    cache: SimulationCache, exp_id: str, title: str, param: str, values: list[int]
+) -> ExperimentResult:
+    headers = ["benchmark"] + [f"{param[:4]}={v}" for v in values]
+    result = ExperimentResult(exp_id=exp_id, title=title, headers=headers)
+    sums = np.zeros(len(values))
+    rows = 0
+    for name in cache.benchmarks():
+        base = cache.timing_run(name, policy="baseline").cycles
+        cells = []
+        for v in values:
+            wc = cache.timing_run(name, policy="warped", **{param: v}).cycles
+            cells.append(wc / base)
+        result.add_row(name, *cells)
+        sums += np.array(cells)
+        rows += 1
+    result.add_row(AVERAGE, *(sums / rows))
+    return result
+
+
+def fig20(cache: SimulationCache) -> ExperimentResult:
+    return _latency_sweep(
+        cache,
+        "fig20",
+        "Execution time vs compression latency (cycles, vs baseline)",
+        "compression_latency",
+        [2, 4, 8],
+    )
+
+
+def fig21(cache: SimulationCache) -> ExperimentResult:
+    return _latency_sweep(
+        cache,
+        "fig21",
+        "Execution time vs decompression latency (cycles, vs baseline)",
+        "decompression_latency",
+        [1, 2, 4, 8],
+    )
+
+
+#: Registry used by the CLI and the bench suite.
+EXPERIMENTS: dict[str, Callable[[SimulationCache], ExperimentResult]] = {
+    "table1": table1,
+    "fig02": fig02,
+    "fig03": fig03,
+    "fig05": fig05,
+    "fig08": fig08,
+    "fig09": fig09,
+    "fig10": fig10,
+    "fig11": fig11,
+    "fig12": fig12,
+    "fig13": fig13,
+    "fig14": fig14,
+    "fig15": fig15,
+    "fig16": fig16,
+    "fig17": fig17,
+    "fig18": fig18,
+    "fig19": fig19,
+    "fig20": fig20,
+    "fig21": fig21,
+}
+
+
+def run_experiment(
+    exp_id: str, cache: SimulationCache | None = None
+) -> ExperimentResult:
+    """Run one experiment by id (creating a cache if none supplied)."""
+    try:
+        driver = EXPERIMENTS[exp_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; available: {sorted(EXPERIMENTS)}"
+        ) from None
+    return driver(cache or SimulationCache())

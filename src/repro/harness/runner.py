@@ -1,0 +1,110 @@
+"""``warped-compression`` CLI: regenerate the paper's tables and figures.
+
+Examples::
+
+    warped-compression --list
+    warped-compression fig09 fig13
+    warped-compression all --scale small --out results.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.harness.ablations import ABLATIONS
+from repro.harness.experiments import EXPERIMENTS
+from repro.harness.extensions import EXTENSIONS
+from repro.harness.sweeps import SimulationCache
+from repro.kernels import benchmark_names
+
+#: Everything the CLI can run: the paper's figures, our ablations, and
+#: the extension studies (RFC orthogonality).
+ALL_DRIVERS = {**EXPERIMENTS, **ABLATIONS, **EXTENSIONS}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="warped-compression",
+        description="Reproduce the Warped-Compression (ISCA 2015) evaluation",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=["all"],
+        help="experiment ids (fig02..fig21, table1, abl-*, ext-*), "
+        "'all' (the paper's figures), 'ablations', or 'extensions'",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("small", "default"),
+        default="default",
+        help="workload scale (small for a quick pass)",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    parser.add_argument(
+        "--benchmarks",
+        nargs="+",
+        metavar="NAME",
+        help="restrict to a subset of benchmarks",
+    )
+    parser.add_argument("--out", help="also write results to this file")
+    parser.add_argument(
+        "--chart",
+        action="store_true",
+        help="also render each experiment's last column as a bar chart",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress progress messages"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for exp_id in ALL_DRIVERS:
+            print(exp_id)
+        print(f"benchmarks: {', '.join(benchmark_names())}")
+        return 0
+
+    requested = args.experiments or ["all"]
+    if "all" in requested:
+        # "all" means the paper's evaluation; ablations run by name or
+        # via "ablations".
+        requested = list(EXPERIMENTS)
+    if "ablations" in requested:
+        requested = [e for e in requested if e != "ablations"]
+        requested += list(ABLATIONS)
+    if "extensions" in requested:
+        requested = [e for e in requested if e != "extensions"]
+        requested += list(EXTENSIONS)
+    unknown = [e for e in requested if e not in ALL_DRIVERS]
+    if unknown:
+        parser.error(f"unknown experiments: {unknown}")
+
+    cache = SimulationCache(
+        scale=args.scale, verbose=not args.quiet, subset=args.benchmarks
+    )
+    blocks = []
+    for exp_id in requested:
+        start = time.time()
+        if not args.quiet:
+            print(f"running {exp_id} ...", flush=True)
+        result = ALL_DRIVERS[exp_id](cache)
+        text = result.render()
+        if args.chart:
+            from repro.analysis.plots import chart_experiment
+
+            text += "\n\n" + chart_experiment(result)
+        blocks.append(text)
+        print(text)
+        if not args.quiet:
+            print(f"  ({time.time() - start:.1f}s)\n", flush=True)
+
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write("\n\n".join(blocks) + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""Benchmark kernels.
+
+Twelve workloads re-implementing (in the simulator's ISA) the
+Rodinia/Parboil/GPGPU-Sim kernels the paper evaluates, each with a
+synthetic input generator matching the benchmark's documented dynamic
+range and a numpy reference implementation for correctness checking:
+
+========== ==============================================================
+aes        table-lookup rounds over random bytes — no divergence,
+           near-random register values (paper's worst case)
+backprop   neural-net layer forward pass with shared-memory reduction
+bfs        frontier-based breadth-first search — heavy divergence
+dwt2d      Haar wavelet over an 8-bit image — border divergence
+gaussian   Gaussian elimination update step
+hotspot    thermal stencil over a narrow-range temperature grid
+kmeans     per-point nearest-centroid search
+lib        LIBOR Monte-Carlo with constant-initialised inputs — the
+           paper's best case (near-perfect compression)
+nw         Needleman-Wunsch anti-diagonal DP with small integer scores
+pathfinder the paper's Figure 4 running example (walls in 0..9)
+spmv       CSR sparse matrix-vector product — variable row lengths
+srad       speckle-reducing anisotropic diffusion
+========== ==============================================================
+"""
+
+from repro.kernels.base import Benchmark
+from repro.kernels.suite import (
+    BENCHMARKS,
+    benchmark_names,
+    get_benchmark,
+    iter_benchmarks,
+)
+
+__all__ = [
+    "BENCHMARKS",
+    "Benchmark",
+    "benchmark_names",
+    "get_benchmark",
+    "iter_benchmarks",
+]

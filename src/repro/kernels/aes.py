@@ -1,0 +1,125 @@
+"""aes — table-lookup encryption rounds over random bytes.
+
+Models the GPGPU-Sim AES benchmark's register behaviour: every thread
+encrypts one 4-byte word column through T-box lookups and round-key XORs.
+The data is uniformly random bytes, the lookup results are uniformly
+random words, and the kernel is completely branch-free — the paper notes
+AES never diverges (its Figure 12 divergent bar is "N/A") and its
+registers are largely in the random bin.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.builder import KernelBuilder
+from repro.gpu.launch import LaunchSpec
+from repro.gpu.memory import GlobalMemory
+from repro.gpu.program import Kernel
+from repro.kernels.base import Benchmark
+from repro.kernels.common import word_addr
+
+ROUNDS = 6
+TABLE_WORDS = 256
+
+_SCALE = {
+    "small": dict(words=256),
+    "default": dict(words=2048),
+}
+
+
+def _tbox(rng: np.random.Generator) -> np.ndarray:
+    """A random 256-entry substitution table of 32-bit words."""
+    return rng.integers(0, 1 << 32, size=TABLE_WORDS, dtype=np.uint64).astype(
+        np.uint32
+    )
+
+
+class Aes(Benchmark):
+    name = "aes"
+    description = "T-box lookup rounds over random bytes (no divergence)"
+    diverges = False
+
+    def build_kernel(self) -> Kernel:
+        b = KernelBuilder("aes", params=("state", "tbox", "keys", "n"))
+        tid = b.global_tid_x()
+        tbox = b.param("tbox")
+        keys = b.param("keys")
+
+        state = b.ldg(word_addr(b, b.param("state"), tid))
+        with b.for_range(0, ROUNDS) as rnd:
+            # Substitute each byte of the state through the T-box.
+            acc = b.mov(0)
+            for shift in (0, 8, 16, 24):
+                byte = b.and_(b.shr(state, shift), 0xFF)
+                sub = b.ldg(word_addr(b, tbox, byte))
+                # Rotate the substituted word into position and mix.
+                rotated = b.or_(
+                    b.shl(sub, shift), b.shr(sub, (32 - shift) % 32)
+                )
+                acc = b.xor(acc, rotated)
+            key = b.ldg(word_addr(b, keys, rnd))
+            b.xor(acc, key, dst=state)
+        b.stg(word_addr(b, b.param("state"), tid), state)
+        return b.build()
+
+    def launch(self, scale: str = "default") -> LaunchSpec:
+        cfg = _SCALE[self._check_scale(scale)]
+        words = cfg["words"]
+        cta = 128
+        num_ctas = words // cta
+
+        rng = self.rng()
+        state0 = rng.integers(0, 1 << 32, size=words, dtype=np.uint64).astype(
+            np.uint32
+        )
+        tbox = _tbox(rng)
+        round_keys = rng.integers(
+            0, 1 << 32, size=ROUNDS, dtype=np.uint64
+        ).astype(np.uint32)
+
+        addresses: dict[str, int] = {}
+
+        def gmem_factory() -> GlobalMemory:
+            gm = GlobalMemory()
+            addresses["state"] = gm.alloc_array(state0, "state")
+            addresses["tbox"] = gm.alloc_array(tbox, "tbox")
+            addresses["keys"] = gm.alloc_array(round_keys, "keys")
+            return gm
+
+        gmem_factory()
+        params = [
+            addresses["state"],
+            addresses["tbox"],
+            addresses["keys"],
+            words,
+        ]
+        return self._spec(
+            grid_dim=(num_ctas, 1),
+            cta_dim=(cta, 1),
+            params=params,
+            gmem_factory=gmem_factory,
+            buffers=dict(addresses),
+            meta=dict(cfg, state0=state0, tbox=tbox, keys=round_keys),
+        )
+
+    def verify(self, gmem: GlobalMemory, spec: LaunchSpec) -> None:
+        meta = spec.meta
+        got = gmem.read_array(spec.buffers["state"], meta["words"])
+        expected = _reference(meta["state0"], meta["tbox"], meta["keys"])
+        np.testing.assert_array_equal(got, expected)
+
+
+def _reference(
+    state0: np.ndarray, tbox: np.ndarray, keys: np.ndarray
+) -> np.ndarray:
+    state = state0.astype(np.uint64)
+    for rnd in range(ROUNDS):
+        acc = np.zeros_like(state)
+        for shift in (0, 8, 16, 24):
+            byte = (state >> shift) & 0xFF
+            sub = tbox[byte].astype(np.uint64)
+            rotated = ((sub << shift) | (sub >> ((32 - shift) % 32))) & 0xFFFFFFFF
+            acc ^= rotated
+        state = acc ^ keys[rnd]
+    return state.astype(np.uint32)

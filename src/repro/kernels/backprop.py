@@ -1,0 +1,118 @@
+"""backprop — neural-network layer forward pass (Rodinia layerforward).
+
+Each CTA computes a block of hidden-layer activations: the input vector
+is staged into shared memory by the first threads of the CTA (a guarded,
+divergent cooperative load), then every thread accumulates its weighted
+sum over the (CTA-barrier-separated) input dimension and applies the
+squashing function ``1 / (1 + exp(-x))``.  Weight values are random floats
+(low similarity) while address and loop registers are thread-indexed
+(high similarity) — backprop's mixed profile in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.builder import KernelBuilder
+from repro.gpu.isa import Cmp
+from repro.gpu.launch import LaunchSpec
+from repro.gpu.memory import GlobalMemory
+from repro.gpu.program import Kernel
+from repro.kernels.base import Benchmark
+from repro.kernels.common import word_addr
+
+IN_DIM = 16  #: input nodes staged per CTA pass
+
+_SCALE = {
+    "small": dict(hidden=256),
+    "default": dict(hidden=1024),
+}
+
+
+class Backprop(Benchmark):
+    name = "backprop"
+    description = "NN layer forward pass with shared-memory staging"
+    diverges = True
+
+    def build_kernel(self) -> Kernel:
+        b = KernelBuilder(
+            "backprop",
+            params=("inputs", "weights", "out", "hidden"),
+            shared_bytes=IN_DIM * 4,
+        )
+        tid = b.tid_x()
+        j = b.global_tid_x()
+        hidden = b.param("hidden")
+
+        # Cooperative staging of the input vector: only the first IN_DIM
+        # threads of the CTA load — the benchmark's divergence source.
+        with b.if_(b.isetp(Cmp.LT, tid, IN_DIM)):
+            value = b.ldg(word_addr(b, b.param("inputs"), tid))
+            b.sts(b.imul(tid, 4), value)
+        b.bar()
+
+        with b.if_(b.isetp(Cmp.LT, j, hidden)):
+            weights = b.param("weights")
+            acc = b.mov(0.0)
+            with b.for_range(0, IN_DIM) as k:
+                w_idx = b.imad(k, hidden, j)
+                w = b.ldg(word_addr(b, weights, w_idx))
+                inp = b.lds(b.imul(k, 4))
+                b.ffma(w, inp, acc, dst=acc)
+            # squash(x) = 1 / (1 + exp(-x))
+            act = b.fdiv(1.0, b.fadd(1.0, b.fexp(b.fneg(acc))))
+            b.stg(word_addr(b, b.param("out"), j), act)
+        return b.build()
+
+    def launch(self, scale: str = "default") -> LaunchSpec:
+        cfg = _SCALE[self._check_scale(scale)]
+        hidden = cfg["hidden"]
+        cta = 128
+        num_ctas = -(-hidden // cta)
+
+        rng = self.rng()
+        inputs = rng.random(IN_DIM).astype(np.float32)
+        weights = (rng.standard_normal((IN_DIM, hidden)) * 0.5).astype(
+            np.float32
+        )
+
+        addresses: dict[str, int] = {}
+
+        def gmem_factory() -> GlobalMemory:
+            gm = GlobalMemory()
+            addresses["inputs"] = gm.alloc_array(inputs, "inputs")
+            addresses["weights"] = gm.alloc_array(weights, "weights")
+            addresses["out"] = gm.alloc(hidden, "out")
+            return gm
+
+        gmem_factory()
+        params = [
+            addresses["inputs"],
+            addresses["weights"],
+            addresses["out"],
+            hidden,
+        ]
+        return self._spec(
+            grid_dim=(num_ctas, 1),
+            cta_dim=(cta, 1),
+            params=params,
+            gmem_factory=gmem_factory,
+            buffers=dict(addresses),
+            meta=dict(cfg, inputs=inputs, weights=weights),
+        )
+
+    def verify(self, gmem: GlobalMemory, spec: LaunchSpec) -> None:
+        m = spec.meta
+        hidden = m["hidden"]
+        got = gmem.read_array(spec.buffers["out"], hidden, np.float32)
+        expected = _reference(m["inputs"], m["weights"])
+        np.testing.assert_allclose(got, expected, rtol=1e-5)
+
+
+def _reference(inputs: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    acc = np.zeros(weights.shape[1], dtype=np.float32)
+    for k in range(len(inputs)):
+        acc = weights[k] * inputs[k] + acc
+    return (
+        np.float32(1.0) / (np.float32(1.0) + np.exp(-acc, dtype=np.float32))
+    ).astype(np.float32)

@@ -1,0 +1,89 @@
+"""Benchmark framework.
+
+A :class:`Benchmark` couples a kernel (built once, cached) with scaled
+launch configurations and a verification hook comparing simulated output
+buffers against a numpy reference.  Input data is generated from a fixed
+seed inside the launch's ``gmem_factory`` so that every simulator
+configuration replays bit-identical memory contents — a requirement for
+the paper's A/B energy comparisons.
+
+Scales:
+
+* ``small`` — unit tests and pytest benches (sub-second timing runs),
+* ``default`` — the harness figures,
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.gpu.launch import LaunchSpec
+from repro.gpu.memory import GlobalMemory
+from repro.gpu.program import Kernel
+
+SCALES = ("small", "default")
+
+
+class Benchmark(ABC):
+    """One workload: kernel + inputs + reference."""
+
+    #: registry key, e.g. ``"pathfinder"``
+    name: str = ""
+    #: one-line description for reports
+    description: str = ""
+    #: whether the workload exercises branch divergence at all
+    diverges: bool = True
+    seed: int = 0xC0FFEE
+
+    def __init__(self) -> None:
+        self._kernel: Kernel | None = None
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def build_kernel(self) -> Kernel:
+        """Construct the kernel (called once, result cached)."""
+
+    @abstractmethod
+    def launch(self, scale: str = "default") -> LaunchSpec:
+        """A replayable launch at the requested scale."""
+
+    def verify(self, gmem: GlobalMemory, spec: LaunchSpec) -> None:
+        """Assert simulated outputs match the reference (if provided)."""
+
+    # ------------------------------------------------------------------
+    @property
+    def kernel(self) -> Kernel:
+        if self._kernel is None:
+            self._kernel = self.build_kernel()
+        return self._kernel
+
+    def rng(self) -> np.random.Generator:
+        """Deterministic per-benchmark random source."""
+        return np.random.default_rng(self.seed)
+
+    def _check_scale(self, scale: str) -> str:
+        if scale not in SCALES:
+            raise ValueError(f"unknown scale {scale!r}; choose from {SCALES}")
+        return scale
+
+    def _spec(
+        self,
+        grid_dim: tuple[int, int],
+        cta_dim: tuple[int, int],
+        params: list[int],
+        gmem_factory,
+        buffers: dict[str, int],
+        meta: dict | None = None,
+    ) -> LaunchSpec:
+        spec = LaunchSpec(
+            kernel=self.kernel,
+            grid_dim=grid_dim,
+            cta_dim=cta_dim,
+            params=params,
+            gmem_factory=gmem_factory,
+        )
+        spec.buffers = buffers
+        spec.meta = meta or {}
+        return spec

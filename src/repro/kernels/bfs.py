@@ -1,0 +1,188 @@
+"""bfs — frontier-based breadth-first search (Rodinia BFS kernel 1).
+
+One frontier expansion over a random sparse graph in CSR form.  Most
+threads find their node absent from the frontier and do nothing, and the
+neighbour loops of frontier threads have differing trip counts — the
+combination makes BFS one of the paper's most divergent benchmarks (and
+one of the few whose compressed-register share drops noticeably during
+divergence, Figure 12).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.builder import KernelBuilder
+from repro.gpu.isa import Cmp
+from repro.gpu.launch import LaunchSpec
+from repro.gpu.memory import GlobalMemory
+from repro.gpu.program import Kernel
+from repro.kernels.base import Benchmark
+from repro.kernels.common import pred_and, word_addr
+
+_SCALE = {
+    "small": dict(nodes=256, avg_degree=4, level=1),
+    "default": dict(nodes=1536, avg_degree=4, level=2),
+}
+
+
+class Bfs(Benchmark):
+    name = "bfs"
+    description = "one BFS frontier expansion over a CSR graph (divergent)"
+    diverges = True
+
+    def build_kernel(self) -> Kernel:
+        b = KernelBuilder(
+            "bfs",
+            params=(
+                "n",
+                "row_ptr",
+                "col_idx",
+                "frontier",
+                "visited",
+                "cost",
+                "new_frontier",
+            ),
+        )
+        tid = b.global_tid_x()
+        n = b.param("n")
+        in_graph = b.isetp(Cmp.LT, tid, n)
+        frontier = b.param("frontier")
+        my_flag = b.mov(0)
+        with b.if_(in_graph):
+            b.ldg(word_addr(b, frontier, tid), dst=my_flag)
+        active = pred_and(b, in_graph, b.isetp(Cmp.NE, my_flag, 0))
+        with b.if_(active):
+            b.stg(word_addr(b, frontier, tid), 0)
+            my_cost = b.ldg(word_addr(b, b.param("cost"), tid))
+            next_cost = b.iadd(my_cost, 1)
+            row_ptr = b.param("row_ptr")
+            start = b.ldg(word_addr(b, row_ptr, tid))
+            end = b.ldg(word_addr(b, row_ptr, b.iadd(tid, 1)))
+            col_idx = b.param("col_idx")
+            visited = b.param("visited")
+            cost = b.param("cost")
+            new_frontier = b.param("new_frontier")
+            edge = b.mov(start)
+            with b.while_loop() as loop:
+                loop.break_unless(b.isetp(Cmp.LT, edge, end))
+                neighbour = b.ldg(word_addr(b, col_idx, edge))
+                seen = b.ldg(word_addr(b, visited, neighbour))
+                with b.if_(b.isetp(Cmp.EQ, seen, 0)):
+                    b.stg(word_addr(b, cost, neighbour), next_cost)
+                    b.stg(word_addr(b, new_frontier, neighbour), 1)
+                b.iadd(edge, 1, dst=edge)
+        return b.build()
+
+    # ------------------------------------------------------------------
+    def _graph(self, nodes: int, avg_degree: int):
+        """A connected random graph: a ring backbone plus random extras.
+
+        The ring guarantees every BFS level is non-empty regardless of
+        the random draws; the Poisson extras give warps the uneven
+        neighbour-loop trip counts that drive spmv/bfs-style divergence.
+        """
+        rng = self.rng()
+        degrees = 1 + rng.poisson(avg_degree - 1, size=nodes).clip(
+            0, 3 * avg_degree
+        )
+        row_ptr = np.zeros(nodes + 1, dtype=np.int64)
+        np.cumsum(degrees, out=row_ptr[1:])
+        nnz = int(row_ptr[-1])
+        col_idx = rng.integers(0, nodes, size=nnz).astype(np.int64)
+        # First edge of every node goes to its ring successor.
+        col_idx[row_ptr[:-1]] = (np.arange(nodes) + 1) % nodes
+        return row_ptr, col_idx
+
+    @staticmethod
+    def _levels(row_ptr, col_idx, nodes: int) -> np.ndarray:
+        """Host BFS from node 0 giving each node's level (-1 unreached)."""
+        level = np.full(nodes, -1, dtype=np.int64)
+        level[0] = 0
+        frontier = [0]
+        depth = 0
+        while frontier:
+            depth += 1
+            nxt = []
+            for u in frontier:
+                for e in range(row_ptr[u], row_ptr[u + 1]):
+                    v = int(col_idx[e])
+                    if level[v] < 0:
+                        level[v] = depth
+                        nxt.append(v)
+            frontier = nxt
+        return level
+
+    def launch(self, scale: str = "default") -> LaunchSpec:
+        cfg = _SCALE[self._check_scale(scale)]
+        nodes, k = cfg["nodes"], cfg["level"]
+        row_ptr, col_idx = self._graph(nodes, cfg["avg_degree"])
+        level = self._levels(row_ptr, col_idx, nodes)
+        frontier0 = (level == k).astype(np.int64)
+        visited0 = ((level >= 0) & (level <= k)).astype(np.int64)
+        cost0 = np.where(level >= 0, np.minimum(level, k), 0).astype(np.int64)
+
+        cta = 128
+        num_ctas = -(-nodes // cta)
+        addresses: dict[str, int] = {}
+
+        def gmem_factory() -> GlobalMemory:
+            gm = GlobalMemory()
+            addresses["row_ptr"] = gm.alloc_array(row_ptr, "row_ptr")
+            addresses["col_idx"] = gm.alloc_array(col_idx, "col_idx")
+            addresses["frontier"] = gm.alloc_array(frontier0, "frontier")
+            addresses["visited"] = gm.alloc_array(visited0, "visited")
+            addresses["cost"] = gm.alloc_array(cost0, "cost")
+            addresses["new_frontier"] = gm.alloc(nodes, "new_frontier")
+            return gm
+
+        gmem_factory()
+        params = [
+            nodes,
+            addresses["row_ptr"],
+            addresses["col_idx"],
+            addresses["frontier"],
+            addresses["visited"],
+            addresses["cost"],
+            addresses["new_frontier"],
+        ]
+        return self._spec(
+            grid_dim=(num_ctas, 1),
+            cta_dim=(cta, 1),
+            params=params,
+            gmem_factory=gmem_factory,
+            buffers=dict(addresses),
+            meta=dict(
+                cfg,
+                row_ptr=row_ptr,
+                col_idx=col_idx,
+                frontier0=frontier0,
+                visited0=visited0,
+                cost0=cost0,
+            ),
+        )
+
+    def verify(self, gmem: GlobalMemory, spec: LaunchSpec) -> None:
+        m = spec.meta
+        nodes = m["nodes"]
+        exp_cost, exp_new = _reference(
+            m["row_ptr"], m["col_idx"], m["frontier0"], m["visited0"], m["cost0"]
+        )
+        got_cost = gmem.read_array(spec.buffers["cost"], nodes).astype(np.int64)
+        got_new = gmem.read_array(spec.buffers["new_frontier"], nodes).astype(
+            np.int64
+        )
+        np.testing.assert_array_equal(got_cost, exp_cost)
+        np.testing.assert_array_equal(got_new, exp_new)
+
+
+def _reference(row_ptr, col_idx, frontier0, visited0, cost0):
+    cost = cost0.copy()
+    new_frontier = np.zeros_like(frontier0)
+    for u in np.flatnonzero(frontier0):
+        for e in range(row_ptr[u], row_ptr[u + 1]):
+            v = int(col_idx[e])
+            if not visited0[v]:
+                cost[v] = cost0[u] + 1
+                new_frontier[v] = 1
+    return cost, new_frontier

@@ -1,0 +1,143 @@
+"""blackscholes — option pricing (GPGPU-Sim BLK, extended suite).
+
+Per-thread Black-Scholes call pricing with a polynomial CND
+approximation: long dependency chains of float arithmetic over inputs of
+moderate dynamic range (prices 5..30, times 0.25..10); entirely
+branch-free thanks to a select-based CND mirror.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.builder import KernelBuilder
+from repro.gpu.isa import Cmp
+from repro.gpu.launch import LaunchSpec
+from repro.gpu.memory import GlobalMemory
+from repro.gpu.program import Kernel
+from repro.kernels.base import Benchmark
+from repro.kernels.common import word_addr
+
+RISK_FREE = 0.02
+VOLATILITY = 0.30
+INV_SQRT_2PI = 0.3989422804014327
+
+_SCALE = {
+    "small": dict(options=256),
+    "default": dict(options=2048),
+}
+
+
+class BlackScholes(Benchmark):
+    name = "blackscholes"
+    description = "Black-Scholes call pricing (deep float chains)"
+    # Option counts are warp multiples and the CND mirror uses a
+    # branch-free select, so the kernel never diverges.
+    diverges = False
+
+    def _cnd(self, b: KernelBuilder, d):
+        """Abramowitz-Stegun cumulative normal approximation."""
+        k = b.frcp(b.ffma(b.fabs(d), 0.2316419, 1.0))
+        poly = b.mov(1.330274429)
+        poly = b.ffma(poly, k, -1.821255978)
+        poly = b.ffma(poly, k, 1.781477937)
+        poly = b.ffma(poly, k, -0.356563782)
+        poly = b.ffma(poly, k, 0.319381530)
+        poly = b.fmul(poly, k)
+        pdf = b.fmul(
+            b.fexp(b.fmul(b.fmul(d, d), -0.5)), INV_SQRT_2PI
+        )
+        cnd = b.fsub(1.0, b.fmul(pdf, poly))
+        # Mirror for negative d: CND(d) = 1 - CND(-d).
+        negative = b.fsetp(Cmp.LT, d, 0.0)
+        return b.sel(negative, b.fsub(1.0, cnd), cnd)
+
+    def build_kernel(self) -> Kernel:
+        b = KernelBuilder(
+            "blackscholes", params=("price", "strike", "years", "call", "n")
+        )
+        tid = b.global_tid_x()
+        n = b.param("n")
+        with b.if_(b.isetp(Cmp.LT, tid, n)):
+            s = b.ldg(word_addr(b, b.param("price"), tid))
+            x = b.ldg(word_addr(b, b.param("strike"), tid))
+            t = b.ldg(word_addr(b, b.param("years"), tid))
+            sqrt_t = b.fsqrt(t)
+            d1 = b.flog(b.fdiv(s, x))
+            d1 = b.ffma(
+                t, RISK_FREE + 0.5 * VOLATILITY * VOLATILITY, d1
+            )
+            d1 = b.fdiv(d1, b.fmul(sqrt_t, VOLATILITY))
+            d2 = b.fsub(d1, b.fmul(sqrt_t, VOLATILITY))
+            discount = b.fexp(b.fmul(t, -RISK_FREE))
+            call = b.fsub(
+                b.fmul(s, self._cnd(b, d1)),
+                b.fmul(b.fmul(x, discount), self._cnd(b, d2)),
+            )
+            b.stg(word_addr(b, b.param("call"), tid), call)
+        return b.build()
+
+    def launch(self, scale: str = "default") -> LaunchSpec:
+        cfg = _SCALE[self._check_scale(scale)]
+        options = cfg["options"]
+        cta = 128
+        rng = self.rng()
+        price = (5.0 + 25.0 * rng.random(options)).astype(np.float32)
+        strike = (1.0 + 99.0 * rng.random(options)).astype(np.float32)
+        years = (0.25 + 9.75 * rng.random(options)).astype(np.float32)
+        addresses: dict[str, int] = {}
+
+        def gmem_factory() -> GlobalMemory:
+            gm = GlobalMemory()
+            addresses["price"] = gm.alloc_array(price, "price")
+            addresses["strike"] = gm.alloc_array(strike, "strike")
+            addresses["years"] = gm.alloc_array(years, "years")
+            addresses["call"] = gm.alloc(options, "call")
+            return gm
+
+        gmem_factory()
+        params = [
+            addresses["price"],
+            addresses["strike"],
+            addresses["years"],
+            addresses["call"],
+            options,
+        ]
+        return self._spec(
+            grid_dim=(options // cta, 1),
+            cta_dim=(cta, 1),
+            params=params,
+            gmem_factory=gmem_factory,
+            buffers=dict(addresses),
+            meta=dict(cfg, price=price, strike=strike, years=years),
+        )
+
+    def verify(self, gmem: GlobalMemory, spec: LaunchSpec) -> None:
+        m = spec.meta
+        options = m["options"]
+        got = gmem.read_array(spec.buffers["call"], options, np.float32)
+        expected = _reference(m["price"], m["strike"], m["years"])
+        np.testing.assert_allclose(got, expected, rtol=2e-3, atol=1e-3)
+
+
+def _cnd_ref(d: np.ndarray) -> np.ndarray:
+    k = np.float32(1.0) / (np.float32(1.0) + np.float32(0.2316419) * np.abs(d))
+    poly = np.float32(1.330274429)
+    for coeff in (-1.821255978, 1.781477937, -0.356563782, 0.319381530):
+        poly = poly * k + np.float32(coeff)
+    poly = poly * k
+    pdf = np.exp(-0.5 * d * d, dtype=np.float32) * np.float32(INV_SQRT_2PI)
+    cnd = np.float32(1.0) - pdf * poly
+    return np.where(d < 0, np.float32(1.0) - cnd, cnd).astype(np.float32)
+
+
+def _reference(price, strike, years):
+    sqrt_t = np.sqrt(years, dtype=np.float32)
+    d1 = np.log(price / strike, dtype=np.float32)
+    d1 = years * np.float32(RISK_FREE + 0.5 * VOLATILITY * VOLATILITY) + d1
+    d1 = d1 / (sqrt_t * np.float32(VOLATILITY))
+    d2 = d1 - sqrt_t * np.float32(VOLATILITY)
+    discount = np.exp(years * np.float32(-RISK_FREE), dtype=np.float32)
+    return (
+        price * _cnd_ref(d1) - (strike * discount) * _cnd_ref(d2)
+    ).astype(np.float32)

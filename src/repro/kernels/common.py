@@ -1,0 +1,57 @@
+"""Shared kernel-authoring helpers."""
+
+from __future__ import annotations
+
+from repro.gpu.builder import KernelBuilder
+from repro.gpu.isa import Cmp, Pred, Reg
+
+
+def bool_of(b: KernelBuilder, pred: Pred) -> Reg:
+    """Materialise a predicate as a 0/1 register value."""
+    return b.sel(pred, 1, 0)
+
+
+def pred_and(b: KernelBuilder, *preds: Pred) -> Pred:
+    """Logical AND of predicates without extra divergence.
+
+    GPUs fuse this into the SETP combine field; here it lowers to a short
+    select/AND sequence ending in a compare.
+    """
+    if not preds:
+        raise ValueError("pred_and needs at least one predicate")
+    acc = bool_of(b, preds[0])
+    for p in preds[1:]:
+        acc = b.and_(acc, bool_of(b, p))
+    return b.isetp(Cmp.NE, acc, 0)
+
+
+def pred_or(b: KernelBuilder, *preds: Pred) -> Pred:
+    """Logical OR of predicates without extra divergence."""
+    if not preds:
+        raise ValueError("pred_or needs at least one predicate")
+    acc = bool_of(b, preds[0])
+    for p in preds[1:]:
+        acc = b.or_(acc, bool_of(b, p))
+    return b.isetp(Cmp.NE, acc, 0)
+
+
+def iclamp(b: KernelBuilder, value, lo, hi) -> Reg:
+    """Clamp an integer register into [lo, hi]."""
+    return b.imin(b.imax(value, lo), hi)
+
+
+def imin3(b: KernelBuilder, x, y, z) -> Reg:
+    """Minimum of three integers (pathfinder's MIN(MIN(l, u), r))."""
+    return b.imin(b.imin(x, y), z)
+
+
+def in_range(b: KernelBuilder, x, lo, hi) -> Pred:
+    """The paper's IN_RANGE(x, lo, hi): lo <= x <= hi."""
+    return pred_and(
+        b, b.isetp(Cmp.GE, x, lo), b.isetp(Cmp.LE, x, hi)
+    )
+
+
+def word_addr(b: KernelBuilder, base, index) -> Reg:
+    """base + 4 * index — the canonical word address computation."""
+    return b.imad(index, 4, base)

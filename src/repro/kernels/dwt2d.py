@@ -1,0 +1,118 @@
+"""dwt2d — one horizontal wavelet-lifting pass over an 8-bit image.
+
+Each thread transforms one sample pair of one image row into a low-pass
+average and a high-pass detail; the predictor uses the right neighbour
+with symmetric extension at the row edge, so edge threads take a different
+path — the border divergence the paper observes for dwt2d.  Image samples
+are smooth 0..255 values, giving high value similarity for the low band
+and near-zero high-band coefficients.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.builder import KernelBuilder
+from repro.gpu.isa import Cmp
+from repro.gpu.launch import LaunchSpec
+from repro.gpu.memory import GlobalMemory
+from repro.gpu.program import Kernel
+from repro.kernels.base import Benchmark
+from repro.kernels.common import word_addr
+
+_SCALE = {
+    "small": dict(rows=8, cols=64),
+    "default": dict(rows=24, cols=128),
+}
+
+
+class Dwt2d(Benchmark):
+    name = "dwt2d"
+    description = "wavelet lifting over an 8-bit image (border divergence)"
+    diverges = True
+
+    def build_kernel(self) -> Kernel:
+        b = KernelBuilder(
+            "dwt2d", params=("image", "out", "cols", "log2_half", "n")
+        )
+        tid = b.global_tid_x()
+        n = b.param("n")
+        with b.if_(b.isetp(Cmp.LT, tid, n)):
+            cols = b.param("cols")
+            log2_half = b.param("log2_half")
+            half_mask = b.isub(b.shl(1, log2_half), 1)
+            row = b.shr(tid, log2_half)
+            pair = b.and_(tid, half_mask)
+            image = b.param("image")
+            row_base = b.imul(row, cols)
+            col = b.shl(pair, 1)
+            a = b.ldg(word_addr(b, image, b.iadd(row_base, col)))
+            bb = b.ldg(word_addr(b, image, b.iadd(row_base, b.iadd(col, 1))))
+            # Predictor neighbour with symmetric extension at the edge.
+            nxt = b.iadd(col, 2)
+            c = b.mov(a)
+            with b.if_(b.isetp(Cmp.LT, nxt, cols)):
+                b.ldg(word_addr(b, image, b.iadd(row_base, nxt)), dst=c)
+            high = b.fsub(bb, b.fmul(b.fadd(a, c), 0.5))
+            low = b.fmul(b.fadd(a, bb), 0.5)
+            out = b.param("out")
+            half = b.shl(1, log2_half)
+            b.stg(word_addr(b, out, b.iadd(row_base, pair)), low)
+            b.stg(
+                word_addr(b, out, b.iadd(row_base, b.iadd(half, pair))), high
+            )
+        return b.build()
+
+    def launch(self, scale: str = "default") -> LaunchSpec:
+        cfg = _SCALE[self._check_scale(scale)]
+        rows, cols = cfg["rows"], cfg["cols"]
+        half = cols // 2
+        log2_half = half.bit_length() - 1
+        n = rows * half
+        cta = 128
+        num_ctas = -(-n // cta)
+
+        rng = self.rng()
+        ramp = np.linspace(0, 200, cols, dtype=np.float32)
+        noise = rng.integers(0, 40, size=(rows, cols))
+        image = np.clip(ramp[None, :] + noise, 0, 255).astype(np.float32)
+
+        addresses: dict[str, int] = {}
+
+        def gmem_factory() -> GlobalMemory:
+            gm = GlobalMemory()
+            addresses["image"] = gm.alloc_array(image, "image")
+            addresses["out"] = gm.alloc(rows * cols, "out")
+            return gm
+
+        gmem_factory()
+        params = [addresses["image"], addresses["out"], cols, log2_half, n]
+        return self._spec(
+            grid_dim=(num_ctas, 1),
+            cta_dim=(cta, 1),
+            params=params,
+            gmem_factory=gmem_factory,
+            buffers=dict(addresses),
+            meta=dict(cfg, image=image, n=n),
+        )
+
+    def verify(self, gmem: GlobalMemory, spec: LaunchSpec) -> None:
+        m = spec.meta
+        rows, cols = m["rows"], m["cols"]
+        got = gmem.read_array(spec.buffers["out"], rows * cols, np.float32)
+        expected = _reference(m["image"])
+        np.testing.assert_allclose(
+            got.reshape(rows, cols), expected, rtol=1e-6
+        )
+
+
+def _reference(image: np.ndarray) -> np.ndarray:
+    rows, cols = image.shape
+    half = cols // 2
+    out = np.zeros_like(image)
+    a = image[:, 0::2]
+    b = image[:, 1::2]
+    c = np.concatenate([image[:, 2::2], image[:, -2:-1]], axis=1)
+    out[:, :half] = (a + b) * np.float32(0.5)
+    out[:, half:] = b - (a + c) * np.float32(0.5)
+    return out

@@ -1,0 +1,129 @@
+"""gaussian — one elimination step (Rodinia Fan2).
+
+At step ``t`` every thread updates one element of the trailing submatrix:
+``a[r][c] -= m[r] * a[t][c]`` for ``r > t``, plus the right-hand side for
+the first column of threads.  Threads covering rows at or above the pivot
+are masked off — the benchmark's divergence — and the multiplier column
+``m`` is identical across a row's threads, giving mixed similarity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.builder import KernelBuilder
+from repro.gpu.isa import Cmp
+from repro.gpu.launch import LaunchSpec
+from repro.gpu.memory import GlobalMemory
+from repro.gpu.program import Kernel
+from repro.kernels.base import Benchmark
+from repro.kernels.common import pred_and, word_addr
+
+_SCALE = {
+    "small": dict(size=16, step=3),
+    "default": dict(size=32, step=7),
+}
+
+
+class Gaussian(Benchmark):
+    name = "gaussian"
+    description = "Gaussian-elimination submatrix update (Fan2)"
+    diverges = True
+
+    def build_kernel(self) -> Kernel:
+        b = KernelBuilder(
+            "gaussian", params=("a", "m", "rhs", "size", "log2_size", "step")
+        )
+        tid = b.global_tid_x()
+        size = b.param("size")
+        log2_size = b.param("log2_size")
+        step = b.param("step")
+        row = b.iadd(b.shr(tid, log2_size), b.iadd(step, 1))
+        col = b.and_(tid, b.isub(b.shl(1, log2_size), 1))
+        valid = pred_and(
+            b,
+            b.isetp(Cmp.LT, row, size),
+            b.isetp(Cmp.GE, col, step),
+        )
+        with b.if_(valid):
+            a = b.param("a")
+            multiplier = b.ldg(
+                word_addr(b, b.param("m"), row)
+            )
+            pivot_elem = b.ldg(word_addr(b, a, b.imad(step, size, col)))
+            idx = b.imad(row, size, col)
+            elem = b.ldg(word_addr(b, a, idx))
+            updated = b.fsub(elem, b.fmul(multiplier, pivot_elem))
+            b.stg(word_addr(b, a, idx), updated)
+            with b.if_(b.isetp(Cmp.EQ, col, step)):
+                rhs = b.param("rhs")
+                pivot_rhs = b.ldg(word_addr(b, rhs, step))
+                my_rhs = b.ldg(word_addr(b, rhs, row))
+                new_rhs = b.fsub(my_rhs, b.fmul(multiplier, pivot_rhs))
+                b.stg(word_addr(b, rhs, row), new_rhs)
+        return b.build()
+
+    def launch(self, scale: str = "default") -> LaunchSpec:
+        cfg = _SCALE[self._check_scale(scale)]
+        size, step = cfg["size"], cfg["step"]
+        log2_size = size.bit_length() - 1
+        threads = (size - step - 1) * size
+        cta = 128
+        num_ctas = -(-threads // cta)
+
+        rng = self.rng()
+        a = rng.random((size, size)).astype(np.float32) + np.eye(
+            size, dtype=np.float32
+        ) * np.float32(4.0)
+        m = np.zeros(size, dtype=np.float32)
+        m[step + 1 :] = (
+            a[step + 1 :, step] / a[step, step]
+        ).astype(np.float32)
+        rhs = rng.random(size).astype(np.float32)
+
+        addresses: dict[str, int] = {}
+
+        def gmem_factory() -> GlobalMemory:
+            gm = GlobalMemory()
+            addresses["a"] = gm.alloc_array(a, "a")
+            addresses["m"] = gm.alloc_array(m, "m")
+            addresses["rhs"] = gm.alloc_array(rhs, "rhs")
+            return gm
+
+        gmem_factory()
+        params = [
+            addresses["a"],
+            addresses["m"],
+            addresses["rhs"],
+            size,
+            log2_size,
+            step,
+        ]
+        return self._spec(
+            grid_dim=(num_ctas, 1),
+            cta_dim=(cta, 1),
+            params=params,
+            gmem_factory=gmem_factory,
+            buffers=dict(addresses),
+            meta=dict(cfg, a=a, m=m, rhs=rhs),
+        )
+
+    def verify(self, gmem: GlobalMemory, spec: LaunchSpec) -> None:
+        meta = spec.meta
+        size, step = meta["size"], meta["step"]
+        exp_a, exp_rhs = _reference(meta["a"], meta["m"], meta["rhs"], step)
+        got_a = gmem.read_array(spec.buffers["a"], size * size, np.float32)
+        got_rhs = gmem.read_array(spec.buffers["rhs"], size, np.float32)
+        np.testing.assert_allclose(got_a.reshape(size, size), exp_a, rtol=1e-5)
+        np.testing.assert_allclose(got_rhs, exp_rhs, rtol=1e-5)
+
+
+def _reference(a, m, rhs, step):
+    a = a.copy()
+    rhs = rhs.copy()
+    size = a.shape[0]
+    pivot_row = a[step].copy()
+    for r in range(step + 1, size):
+        a[r, step:] = a[r, step:] - m[r] * pivot_row[step:]
+        rhs[r] = rhs[r] - m[r] * rhs[step]
+    return a, rhs

@@ -1,0 +1,94 @@
+"""histogram — privatised binning (Parboil histo, extended suite).
+
+Race-free privatisation: thread ``t`` owns bin ``t % BINS`` and scans a
+strided slice of the input, counting matches with a data-dependent guard
+— the same irregular-control profile as the original's atomics, without
+needing them.  Input values are bytes (0..255 collapsed to BINS), so the
+count registers stay tiny.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.builder import KernelBuilder
+from repro.gpu.isa import Cmp
+from repro.gpu.launch import LaunchSpec
+from repro.gpu.memory import GlobalMemory
+from repro.gpu.program import Kernel
+from repro.kernels.base import Benchmark
+from repro.kernels.common import word_addr
+
+BINS = 32
+CTA = 128
+
+_SCALE = {
+    "small": dict(items=1024),
+    "default": dict(items=8192),
+}
+
+
+class Histogram(Benchmark):
+    name = "histogram"
+    description = "privatised histogram over byte data"
+    diverges = True
+
+    def build_kernel(self) -> Kernel:
+        b = KernelBuilder(
+            "histogram", params=("data", "hist", "items", "nthreads")
+        )
+        gid = b.global_tid_x()
+        nthreads = b.param("nthreads")
+        items = b.param("items")
+        data = b.param("data")
+        my_bin = b.and_(gid, BINS - 1)
+        count = b.mov(0)
+        i = b.mov(gid)
+        with b.while_loop() as loop:
+            loop.break_unless(b.isetp(Cmp.LT, i, items))
+            value = b.ldg(word_addr(b, data, i))
+            binned = b.and_(value, BINS - 1)
+            with b.if_(b.isetp(Cmp.EQ, binned, my_bin)):
+                b.iadd(count, 1, dst=count)
+            b.iadd(i, nthreads, dst=i)
+        # hist[gid] holds thread-private counts; the host folds them.
+        b.stg(word_addr(b, b.param("hist"), gid), count)
+        return b.build()
+
+    def launch(self, scale: str = "default") -> LaunchSpec:
+        cfg = _SCALE[self._check_scale(scale)]
+        items = cfg["items"]
+        blocks = 2
+        nthreads = blocks * CTA
+        rng = self.rng()
+        data = rng.integers(0, 256, size=items).astype(np.int64)
+        addresses: dict[str, int] = {}
+
+        def gmem_factory() -> GlobalMemory:
+            gm = GlobalMemory()
+            addresses["data"] = gm.alloc_array(data, "data")
+            addresses["hist"] = gm.alloc(nthreads, "hist")
+            return gm
+
+        gmem_factory()
+        params = [addresses["data"], addresses["hist"], items, nthreads]
+        return self._spec(
+            grid_dim=(blocks, 1),
+            cta_dim=(CTA, 1),
+            params=params,
+            gmem_factory=gmem_factory,
+            buffers=dict(addresses),
+            meta=dict(cfg, data=data, nthreads=nthreads),
+        )
+
+    def verify(self, gmem: GlobalMemory, spec: LaunchSpec) -> None:
+        m = spec.meta
+        nthreads = m["nthreads"]
+        got = gmem.read_array(spec.buffers["hist"], nthreads).astype(np.int64)
+        data = m["data"]
+        binned = data & (BINS - 1)
+        for t in range(nthreads):
+            expected = int(
+                (binned[t::nthreads] == (t & (BINS - 1))).sum()
+            )
+            assert got[t] == expected, f"thread {t}: {got[t]} != {expected}"

@@ -1,0 +1,135 @@
+"""hotspot — one step of the thermal simulation stencil.
+
+Each thread updates one cell of a temperature grid (values in a narrow
+~322-341 K band, the bounded dynamic range that gives hotspot its value
+similarity) from its four neighbours and the local power dissipation.
+Border cells clamp their neighbour indices, making the border warps
+divergent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.builder import KernelBuilder
+from repro.gpu.isa import Cmp
+from repro.gpu.launch import LaunchSpec
+from repro.gpu.memory import GlobalMemory
+from repro.gpu.program import Kernel
+from repro.kernels.base import Benchmark
+from repro.kernels.common import word_addr
+
+CAP = 0.5  #: thermal capacitance coefficient
+K_POWER = 100.0  #: power-to-temperature coefficient
+
+_SCALE = {
+    "small": dict(rows=8, cols=32),
+    "default": dict(rows=24, cols=64),
+}
+
+
+class Hotspot(Benchmark):
+    name = "hotspot"
+    description = "thermal stencil over a 322-341K grid (border divergence)"
+    diverges = True
+
+    def build_kernel(self) -> Kernel:
+        b = KernelBuilder(
+            "hotspot", params=("temp", "power", "out", "rows", "log2_cols", "n")
+        )
+        tid = b.global_tid_x()
+        n = b.param("n")
+        with b.if_(b.isetp(Cmp.LT, tid, n)):
+            log2_cols = b.param("log2_cols")
+            cols_mask = b.isub(b.shl(1, log2_cols), 1)
+            rows = b.param("rows")
+            row = b.shr(tid, log2_cols)
+            col = b.and_(tid, cols_mask)
+            temp = b.param("temp")
+
+            centre = b.ldg(word_addr(b, temp, tid))
+            # Neighbour loads with clamped indices; the clamping branches
+            # only fire in border warps.
+            up = b.mov(centre)
+            with b.if_(b.isetp(Cmp.GT, row, 0)):
+                b.ldg(
+                    word_addr(b, temp, b.isub(tid, b.shl(1, log2_cols))), dst=up
+                )
+            down = b.mov(centre)
+            with b.if_(b.isetp(Cmp.LT, row, b.isub(rows, 1))):
+                b.ldg(
+                    word_addr(b, temp, b.iadd(tid, b.shl(1, log2_cols))),
+                    dst=down,
+                )
+            left = b.mov(centre)
+            with b.if_(b.isetp(Cmp.GT, col, 0)):
+                b.ldg(word_addr(b, temp, b.isub(tid, 1)), dst=left)
+            right = b.mov(centre)
+            with b.if_(b.isetp(Cmp.LT, col, cols_mask)):
+                b.ldg(word_addr(b, temp, b.iadd(tid, 1)), dst=right)
+
+            lap = b.fadd(b.fadd(up, down), b.fadd(left, right))
+            lap = b.fsub(lap, b.fmul(centre, 4.0))
+            power = b.ldg(word_addr(b, b.param("power"), tid))
+            delta = b.ffma(power, K_POWER, b.fmul(lap, CAP))
+            new_temp = b.fadd(centre, b.fmul(delta, 0.1))
+            b.stg(word_addr(b, b.param("out"), tid), new_temp)
+        return b.build()
+
+    def launch(self, scale: str = "default") -> LaunchSpec:
+        cfg = _SCALE[self._check_scale(scale)]
+        rows, cols = cfg["rows"], cfg["cols"]
+        n = rows * cols
+        log2_cols = cols.bit_length() - 1
+        cta = 128
+        num_ctas = -(-n // cta)
+
+        rng = self.rng()
+        temp = (322.0 + 19.0 * rng.random((rows, cols))).astype(np.float32)
+        power = (0.05 * rng.random((rows, cols))).astype(np.float32)
+
+        addresses: dict[str, int] = {}
+
+        def gmem_factory() -> GlobalMemory:
+            gm = GlobalMemory()
+            addresses["temp"] = gm.alloc_array(temp, "temp")
+            addresses["power"] = gm.alloc_array(power, "power")
+            addresses["out"] = gm.alloc(n, "out")
+            return gm
+
+        gmem_factory()
+        params = [
+            addresses["temp"],
+            addresses["power"],
+            addresses["out"],
+            rows,
+            log2_cols,
+            n,
+        ]
+        return self._spec(
+            grid_dim=(num_ctas, 1),
+            cta_dim=(cta, 1),
+            params=params,
+            gmem_factory=gmem_factory,
+            buffers=dict(addresses),
+            meta=dict(cfg, temp=temp, power=power, n=n),
+        )
+
+    def verify(self, gmem: GlobalMemory, spec: LaunchSpec) -> None:
+        m = spec.meta
+        rows, cols = m["rows"], m["cols"]
+        got = gmem.read_array(spec.buffers["out"], rows * cols, np.float32)
+        expected = _reference(m["temp"], m["power"])
+        np.testing.assert_allclose(
+            got.reshape(rows, cols), expected, rtol=1e-5
+        )
+
+
+def _reference(temp: np.ndarray, power: np.ndarray) -> np.ndarray:
+    up = np.vstack([temp[0:1], temp[:-1]])
+    down = np.vstack([temp[1:], temp[-1:]])
+    left = np.hstack([temp[:, 0:1], temp[:, :-1]])
+    right = np.hstack([temp[:, 1:], temp[:, -1:]])
+    lap = (up + down) + (left + right) - temp * np.float32(4.0)
+    delta = power * np.float32(K_POWER) + lap * np.float32(CAP)
+    return temp + delta * np.float32(0.1)

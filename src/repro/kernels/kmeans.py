@@ -1,0 +1,122 @@
+"""kmeans — per-point nearest-centroid assignment.
+
+Each thread owns one point and scans all centroids, accumulating the
+squared distance over the (unrolled) feature dimensions and tracking the
+argmin.  Centroid loads broadcast the same values to all threads and the
+membership writes are small integers — both highly compressible — while
+the per-point feature values are random.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.builder import KernelBuilder
+from repro.gpu.isa import Cmp
+from repro.gpu.launch import LaunchSpec
+from repro.gpu.memory import GlobalMemory
+from repro.gpu.program import Kernel
+from repro.kernels.base import Benchmark
+from repro.kernels.common import word_addr
+
+FEATURES = 4
+CLUSTERS = 5
+
+_SCALE = {
+    "small": dict(points=256),
+    "default": dict(points=1536),
+}
+
+
+class Kmeans(Benchmark):
+    name = "kmeans"
+    description = "nearest-centroid search (broadcast loads, small-int writes)"
+    # Grid sizes divide the CTA evenly and the argmin uses branch-free
+    # selects, so kmeans never diverges (like AES).
+    diverges = False
+
+    def build_kernel(self) -> Kernel:
+        b = KernelBuilder(
+            "kmeans", params=("points", "centroids", "membership", "n")
+        )
+        tid = b.global_tid_x()
+        n = b.param("n")
+        with b.if_(b.isetp(Cmp.LT, tid, n)):
+            points = b.param("points")
+            centroids = b.param("centroids")
+            base = b.imul(tid, FEATURES)
+            features = [
+                b.ldg(word_addr(b, points, b.iadd(base, f)))
+                for f in range(FEATURES)
+            ]
+            best_dist = b.mov(3.0e38)
+            best_idx = b.mov(0)
+            with b.for_range(0, CLUSTERS) as k:
+                cbase = b.imul(k, FEATURES)
+                dist = b.mov(0.0)
+                for f in range(FEATURES):
+                    cf = b.ldg(word_addr(b, centroids, b.iadd(cbase, f)))
+                    diff = b.fsub(features[f], cf)
+                    b.ffma(diff, diff, dist, dst=dist)
+                closer = b.fsetp(Cmp.LT, dist, best_dist)
+                b.sel(closer, dist, best_dist, dst=best_dist)
+                b.sel(closer, k, best_idx, dst=best_idx)
+            b.stg(word_addr(b, b.param("membership"), tid), best_idx)
+        return b.build()
+
+    def launch(self, scale: str = "default") -> LaunchSpec:
+        cfg = _SCALE[self._check_scale(scale)]
+        points_n = cfg["points"]
+        cta = 128
+        num_ctas = -(-points_n // cta)
+
+        rng = self.rng()
+        points = (10.0 * rng.random((points_n, FEATURES))).astype(np.float32)
+        centroids = (10.0 * rng.random((CLUSTERS, FEATURES))).astype(
+            np.float32
+        )
+
+        addresses: dict[str, int] = {}
+
+        def gmem_factory() -> GlobalMemory:
+            gm = GlobalMemory()
+            addresses["points"] = gm.alloc_array(points, "points")
+            addresses["centroids"] = gm.alloc_array(centroids, "centroids")
+            addresses["membership"] = gm.alloc(points_n, "membership")
+            return gm
+
+        gmem_factory()
+        params = [
+            addresses["points"],
+            addresses["centroids"],
+            addresses["membership"],
+            points_n,
+        ]
+        return self._spec(
+            grid_dim=(num_ctas, 1),
+            cta_dim=(cta, 1),
+            params=params,
+            gmem_factory=gmem_factory,
+            buffers=dict(addresses),
+            meta=dict(cfg, points=points, centroids=centroids),
+        )
+
+    def verify(self, gmem: GlobalMemory, spec: LaunchSpec) -> None:
+        m = spec.meta
+        got = gmem.read_array(spec.buffers["membership"], m["points"].shape[0])
+        expected = _reference(m["points"], m["centroids"])
+        np.testing.assert_array_equal(got.astype(np.int64), expected)
+
+
+def _reference(points: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    best = np.zeros(len(points), dtype=np.int64)
+    best_dist = np.full(len(points), np.float32(3.0e38), dtype=np.float32)
+    for k in range(len(centroids)):
+        diff = points - centroids[k]
+        dist = np.zeros(len(points), dtype=np.float32)
+        for f in range(points.shape[1]):
+            dist = diff[:, f] * diff[:, f] + dist
+        closer = dist < best_dist
+        best_dist = np.where(closer, dist, best_dist)
+        best = np.where(closer, k, best)
+    return best

@@ -1,0 +1,117 @@
+"""lib — LIBOR Monte-Carlo with constant-initialised inputs.
+
+The GPGPU-Sim LIB benchmark initialises its forward-rate and volatility
+arrays to compile-time constants, so every thread of every warp computes
+on *identical* values: the paper singles it out as the benchmark whose
+registers compress almost perfectly (zero dynamic range, Section 6.2).
+
+The kernel prices a portfolio of swaptions along one Monte-Carlo path per
+thread: it repeatedly updates the forward-rate vector with a deterministic
+(constant, since all inputs are constant) quasi-random increment and
+accumulates a discounted payoff.  Only the final store uses the thread
+index, so virtually every register write lands in the zero-distance bin.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.builder import KernelBuilder, float_bits
+from repro.gpu.launch import LaunchSpec
+from repro.gpu.memory import GlobalMemory
+from repro.gpu.program import Kernel
+from repro.kernels.base import Benchmark
+from repro.kernels.common import word_addr
+
+NMAT = 8  #: forward-rate maturities simulated
+L0 = 0.051  #: constant initial forward rate (as in the original LIB)
+LAMBDA = 0.2  #: constant volatility
+DELTA = 0.25  #: accrual period
+
+_SCALE = {
+    "small": dict(paths=128),
+    "default": dict(paths=1024),
+}
+
+
+class Lib(Benchmark):
+    name = "lib"
+    description = "LIBOR Monte-Carlo, constant-initialised inputs (zero range)"
+    diverges = False
+
+    def build_kernel(self) -> Kernel:
+        b = KernelBuilder("lib", params=("rates", "vols", "out"))
+        tid = b.global_tid_x()
+        rates = b.param("rates")
+        vols = b.param("vols")
+
+        # Running state: all-constant across threads.
+        payoff = b.mov(0.0)
+        discount = b.mov(1.0)
+        with b.for_range(0, NMAT) as i:
+            rate = b.ldg(word_addr(b, rates, i))
+            vol = b.ldg(word_addr(b, vols, i))
+            # Deterministic Brownian increment (constant inputs -> the
+            # same "random" draw on every thread, as in LIB's first path).
+            drift = b.fmul(vol, vol)
+            drift = b.fmul(drift, -0.5 * DELTA)
+            bump = b.fmul(vol, 0.3)
+            growth = b.fexp(b.fadd(drift, bump))
+            new_rate = b.fmul(rate, growth)
+            accrual = b.ffma(new_rate, DELTA, 1.0)
+            b.fdiv(discount, accrual, dst=discount)
+            gain = b.fmax(b.fsub(new_rate, L0), 0.0)
+            b.ffma(gain, discount, payoff, dst=payoff)
+
+        out_addr = word_addr(b, b.param("out"), tid)
+        b.stg(out_addr, payoff)
+        return b.build()
+
+    def launch(self, scale: str = "default") -> LaunchSpec:
+        cfg = _SCALE[self._check_scale(scale)]
+        paths = cfg["paths"]
+        cta = 128
+        num_ctas = paths // cta
+
+        rates0 = np.full(NMAT, L0, dtype=np.float32)
+        vols0 = np.full(NMAT, LAMBDA, dtype=np.float32)
+
+        addresses: dict[str, int] = {}
+
+        def gmem_factory() -> GlobalMemory:
+            gm = GlobalMemory()
+            addresses["rates"] = gm.alloc_array(rates0, "rates")
+            addresses["vols"] = gm.alloc_array(vols0, "vols")
+            addresses["out"] = gm.alloc(paths, "out")
+            return gm
+
+        gmem_factory()
+        params = [addresses["rates"], addresses["vols"], addresses["out"]]
+        return self._spec(
+            grid_dim=(num_ctas, 1),
+            cta_dim=(cta, 1),
+            params=params,
+            gmem_factory=gmem_factory,
+            buffers=dict(addresses),
+            meta=dict(cfg),
+        )
+
+    def verify(self, gmem: GlobalMemory, spec: LaunchSpec) -> None:
+        paths = spec.meta["paths"]
+        got = gmem.read_array(spec.buffers["out"], paths, np.float32)
+        expected = _reference()
+        np.testing.assert_allclose(got, np.full(paths, expected), rtol=1e-5)
+
+
+def _reference() -> np.float32:
+    vol = np.float32(LAMBDA)
+    payoff = np.float32(0.0)
+    discount = np.float32(1.0)
+    for _ in range(NMAT):
+        drift = np.float32(vol * vol) * np.float32(-0.5 * DELTA)
+        bump = vol * np.float32(0.3)
+        rate = np.float32(L0) * np.exp(np.float32(drift + bump), dtype=np.float32)
+        discount = discount / (rate * np.float32(DELTA) + np.float32(1.0))
+        gain = np.maximum(rate - np.float32(L0), np.float32(0.0))
+        payoff = gain * discount + payoff
+    return payoff

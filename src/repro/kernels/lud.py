@@ -1,0 +1,101 @@
+"""lud — LU decomposition internal update step (Rodinia, extended suite).
+
+The rank-1 update of the trailing submatrix after one pivot:
+``a[r][c] -= l[r] * u[c]`` for ``r, c > t``.  Like gaussian but with a
+2D guard (both row and column masked), producing a different divergence
+footprint, and the ``l``/``u`` vector loads broadcast within rows and
+columns respectively.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.builder import KernelBuilder
+from repro.gpu.isa import Cmp
+from repro.gpu.launch import LaunchSpec
+from repro.gpu.memory import GlobalMemory
+from repro.gpu.program import Kernel
+from repro.kernels.base import Benchmark
+from repro.kernels.common import pred_and, word_addr
+
+_SCALE = {
+    "small": dict(size=16, step=4),
+    "default": dict(size=32, step=9),
+}
+
+
+class Lud(Benchmark):
+    name = "lud"
+    description = "LU trailing-submatrix rank-1 update"
+    diverges = True
+
+    def build_kernel(self) -> Kernel:
+        b = KernelBuilder("lud", params=("a", "size", "log2_size", "step"))
+        tid = b.global_tid_x()
+        size = b.param("size")
+        log2_size = b.param("log2_size")
+        step = b.param("step")
+        row = b.shr(tid, log2_size)
+        col = b.and_(tid, b.isub(b.shl(1, log2_size), 1))
+        active = pred_and(
+            b,
+            b.isetp(Cmp.GT, row, step),
+            b.isetp(Cmp.GT, col, step),
+            b.isetp(Cmp.LT, row, size),
+        )
+        with b.if_(active):
+            a = b.param("a")
+            l_val = b.ldg(word_addr(b, a, b.imad(row, size, step)))
+            u_val = b.ldg(word_addr(b, a, b.imad(step, size, col)))
+            idx = b.imad(row, size, col)
+            elem = b.ldg(word_addr(b, a, idx))
+            b.stg(word_addr(b, a, idx), b.fsub(elem, b.fmul(l_val, u_val)))
+        return b.build()
+
+    def launch(self, scale: str = "default") -> LaunchSpec:
+        cfg = _SCALE[self._check_scale(scale)]
+        size, step = cfg["size"], cfg["step"]
+        log2_size = size.bit_length() - 1
+        threads = size * size
+        cta = 128
+        rng = self.rng()
+        a = rng.standard_normal((size, size)).astype(np.float32)
+        # Normalise the pivot column as the factorisation would have.
+        a[step + 1 :, step] = (a[step + 1 :, step] / np.float32(2.0)).astype(
+            np.float32
+        )
+        addresses: dict[str, int] = {}
+
+        def gmem_factory() -> GlobalMemory:
+            gm = GlobalMemory()
+            addresses["a"] = gm.alloc_array(a, "a")
+            return gm
+
+        gmem_factory()
+        params = [addresses["a"], size, log2_size, step]
+        return self._spec(
+            grid_dim=(-(-threads // cta), 1),
+            cta_dim=(cta, 1),
+            params=params,
+            gmem_factory=gmem_factory,
+            buffers=dict(addresses),
+            meta=dict(cfg, a=a),
+        )
+
+    def verify(self, gmem: GlobalMemory, spec: LaunchSpec) -> None:
+        m = spec.meta
+        size, step = m["size"], m["step"]
+        got = gmem.read_array(spec.buffers["a"], size * size, np.float32)
+        expected = _reference(m["a"], step)
+        np.testing.assert_allclose(
+            got.reshape(size, size), expected, rtol=1e-5, atol=1e-6
+        )
+
+
+def _reference(a: np.ndarray, step: int) -> np.ndarray:
+    a = a.copy()
+    l_col = a[step + 1 :, step].copy()
+    u_row = a[step, step + 1 :].copy()
+    a[step + 1 :, step + 1 :] -= np.outer(l_col, u_row).astype(np.float32)
+    return a

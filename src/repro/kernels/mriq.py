@@ -1,0 +1,108 @@
+"""mri-q — MRI Q-matrix computation (Parboil, extended suite).
+
+Each thread owns one voxel and accumulates ``cos``/``sin`` phase terms
+over the k-space sample list: heavy SFU traffic (the trigonometric units)
+with broadcast-identical sample loads across the warp — another strongly
+compressible access pattern on top of random float accumulators.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.builder import KernelBuilder
+from repro.gpu.launch import LaunchSpec
+from repro.gpu.memory import GlobalMemory
+from repro.gpu.program import Kernel
+from repro.kernels.base import Benchmark
+from repro.kernels.common import word_addr
+
+K_SAMPLES = 16
+
+_SCALE = {
+    "small": dict(voxels=256),
+    "default": dict(voxels=1024),
+}
+
+
+class MriQ(Benchmark):
+    name = "mriq"
+    description = "MRI Q computation: trig phase accumulation per voxel"
+    diverges = False
+
+    def build_kernel(self) -> Kernel:
+        b = KernelBuilder(
+            "mriq",
+            params=("x", "kx", "mag", "q_real", "q_imag", "nk"),
+        )
+        tid = b.global_tid_x()
+        x = b.ldg(word_addr(b, b.param("x"), tid))
+        kx = b.param("kx")
+        mag = b.param("mag")
+        real = b.mov(0.0)
+        imag = b.mov(0.0)
+        with b.for_range(0, b.param("nk")) as k:
+            kval = b.ldg(word_addr(b, kx, k))
+            m = b.ldg(word_addr(b, mag, k))
+            phase = b.fmul(kval, x)
+            b.ffma(m, b.fcos(phase), real, dst=real)
+            b.ffma(m, b.fsin(phase), imag, dst=imag)
+        b.stg(word_addr(b, b.param("q_real"), tid), real)
+        b.stg(word_addr(b, b.param("q_imag"), tid), imag)
+        return b.build()
+
+    def launch(self, scale: str = "default") -> LaunchSpec:
+        cfg = _SCALE[self._check_scale(scale)]
+        voxels = cfg["voxels"]
+        cta = 128
+        rng = self.rng()
+        x = (rng.random(voxels) * 2.0 - 1.0).astype(np.float32)
+        kx = (rng.random(K_SAMPLES) * 6.0).astype(np.float32)
+        mag = rng.random(K_SAMPLES).astype(np.float32)
+        addresses: dict[str, int] = {}
+
+        def gmem_factory() -> GlobalMemory:
+            gm = GlobalMemory()
+            addresses["x"] = gm.alloc_array(x, "x")
+            addresses["kx"] = gm.alloc_array(kx, "kx")
+            addresses["mag"] = gm.alloc_array(mag, "mag")
+            addresses["q_real"] = gm.alloc(voxels, "q_real")
+            addresses["q_imag"] = gm.alloc(voxels, "q_imag")
+            return gm
+
+        gmem_factory()
+        params = [
+            addresses["x"],
+            addresses["kx"],
+            addresses["mag"],
+            addresses["q_real"],
+            addresses["q_imag"],
+            K_SAMPLES,
+        ]
+        return self._spec(
+            grid_dim=(voxels // cta, 1),
+            cta_dim=(cta, 1),
+            params=params,
+            gmem_factory=gmem_factory,
+            buffers=dict(addresses),
+            meta=dict(cfg, x=x, kx=kx, mag=mag),
+        )
+
+    def verify(self, gmem: GlobalMemory, spec: LaunchSpec) -> None:
+        m = spec.meta
+        voxels = len(m["x"])
+        got_r = gmem.read_array(spec.buffers["q_real"], voxels, np.float32)
+        got_i = gmem.read_array(spec.buffers["q_imag"], voxels, np.float32)
+        exp_r, exp_i = _reference(m["x"], m["kx"], m["mag"])
+        np.testing.assert_allclose(got_r, exp_r, rtol=1e-4, atol=1e-5)
+        np.testing.assert_allclose(got_i, exp_i, rtol=1e-4, atol=1e-5)
+
+
+def _reference(x, kx, mag):
+    real = np.zeros(len(x), dtype=np.float32)
+    imag = np.zeros(len(x), dtype=np.float32)
+    for k in range(len(kx)):
+        phase = kx[k] * x
+        real = mag[k] * np.cos(phase, dtype=np.float32) + real
+        imag = mag[k] * np.sin(phase, dtype=np.float32) + imag
+    return real, imag

@@ -1,0 +1,94 @@
+"""nn — nearest-neighbour distance computation (Rodinia, extended suite).
+
+Each thread computes the Euclidean distance of one record (latitude,
+longitude) to a query point: a short, branch-free float kernel whose
+only similarity comes from thread-indexed addresses — the profile the
+paper's AES-like bars represent, but with SQRT on the SFU path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.builder import KernelBuilder
+from repro.gpu.isa import Cmp
+from repro.gpu.launch import LaunchSpec
+from repro.gpu.memory import GlobalMemory
+from repro.gpu.program import Kernel
+from repro.kernels.base import Benchmark
+from repro.kernels.common import word_addr
+
+_SCALE = {
+    # Deliberately not warp-multiples: the last warp runs partially
+    # masked, exercising tail divergence.
+    "small": dict(records=250),
+    "default": dict(records=2020),
+}
+
+
+class NearestNeighbor(Benchmark):
+    name = "nn"
+    description = "per-record Euclidean distance to a query point"
+    diverges = True  # tail-guard only
+
+    def build_kernel(self) -> Kernel:
+        b = KernelBuilder(
+            "nn", params=("lat", "lng", "dist", "n", "qlat", "qlng")
+        )
+        tid = b.global_tid_x()
+        n = b.param("n")
+        with b.if_(b.isetp(Cmp.LT, tid, n)):
+            lat = b.ldg(word_addr(b, b.param("lat"), tid))
+            lng = b.ldg(word_addr(b, b.param("lng"), tid))
+            dlat = b.fsub(lat, b.param("qlat"))
+            dlng = b.fsub(lng, b.param("qlng"))
+            d2 = b.ffma(dlat, dlat, b.fmul(dlng, dlng))
+            b.stg(word_addr(b, b.param("dist"), tid), b.fsqrt(d2))
+        return b.build()
+
+    def launch(self, scale: str = "default") -> LaunchSpec:
+        from repro.gpu.builder import float_bits
+
+        cfg = _SCALE[self._check_scale(scale)]
+        records = cfg["records"]
+        cta = 128
+        num_ctas = -(-(records + 17) // cta)  # deliberately ragged tail
+        rng = self.rng()
+        lat = (rng.random(records) * 180.0 - 90.0).astype(np.float32)
+        lng = (rng.random(records) * 360.0 - 180.0).astype(np.float32)
+        qlat, qlng = np.float32(30.5), np.float32(-97.6)
+        addresses: dict[str, int] = {}
+
+        def gmem_factory() -> GlobalMemory:
+            gm = GlobalMemory()
+            addresses["lat"] = gm.alloc_array(lat, "lat")
+            addresses["lng"] = gm.alloc_array(lng, "lng")
+            addresses["dist"] = gm.alloc(records, "dist")
+            return gm
+
+        gmem_factory()
+        params = [
+            addresses["lat"],
+            addresses["lng"],
+            addresses["dist"],
+            records,
+            float_bits(float(qlat)),
+            float_bits(float(qlng)),
+        ]
+        return self._spec(
+            grid_dim=(num_ctas, 1),
+            cta_dim=(cta, 1),
+            params=params,
+            gmem_factory=gmem_factory,
+            buffers=dict(addresses),
+            meta=dict(cfg, lat=lat, lng=lng, qlat=qlat, qlng=qlng),
+        )
+
+    def verify(self, gmem: GlobalMemory, spec: LaunchSpec) -> None:
+        m = spec.meta
+        records = m["records"]
+        got = gmem.read_array(spec.buffers["dist"], records, np.float32)
+        dlat = m["lat"] - m["qlat"]
+        dlng = m["lng"] - m["qlng"]
+        expected = np.sqrt(dlat * dlat + dlng * dlng, dtype=np.float32)
+        np.testing.assert_allclose(got, expected, rtol=1e-5)

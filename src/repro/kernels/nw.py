@@ -1,0 +1,145 @@
+"""nw — Needleman-Wunsch sequence alignment (wavefront DP).
+
+One CTA fills a score-matrix strip by anti-diagonal waves: thread ``i``
+owns matrix row ``i+1`` and, on wave ``d``, computes cell ``(i+1, d-i)``
+if that cell lies on the current anti-diagonal — a textbook wavefront
+guard that keeps only part of each warp active (strong divergence).
+Scores are small integers (match +5 / mismatch -3 / gap -2), so written
+values sit in the paper's 128 bin almost exclusively.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.builder import KernelBuilder
+from repro.gpu.isa import Cmp
+from repro.gpu.launch import LaunchSpec
+from repro.gpu.memory import GlobalMemory
+from repro.gpu.program import Kernel
+from repro.kernels.base import Benchmark
+from repro.kernels.common import imin3, pred_and, word_addr
+
+MATCH = 5
+MISMATCH = -3
+GAP = 2
+STRIDE_LOG2 = 6  #: score-matrix row stride (64 words)
+
+_SCALE = {
+    "small": dict(rows=32, cols=24),
+    "default": dict(rows=64, cols=48),
+}
+
+
+class NeedlemanWunsch(Benchmark):
+    name = "nw"
+    description = "wavefront DP alignment, small integer scores"
+    diverges = True
+
+    def build_kernel(self) -> Kernel:
+        b = KernelBuilder(
+            "nw", params=("score", "seq1", "seq2", "rows", "cols")
+        )
+        tx = b.tid_x()
+        rows = b.param("rows")
+        cols = b.param("cols")
+        score = b.param("score")
+        row = b.iadd(tx, 1)
+        my_char = b.ldg(word_addr(b, b.param("seq1"), tx))
+        seq2 = b.param("seq2")
+        # Anti-diagonals run from d=2 to d=rows+cols inclusive.
+        waves_end = b.iadd(b.iadd(rows, cols), 1)
+        with b.for_range(2, waves_end) as d:
+            j = b.isub(d, row)
+            on_wave = pred_and(
+                b,
+                b.isetp(Cmp.GE, j, 1),
+                b.isetp(Cmp.LE, j, cols),
+                b.isetp(Cmp.LE, row, rows),
+            )
+            with b.if_(on_wave):
+                other = b.ldg(word_addr(b, seq2, b.isub(j, 1)))
+                is_match = b.isetp(Cmp.EQ, my_char, other)
+                subst = b.sel(is_match, MATCH, MISMATCH)
+                base = b.shl(row, STRIDE_LOG2)
+                up_base = b.shl(b.isub(row, 1), STRIDE_LOG2)
+                diag = b.ldg(word_addr(b, score, b.iadd(up_base, b.isub(j, 1))))
+                up = b.ldg(word_addr(b, score, b.iadd(up_base, j)))
+                left = b.ldg(word_addr(b, score, b.iadd(base, b.isub(j, 1))))
+                # Maximise alignment score = minimise negated cost.
+                best = imin3(
+                    b,
+                    b.isub(diag, subst),
+                    b.iadd(up, GAP),
+                    b.iadd(left, GAP),
+                )
+                b.stg(word_addr(b, score, b.iadd(base, j)), best)
+            b.bar()
+        return b.build()
+
+    def launch(self, scale: str = "default") -> LaunchSpec:
+        cfg = _SCALE[self._check_scale(scale)]
+        rows, cols = cfg["rows"], cfg["cols"]
+        stride = 1 << STRIDE_LOG2
+        if cols + 1 > stride:
+            raise ValueError("cols exceed the score-matrix row stride")
+
+        rng = self.rng()
+        seq1 = rng.integers(0, 4, size=rows).astype(np.int64)
+        seq2 = rng.integers(0, 4, size=cols).astype(np.int64)
+        score0 = np.zeros((rows + 1, stride), dtype=np.int64)
+        score0[0, : cols + 1] = GAP * np.arange(cols + 1)
+        score0[:, 0] = GAP * np.arange(rows + 1)
+
+        addresses: dict[str, int] = {}
+
+        def gmem_factory() -> GlobalMemory:
+            gm = GlobalMemory()
+            addresses["score"] = gm.alloc_array(score0, "score")
+            addresses["seq1"] = gm.alloc_array(seq1, "seq1")
+            addresses["seq2"] = gm.alloc_array(seq2, "seq2")
+            return gm
+
+        gmem_factory()
+        params = [
+            addresses["score"],
+            addresses["seq1"],
+            addresses["seq2"],
+            rows,
+            cols,
+        ]
+        return self._spec(
+            grid_dim=(1, 1),
+            cta_dim=(rows, 1),
+            params=params,
+            gmem_factory=gmem_factory,
+            buffers=dict(addresses),
+            meta=dict(cfg, seq1=seq1, seq2=seq2, score0=score0),
+        )
+
+    def verify(self, gmem: GlobalMemory, spec: LaunchSpec) -> None:
+        m = spec.meta
+        rows, cols = m["rows"], m["cols"]
+        stride = 1 << STRIDE_LOG2
+        got = gmem.read_array(
+            spec.buffers["score"], (rows + 1) * stride
+        ).astype(np.uint32)
+        got = got.view(np.int32).astype(np.int64).reshape(rows + 1, stride)
+        expected = _reference(m["seq1"], m["seq2"], m["score0"])
+        np.testing.assert_array_equal(
+            got[:, : cols + 1], expected[:, : cols + 1]
+        )
+
+
+def _reference(seq1, seq2, score0):
+    score = score0.copy()
+    rows, cols = len(seq1), len(seq2)
+    for i in range(1, rows + 1):
+        for j in range(1, cols + 1):
+            subst = MATCH if seq1[i - 1] == seq2[j - 1] else MISMATCH
+            score[i, j] = min(
+                score[i - 1, j - 1] - subst,
+                score[i - 1, j] + GAP,
+                score[i, j - 1] + GAP,
+            )
+    return score

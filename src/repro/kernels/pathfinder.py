@@ -1,0 +1,175 @@
+"""pathfinder — the paper's running example (Figure 4).
+
+Dynamic-programming shortest path over a grid whose wall weights lie in
+0..9 (the narrow dynamic range Section 3 credits for this benchmark's
+value similarity).  Each CTA owns a block of columns plus halo; every
+iteration each thread takes the minimum of its three upstream neighbours
+from a shared-memory row and adds its wall weight, with the
+``IN_RANGE(tx, i+1, BLOCKSIZE-i-2)`` guard producing the benchmark's
+characteristic divergence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.builder import KernelBuilder
+from repro.gpu.isa import Cmp
+from repro.gpu.launch import LaunchSpec
+from repro.gpu.memory import GlobalMemory
+from repro.gpu.program import Kernel
+from repro.kernels.base import Benchmark
+from repro.kernels.common import imin3, in_range, pred_and, word_addr
+
+BLOCK = 64
+HALO = 1
+
+_SCALE = {
+    "small": dict(cols=128, iteration=4),
+    "default": dict(cols=416, iteration=6),
+}
+
+
+class Pathfinder(Benchmark):
+    name = "pathfinder"
+    description = "grid DP shortest path, wall weights 0..9 (paper Fig. 4)"
+    diverges = True
+
+    def build_kernel(self) -> Kernel:
+        b = KernelBuilder(
+            "pathfinder",
+            params=("iteration", "wall", "src", "dst", "cols", "border"),
+            shared_bytes=2 * BLOCK * 4,
+        )
+        tx = b.tid_x()
+        bx = b.ctaid_x()
+        iteration = b.param("iteration")
+        cols = b.param("cols")
+        border = b.param("border")
+        wall = b.param("wall")
+
+        # small_block_cols = BLOCK - iteration * HALO * 2
+        small_block_cols = b.isub(BLOCK, b.imul(iteration, 2 * HALO))
+        blk_x = b.isub(b.imul(small_block_cols, bx), border)
+        xidx = b.iadd(blk_x, tx)
+
+        is_valid = pred_and(
+            b,
+            b.isetp(Cmp.GE, xidx, 0),
+            b.isetp(Cmp.LT, xidx, cols),
+        )
+
+        # prev[tx] = src[xidx] (0 outside the grid)
+        prev_addr = b.imul(tx, 4)
+        result_addr = b.iadd(prev_addr, BLOCK * 4)
+        src_val = b.mov(0)
+        with b.if_(is_valid):
+            b.ldg(word_addr(b, b.param("src"), xidx), dst=src_val)
+        b.sts(prev_addr, src_val)
+        computed = b.mov(0)
+        result_val = b.mov(0)
+        b.bar()
+
+        with b.for_range(0, iteration) as i:
+            b.mov(0, dst=computed)
+            lo = b.iadd(i, 1)
+            hi = b.isub(BLOCK - 2, i)
+            cond = pred_and(b, in_range(b, tx, lo, hi), is_valid)
+            with b.if_(cond):
+                b.mov(1, dst=computed)
+                west = b.imax(b.isub(tx, 1), 0)
+                east = b.imin(b.iadd(tx, 1), BLOCK - 1)
+                left = b.lds(b.imul(west, 4))
+                up = b.lds(prev_addr)
+                right = b.lds(b.imul(east, 4))
+                shortest = imin3(b, left, up, right)
+                row = b.iadd(i, 1)
+                index = b.imad(row, cols, xidx)
+                weight = b.ldg(word_addr(b, wall, index))
+                b.iadd(shortest, weight, dst=result_val)
+                b.sts(result_addr, result_val)
+            b.bar()
+            with b.if_(b.isetp(Cmp.NE, computed, 0)):
+                b.sts(prev_addr, result_val)
+            b.bar()
+
+        with b.if_(b.isetp(Cmp.NE, computed, 0)):
+            b.stg(word_addr(b, b.param("dst"), xidx), result_val)
+        return b.build()
+
+    def launch(self, scale: str = "default") -> LaunchSpec:
+        cfg = _SCALE[self._check_scale(scale)]
+        cols, iteration = cfg["cols"], cfg["iteration"]
+        rows = iteration + 1
+        border = HALO * iteration
+        small_block_cols = BLOCK - iteration * HALO * 2
+        num_ctas = -(-cols // small_block_cols)
+
+        rng = self.rng()
+        wall = rng.integers(0, 10, size=(rows, cols), dtype=np.int64)
+
+        addresses: dict[str, int] = {}
+
+        def gmem_factory() -> GlobalMemory:
+            gm = GlobalMemory()
+            addresses["wall"] = gm.alloc_array(wall, "wall")
+            addresses["src"] = gm.alloc_array(wall[0], "src")
+            addresses["dst"] = gm.alloc(cols, "dst")
+            return gm
+
+        gmem_factory()  # resolve addresses deterministically
+        params = [
+            iteration,
+            addresses["wall"],
+            addresses["src"],
+            addresses["dst"],
+            cols,
+            border,
+        ]
+        return self._spec(
+            grid_dim=(num_ctas, 1),
+            cta_dim=(BLOCK, 1),
+            params=params,
+            gmem_factory=gmem_factory,
+            buffers=dict(addresses),
+            meta=dict(cfg, rows=rows, wall=wall),
+        )
+
+    def verify(self, gmem: GlobalMemory, spec: LaunchSpec) -> None:
+        cfg = spec.meta
+        cols, iteration = cfg["cols"], cfg["iteration"]
+        wall = cfg["wall"]
+        expected, written = _reference(wall, cols, iteration)
+        got = gmem.read_array(spec.buffers["dst"], cols).astype(np.int64)
+        np.testing.assert_array_equal(got[written], expected[written])
+
+
+def _reference(
+    wall: np.ndarray, cols: int, iteration: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Numpy mirror of the blocked kernel (same halo/clamp behaviour)."""
+    border = HALO * iteration
+    small_block_cols = BLOCK - iteration * HALO * 2
+    num_ctas = -(-cols // small_block_cols)
+    dst = np.zeros(cols, dtype=np.int64)
+    written = np.zeros(cols, dtype=bool)
+    for bx in range(num_ctas):
+        blk_x = small_block_cols * bx - border
+        xidx = blk_x + np.arange(BLOCK)
+        valid = (xidx >= 0) & (xidx < cols)
+        prev = np.where(valid, wall[0][np.clip(xidx, 0, cols - 1)], 0)
+        result = np.zeros(BLOCK, dtype=np.int64)
+        computed = np.zeros(BLOCK, dtype=bool)
+        for i in range(iteration):
+            tx = np.arange(BLOCK)
+            cond = (tx >= i + 1) & (tx <= BLOCK - 2 - i) & valid
+            west = np.maximum(tx - 1, 0)
+            east = np.minimum(tx + 1, BLOCK - 1)
+            shortest = np.minimum(np.minimum(prev[west], prev[tx]), prev[east])
+            weight = wall[i + 1][np.clip(xidx, 0, cols - 1)]
+            result = np.where(cond, shortest + weight, result)
+            computed = cond
+            prev = np.where(cond, result, prev)
+        dst[xidx[computed]] = result[computed]
+        written[xidx[computed]] = True
+    return dst, written

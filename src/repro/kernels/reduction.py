@@ -1,0 +1,87 @@
+"""reduction — shared-memory tree sum (extended suite).
+
+The canonical CUDA reduction: each CTA loads a block of values into
+shared memory, then halves the number of active threads each step with a
+barrier between steps.  Divergence escalates geometrically (half the
+warp, then a quarter, ...), making it a stress test for the dummy-MOV
+mechanism and the phase-split statistics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.builder import KernelBuilder
+from repro.gpu.isa import Cmp
+from repro.gpu.launch import LaunchSpec
+from repro.gpu.memory import GlobalMemory
+from repro.gpu.program import Kernel
+from repro.kernels.base import Benchmark
+from repro.kernels.common import word_addr
+
+CTA = 128
+
+_SCALE = {
+    "small": dict(blocks=2),
+    "default": dict(blocks=12),
+}
+
+
+class Reduction(Benchmark):
+    name = "reduction"
+    description = "shared-memory tree sum (escalating divergence)"
+    diverges = True
+
+    def build_kernel(self) -> Kernel:
+        b = KernelBuilder(
+            "reduction", params=("data", "out"), shared_bytes=CTA * 4
+        )
+        tid = b.tid_x()
+        gid = b.global_tid_x()
+        my_addr = b.imul(tid, 4)
+        b.sts(my_addr, b.ldg(word_addr(b, b.param("data"), gid)))
+        b.bar()
+        stride = CTA // 2
+        while stride >= 1:
+            with b.if_(b.isetp(Cmp.LT, tid, stride)):
+                mine = b.lds(my_addr)
+                other = b.lds(b.imul(b.iadd(tid, stride), 4))
+                b.sts(my_addr, b.iadd(mine, other))
+            b.bar()
+            stride //= 2
+        with b.if_(b.isetp(Cmp.EQ, tid, 0)):
+            block_sum = b.lds(b.mov(0))
+            b.stg(word_addr(b, b.param("out"), b.ctaid_x()), block_sum)
+        return b.build()
+
+    def launch(self, scale: str = "default") -> LaunchSpec:
+        cfg = _SCALE[self._check_scale(scale)]
+        blocks = cfg["blocks"]
+        n = blocks * CTA
+        rng = self.rng()
+        data = rng.integers(0, 1000, size=n).astype(np.int64)
+        addresses: dict[str, int] = {}
+
+        def gmem_factory() -> GlobalMemory:
+            gm = GlobalMemory()
+            addresses["data"] = gm.alloc_array(data, "data")
+            addresses["out"] = gm.alloc(blocks, "out")
+            return gm
+
+        gmem_factory()
+        params = [addresses["data"], addresses["out"]]
+        return self._spec(
+            grid_dim=(blocks, 1),
+            cta_dim=(CTA, 1),
+            params=params,
+            gmem_factory=gmem_factory,
+            buffers=dict(addresses),
+            meta=dict(cfg, data=data, n=n),
+        )
+
+    def verify(self, gmem: GlobalMemory, spec: LaunchSpec) -> None:
+        m = spec.meta
+        blocks = m["blocks"]
+        got = gmem.read_array(spec.buffers["out"], blocks).astype(np.int64)
+        expected = m["data"].reshape(blocks, CTA).sum(axis=1)
+        np.testing.assert_array_equal(got, expected)

@@ -1,0 +1,116 @@
+"""sgemm — tiled dense matrix multiply (Parboil, extended suite).
+
+Classic shared-memory tiling: each CTA owns a TILE x TILE output block,
+stages A and B tiles cooperatively, and accumulates across the K
+dimension with barriers between tiles.  Random float data (low value
+similarity) but intensely thread-indexed addressing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.builder import KernelBuilder
+from repro.gpu.isa import SReg
+from repro.gpu.launch import LaunchSpec
+from repro.gpu.memory import GlobalMemory
+from repro.gpu.program import Kernel
+from repro.kernels.base import Benchmark
+from repro.kernels.common import word_addr
+
+TILE = 8  #: tile edge; CTA = TILE*TILE = 64 threads
+
+_SCALE = {
+    "small": dict(n=16),
+    "default": dict(n=32),
+}
+
+
+class Sgemm(Benchmark):
+    name = "sgemm"
+    description = "tiled matrix multiply with shared-memory staging"
+    diverges = False
+
+    def build_kernel(self) -> Kernel:
+        b = KernelBuilder(
+            "sgemm",
+            params=("a", "b", "c", "n"),
+            shared_bytes=2 * TILE * TILE * 4,
+        )
+        tx = b.tid_x()
+        ty = b.s2r(SReg.TID_Y)
+        bx = b.ctaid_x()
+        by = b.s2r(SReg.CTAID_Y)
+        n = b.param("n")
+        a = b.param("a")
+        bb = b.param("b")
+
+        row = b.imad(by, TILE, ty)
+        col = b.imad(bx, TILE, tx)
+        acc = b.mov(0.0)
+        a_tile = b.imad(ty, TILE, tx)  # word offset into the A tile
+        a_tile_addr = b.imul(a_tile, 4)
+        b_tile_addr = b.iadd(a_tile_addr, TILE * TILE * 4)
+
+        ntiles = n  # iterate K in TILE chunks: n / TILE tiles
+        with b.for_range(0, b.shr(ntiles, 3)) as t:
+            kbase = b.imul(t, TILE)
+            a_idx = b.imad(row, n, b.iadd(kbase, tx))
+            b_idx = b.imad(b.iadd(kbase, ty), n, col)
+            b.sts(a_tile_addr, b.ldg(word_addr(b, a, a_idx)))
+            b.sts(b_tile_addr, b.ldg(word_addr(b, bb, b_idx)))
+            b.bar()
+            for k in range(TILE):
+                a_val = b.lds(b.imul(b.imad(ty, TILE, k), 4))
+                b_val = b.lds(
+                    b.iadd(b.imul(b.imad(k, TILE, tx), 4), TILE * TILE * 4)
+                )
+                b.ffma(a_val, b_val, acc, dst=acc)
+            b.bar()
+        c_idx = b.imad(row, n, col)
+        b.stg(word_addr(b, b.param("c"), c_idx), acc)
+        return b.build()
+
+    def launch(self, scale: str = "default") -> LaunchSpec:
+        cfg = _SCALE[self._check_scale(scale)]
+        n = cfg["n"]
+        rng = self.rng()
+        a = rng.standard_normal((n, n)).astype(np.float32)
+        bmat = rng.standard_normal((n, n)).astype(np.float32)
+        addresses: dict[str, int] = {}
+
+        def gmem_factory() -> GlobalMemory:
+            gm = GlobalMemory()
+            addresses["a"] = gm.alloc_array(a, "a")
+            addresses["b"] = gm.alloc_array(bmat, "b")
+            addresses["c"] = gm.alloc(n * n, "c")
+            return gm
+
+        gmem_factory()
+        params = [addresses["a"], addresses["b"], addresses["c"], n]
+        return self._spec(
+            grid_dim=(n // TILE, n // TILE),
+            cta_dim=(TILE, TILE),
+            params=params,
+            gmem_factory=gmem_factory,
+            buffers=dict(addresses),
+            meta=dict(cfg, a=a, b=bmat),
+        )
+
+    def verify(self, gmem: GlobalMemory, spec: LaunchSpec) -> None:
+        m = spec.meta
+        n = m["n"]
+        got = gmem.read_array(spec.buffers["c"], n * n, np.float32)
+        expected = _reference(m["a"], m["b"])
+        np.testing.assert_allclose(
+            got.reshape(n, n), expected, rtol=1e-4, atol=1e-5
+        )
+
+
+def _reference(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    n = a.shape[0]
+    acc = np.zeros((n, n), dtype=np.float32)
+    # Same FFMA accumulation order as the kernel (k-major within tiles).
+    for k in range(n):
+        acc = a[:, k : k + 1] * b[k : k + 1, :] + acc
+    return acc

@@ -1,0 +1,123 @@
+"""spmv — CSR sparse matrix-vector product (Parboil-style scalar kernel).
+
+One thread per matrix row walks that row's nonzeros.  Row lengths are
+drawn from a skewed distribution, so the warp's threads fall out of the
+accumulation loop at different trip counts — sustained divergence — and
+the gathered values/column indices are random, limiting similarity to the
+address and loop-counter registers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.builder import KernelBuilder
+from repro.gpu.isa import Cmp
+from repro.gpu.launch import LaunchSpec
+from repro.gpu.memory import GlobalMemory
+from repro.gpu.program import Kernel
+from repro.kernels.base import Benchmark
+from repro.kernels.common import word_addr
+
+_SCALE = {
+    "small": dict(rows=256, max_nnz=8),
+    "default": dict(rows=1024, max_nnz=16),
+}
+
+
+class Spmv(Benchmark):
+    name = "spmv"
+    description = "CSR sparse matrix-vector product (loop divergence)"
+    diverges = True
+
+    def build_kernel(self) -> Kernel:
+        b = KernelBuilder(
+            "spmv", params=("row_ptr", "col_idx", "vals", "x", "y", "rows")
+        )
+        tid = b.global_tid_x()
+        rows = b.param("rows")
+        with b.if_(b.isetp(Cmp.LT, tid, rows)):
+            row_ptr = b.param("row_ptr")
+            start = b.ldg(word_addr(b, row_ptr, tid))
+            end = b.ldg(word_addr(b, row_ptr, b.iadd(tid, 1)))
+            col_idx = b.param("col_idx")
+            vals = b.param("vals")
+            x = b.param("x")
+            acc = b.mov(0.0)
+            e = b.mov(start)
+            with b.while_loop() as loop:
+                loop.break_unless(b.isetp(Cmp.LT, e, end))
+                col = b.ldg(word_addr(b, col_idx, e))
+                val = b.ldg(word_addr(b, vals, e))
+                xv = b.ldg(word_addr(b, x, col))
+                b.ffma(val, xv, acc, dst=acc)
+                b.iadd(e, 1, dst=e)
+            b.stg(word_addr(b, b.param("y"), tid), acc)
+        return b.build()
+
+    def launch(self, scale: str = "default") -> LaunchSpec:
+        cfg = _SCALE[self._check_scale(scale)]
+        rows, max_nnz = cfg["rows"], cfg["max_nnz"]
+        cta = 128
+        num_ctas = -(-rows // cta)
+
+        rng = self.rng()
+        # Skewed row lengths: many short rows, a few long ones.
+        lengths = np.minimum(
+            rng.geometric(0.35, size=rows) - 1, max_nnz
+        ).astype(np.int64)
+        row_ptr = np.zeros(rows + 1, dtype=np.int64)
+        np.cumsum(lengths, out=row_ptr[1:])
+        nnz = max(int(row_ptr[-1]), 1)
+        col_idx = rng.integers(0, rows, size=nnz).astype(np.int64)
+        vals = rng.standard_normal(nnz).astype(np.float32)
+        x = rng.standard_normal(rows).astype(np.float32)
+
+        addresses: dict[str, int] = {}
+
+        def gmem_factory() -> GlobalMemory:
+            gm = GlobalMemory()
+            addresses["row_ptr"] = gm.alloc_array(row_ptr, "row_ptr")
+            addresses["col_idx"] = gm.alloc_array(col_idx, "col_idx")
+            addresses["vals"] = gm.alloc_array(vals, "vals")
+            addresses["x"] = gm.alloc_array(x, "x")
+            addresses["y"] = gm.alloc(rows, "y")
+            return gm
+
+        gmem_factory()
+        params = [
+            addresses["row_ptr"],
+            addresses["col_idx"],
+            addresses["vals"],
+            addresses["x"],
+            addresses["y"],
+            rows,
+        ]
+        return self._spec(
+            grid_dim=(num_ctas, 1),
+            cta_dim=(cta, 1),
+            params=params,
+            gmem_factory=gmem_factory,
+            buffers=dict(addresses),
+            meta=dict(
+                cfg, row_ptr=row_ptr, col_idx=col_idx, vals=vals, x=x
+            ),
+        )
+
+    def verify(self, gmem: GlobalMemory, spec: LaunchSpec) -> None:
+        m = spec.meta
+        rows = m["rows"]
+        got = gmem.read_array(spec.buffers["y"], rows, np.float32)
+        expected = _reference(m["row_ptr"], m["col_idx"], m["vals"], m["x"])
+        np.testing.assert_allclose(got, expected, rtol=1e-5, atol=1e-6)
+
+
+def _reference(row_ptr, col_idx, vals, x):
+    rows = len(row_ptr) - 1
+    y = np.zeros(rows, dtype=np.float32)
+    for r in range(rows):
+        acc = np.float32(0.0)
+        for e in range(row_ptr[r], row_ptr[r + 1]):
+            acc = vals[e] * x[col_idx[e]] + acc
+        y[r] = acc
+    return y

@@ -1,0 +1,161 @@
+"""srad — speckle-reducing anisotropic diffusion (Rodinia srad kernel 1).
+
+Each thread computes the diffusion coefficient of one pixel of an
+ultrasound-like image: directional derivatives against four clamped
+neighbours, the normalised gradient/Laplacian statistics, and the
+coefficient ``1 / (1 + f(q0, q))`` clamped to [0, 1].  Exercises the SFU
+path (divides) plus border divergence; image values follow the original's
+``exp(I/255)`` preprocessing, a narrow positive range.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.builder import KernelBuilder
+from repro.gpu.isa import Cmp
+from repro.gpu.launch import LaunchSpec
+from repro.gpu.memory import GlobalMemory
+from repro.gpu.program import Kernel
+from repro.kernels.base import Benchmark
+from repro.kernels.common import word_addr
+
+Q0_SQR = 0.05  #: speckle scale at the current diffusion step
+
+_SCALE = {
+    "small": dict(rows=8, cols=32),
+    "default": dict(rows=16, cols=64),
+}
+
+
+class Srad(Benchmark):
+    name = "srad"
+    description = "anisotropic diffusion coefficients (SFU-heavy, borders)"
+    diverges = True
+
+    def build_kernel(self) -> Kernel:
+        b = KernelBuilder(
+            "srad", params=("image", "coeff", "rows", "log2_cols", "n")
+        )
+        tid = b.global_tid_x()
+        n = b.param("n")
+        with b.if_(b.isetp(Cmp.LT, tid, n)):
+            log2_cols = b.param("log2_cols")
+            cols_mask = b.isub(b.shl(1, log2_cols), 1)
+            rows = b.param("rows")
+            row = b.shr(tid, log2_cols)
+            col = b.and_(tid, cols_mask)
+            image = b.param("image")
+
+            jc = b.ldg(word_addr(b, image, tid))
+            jn = b.mov(jc)
+            with b.if_(b.isetp(Cmp.GT, row, 0)):
+                b.ldg(
+                    word_addr(b, image, b.isub(tid, b.shl(1, log2_cols))),
+                    dst=jn,
+                )
+            js = b.mov(jc)
+            with b.if_(b.isetp(Cmp.LT, row, b.isub(rows, 1))):
+                b.ldg(
+                    word_addr(b, image, b.iadd(tid, b.shl(1, log2_cols))),
+                    dst=js,
+                )
+            jw = b.mov(jc)
+            with b.if_(b.isetp(Cmp.GT, col, 0)):
+                b.ldg(word_addr(b, image, b.isub(tid, 1)), dst=jw)
+            je = b.mov(jc)
+            with b.if_(b.isetp(Cmp.LT, col, cols_mask)):
+                b.ldg(word_addr(b, image, b.iadd(tid, 1)), dst=je)
+
+            dn = b.fsub(jn, jc)
+            ds = b.fsub(js, jc)
+            dw = b.fsub(jw, jc)
+            de = b.fsub(je, jc)
+
+            g2_num = b.fadd(
+                b.fadd(b.fmul(dn, dn), b.fmul(ds, ds)),
+                b.fadd(b.fmul(dw, dw), b.fmul(de, de)),
+            )
+            jc2 = b.fmul(jc, jc)
+            g2 = b.fdiv(g2_num, jc2)
+            lap = b.fadd(b.fadd(dn, ds), b.fadd(dw, de))
+            l = b.fdiv(lap, jc)
+            num = b.fsub(
+                b.fmul(g2, 0.5), b.fmul(b.fmul(l, l), 1.0 / 16.0)
+            )
+            den_inner = b.ffma(l, 0.25, 1.0)
+            den = b.fmul(den_inner, den_inner)
+            qsqr = b.fdiv(num, den)
+            cden = b.fmul(
+                b.fsub(qsqr, Q0_SQR), 1.0 / (Q0_SQR * (1.0 + Q0_SQR))
+            )
+            c = b.fdiv(1.0, b.fadd(1.0, cden))
+            c = b.fmin(b.fmax(c, 0.0), 1.0)
+            b.stg(word_addr(b, b.param("coeff"), tid), c)
+        return b.build()
+
+    def launch(self, scale: str = "default") -> LaunchSpec:
+        cfg = _SCALE[self._check_scale(scale)]
+        rows, cols = cfg["rows"], cfg["cols"]
+        n = rows * cols
+        log2_cols = cols.bit_length() - 1
+        cta = 128
+        num_ctas = -(-n // cta)
+
+        rng = self.rng()
+        raw = rng.integers(0, 256, size=(rows, cols))
+        image = np.exp(raw / 255.0).astype(np.float32)
+
+        addresses: dict[str, int] = {}
+
+        def gmem_factory() -> GlobalMemory:
+            gm = GlobalMemory()
+            addresses["image"] = gm.alloc_array(image, "image")
+            addresses["coeff"] = gm.alloc(n, "coeff")
+            return gm
+
+        gmem_factory()
+        params = [
+            addresses["image"],
+            addresses["coeff"],
+            rows,
+            log2_cols,
+            n,
+        ]
+        return self._spec(
+            grid_dim=(num_ctas, 1),
+            cta_dim=(cta, 1),
+            params=params,
+            gmem_factory=gmem_factory,
+            buffers=dict(addresses),
+            meta=dict(cfg, image=image, n=n),
+        )
+
+    def verify(self, gmem: GlobalMemory, spec: LaunchSpec) -> None:
+        m = spec.meta
+        rows, cols = m["rows"], m["cols"]
+        got = gmem.read_array(spec.buffers["coeff"], rows * cols, np.float32)
+        expected = _reference(m["image"])
+        np.testing.assert_allclose(
+            got.reshape(rows, cols), expected, rtol=2e-5, atol=1e-6
+        )
+
+
+def _reference(image: np.ndarray) -> np.ndarray:
+    jc = image
+    jn = np.vstack([image[0:1], image[:-1]])
+    js = np.vstack([image[1:], image[-1:]])
+    jw = np.hstack([image[:, 0:1], image[:, :-1]])
+    je = np.hstack([image[:, 1:], image[:, -1:]])
+    dn, ds, dw, de = jn - jc, js - jc, jw - jc, je - jc
+    g2 = ((dn * dn + ds * ds) + (dw * dw + de * de)) / (jc * jc)
+    l = ((dn + ds) + (dw + de)) / jc
+    num = g2 * np.float32(0.5) - (l * l) * np.float32(1.0 / 16.0)
+    den_inner = l * np.float32(0.25) + np.float32(1.0)
+    den = den_inner * den_inner
+    qsqr = num / den
+    cden = (qsqr - np.float32(Q0_SQR)) * np.float32(
+        1.0 / (Q0_SQR * (1.0 + Q0_SQR))
+    )
+    c = np.float32(1.0) / (np.float32(1.0) + cden)
+    return np.clip(c, 0.0, 1.0).astype(np.float32)

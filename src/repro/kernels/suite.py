@@ -1,0 +1,102 @@
+"""Benchmark registry.
+
+``BENCHMARKS`` holds the twelve workloads mirroring the paper's
+evaluation suite — every figure averages over exactly these.
+``EXTRA_BENCHMARKS`` holds nine further kernels (Parboil/CUDA-SDK-style)
+used by the extended-suite generalisation study and available to any
+experiment via ``--benchmarks``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.kernels.base import Benchmark
+
+
+def _paper_suite() -> dict[str, Benchmark]:
+    from repro.kernels.aes import Aes
+    from repro.kernels.backprop import Backprop
+    from repro.kernels.bfs import Bfs
+    from repro.kernels.dwt2d import Dwt2d
+    from repro.kernels.gaussian import Gaussian
+    from repro.kernels.hotspot import Hotspot
+    from repro.kernels.kmeans import Kmeans
+    from repro.kernels.lib import Lib
+    from repro.kernels.nw import NeedlemanWunsch
+    from repro.kernels.pathfinder import Pathfinder
+    from repro.kernels.spmv import Spmv
+    from repro.kernels.srad import Srad
+
+    benches = [
+        Aes(),
+        Backprop(),
+        Bfs(),
+        Dwt2d(),
+        Gaussian(),
+        Hotspot(),
+        Kmeans(),
+        Lib(),
+        NeedlemanWunsch(),
+        Pathfinder(),
+        Spmv(),
+        Srad(),
+    ]
+    return {b.name: b for b in benches}
+
+
+def _extended_suite() -> dict[str, Benchmark]:
+    from repro.kernels.blackscholes import BlackScholes
+    from repro.kernels.histogram import Histogram
+    from repro.kernels.lud import Lud
+    from repro.kernels.mriq import MriQ
+    from repro.kernels.nn import NearestNeighbor
+    from repro.kernels.reduction import Reduction
+    from repro.kernels.sgemm import Sgemm
+    from repro.kernels.stencil3d import Stencil3d
+    from repro.kernels.transpose import Transpose
+
+    benches = [
+        BlackScholes(),
+        Histogram(),
+        Lud(),
+        MriQ(),
+        NearestNeighbor(),
+        Reduction(),
+        Sgemm(),
+        Stencil3d(),
+        Transpose(),
+    ]
+    return {b.name: b for b in benches}
+
+
+#: The paper's evaluation suite (drives every figNN experiment).
+BENCHMARKS: dict[str, Benchmark] = _paper_suite()
+
+#: Additional workloads for the generalisation study (`ext-suite`).
+EXTRA_BENCHMARKS: dict[str, Benchmark] = _extended_suite()
+
+_ALL: dict[str, Benchmark] = {**BENCHMARKS, **EXTRA_BENCHMARKS}
+
+
+def benchmark_names(extended: bool = False) -> list[str]:
+    """Benchmark names in report order (paper suite by default)."""
+    return list(EXTRA_BENCHMARKS if extended else BENCHMARKS)
+
+
+def get_benchmark(name: str) -> Benchmark:
+    """Look up one benchmark (paper or extended suite) by name."""
+    try:
+        return _ALL[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {sorted(_ALL)}"
+        ) from None
+
+
+def iter_benchmarks(
+    names: list[str] | None = None, extended: bool = False
+) -> Iterator[Benchmark]:
+    """Iterate benchmarks (a suite, or the named subset in order)."""
+    for name in names or benchmark_names(extended):
+        yield get_benchmark(name)

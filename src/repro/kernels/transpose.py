@@ -1,0 +1,87 @@
+"""transpose — shared-memory tile transpose (extended suite).
+
+Each CTA stages a TILE x TILE block into shared memory and writes it back
+transposed: zero arithmetic beyond addressing, so register content is
+almost entirely thread-indexed addresses plus raw image data — isolating
+the address-similarity component of warped-compression's savings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.builder import KernelBuilder
+from repro.gpu.isa import SReg
+from repro.gpu.launch import LaunchSpec
+from repro.gpu.memory import GlobalMemory
+from repro.gpu.program import Kernel
+from repro.kernels.base import Benchmark
+from repro.kernels.common import word_addr
+
+TILE = 8
+
+_SCALE = {
+    "small": dict(n=32),
+    "default": dict(n=64),
+}
+
+
+class Transpose(Benchmark):
+    name = "transpose"
+    description = "tiled matrix transpose (pure address movement)"
+    diverges = False
+
+    def build_kernel(self) -> Kernel:
+        b = KernelBuilder(
+            "transpose",
+            params=("src", "dst", "n"),
+            shared_bytes=TILE * TILE * 4,
+        )
+        tx = b.tid_x()
+        ty = b.s2r(SReg.TID_Y)
+        bx = b.ctaid_x()
+        by = b.s2r(SReg.CTAID_Y)
+        n = b.param("n")
+        src_row = b.imad(by, TILE, ty)
+        src_col = b.imad(bx, TILE, tx)
+        value = b.ldg(word_addr(b, b.param("src"), b.imad(src_row, n, src_col)))
+        b.sts(b.imul(b.imad(ty, TILE, tx), 4), value)
+        b.bar()
+        dst_row = b.imad(bx, TILE, ty)
+        dst_col = b.imad(by, TILE, tx)
+        transposed = b.lds(b.imul(b.imad(tx, TILE, ty), 4))
+        b.stg(
+            word_addr(b, b.param("dst"), b.imad(dst_row, n, dst_col)),
+            transposed,
+        )
+        return b.build()
+
+    def launch(self, scale: str = "default") -> LaunchSpec:
+        cfg = _SCALE[self._check_scale(scale)]
+        n = cfg["n"]
+        rng = self.rng()
+        src = rng.integers(0, 256, size=(n, n)).astype(np.int64)
+        addresses: dict[str, int] = {}
+
+        def gmem_factory() -> GlobalMemory:
+            gm = GlobalMemory()
+            addresses["src"] = gm.alloc_array(src, "src")
+            addresses["dst"] = gm.alloc(n * n, "dst")
+            return gm
+
+        gmem_factory()
+        params = [addresses["src"], addresses["dst"], n]
+        return self._spec(
+            grid_dim=(n // TILE, n // TILE),
+            cta_dim=(TILE, TILE),
+            params=params,
+            gmem_factory=gmem_factory,
+            buffers=dict(addresses),
+            meta=dict(cfg, src=src),
+        )
+
+    def verify(self, gmem: GlobalMemory, spec: LaunchSpec) -> None:
+        m = spec.meta
+        n = m["n"]
+        got = gmem.read_array(spec.buffers["dst"], n * n).astype(np.int64)
+        np.testing.assert_array_equal(got.reshape(n, n), m["src"].T)

@@ -1,0 +1,27 @@
+"""Power and energy models for the GPU register file.
+
+Implements the paper's evaluation methodology (Section 6.1, Table 3):
+
+* :mod:`repro.power.params` — the 45 nm energy/power constants of Table 3
+  plus scaling helpers for the design-space sweeps of Figures 17–19.
+* :mod:`repro.power.wires` — wire data-movement energy as a function of
+  wire capacitance, voltage, and switching-activity factor.
+* :mod:`repro.power.gating` — bank-level power-gating state machine with
+  wake-up latency (Section 5.3).
+* :mod:`repro.power.energy` — event-driven energy accounting that turns
+  simulator event counts into the Figure 9 energy breakdown.
+"""
+
+from repro.power.energy import EnergyBreakdown, EnergyModel
+from repro.power.gating import BankGatingController, BankState
+from repro.power.params import EnergyParams
+from repro.power.wires import wire_energy_per_bank_pj
+
+__all__ = [
+    "BankGatingController",
+    "BankState",
+    "EnergyBreakdown",
+    "EnergyModel",
+    "EnergyParams",
+    "wire_energy_per_bank_pj",
+]

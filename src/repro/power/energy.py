@@ -1,0 +1,184 @@
+"""Event-driven register-file energy accounting.
+
+The simulator reports *events* (bank reads/writes, wire transfers,
+compressor/decompressor activations, elapsed cycles, per-bank gated
+cycles); this module converts them into the energy breakdown the paper
+plots in Figure 9:
+
+* **dynamic** — bank access energy plus wire data-movement energy,
+* **leakage** — per-bank leakage for every non-gated cycle,
+* **compression** / **decompression** — unit activation energy plus the
+  (small) leakage of the added units.
+
+All arithmetic is in picojoules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.power.params import EnergyParams
+from repro.power.wires import wire_energy_per_bank_pj
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy totals (pJ) in the Figure 9 categories."""
+
+    bank_access_pj: float
+    wire_pj: float
+    bank_leakage_pj: float
+    compression_pj: float
+    decompression_pj: float
+    #: register-file-cache array accesses (RFC extension; 0 without it)
+    rfc_pj: float = 0.0
+
+    @property
+    def dynamic_pj(self) -> float:
+        """Bank access + wire movement + RFC array energy."""
+        return self.bank_access_pj + self.wire_pj + self.rfc_pj
+
+    @property
+    def leakage_pj(self) -> float:
+        return self.bank_leakage_pj
+
+    @property
+    def total_pj(self) -> float:
+        return (
+            self.dynamic_pj
+            + self.bank_leakage_pj
+            + self.compression_pj
+            + self.decompression_pj
+        )
+
+    def normalized_to(self, baseline: "EnergyBreakdown") -> dict[str, float]:
+        """Each category as a fraction of ``baseline`` total energy.
+
+        This is exactly how Figure 9 presents its stacked bars: every
+        component normalised to the uncompressed design's total.
+        """
+        total = baseline.total_pj
+        if total <= 0:
+            raise ValueError("baseline total energy must be positive")
+        return {
+            "dynamic": self.dynamic_pj / total,
+            "leakage": self.leakage_pj / total,
+            "compression": self.compression_pj / total,
+            "decompression": self.decompression_pj / total,
+            "total": self.total_pj / total,
+        }
+
+
+@dataclass
+class EnergyModel:
+    """Accumulates register-file events and prices them with Table 3.
+
+    Parameters
+    ----------
+    params:
+        Energy constants (possibly scaled for a design-space sweep).
+    num_banks:
+        Banks in the register file (leakage when not gated).
+    num_compressors / num_decompressors:
+        Added units whose leakage is charged when compression is enabled;
+        pass zero for the baseline design.
+    """
+
+    params: EnergyParams
+    num_banks: int
+    num_compressors: int = 0
+    num_decompressors: int = 0
+
+    bank_reads: int = field(default=0, init=False)
+    bank_writes: int = field(default=0, init=False)
+    wire_transfers: int = field(default=0, init=False)
+    compressions: int = field(default=0, init=False)
+    decompressions: int = field(default=0, init=False)
+    rfc_accesses: int = field(default=0, init=False)
+    cycles: int = field(default=0, init=False)
+    gated_bank_cycles: int = field(default=0, init=False)
+
+    # ------------------------------------------------------------------
+    # Event recording
+    # ------------------------------------------------------------------
+    def record_read(self, banks: int) -> None:
+        """A register read touching ``banks`` banks (and their wires)."""
+        self.bank_reads += banks
+        self.wire_transfers += banks
+
+    def record_write(self, banks: int) -> None:
+        """A register write touching ``banks`` banks (and their wires)."""
+        self.bank_writes += banks
+        self.wire_transfers += banks
+
+    def record_compression(self, count: int = 1) -> None:
+        self.compressions += count
+
+    def record_rfc(self, count: int = 1) -> None:
+        """Register-file-cache array accesses (read hits and writes)."""
+        self.rfc_accesses += count
+
+    def record_decompression(self, count: int = 1) -> None:
+        self.decompressions += count
+
+    def finalize(
+        self, cycles: int, gated_cycles_per_bank: list[int] | None = None
+    ) -> None:
+        """Record elapsed time and gating results at end of simulation."""
+        if cycles < 0:
+            raise ValueError(f"cycles must be non-negative, got {cycles}")
+        self.cycles = cycles
+        if gated_cycles_per_bank is None:
+            self.gated_bank_cycles = 0
+        else:
+            if len(gated_cycles_per_bank) != self.num_banks:
+                raise ValueError(
+                    f"expected {self.num_banks} per-bank values, got "
+                    f"{len(gated_cycles_per_bank)}"
+                )
+            self.gated_bank_cycles = sum(gated_cycles_per_bank)
+
+    # ------------------------------------------------------------------
+    # Pricing
+    # ------------------------------------------------------------------
+    def breakdown(self) -> EnergyBreakdown:
+        """Convert accumulated events into the Figure 9 categories."""
+        p = self.params
+        access = (self.bank_reads + self.bank_writes) * p.bank_access_energy_pj
+        wire = self.wire_transfers * wire_energy_per_bank_pj(p)
+        active_bank_cycles = self.num_banks * self.cycles - self.gated_bank_cycles
+        bank_leak = active_bank_cycles * p.leakage_pj_per_cycle(p.bank_leakage_mw)
+        comp = self.compressions * p.compression_energy_pj
+        comp += (
+            self.num_compressors
+            * self.cycles
+            * p.leakage_pj_per_cycle(p.compressor_leakage_mw)
+        )
+        decomp = self.decompressions * p.decompression_energy_pj
+        decomp += (
+            self.num_decompressors
+            * self.cycles
+            * p.leakage_pj_per_cycle(p.decompressor_leakage_mw)
+        )
+        return EnergyBreakdown(
+            bank_access_pj=access,
+            wire_pj=wire,
+            bank_leakage_pj=bank_leak,
+            compression_pj=comp,
+            decompression_pj=decomp,
+            rfc_pj=self.rfc_accesses * p.rfc_access_energy_pj,
+        )
+
+    def reprice(self, params: EnergyParams) -> EnergyBreakdown:
+        """Price the same event counts under different constants.
+
+        The design-space sweeps of Figures 17–19 change only energy
+        constants, not microarchitectural behaviour, so one simulation's
+        event counts can be re-priced under many parameter sets.
+        """
+        saved = self.params
+        try:
+            self.params = params
+            return self.breakdown()
+        finally:
+            self.params = saved

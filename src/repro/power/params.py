@@ -1,0 +1,94 @@
+"""Energy and power parameters (paper Table 3, 45 nm).
+
+The paper derives these constants from CACTI (SRAM bank access energy and
+leakage), published adder energy numbers (compression/decompression unit
+activation), and RTL synthesis with the FreePDK 45 nm library (comparator
+and delta-storage overheads).  All evaluation figures are linear functions
+of these scalars, so we take them verbatim and expose multiplicative
+scaling knobs for the sensitivity studies of Figures 17 and 18.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class EnergyParams:
+    """Register-file energy model constants.
+
+    Defaults reproduce paper Table 3 and the Table 2 clock.  Energies are
+    picojoules, powers are milliwatts, frequency is gigahertz.
+    """
+
+    #: SM clock frequency (GHz) — converts leakage power to per-cycle energy.
+    clock_ghz: float = 1.4
+    #: Operating voltage (V).
+    voltage: float = 1.0
+    #: Wire capacitance (fF per mm) feeding the wire-energy model.
+    wire_capacitance_ff_per_mm: float = 300.0
+    #: Distance register data travels between banks and execution units (mm).
+    wire_distance_mm: float = 1.0
+    #: Fraction of the 128 wires of a bank port that switch per transfer.
+    #: The paper assumes half the wires move zeros and half move ones.
+    wire_activity: float = 0.5
+    #: Dynamic energy of one 16-byte bank access (pJ).
+    bank_access_energy_pj: float = 7.0
+    #: Leakage power of one bank (mW).
+    bank_leakage_mw: float = 5.8
+    #: Energy per compressor-unit activation (pJ).
+    compression_energy_pj: float = 23.0
+    #: Leakage power of one compressor unit (mW).
+    compressor_leakage_mw: float = 0.12
+    #: Energy per decompressor-unit activation (pJ).
+    decompression_energy_pj: float = 21.0
+    #: Leakage power of one decompressor unit (mW).
+    decompressor_leakage_mw: float = 0.08
+    #: Bits moved per bank access (bank width).
+    bank_bits: int = 128
+    #: Energy of one register-file-cache access (pJ) — the small
+    #: per-warp SRAM of the RFC extension, far cheaper than a bank.
+    rfc_access_energy_pj: float = 1.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.wire_activity <= 1.0:
+            raise ValueError(
+                f"wire activity must be in [0, 1], got {self.wire_activity}"
+            )
+        if self.clock_ghz <= 0:
+            raise ValueError(f"clock must be positive, got {self.clock_ghz}")
+
+    @property
+    def cycle_time_ns(self) -> float:
+        """Duration of one clock cycle in nanoseconds."""
+        return 1.0 / self.clock_ghz
+
+    def leakage_pj_per_cycle(self, power_mw: float) -> float:
+        """Convert a leakage power (mW) into energy per cycle (pJ).
+
+        1 mW for 1 ns is exactly 1 pJ, so this is ``power_mw / clock_ghz``.
+        """
+        return power_mw * self.cycle_time_ns
+
+    def scaled(
+        self,
+        bank_access: float = 1.0,
+        comp_decomp: float = 1.0,
+        wire_activity: float | None = None,
+    ) -> "EnergyParams":
+        """A copy with scaled knobs for the design-space sweeps.
+
+        ``bank_access`` multiplies the per-bank access energy (Figure 18);
+        ``comp_decomp`` multiplies both unit activation energies
+        (Figure 17); ``wire_activity`` replaces the switching factor
+        (Figure 19).
+        """
+        kwargs: dict = {
+            "bank_access_energy_pj": self.bank_access_energy_pj * bank_access,
+            "compression_energy_pj": self.compression_energy_pj * comp_decomp,
+            "decompression_energy_pj": self.decompression_energy_pj
+            * comp_decomp,
+        }
+        if wire_activity is not None:
+            kwargs["wire_activity"] = wire_activity
+        return replace(self, **kwargs)

@@ -1,0 +1,36 @@
+"""Wire data-movement energy model.
+
+Register values travel roughly 1 mm between the SRAM banks and the
+execution units; the paper models this movement explicitly because it is a
+significant fraction of the per-bank access energy (Section 6.1, following
+Keckler et al. and the exascale study).  The energy to drive one wire one
+transition is ``1/2 * C * V^2``; a 128-bit bank port with switching
+activity ``a`` therefore costs::
+
+    E = 1/2 * C_per_mm * V^2 * distance_mm * 128 * a
+
+With the Table 3 values (300 fF/mm, 1.0 V, 1 mm) and the paper's default
+activity of 0.5 this evaluates to 9.6 pJ per 128-bit transfer — exactly
+the "Wire Energy (128-bit, pJ/mm)" row of Table 3.
+"""
+
+from __future__ import annotations
+
+from repro.power.params import EnergyParams
+
+
+def wire_energy_per_bank_pj(
+    params: EnergyParams, activity: float | None = None
+) -> float:
+    """Energy (pJ) to move one bank-width of data across the wires.
+
+    ``activity`` overrides the parameter set's switching factor; Figure 19
+    sweeps it from 0 to 1.
+    """
+    a = params.wire_activity if activity is None else activity
+    if not 0.0 <= a <= 1.0:
+        raise ValueError(f"wire activity must be in [0, 1], got {a}")
+    capacitance_f = params.wire_capacitance_ff_per_mm * 1e-15
+    joules_per_wire = 0.5 * capacitance_f * params.voltage**2
+    joules = joules_per_wire * params.wire_distance_mm * params.bank_bits * a
+    return joules * 1e12

@@ -1,0 +1,89 @@
+"""Unit-level tests for the ablation and extension drivers.
+
+The heavy, full-suite versions run in ``benchmarks/``; these exercise the
+drivers on a two-benchmark subset so structural regressions (renamed
+columns, broken averaging, missing rows) surface in the fast suite.
+"""
+
+import pytest
+
+from repro.harness.ablations import (
+    ABLATIONS,
+    collectors,
+    divergence_policies,
+    gate_delay,
+)
+from repro.harness.extensions import EXTENSIONS, rfc_orthogonality
+from repro.harness.runner import ALL_DRIVERS, main
+from repro.harness.sweeps import SimulationCache
+
+SUBSET = ["lib", "pathfinder"]
+
+
+@pytest.fixture(scope="module")
+def cache():
+    return SimulationCache(scale="small", subset=SUBSET)
+
+
+class TestRegistries:
+    def test_ablation_ids_prefixed(self):
+        assert all(k.startswith("abl-") for k in ABLATIONS)
+
+    def test_extension_ids_prefixed(self):
+        assert all(k.startswith("ext-") for k in EXTENSIONS)
+
+    def test_all_drivers_disjoint(self):
+        assert len(ALL_DRIVERS) == 18 + len(ABLATIONS) + len(EXTENSIONS)
+
+
+class TestAblationDrivers:
+    def test_gate_delay_columns(self, cache):
+        result = gate_delay(cache)
+        # Paired E@/T@ columns plus the benchmark label.
+        assert len(result.headers) == 11
+        assert result.rows[-1][0] == "AVERAGE"
+        for row in result.rows:
+            for cell in row[1:]:
+                assert cell > 0
+
+    def test_collectors_normalised_to_default(self, cache):
+        result = collectors(cache)
+        # The oc=8 column is the reference: exactly 1.0 per benchmark.
+        idx = result.headers.index("oc=8")
+        for row in result.rows[:-1]:
+            assert row[idx] == pytest.approx(1.0)
+
+    def test_divergence_policies_run_full_suite_subset(self, cache):
+        result = divergence_policies(cache)
+        assert [r[0] for r in result.rows] == SUBSET + ["AVERAGE"]
+
+
+class TestExtensionDrivers:
+    def test_rfc_orthogonality_shape(self, cache):
+        result = rfc_orthogonality(cache)
+        assert result.headers == ["benchmark", "warped", "rfc", "rfc+warped"]
+        combined = result.cell("lib", "rfc+warped")
+        assert combined < result.cell("lib", "warped")
+        assert combined < result.cell("lib", "rfc")
+
+
+class TestCliIntegration:
+    def test_ablations_keyword_expands(self, capsys):
+        code = main(
+            [
+                "abl-divergence",
+                "--scale",
+                "small",
+                "--benchmarks",
+                "lib",
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "abl-divergence" in out and "lib" in out
+
+    def test_chart_flag(self, capsys):
+        code = main(["table1", "--quiet", "--chart"])
+        assert code == 0
+        assert "█" in capsys.readouterr().out

@@ -1,0 +1,71 @@
+"""Unit tests for register-bank geometry arithmetic."""
+
+import pytest
+
+from repro.core.banks import (
+    BANK_BYTES,
+    BANKS_PER_WARP_REGISTER,
+    WARP_REGISTER_BYTES,
+    bank_bytes_used,
+    banks_required,
+    compression_ratio_in_banks,
+)
+
+
+class TestBanksRequired:
+    def test_zero_bytes_needs_no_banks(self):
+        assert banks_required(0) == 0
+
+    def test_one_byte_needs_one_bank(self):
+        assert banks_required(1) == 1
+
+    def test_exact_bank_boundary(self):
+        assert banks_required(16) == 1
+        assert banks_required(32) == 2
+
+    def test_one_past_boundary_spills(self):
+        assert banks_required(17) == 2
+
+    @pytest.mark.parametrize(
+        "nbytes,banks",
+        [(1, 1), (4, 1), (35, 3), (65, 5), (66, 5), (23, 2), (38, 3), (68, 5), (128, 8)],
+    )
+    def test_paper_table1_bank_counts(self, nbytes, banks):
+        assert banks_required(nbytes) == banks
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            banks_required(-1)
+
+    def test_bad_bank_width_rejected(self):
+        with pytest.raises(ValueError):
+            banks_required(10, bank_bytes=0)
+
+    def test_custom_bank_width(self):
+        assert banks_required(33, bank_bytes=32) == 2
+
+
+class TestConstants:
+    def test_warp_register_spans_eight_banks(self):
+        assert WARP_REGISTER_BYTES // BANK_BYTES == BANKS_PER_WARP_REGISTER == 8
+
+
+class TestBankBytesUsed:
+    def test_rounds_up_to_whole_banks(self):
+        assert bank_bytes_used(35) == 48
+        assert bank_bytes_used(4) == 16
+
+
+class TestCompressionRatio:
+    def test_full_register_ratio_is_one(self):
+        assert compression_ratio_in_banks(128) == 1.0
+
+    def test_single_bank_ratio_is_eight(self):
+        assert compression_ratio_in_banks(4) == 8.0
+
+    def test_three_bank_ratio(self):
+        assert compression_ratio_in_banks(35) == pytest.approx(8 / 3)
+
+    def test_zero_compressed_size_rejected(self):
+        with pytest.raises(ValueError):
+            compression_ratio_in_banks(0)

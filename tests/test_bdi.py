@@ -1,0 +1,234 @@
+"""Unit and property tests for the generic BDI implementation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bdi import (
+    ALL_ENCODINGS,
+    TABLE1_ENCODINGS,
+    WARPED_ENCODINGS,
+    BDIBlock,
+    Encoding,
+    best_encoding,
+    can_encode,
+    compressed_size,
+    compressible_sizes,
+    decode,
+    encode,
+    from_bytes,
+    to_bytes,
+)
+
+
+def warp_bytes(values) -> bytes:
+    """Pack 32-bit values little-endian, as a warp register would be."""
+    return np.asarray(values, dtype=np.uint32).tobytes()
+
+
+class TestEncoding:
+    def test_rejects_bad_base(self):
+        with pytest.raises(ValueError):
+            Encoding(3, 1)
+
+    def test_rejects_delta_not_smaller_than_base(self):
+        with pytest.raises(ValueError):
+            Encoding(4, 4)
+
+    def test_rejects_negative_delta(self):
+        with pytest.raises(ValueError):
+            Encoding(4, -1)
+
+    def test_str(self):
+        assert str(Encoding(4, 1)) == "<4,1>"
+
+
+class TestCompressedSize:
+    """Paper equation (1) and the Table 1 rows derived from it."""
+
+    @pytest.mark.parametrize(
+        "enc,size,banks",
+        [
+            (Encoding(1, 0), 1, 1),
+            (Encoding(2, 1), 65, 5),
+            (Encoding(4, 0), 4, 1),
+            (Encoding(4, 1), 35, 3),
+            (Encoding(4, 2), 66, 5),
+            (Encoding(8, 0), 8, 1),
+            (Encoding(8, 1), 23, 2),
+            (Encoding(8, 2), 38, 3),
+            (Encoding(8, 4), 68, 5),
+        ],
+    )
+    def test_table1(self, enc, size, banks):
+        assert enc.compressed_size(128) == size
+        assert enc.banks(128) == banks
+
+    def test_table1_constant_matches(self):
+        assert len(TABLE1_ENCODINGS) == 9
+
+    def test_input_not_multiple_of_base_rejected(self):
+        with pytest.raises(ValueError):
+            compressed_size(130, 4, 1)
+
+
+class TestCanEncode:
+    def test_identical_values_fit_delta_zero(self):
+        data = warp_bytes([7] * 32)
+        assert can_encode(data, Encoding(4, 0))
+
+    def test_distinct_values_fail_delta_zero(self):
+        data = warp_bytes([7] * 31 + [8])
+        assert not can_encode(data, Encoding(4, 0))
+
+    def test_small_deltas_fit_one_byte(self):
+        data = warp_bytes(range(100, 132))
+        assert can_encode(data, Encoding(4, 1))
+
+    def test_delta_127_fits_one_byte(self):
+        data = warp_bytes([1000, 1127] + [1000] * 30)
+        assert can_encode(data, Encoding(4, 1))
+
+    def test_delta_minus_128_fits_one_byte(self):
+        data = warp_bytes([1000, 872] + [1000] * 30)
+        assert can_encode(data, Encoding(4, 1))
+
+    def test_delta_128_needs_two_bytes(self):
+        data = warp_bytes([1000, 1128] + [1000] * 30)
+        assert not can_encode(data, Encoding(4, 1))
+        assert can_encode(data, Encoding(4, 2))
+
+    def test_wraparound_delta(self):
+        # 0x00000000 - 0xFFFFFFFF = +1 with wrap-around arithmetic.
+        data = warp_bytes([0xFFFFFFFF, 0] + [0xFFFFFFFF] * 30)
+        assert can_encode(data, Encoding(4, 1))
+
+    def test_random_values_do_not_compress(self):
+        rng = np.random.default_rng(1)
+        data = warp_bytes(rng.integers(0, 1 << 32, 32, dtype=np.uint64))
+        assert not any(can_encode(data, e) for e in WARPED_ENCODINGS)
+
+
+class TestEncodeDecode:
+    def test_roundtrip_simple(self):
+        data = warp_bytes(range(32))
+        block = encode(data, Encoding(4, 1))
+        assert decode(block) == data
+
+    def test_encode_uncompressible_raises(self):
+        data = warp_bytes([0, 1 << 20] + [0] * 30)
+        with pytest.raises(ValueError):
+            encode(data, Encoding(4, 1))
+
+    def test_block_size_matches_static_formula(self):
+        data = warp_bytes(range(32))
+        block = encode(data, Encoding(4, 2))
+        assert block.size == 66
+
+    def test_bytes_roundtrip(self):
+        # Even lanes ramp gently, odd lanes are constant: the 4-byte
+        # deltas stay within one byte and the 8-byte chunk deltas (which
+        # see only the even-lane ramp, the odd lanes being the identical
+        # high words) stay within four bytes.
+        values = [1000 + i if i % 2 == 0 else 1050 for i in range(32)]
+        data = warp_bytes(values)
+        for enc in (Encoding(4, 1), Encoding(4, 2), Encoding(8, 4)):
+            block = encode(data, enc)
+            payload = to_bytes(block)
+            assert len(payload) == enc.compressed_size(128)
+            restored = from_bytes(payload, enc, 128)
+            assert decode(restored) == data
+
+    def test_from_bytes_length_checked(self):
+        with pytest.raises(ValueError):
+            from_bytes(b"\x00" * 10, Encoding(4, 1), 128)
+
+    def test_delta_zero_roundtrip(self):
+        data = warp_bytes([42] * 32)
+        block = encode(data, Encoding(4, 0))
+        assert block.deltas == (0,) * 31
+        assert decode(block) == data
+        assert to_bytes(block) == (42).to_bytes(4, "little")
+
+
+class TestBestEncoding:
+    def test_identical_values_pick_smallest(self):
+        data = warp_bytes([5] * 32)
+        # <4,0> and <8,0> both need one bank; <4,0> is smaller in bytes.
+        assert best_encoding(data) == Encoding(4, 0)
+
+    def test_sequential_values_pick_4_1(self):
+        data = warp_bytes(range(1 << 20, (1 << 20) + 32))
+        assert best_encoding(data) == Encoding(4, 1)
+
+    def test_uncompressible_returns_none(self):
+        rng = np.random.default_rng(2)
+        data = warp_bytes(rng.integers(0, 1 << 32, 32, dtype=np.uint64))
+        assert best_encoding(data) is None
+
+    def test_candidate_restriction(self):
+        data = warp_bytes([5] * 32)
+        assert best_encoding(data, [Encoding(4, 2)]) == Encoding(4, 2)
+
+    def test_no_benefit_means_none(self):
+        # Compressible only to a size needing all 8 banks is pointless —
+        # the candidate list here offers no such encoding, but verify the
+        # raw-banks comparison through a crafted 16-byte input.
+        data = bytes(range(16))
+        assert best_encoding(data, [Encoding(8, 4)]) is None
+
+    def test_compressible_sizes_map(self):
+        data = warp_bytes([9] * 32)
+        sizes = compressible_sizes(data)
+        assert sizes[Encoding(4, 0)] == 4
+        assert sizes[Encoding(8, 0)] == 8
+        assert set(sizes) == set(ALL_ENCODINGS)
+
+
+# ----------------------------------------------------------------------
+# Property-based tests
+# ----------------------------------------------------------------------
+u32 = st.integers(min_value=0, max_value=(1 << 32) - 1)
+
+
+@settings(max_examples=150, deadline=None)
+@given(base=u32, deltas=st.lists(st.integers(-128, 127), min_size=31, max_size=31))
+def test_property_encode_decode_roundtrip_4_1(base, deltas):
+    values = [(base + d) % (1 << 32) for d in [0] + deltas]
+    data = warp_bytes(values)
+    assert can_encode(data, Encoding(4, 1))
+    assert decode(encode(data, Encoding(4, 1))) == data
+
+
+@settings(max_examples=150, deadline=None)
+@given(values=st.lists(u32, min_size=32, max_size=32))
+def test_property_any_register_decodes_exactly_when_encodable(values):
+    data = warp_bytes(values)
+    for enc in ALL_ENCODINGS:
+        if can_encode(data, enc):
+            block = encode(data, enc)
+            assert decode(block) == data
+            assert from_bytes(to_bytes(block), enc, len(data)) == block
+
+
+@settings(max_examples=150, deadline=None)
+@given(values=st.lists(u32, min_size=32, max_size=32))
+def test_property_best_encoding_beats_all_candidates(values):
+    data = warp_bytes(values)
+    best = best_encoding(data)
+    sizes = compressible_sizes(data)
+    if best is None:
+        assert all(enc.banks(128) >= 8 for enc in sizes)
+    else:
+        assert best in sizes
+        assert all(best.banks(128) <= enc.banks(128) for enc in sizes)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    values=st.lists(st.integers(0, 255), min_size=32, max_size=32),
+)
+def test_property_small_values_always_compress(values):
+    data = warp_bytes(values)
+    assert can_encode(data, Encoding(4, 2))

@@ -1,0 +1,221 @@
+"""Unit tests for the kernel-builder DSL and program container."""
+
+import pytest
+
+from repro.gpu.builder import KernelBuilder, fimm, float_bits
+from repro.gpu.isa import Cmp, Imm, Instruction, Op, Pred, Reg, SReg
+from repro.gpu.program import Kernel
+
+
+class TestFloatImmediates:
+    def test_float_bits_roundtrip(self):
+        import struct
+
+        bits = float_bits(1.5)
+        assert struct.unpack("<f", struct.pack("<I", bits))[0] == 1.5
+
+    def test_fimm(self):
+        assert isinstance(fimm(2.0), Imm)
+        assert fimm(0.0).value == 0
+
+
+class TestAllocation:
+    def test_registers_are_fresh(self):
+        b = KernelBuilder("k")
+        assert b.reg() != b.reg()
+
+    def test_num_registers_tracked(self):
+        b = KernelBuilder("k")
+        r = b.mov(1)
+        b.iadd(r, 2)
+        b.exit_()
+        assert b.build().num_registers == 2
+
+    def test_predicates_cycle_through_eight(self):
+        b = KernelBuilder("k")
+        preds = {b.isetp(Cmp.EQ, b.mov(0), 0).index for _ in range(8)}
+        assert preds == set(range(8))
+
+
+class TestStraightLine:
+    def test_operand_coercion(self):
+        b = KernelBuilder("k")
+        r = b.iadd(1, 2)
+        instr = b._instrs[-1]
+        assert instr.srcs == (Imm(1), Imm(2))
+        b.fadd(r, 1.5)
+        assert b._instrs[-1].srcs[1] == fimm(1.5)
+
+    def test_bool_operand_rejected(self):
+        with pytest.raises(TypeError):
+            KernelBuilder("k").iadd(True, 1)
+
+    def test_param_lookup(self):
+        b = KernelBuilder("k", params=("n", "x"))
+        b.param("x")
+        assert b._instrs[-1].param_index == 1
+        with pytest.raises(KeyError):
+            b.param("missing")
+
+    def test_global_tid(self):
+        b = KernelBuilder("k")
+        b.global_tid_x()
+        ops = [i.op for i in b._instrs]
+        assert ops == [Op.S2R, Op.S2R, Op.S2R, Op.IMAD]
+
+    def test_exit_appended_automatically(self):
+        b = KernelBuilder("k")
+        b.mov(1)
+        kernel = b.build()
+        assert kernel.instructions[-1].op is Op.EXIT
+
+
+class TestIf:
+    def test_simple_if_branch_targets(self):
+        b = KernelBuilder("k")
+        p = b.isetp(Cmp.LT, b.mov(0), 5)
+        with b.if_(p):
+            b.mov(1)
+        kernel = b.build()
+        bra = next(i for i in kernel.instructions if i.op is Op.BRA)
+        # The guard is the negated predicate, jumping to the join point.
+        assert bra.guard == ~p
+        assert bra.target == bra.reconv
+
+    def test_if_else_structure(self):
+        b = KernelBuilder("k")
+        p = b.isetp(Cmp.LT, b.mov(0), 5)
+        with b.if_(p):
+            b.mov(1)
+        with b.else_():
+            b.mov(2)
+        kernel = b.build()
+        bras = [i for i in kernel.instructions if i.op is Op.BRA]
+        assert len(bras) == 2
+        cond, skip = bras
+        # Conditional branch lands on the else body (after the skip BRA).
+        assert kernel.instructions[cond.target - 1] is skip
+        # Both reconverge at the same join point, past the else body.
+        assert cond.reconv == skip.reconv == skip.target
+        assert skip.guard is None
+
+    def test_else_without_if_rejected(self):
+        b = KernelBuilder("k")
+        with pytest.raises(RuntimeError):
+            with b.else_():
+                pass
+
+    def test_else_must_immediately_follow(self):
+        b = KernelBuilder("k")
+        p = b.isetp(Cmp.LT, b.mov(0), 5)
+        with b.if_(p):
+            b.mov(1)
+        b.mov(3)  # intervening instruction
+        with pytest.raises(RuntimeError):
+            with b.else_():
+                pass
+
+
+class TestLoops:
+    def test_while_loop_back_edge(self):
+        b = KernelBuilder("k")
+        i = b.mov(0)
+        with b.while_loop() as loop:
+            loop.break_unless(b.isetp(Cmp.LT, i, 10))
+            b.iadd(i, 1, dst=i)
+        kernel = b.build()
+        bras = [x for x in kernel.instructions if x.op is Op.BRA]
+        exit_bra, back_bra = bras
+        assert back_bra.guard is None
+        assert back_bra.target < exit_bra.target  # jumps back to the head
+        assert exit_bra.reconv == exit_bra.target  # exits to the join
+
+    def test_for_range_generates_counter(self):
+        b = KernelBuilder("k")
+        with b.for_range(3, 9, step=2) as i:
+            b.iadd(i, 0)
+        kernel = b.build()
+        movs = [x for x in kernel.instructions if x.op is Op.MOV]
+        assert movs[0].srcs == (Imm(3),)
+
+    def test_for_range_zero_step_rejected(self):
+        b = KernelBuilder("k")
+        with pytest.raises(ValueError):
+            with b.for_range(0, 1, step=0):
+                pass
+
+    def test_negative_step_uses_gt(self):
+        b = KernelBuilder("k")
+        with b.for_range(10, 0, step=-1):
+            pass
+        setp = next(i for i in b._instrs if i.op is Op.ISETP)
+        assert setp.cmp is Cmp.GT
+
+
+class TestBuild:
+    def test_undefined_label_raises(self):
+        b = KernelBuilder("k")
+        b._emit(
+            Instruction(Op.BRA, label_target=".nowhere", label_reconv=".nowhere")
+        )
+        with pytest.raises(ValueError, match="undefined label"):
+            b.build()
+
+    def test_emit_after_build_rejected(self):
+        b = KernelBuilder("k")
+        b.exit_()
+        b.build()
+        with pytest.raises(RuntimeError):
+            b.mov(1)
+
+    def test_listing_contains_labels(self):
+        b = KernelBuilder("k")
+        p = b.isetp(Cmp.EQ, b.mov(0), 0)
+        with b.if_(p):
+            b.mov(1)
+        listing = b.build().listing()
+        assert ".endif" in listing
+        assert "isetp" in listing
+
+
+class TestKernelValidation:
+    def test_empty_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            Kernel("k", [], num_registers=1)
+
+    def test_missing_exit_rejected(self):
+        with pytest.raises(ValueError, match="EXIT"):
+            Kernel("k", [Instruction(Op.NOP)], num_registers=1)
+
+    def test_register_bounds_checked(self):
+        instrs = [
+            Instruction(Op.MOV, dst=Reg(5), srcs=(Imm(0),)),
+            Instruction(Op.EXIT),
+        ]
+        with pytest.raises(ValueError, match="declares"):
+            Kernel("k", instrs, num_registers=2)
+
+    def test_unresolved_branch_rejected(self):
+        instrs = [Instruction(Op.BRA), Instruction(Op.EXIT)]
+        with pytest.raises(ValueError, match="unresolved"):
+            Kernel("k", instrs, num_registers=1)
+
+    def test_source_register_operands_reported(self):
+        instr = Instruction(Op.IADD, dst=Reg(0), srcs=(Reg(1), Imm(3)))
+        assert instr.source_registers() == (1,)
+        assert instr.writes_register()
+
+
+class TestPredOperand:
+    def test_negation(self):
+        p = Pred(2)
+        assert (~p).negated and (~~p) == p
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            Pred(8)
+
+    def test_sreg_sugar(self):
+        b = KernelBuilder("k")
+        b.tid_x()
+        assert b._instrs[-1].sreg is SReg.TID_X

@@ -1,0 +1,182 @@
+"""Unit and property tests for the fast warp-register codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bdi import Encoding, can_encode
+from repro.core.codec import (
+    COMPRESSED_MODES,
+    CompressionMode,
+    WarpRegisterCodec,
+    bank_span,
+    choose_mode,
+    compression_ratio,
+    decode_register,
+    encode_register,
+    full_bank_span,
+)
+
+
+def lanes(values) -> np.ndarray:
+    return np.asarray(values, dtype=np.uint32)
+
+
+class TestCompressionMode:
+    def test_mode_bytes_match_table1(self):
+        assert CompressionMode.B4D0.compressed_bytes == 4
+        assert CompressionMode.B4D1.compressed_bytes == 35
+        assert CompressionMode.B4D2.compressed_bytes == 66
+        assert CompressionMode.UNCOMPRESSED.compressed_bytes == 128
+
+    def test_mode_banks_match_table1(self):
+        assert [m.banks for m in CompressionMode] == [1, 3, 5, 8]
+
+    def test_indicator_fits_two_bits(self):
+        assert all(0 <= m.value < 4 for m in CompressionMode)
+
+    def test_is_compressed(self):
+        assert CompressionMode.B4D0.is_compressed
+        assert not CompressionMode.UNCOMPRESSED.is_compressed
+
+    def test_encoding_mapping(self):
+        assert CompressionMode.B4D1.encoding == Encoding(4, 1)
+        assert CompressionMode.UNCOMPRESSED.encoding is None
+
+
+class TestChooseMode:
+    def test_identical(self):
+        assert choose_mode(lanes([9] * 32)) is CompressionMode.B4D0
+
+    def test_sequential(self):
+        assert choose_mode(lanes(range(32))) is CompressionMode.B4D1
+
+    def test_boundary_127(self):
+        assert choose_mode(lanes([0, 127] + [0] * 30)) is CompressionMode.B4D1
+
+    def test_boundary_minus_128(self):
+        values = lanes([1000, 872] + [1000] * 30)
+        assert choose_mode(values) is CompressionMode.B4D1
+
+    def test_boundary_128_needs_two_bytes(self):
+        assert choose_mode(lanes([0, 128] + [0] * 30)) is CompressionMode.B4D2
+
+    def test_boundary_32767(self):
+        assert choose_mode(lanes([0, 32767] + [0] * 30)) is CompressionMode.B4D2
+
+    def test_boundary_32768_uncompressed(self):
+        assert (
+            choose_mode(lanes([0, 32768] + [0] * 30))
+            is CompressionMode.UNCOMPRESSED
+        )
+
+    def test_wraparound_near_zero(self):
+        # 0xFFFFFFFF is -1 away from 0 in wrap-around arithmetic.
+        values = lanes([0, 0xFFFFFFFF] + [0] * 30)
+        assert choose_mode(values) is CompressionMode.B4D1
+
+    def test_non_1d_rejected(self):
+        with pytest.raises(ValueError):
+            choose_mode(np.zeros((2, 16), dtype=np.uint32))
+
+
+class TestEncodeDecodeRegister:
+    def test_roundtrip_compressed(self):
+        values = lanes(range(500, 532))
+        mode, block = encode_register(values)
+        assert mode is CompressionMode.B4D1
+        np.testing.assert_array_equal(decode_register(block), values)
+
+    def test_uncompressed_returns_no_block(self):
+        rng = np.random.default_rng(0)
+        values = lanes(rng.integers(0, 1 << 32, 32, dtype=np.uint64))
+        mode, block = encode_register(values)
+        assert mode is CompressionMode.UNCOMPRESSED
+        assert block is None
+
+    def test_decode_rejects_wrong_base(self):
+        from repro.core.bdi import BDIBlock
+
+        block = BDIBlock(Encoding(8, 1), 128, 5, (0,) * 15)
+        with pytest.raises(ValueError):
+            decode_register(block)
+
+
+class TestWarpRegisterCodec:
+    def test_counts_activations(self):
+        codec = WarpRegisterCodec()
+        codec.compress(lanes([1] * 32))
+        codec.decompress()
+        codec.decompress()
+        assert codec.compressions == 1
+        assert codec.decompressions == 2
+        codec.reset_counters()
+        assert codec.compressions == codec.decompressions == 0
+
+    def test_restricted_modes_round_up(self):
+        codec = WarpRegisterCodec(modes=(CompressionMode.B4D1,))
+        # Identical values would fit <4,0>, but only <4,1> is allowed.
+        assert codec.compress(lanes([3] * 32)) is CompressionMode.B4D1
+        # Two-byte deltas cannot round down to <4,1>.
+        wide = lanes([0, 1000] + [0] * 30)
+        assert codec.compress(wide) is CompressionMode.UNCOMPRESSED
+
+    def test_rejects_uncompressed_in_mode_list(self):
+        with pytest.raises(ValueError):
+            WarpRegisterCodec(modes=(CompressionMode.UNCOMPRESSED,))
+
+
+class TestSpans:
+    def test_bank_spans(self):
+        assert list(bank_span(CompressionMode.B4D0)) == [0]
+        assert list(bank_span(CompressionMode.B4D1)) == [0, 1, 2]
+        assert list(bank_span(CompressionMode.B4D2)) == [0, 1, 2, 3, 4]
+        assert list(full_bank_span()) == list(range(8))
+
+    def test_compression_ratios(self):
+        assert compression_ratio(CompressionMode.B4D0) == 8.0
+        assert compression_ratio(CompressionMode.B4D1) == pytest.approx(8 / 3)
+        assert compression_ratio(CompressionMode.UNCOMPRESSED) == 1.0
+
+
+# ----------------------------------------------------------------------
+# Property: fast codec agrees with the generic BDI reference
+# ----------------------------------------------------------------------
+u32 = st.integers(min_value=0, max_value=(1 << 32) - 1)
+small = st.integers(min_value=-40000, max_value=40000)
+
+
+@st.composite
+def warp_values(draw):
+    base = draw(u32)
+    offsets = draw(st.lists(small, min_size=31, max_size=31))
+    return [base] + [(base + o) % (1 << 32) for o in offsets]
+
+
+@settings(max_examples=200, deadline=None)
+@given(values=warp_values())
+def test_property_choose_mode_matches_generic_bdi(values):
+    arr = lanes(values)
+    data = arr.tobytes()
+    mode = choose_mode(arr)
+    encodable = {
+        m: can_encode(data, m.encoding) for m in COMPRESSED_MODES
+    }
+    if mode is CompressionMode.UNCOMPRESSED:
+        assert not any(encodable.values())
+    else:
+        assert encodable[mode]
+        # No strictly cheaper mode should be encodable.
+        for m in COMPRESSED_MODES:
+            if m < mode:
+                assert not encodable[m]
+
+
+@settings(max_examples=200, deadline=None)
+@given(values=warp_values())
+def test_property_register_roundtrip(values):
+    arr = lanes(values)
+    mode, block = encode_register(arr)
+    if block is not None:
+        np.testing.assert_array_equal(decode_register(block), arr)

@@ -1,0 +1,66 @@
+"""Tests for GPU configuration validation and derived geometry."""
+
+import pytest
+
+from repro.gpu.config import GPUConfig
+
+
+class TestDefaults:
+    def test_table2_defaults(self):
+        cfg = GPUConfig()
+        assert cfg.clock_ghz == 1.4
+        assert cfg.warp_size == 32
+        assert cfg.max_warps_per_sm == 48
+        assert cfg.max_threads_per_sm == 1536
+        assert cfg.register_file_bytes == 128 * 1024
+        assert cfg.num_banks == 32
+        assert cfg.entries_per_bank == 256
+        assert cfg.num_compressors == 2
+        assert cfg.num_decompressors == 4
+        assert cfg.compression_latency == 2
+        assert cfg.decompression_latency == 1
+        assert cfg.bank_wakeup_latency == 10
+
+    def test_derived_geometry(self):
+        cfg = GPUConfig()
+        assert cfg.banks_per_cluster == 8
+        assert cfg.num_clusters == 4
+        assert cfg.warp_register_slots == 1024
+        assert cfg.thread_registers_per_sm == 32768  # Table 2
+
+
+class TestValidation:
+    def test_inconsistent_geometry_rejected(self):
+        with pytest.raises(ValueError, match="inconsistent"):
+            GPUConfig(num_banks=16)
+
+    def test_bad_scheduler_rejected(self):
+        with pytest.raises(ValueError, match="scheduler_policy"):
+            GPUConfig(scheduler_policy="random")
+
+    def test_bank_cluster_multiple_required(self):
+        with pytest.raises(ValueError):
+            GPUConfig(
+                num_banks=12,
+                register_file_bytes=12 * 16 * 256,
+            )
+
+    def test_with_overrides(self):
+        cfg = GPUConfig().with_overrides(compression_latency=8)
+        assert cfg.compression_latency == 8
+        assert GPUConfig().compression_latency == 2
+
+
+class TestOccupancy:
+    def test_zero_register_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            GPUConfig().max_resident_warps(0, 1)
+
+    def test_thread_limit_binds(self):
+        cfg = GPUConfig(max_threads_per_sm=256, max_warps_per_sm=48)
+        assert cfg.max_resident_warps(1, cta_warps=1) == 8
+
+    def test_whole_cta_rounding(self):
+        cfg = GPUConfig()
+        # 100 regs -> 10 warps; CTAs of 4 warps -> 8 resident.
+        assert cfg.max_resident_warps(100, cta_warps=4) == 8

@@ -1,0 +1,122 @@
+"""Unit tests for event-driven energy accounting."""
+
+import pytest
+
+from repro.power.energy import EnergyBreakdown, EnergyModel
+from repro.power.params import EnergyParams
+
+
+def model(**kwargs) -> EnergyModel:
+    defaults = dict(params=EnergyParams(), num_banks=32)
+    defaults.update(kwargs)
+    return EnergyModel(**defaults)
+
+
+class TestEventRecording:
+    def test_reads_and_writes_accumulate_banks(self):
+        m = model()
+        m.record_read(8)
+        m.record_read(3)
+        m.record_write(5)
+        assert m.bank_reads == 11
+        assert m.bank_writes == 5
+        assert m.wire_transfers == 16
+
+    def test_finalize_gating_vector_length_checked(self):
+        m = model()
+        with pytest.raises(ValueError):
+            m.finalize(100, [0] * 31)
+
+    def test_finalize_negative_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            model().finalize(-1)
+
+
+class TestBreakdown:
+    def test_dynamic_energy_arithmetic(self):
+        m = model()
+        m.record_read(10)  # 10 banks
+        m.finalize(0)
+        b = m.breakdown()
+        assert b.bank_access_pj == pytest.approx(70.0)
+        assert b.wire_pj == pytest.approx(96.0)  # 10 x 9.6
+        assert b.dynamic_pj == pytest.approx(166.0)
+
+    def test_leakage_scales_with_active_banks(self):
+        m = model()
+        m.finalize(1000)
+        full = m.breakdown().bank_leakage_pj
+        m.finalize(1000, [1000] * 16 + [0] * 16)  # half the banks gated
+        half = m.breakdown().bank_leakage_pj
+        assert half == pytest.approx(full / 2)
+
+    def test_unit_energy_and_leakage(self):
+        m = model(num_compressors=2, num_decompressors=4)
+        m.record_compression(10)
+        m.record_decompression(20)
+        m.finalize(1400)  # 1 us at 1.4 GHz
+        b = m.breakdown()
+        # activations + unit leakage (0.12 mW x 2 and 0.08 mW x 4 for 1 us)
+        assert b.compression_pj == pytest.approx(10 * 23 + 2 * 0.12 * 1000)
+        assert b.decompression_pj == pytest.approx(20 * 21 + 4 * 0.08 * 1000)
+
+    def test_baseline_has_no_unit_leakage(self):
+        m = model()
+        m.finalize(10_000)
+        b = m.breakdown()
+        assert b.compression_pj == 0.0
+        assert b.decompression_pj == 0.0
+
+    def test_total_is_sum_of_categories(self):
+        m = model(num_compressors=2, num_decompressors=4)
+        m.record_read(100)
+        m.record_write(50)
+        m.record_compression(5)
+        m.record_decompression(7)
+        m.finalize(500, [100] * 32)
+        b = m.breakdown()
+        assert b.total_pj == pytest.approx(
+            b.dynamic_pj + b.bank_leakage_pj + b.compression_pj + b.decompression_pj
+        )
+
+
+class TestNormalization:
+    def test_normalized_to_baseline(self):
+        base = model()
+        base.record_read(100)
+        base.finalize(100)
+        wc = model()
+        wc.record_read(50)
+        wc.finalize(100)
+        norm = wc.breakdown().normalized_to(base.breakdown())
+        assert norm["total"] < 1.0
+        assert norm["dynamic"] + norm["leakage"] == pytest.approx(norm["total"])
+
+    def test_zero_baseline_rejected(self):
+        empty = EnergyBreakdown(0, 0, 0, 0, 0)
+        with pytest.raises(ValueError):
+            empty.normalized_to(empty)
+
+
+class TestReprice:
+    def test_reprice_scales_linearly(self):
+        m = model()
+        m.record_read(10)
+        m.finalize(0)
+        base = m.breakdown()
+        scaled = m.reprice(EnergyParams().scaled(bank_access=2.0))
+        assert scaled.bank_access_pj == pytest.approx(2 * base.bank_access_pj)
+        assert scaled.wire_pj == pytest.approx(base.wire_pj)
+
+    def test_reprice_restores_params(self):
+        m = model()
+        original = m.params
+        m.reprice(EnergyParams().scaled(bank_access=3.0))
+        assert m.params is original
+
+    def test_reprice_equals_breakdown_for_same_params(self):
+        m = model(num_compressors=2)
+        m.record_read(7)
+        m.record_compression(3)
+        m.finalize(50)
+        assert m.reprice(m.params) == m.breakdown()

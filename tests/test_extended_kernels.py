@@ -1,0 +1,104 @@
+"""Tests for the extended (non-paper) benchmark suite."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.functional import run_functional
+from repro.gpu.launch import run_kernel
+from repro.kernels import benchmark_names, get_benchmark, iter_benchmarks
+from repro.kernels.suite import BENCHMARKS, EXTRA_BENCHMARKS
+
+EXTENDED = benchmark_names(extended=True)
+
+
+@pytest.fixture(scope="module")
+def extended_runs():
+    runs = {}
+    for bench in iter_benchmarks(extended=True):
+        spec = bench.launch("small")
+        gmem = spec.fresh_memory()
+        stats = run_functional(
+            spec.kernel, spec.grid_dim, spec.cta_dim, spec.params, gmem
+        )
+        bench.verify(gmem, spec)
+        runs[bench.name] = stats
+    return runs
+
+
+class TestRegistry:
+    def test_nine_extra_benchmarks(self):
+        assert len(EXTRA_BENCHMARKS) == 9
+
+    def test_suites_are_disjoint(self):
+        assert not set(BENCHMARKS) & set(EXTRA_BENCHMARKS)
+
+    def test_lookup_covers_both_suites(self):
+        assert get_benchmark("sgemm").name == "sgemm"
+        assert get_benchmark("pathfinder").name == "pathfinder"
+
+    def test_default_names_exclude_extended(self):
+        assert "sgemm" not in benchmark_names()
+        assert "sgemm" in benchmark_names(extended=True)
+
+
+@pytest.mark.parametrize("name", EXTENDED)
+def test_extended_benchmark_verifies(extended_runs, name):
+    assert extended_runs[name].value.instructions > 0
+
+
+class TestCharacterisation:
+    def test_divergence_declarations(self, extended_runs):
+        for name, stats in extended_runs.items():
+            bench = get_benchmark(name)
+            diverged = stats.value.divergent_instructions > 0
+            assert diverged == bench.diverges, name
+
+    def test_reduction_diverges_heavily(self, extended_runs):
+        # Tree reduction: over a third of instructions run partial warps.
+        assert extended_runs["reduction"].value.nondivergent_fraction < 0.9
+
+    def test_transpose_addresses_compress(self, extended_runs):
+        assert (
+            extended_runs["transpose"].value.overall_compression_ratio() > 2.0
+        )
+
+    def test_blackscholes_float_chains_resist_compression(self, extended_runs):
+        assert (
+            extended_runs["blackscholes"].value.overall_compression_ratio()
+            < 1.8
+        )
+
+    def test_every_extended_kernel_compresses_somewhat(self, extended_runs):
+        for name, stats in extended_runs.items():
+            assert stats.value.overall_compression_ratio() > 1.05, name
+
+
+class TestTimingPath:
+    @pytest.mark.parametrize("name", ["sgemm", "reduction", "mriq"])
+    def test_timing_model_agrees_with_reference(self, name):
+        bench = get_benchmark(name)
+        spec = bench.launch("small")
+        gmem = spec.fresh_memory()
+        result = run_kernel(
+            spec.kernel,
+            spec.grid_dim,
+            spec.cta_dim,
+            spec.params,
+            gmem,
+            policy="warped",
+        )
+        bench.verify(gmem, spec)
+        assert result.cycles > 0
+
+    def test_warped_saves_energy_on_extended_suite(self):
+        bench = get_benchmark("transpose")
+        spec = bench.launch("small")
+        base = run_kernel(
+            spec.kernel, spec.grid_dim, spec.cta_dim, spec.params,
+            spec.fresh_memory(), policy="baseline",
+        )
+        wc = run_kernel(
+            spec.kernel, spec.grid_dim, spec.cta_dim, spec.params,
+            spec.fresh_memory(), policy="warped",
+        )
+        assert wc.energy.total_pj < base.energy.total_pj

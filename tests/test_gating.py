@@ -1,0 +1,160 @@
+"""Unit and property tests for bank power gating."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.power.gating import BankGatingController, BankState
+
+
+def make(gate_delay=0, wakeup=10, banks=4) -> BankGatingController:
+    return BankGatingController(banks, wakeup_latency=wakeup, gate_delay=gate_delay)
+
+
+class TestLifecycle:
+    def test_banks_start_gated(self):
+        g = make()
+        assert all(g.state(b) is BankState.GATED for b in range(4))
+
+    def test_allocation_wakes(self):
+        g = make()
+        g.entry_allocated(0, cycle=100)
+        assert g.state(0) is BankState.WAKING
+        g.settle(110)
+        assert g.state(0) is BankState.ON
+        assert g.gated_cycles(0) == 100
+
+    def test_freeing_last_entry_gates_after_delay(self):
+        g = make(gate_delay=5)
+        g.entry_allocated(0, 0)
+        g.settle(10)
+        g.entry_freed(0, 20)
+        g.settle(24)
+        assert g.state(0) is BankState.ON  # hysteresis not yet expired
+        g.settle(25)
+        assert g.state(0) is BankState.GATED
+
+    def test_gated_interval_backdated_to_delay_expiry(self):
+        g = make(gate_delay=5)
+        g.entry_allocated(0, 0)  # ends the power-on gated interval at 0
+        g.settle(10)
+        g.entry_freed(0, 20)
+        g.settle(100)  # settle called late; interval starts at 25
+        g.finalize(125)
+        assert g.gated_cycles(0) == 100  # cycles 25-125
+
+    def test_reallocation_cancels_hysteresis(self):
+        g = make(gate_delay=5)
+        g.entry_allocated(0, 0)
+        g.settle(10)
+        g.entry_freed(0, 20)
+        g.entry_allocated(0, 22)
+        g.settle(1000)
+        assert g.state(0) is BankState.ON
+
+    def test_free_without_alloc_raises(self):
+        with pytest.raises(RuntimeError):
+            make().entry_freed(0, 0)
+
+
+class TestAccess:
+    def test_access_to_on_bank_immediate(self):
+        g = make()
+        g.entry_allocated(0, 0)
+        g.settle(10)
+        assert g.ready_cycle_for_access(0, 50) == 50
+
+    def test_access_to_gated_bank_waits_wakeup(self):
+        g = make(wakeup=10)
+        assert g.ready_cycle_for_access(0, 100) == 110
+        assert g.state(0) is BankState.WAKING
+        # Re-requesting while waking returns the same deadline.
+        assert g.ready_cycle_for_access(0, 105) == 110
+
+    def test_wake_clears_hysteresis_timer(self):
+        # Regression: a stale empty_since must not re-gate a bank that
+        # was just woken for an access.
+        g = make(gate_delay=5, wakeup=10)
+        g.entry_allocated(0, 0)
+        g.settle(10)
+        g.entry_freed(0, 20)  # hysteresis timer starts
+        g.settle(25)
+        assert g.state(0) is BankState.GATED
+        assert g.ready_cycle_for_access(0, 100) == 110
+        g.settle(110)
+        assert g.state(0) is BankState.ON
+        g.settle(300)
+        assert g.state(0) is BankState.ON  # stays on until freed again
+
+    def test_wakeup_counted(self):
+        g = make()
+        g.ready_cycle_for_access(0, 10)
+        g.entry_allocated(1, 10)
+        assert g.total_wakeups() == 2
+
+
+class TestStatistics:
+    def test_finalize_closes_open_interval(self):
+        g = make()
+        g.finalize(1000)
+        assert g.gated_cycles(0) == 1000
+        assert g.gated_fraction(0, 1000) == 1.0
+
+    def test_fractions_vector(self):
+        g = make(banks=3)
+        g.entry_allocated(0, 0)
+        g.finalize(100)
+        fractions = g.gated_fractions(100)
+        assert fractions[0] == 0.0
+        assert fractions[1] == fractions[2] == 1.0
+
+    def test_zero_cycles(self):
+        assert make().gated_fraction(0, 0) == 0.0
+
+
+class TestValidation:
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            BankGatingController(0)
+        with pytest.raises(ValueError):
+            BankGatingController(1, wakeup_latency=-1)
+        with pytest.raises(ValueError):
+            BankGatingController(1, gate_delay=-1)
+
+
+# ----------------------------------------------------------------------
+# Property: gated cycles never exceed elapsed time, regardless of the
+# event sequence.
+# ----------------------------------------------------------------------
+@settings(max_examples=100, deadline=None)
+@given(
+    events=st.lists(
+        st.tuples(
+            st.sampled_from(["alloc", "free", "access", "settle"]),
+            st.integers(0, 5),
+        ),
+        max_size=60,
+    )
+)
+def test_property_gated_cycles_bounded(events):
+    g = BankGatingController(2, wakeup_latency=3, gate_delay=4)
+    cycle = 0
+    allocated = [0, 0]
+    for kind, gap in events:
+        cycle += gap
+        bank = gap % 2
+        if kind == "alloc":
+            g.entry_allocated(bank, cycle)
+            allocated[bank] += 1
+        elif kind == "free":
+            if allocated[bank]:
+                g.entry_freed(bank, cycle)
+                allocated[bank] -= 1
+        elif kind == "access":
+            ready = g.ready_cycle_for_access(bank, cycle)
+            assert ready >= cycle
+        else:
+            g.settle(cycle)
+    g.finalize(cycle)
+    for bank in range(2):
+        assert 0 <= g.gated_cycles(bank) <= cycle

@@ -1,0 +1,175 @@
+"""Tests for the experiment harness, report rendering, and CLI."""
+
+import pytest
+
+from repro.analysis.report import ExperimentResult, fmt
+from repro.harness.experiments import EXPERIMENTS, run_experiment, table1
+from repro.harness.runner import main
+from repro.harness.sweeps import RunKey, SimulationCache
+
+#: Two cheap benchmarks exercising both divergence regimes.
+SUBSET = ["lib", "pathfinder"]
+
+
+@pytest.fixture(scope="module")
+def cache():
+    return SimulationCache(scale="small", subset=SUBSET)
+
+
+class TestReport:
+    def test_fmt(self):
+        assert fmt(None).strip() == "N/A"
+        assert fmt(0.12345).strip() == "0.123"
+        assert fmt("x", width=3) == "  x"
+
+    def test_table_roundtrip(self):
+        r = ExperimentResult("figX", "demo", ["benchmark", "a", "b"])
+        r.add_row("lib", 1.0, 2.0)
+        r.add_row("aes", 3.0, None)
+        assert r.column("a") == [1.0, 3.0]
+        assert r.cell("aes", "b") is None
+        assert r.row("lib")[0] == "lib"
+        with pytest.raises(KeyError):
+            r.row("nope")
+        text = r.render()
+        assert "figX" in text and "lib" in text and "N/A" in text
+
+    def test_notes_rendered(self):
+        r = ExperimentResult("f", "t", ["benchmark"], notes="hello")
+        assert "note: hello" in r.render()
+
+
+class TestSimulationCache:
+    def test_memoises_runs(self, cache):
+        first = cache.timing_run("lib", policy="baseline")
+        second = cache.timing_run("lib", policy="baseline")
+        assert first is second
+
+    def test_distinct_keys_distinct_runs(self, cache):
+        a = cache.functional_run("lib")
+        b = cache.functional_run("lib", policy="static-4-0")
+        assert a is not b
+
+    def test_subset_respected(self, cache):
+        assert cache.benchmarks() == SUBSET
+        assert cache.benchmarks(["aes"]) == ["aes"]
+
+    def test_key_is_hashable_identity(self):
+        assert RunKey("lib") == RunKey("lib")
+        assert RunKey("lib") != RunKey("lib", policy="baseline")
+
+
+class TestExperiments:
+    def test_registry_covers_every_figure(self):
+        expected = {"table1"} | {
+            f"fig{n:02d}"
+            for n in (2, 3, 5, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21)
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_table1_static(self):
+        result = table1(SimulationCache())
+        assert result.cell("<4,1>", "banks") == 3
+        assert result.cell("<8,1>", "comp_bytes") == 23
+        assert len(result.rows) == 9
+
+    def test_run_experiment_unknown(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_experiment("fig99")
+
+    def test_fig03_rows_and_average(self, cache):
+        result = EXPERIMENTS["fig03"](cache)
+        assert [r[0] for r in result.rows] == SUBSET + ["AVERAGE"]
+        for value in result.column("nondivergent"):
+            assert 0.0 <= value <= 1.0
+
+    def test_fig02_fractions_sum_to_one(self, cache):
+        result = EXPERIMENTS["fig02"](cache)
+        for row in result.rows:
+            nd = sum(row[1:5])
+            assert nd == pytest.approx(1.0, abs=1e-6)
+
+    def test_fig05_breakdown(self, cache):
+        result = EXPERIMENTS["fig05"](cache)
+        lib_row = result.row("lib")
+        assert sum(lib_row[1:]) == pytest.approx(1.0, abs=1e-6)
+        # LIB's constant values are best served by <4,0>.
+        assert result.cell("lib", "<4,0>") > 0.5
+
+    def test_fig08_nondiv_ratio_reasonable(self, cache):
+        result = EXPERIMENTS["fig08"](cache)
+        assert result.cell("lib", "nondivergent") > 4.0
+        assert result.cell("lib", "divergent") is None
+
+    def test_fig09_energy_saving(self, cache):
+        result = EXPERIMENTS["fig09"](cache)
+        assert result.cell("lib", "wc_total") < 0.6
+        for row in result.rows:
+            total = row[-1]
+            assert total == pytest.approx(sum(row[3:7]), rel=1e-6)
+
+    def test_fig10_bank_monotonicity(self, cache):
+        result = EXPERIMENTS["fig10"](cache)
+        fractions = result.column("gated_fraction")[:-1]
+        assert len(fractions) == 32
+        # Highest bank of each cluster gated at least as much as lowest.
+        for c in range(4):
+            assert fractions[c * 8 + 7] >= fractions[c * 8] - 1e-9
+
+    def test_fig11_mov_fractions(self, cache):
+        result = EXPERIMENTS["fig11"](cache)
+        assert result.cell("lib", "mov_fraction") == 0.0
+        assert 0 < result.cell("pathfinder", "mov_fraction") < 0.1
+
+    def test_fig12_na_handling(self, cache):
+        result = EXPERIMENTS["fig12"](cache)
+        assert result.cell("lib", "divergent") is None
+        assert result.cell("pathfinder", "divergent") is not None
+
+    def test_fig13_slowdown_moderate(self, cache):
+        result = EXPERIMENTS["fig13"](cache)
+        for value in result.column("slowdown"):
+            assert 0.95 <= value <= 1.35
+
+    def test_fig15_static_ratios_bounded_by_dynamic(self, cache):
+        result = EXPERIMENTS["fig15"](cache)
+        for row in result.rows:
+            warped = row[1]
+            # The dynamic scheme is at least as good as any static pick.
+            assert warped >= max(row[2:]) - 1e-9
+
+    def test_fig17_monotone_in_unit_energy(self, cache):
+        result = EXPERIMENTS["fig17"](cache)
+        for row in result.rows:
+            values = row[1:]
+            assert values == sorted(values)
+
+    def test_fig19_wire_activity_helps_compression(self, cache):
+        result = EXPERIMENTS["fig19"](cache)
+        avg = result.row("AVERAGE")
+        # Higher activity -> wires dominate -> compression saves more.
+        assert avg[-1] <= avg[1] + 1e-9
+
+    def test_fig20_monotone_in_latency(self, cache):
+        result = EXPERIMENTS["fig20"](cache)
+        for row in result.rows:
+            assert row[1] <= row[-1] + 1e-9
+
+
+class TestRunnerCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig09" in out and "benchmarks:" in out
+
+    def test_unknown_experiment_errors(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_single_experiment_to_file(self, tmp_path, capsys):
+        out = tmp_path / "results.txt"
+        code = main(
+            ["table1", "--scale", "small", "--quiet", "--out", str(out)]
+        )
+        assert code == 0
+        assert "table1" in out.read_text()

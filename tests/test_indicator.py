@@ -1,0 +1,44 @@
+"""Unit tests for the compression-range indicator vector."""
+
+import pytest
+
+from repro.core.codec import CompressionMode
+from repro.core.indicator import CompressionRangeIndicator
+
+
+class TestIndicator:
+    def test_defaults_to_uncompressed(self):
+        ind = CompressionRangeIndicator(16)
+        assert all(
+            ind.get(i) is CompressionMode.UNCOMPRESSED for i in range(16)
+        )
+        assert ind.compressed_count() == 0
+
+    def test_set_get(self):
+        ind = CompressionRangeIndicator(8)
+        ind.set(3, CompressionMode.B4D1)
+        assert ind.get(3) is CompressionMode.B4D1
+        assert ind.banks(3) == 3
+        assert ind.compressed_count() == 1
+
+    def test_reset(self):
+        ind = CompressionRangeIndicator(8)
+        ind.set(0, CompressionMode.B4D0)
+        ind.reset(0)
+        assert ind.get(0) is CompressionMode.UNCOMPRESSED
+
+    def test_storage_overhead_is_two_bits_per_slot(self):
+        ind = CompressionRangeIndicator(1024)
+        assert ind.storage_bits == 2048
+        assert len(ind) == 1024
+
+    def test_bounds_checked(self):
+        ind = CompressionRangeIndicator(4)
+        with pytest.raises(IndexError):
+            ind.get(4)
+        with pytest.raises(IndexError):
+            ind.set(-1, CompressionMode.B4D0)
+
+    def test_zero_slots_rejected(self):
+        with pytest.raises(ValueError):
+            CompressionRangeIndicator(0)

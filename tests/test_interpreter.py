@@ -1,0 +1,310 @@
+"""Unit tests for the functional interpreter's instruction semantics."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.builder import KernelBuilder, float_bits
+from repro.gpu.interpreter import Interpreter, make_warp_context
+from repro.gpu.isa import Cmp, SReg
+from repro.gpu.memory import GlobalMemory, SharedMemory
+
+
+def run_kernel_functionally(builder: KernelBuilder, params=(), gmem=None):
+    """Build and run one warp to completion; returns its context."""
+    kernel = builder.build()
+    gmem = gmem or GlobalMemory()
+    ctx = make_warp_context(
+        kernel=kernel,
+        warp_id=0,
+        cta_id=0,
+        cta_dim=(32, 1),
+        grid_dim=(1, 1),
+        warp_in_cta=0,
+        params=np.asarray(params, dtype=np.uint32),
+        gmem=gmem,
+        shared=SharedMemory(max(kernel.shared_bytes, 4)),
+    )
+    interp = Interpreter()
+    for _ in range(10_000):
+        result = interp.execute(ctx)
+        if result is None:
+            break
+        interp.apply(ctx, result)
+    else:
+        raise AssertionError("kernel did not terminate")
+    return ctx
+
+
+def reg(ctx, r):
+    return ctx.registers[r.index]
+
+
+class TestIntegerOps:
+    def test_add_sub_wraparound(self):
+        b = KernelBuilder("k")
+        r1 = b.iadd(0xFFFFFFFF, 2)
+        r2 = b.isub(0, 1)
+        ctx = run_kernel_functionally(b)
+        assert reg(ctx, r1)[0] == 1
+        assert reg(ctx, r2)[0] == 0xFFFFFFFF
+
+    def test_mul_mad(self):
+        b = KernelBuilder("k")
+        t = b.tid_x()
+        r1 = b.imul(t, 3)
+        r2 = b.imad(t, 4, 100)
+        ctx = run_kernel_functionally(b)
+        lanes = np.arange(32)
+        np.testing.assert_array_equal(reg(ctx, r1), 3 * lanes)
+        np.testing.assert_array_equal(reg(ctx, r2), 4 * lanes + 100)
+
+    def test_signed_min_max(self):
+        b = KernelBuilder("k")
+        neg = b.mov(-5)
+        r1 = b.imin(neg, 3)
+        r2 = b.imax(neg, 3)
+        ctx = run_kernel_functionally(b)
+        assert reg(ctx, r1)[0] == (-5) & 0xFFFFFFFF
+        assert reg(ctx, r2)[0] == 3
+
+    def test_shifts(self):
+        b = KernelBuilder("k")
+        r1 = b.shl(1, 4)
+        r2 = b.shr(0x80000000, 4)
+        r3 = b.sar(0x80000000, 4)
+        ctx = run_kernel_functionally(b)
+        assert reg(ctx, r1)[0] == 16
+        assert reg(ctx, r2)[0] == 0x08000000
+        assert reg(ctx, r3)[0] == 0xF8000000
+
+    def test_bitwise(self):
+        b = KernelBuilder("k")
+        r1 = b.and_(0xF0F0, 0xFF00)
+        r2 = b.or_(0xF0F0, 0x0F0F)
+        r3 = b.xor(0xFFFF, 0xF0F0)
+        r4 = b.not_(0)
+        ctx = run_kernel_functionally(b)
+        assert reg(ctx, r1)[0] == 0xF000
+        assert reg(ctx, r2)[0] == 0xFFFF
+        assert reg(ctx, r3)[0] == 0x0F0F
+        assert reg(ctx, r4)[0] == 0xFFFFFFFF
+
+
+class TestFloatOps:
+    def test_arithmetic(self):
+        b = KernelBuilder("k")
+        r1 = b.fadd(1.5, 2.25)
+        r2 = b.fmul(3.0, -2.0)
+        r3 = b.ffma(2.0, 3.0, 1.0)
+        ctx = run_kernel_functionally(b)
+        assert reg(ctx, r1).view(np.float32)[0] == 3.75
+        assert reg(ctx, r2).view(np.float32)[0] == -6.0
+        assert reg(ctx, r3).view(np.float32)[0] == 7.0
+
+    def test_sfu_ops(self):
+        b = KernelBuilder("k")
+        r1 = b.fsqrt(16.0)
+        r2 = b.fexp(0.0)
+        r3 = b.frcp(4.0)
+        ctx = run_kernel_functionally(b)
+        assert reg(ctx, r1).view(np.float32)[0] == 4.0
+        assert reg(ctx, r2).view(np.float32)[0] == 1.0
+        assert reg(ctx, r3).view(np.float32)[0] == 0.25
+
+    def test_conversions(self):
+        b = KernelBuilder("k")
+        r1 = b.i2f(b.mov(-3))
+        r2 = b.f2i(b.mov(2.9))
+        r3 = b.f2i(b.mov(-2.9))
+        ctx = run_kernel_functionally(b)
+        assert reg(ctx, r1).view(np.float32)[0] == -3.0
+        assert reg(ctx, r2).view(np.int32)[0] == 2  # truncation toward zero
+        assert reg(ctx, r3).view(np.int32)[0] == -2
+
+    def test_min_max_abs_neg(self):
+        b = KernelBuilder("k")
+        r1 = b.fmin(1.0, -2.0)
+        r2 = b.fmax(1.0, -2.0)
+        r3 = b.fabs(-3.5)
+        r4 = b.fneg(4.0)
+        ctx = run_kernel_functionally(b)
+        vals = [reg(ctx, r).view(np.float32)[0] for r in (r1, r2, r3, r4)]
+        assert vals == [-2.0, 1.0, 3.5, -4.0]
+
+
+class TestPredicatesAndSelect:
+    def test_isetp_lanewise(self):
+        b = KernelBuilder("k")
+        t = b.tid_x()
+        p = b.isetp(Cmp.LT, t, 16)
+        r = b.sel(p, 1, 0)
+        ctx = run_kernel_functionally(b)
+        np.testing.assert_array_equal(
+            reg(ctx, r), (np.arange(32) < 16).astype(np.uint32)
+        )
+
+    def test_fsetp(self):
+        b = KernelBuilder("k")
+        p = b.fsetp(Cmp.GE, b.mov(2.0), 2.0)
+        r = b.sel(p, 7, 9)
+        ctx = run_kernel_functionally(b)
+        assert reg(ctx, r)[0] == 7
+
+    def test_negated_select(self):
+        b = KernelBuilder("k")
+        p = b.isetp(Cmp.EQ, b.mov(0), 0)
+        r = b.sel(~p, 1, 2)
+        ctx = run_kernel_functionally(b)
+        assert reg(ctx, r)[0] == 2
+
+    def test_guarded_mov_partial_write(self):
+        b = KernelBuilder("k")
+        t = b.tid_x()
+        r = b.mov(100)
+        p = b.isetp(Cmp.LT, t, 4)
+        b.mov(200, dst=r, guard=p)
+        ctx = run_kernel_functionally(b)
+        expected = np.where(np.arange(32) < 4, 200, 100)
+        np.testing.assert_array_equal(reg(ctx, r), expected)
+
+
+class TestSpecialRegisters:
+    def test_lane_and_tid(self):
+        b = KernelBuilder("k")
+        r1 = b.tid_x()
+        r2 = b.s2r(SReg.LANEID)
+        r3 = b.ntid_x()
+        ctx = run_kernel_functionally(b)
+        np.testing.assert_array_equal(reg(ctx, r1), np.arange(32))
+        np.testing.assert_array_equal(reg(ctx, r2), np.arange(32))
+        assert reg(ctx, r3)[0] == 32
+
+    def test_params_broadcast(self):
+        b = KernelBuilder("k", params=("a", "b"))
+        r = b.param("b")
+        ctx = run_kernel_functionally(b, params=[11, 22])
+        assert (reg(ctx, r) == 22).all()
+
+
+class TestMemoryOps:
+    def test_global_load_store(self):
+        b = KernelBuilder("k", params=("buf",))
+        t = b.tid_x()
+        addr = b.imad(t, 4, b.param("buf"))
+        v = b.ldg(addr)
+        b.stg(addr, b.iadd(v, 1000))
+        gmem = GlobalMemory()
+        base = gmem.alloc_array(np.arange(32), "buf")
+        run_kernel_functionally(b, params=[base], gmem=gmem)
+        np.testing.assert_array_equal(
+            gmem.read_array(base, 32), np.arange(32) + 1000
+        )
+
+    def test_shared_roundtrip_with_offset(self):
+        b = KernelBuilder("k", shared_bytes=256)
+        t = b.tid_x()
+        addr = b.imul(t, 4)
+        b.sts(addr, b.iadd(t, 5))
+        r = b.lds(addr, offset=0)
+        ctx = run_kernel_functionally(b)
+        np.testing.assert_array_equal(reg(ctx, r), np.arange(32) + 5)
+
+    def test_load_offset(self):
+        b = KernelBuilder("k", params=("buf",))
+        base_reg = b.param("buf")
+        r = b.ldg(base_reg, offset=8)
+        gmem = GlobalMemory()
+        base = gmem.alloc_array(np.array([10, 20, 30]), "buf")
+        ctx = run_kernel_functionally(b, params=[base], gmem=gmem)
+        assert reg(ctx, r)[0] == 30
+
+
+class TestControlFlow:
+    def test_if_else_lane_split(self):
+        b = KernelBuilder("k")
+        t = b.tid_x()
+        r = b.mov(0)
+        p = b.isetp(Cmp.LT, t, 10)
+        with b.if_(p):
+            b.mov(1, dst=r)
+        with b.else_():
+            b.mov(2, dst=r)
+        ctx = run_kernel_functionally(b)
+        expected = np.where(np.arange(32) < 10, 1, 2)
+        np.testing.assert_array_equal(reg(ctx, r), expected)
+
+    def test_divergent_loop_trip_counts(self):
+        b = KernelBuilder("k")
+        t = b.tid_x()
+        count = b.mov(0)
+        i = b.mov(0)
+        with b.while_loop() as loop:
+            loop.break_unless(b.isetp(Cmp.LT, i, t))
+            b.iadd(count, 1, dst=count)
+            b.iadd(i, 1, dst=i)
+        ctx = run_kernel_functionally(b)
+        np.testing.assert_array_equal(reg(ctx, count), np.arange(32))
+
+    def test_guarded_exit_retires_lanes(self):
+        b = KernelBuilder("k")
+        t = b.tid_x()
+        r = b.mov(0)
+        p = b.isetp(Cmp.GE, t, 8)
+        b.exit_(guard=p)
+        b.mov(42, dst=r)
+        ctx = run_kernel_functionally(b)
+        expected = np.where(np.arange(32) < 8, 42, 0)
+        np.testing.assert_array_equal(reg(ctx, r), expected)
+
+    def test_partial_tail_warp(self):
+        kernel_builder = KernelBuilder("k")
+        r = kernel_builder.mov(9)
+        kernel = kernel_builder.build()
+        ctx = make_warp_context(
+            kernel=kernel,
+            warp_id=0,
+            cta_id=0,
+            cta_dim=(20, 1),  # fewer threads than warp lanes
+            grid_dim=(1, 1),
+            warp_in_cta=0,
+            params=np.zeros(0, dtype=np.uint32),
+            gmem=GlobalMemory(),
+            shared=SharedMemory(4),
+        )
+        interp = Interpreter()
+        result = interp.execute(ctx)
+        assert result.base_divergent
+        interp.apply(ctx, result)
+        assert (ctx.registers[r.index][:20] == 9).all()
+        assert (ctx.registers[r.index][20:] == 0).all()
+
+    def test_divergence_flags(self):
+        b = KernelBuilder("k")
+        t = b.tid_x()
+        p = b.isetp(Cmp.LT, t, 16)
+        with b.if_(p):
+            b.mov(1)
+        kernel = b.build()
+        ctx = make_warp_context(
+            kernel=kernel,
+            warp_id=0,
+            cta_id=0,
+            cta_dim=(32, 1),
+            grid_dim=(1, 1),
+            warp_in_cta=0,
+            params=np.zeros(0, dtype=np.uint32),
+            gmem=GlobalMemory(),
+            shared=SharedMemory(4),
+        )
+        interp = Interpreter()
+        flags = []
+        while True:
+            result = interp.execute(ctx)
+            if result is None:
+                break
+            flags.append((str(result.instr.op.value), result.base_divergent))
+            interp.apply(ctx, result)
+        # The mov inside the if runs with half the lanes -> divergent.
+        assert ("mov", True) in flags
+        # The setp before the branch runs fully converged.
+        assert ("isetp", False) in flags

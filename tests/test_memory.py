@@ -1,0 +1,145 @@
+"""Unit tests for the global and shared memory models."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.memory import GlobalMemory, MemoryError_, SharedMemory
+
+
+def full_mask(n=32):
+    return np.ones(n, dtype=bool)
+
+
+class TestGlobalMemory:
+    def test_alloc_returns_distinct_aligned_bases(self):
+        gm = GlobalMemory()
+        a = gm.alloc(10, "a")
+        b = gm.alloc(10, "b")
+        assert a != b
+        assert a % 4 == 0 and b % 4 == 0
+        assert b >= a + 40
+
+    def test_alloc_array_int(self):
+        gm = GlobalMemory()
+        base = gm.alloc_array(np.array([1, 2, 3]))
+        np.testing.assert_array_equal(gm.read_array(base, 3), [1, 2, 3])
+
+    def test_alloc_array_float_bit_pattern(self):
+        gm = GlobalMemory()
+        base = gm.alloc_array(np.array([1.5, -2.0], dtype=np.float32))
+        np.testing.assert_array_equal(
+            gm.read_array(base, 2, np.float32), [1.5, -2.0]
+        )
+
+    def test_alloc_array_negative_ints_wrap(self):
+        gm = GlobalMemory()
+        base = gm.alloc_array(np.array([-1, -2]))
+        got = gm.read_array(base, 2).view(np.int32)
+        np.testing.assert_array_equal(got, [-1, -2])
+
+    def test_zero_alloc_rejected(self):
+        with pytest.raises(ValueError):
+            GlobalMemory().alloc(0)
+
+    def test_warp_gather_scatter(self):
+        gm = GlobalMemory()
+        base = gm.alloc_array(np.arange(64))
+        addrs = (base + 4 * np.arange(32)).astype(np.uint32)
+        got = gm.load_warp(addrs, full_mask())
+        np.testing.assert_array_equal(got, np.arange(32))
+        gm.store_warp(addrs, got * 2, full_mask())
+        np.testing.assert_array_equal(gm.read_array(base, 32), np.arange(32) * 2)
+
+    def test_masked_lanes_read_zero_and_do_not_store(self):
+        gm = GlobalMemory()
+        base = gm.alloc_array(np.arange(32))
+        addrs = (base + 4 * np.arange(32)).astype(np.uint32)
+        mask = np.arange(32) < 4
+        got = gm.load_warp(addrs, mask)
+        assert (got[4:] == 0).all()
+        gm.store_warp(addrs, np.full(32, 99, dtype=np.uint32), mask)
+        data = gm.read_array(base, 32)
+        assert (data[:4] == 99).all() and (data[4:] == np.arange(4, 32)).all()
+
+    def test_all_inactive_is_noop(self):
+        gm = GlobalMemory()
+        addrs = np.zeros(32, dtype=np.uint32)
+        assert (gm.load_warp(addrs, np.zeros(32, bool)) == 0).all()
+        gm.store_warp(addrs, addrs, np.zeros(32, bool))  # must not raise
+
+    def test_unmapped_access_raises(self):
+        gm = GlobalMemory()
+        gm.alloc(4)
+        with pytest.raises(MemoryError_):
+            gm.load_warp(np.full(32, 4, dtype=np.uint32), full_mask())
+
+    def test_out_of_bounds_past_buffer_raises(self):
+        gm = GlobalMemory()
+        base = gm.alloc(2)
+        bad = np.full(32, base + 8, dtype=np.uint32)
+        with pytest.raises(MemoryError_):
+            gm.load_warp(bad, full_mask())
+
+    def test_misaligned_raises(self):
+        gm = GlobalMemory()
+        base = gm.alloc(8)
+        addrs = np.full(32, base + 2, dtype=np.uint32)
+        with pytest.raises(MemoryError_):
+            gm.load_warp(addrs, full_mask())
+        with pytest.raises(MemoryError_):
+            gm.store_warp(addrs, addrs, full_mask())
+
+    def test_cross_buffer_gather_falls_back_per_lane(self):
+        gm = GlobalMemory()
+        a = gm.alloc_array(np.array([111] * 4))
+        b = gm.alloc_array(np.array([222] * 4))
+        addrs = np.array([a, b] * 16, dtype=np.uint32)
+        got = gm.load_warp(addrs, full_mask())
+        np.testing.assert_array_equal(got[:2], [111, 222])
+
+    def test_cross_buffer_scatter(self):
+        gm = GlobalMemory()
+        a = gm.alloc(4)
+        b = gm.alloc(4)
+        addrs = np.array([a, b] + [a] * 30, dtype=np.uint32)
+        gm.store_warp(addrs, np.full(32, 7, dtype=np.uint32), full_mask())
+        assert gm.read_array(a, 1)[0] == 7
+        assert gm.read_array(b, 1)[0] == 7
+
+    def test_read_array_bounds(self):
+        gm = GlobalMemory()
+        base = gm.alloc(4)
+        with pytest.raises(MemoryError_):
+            gm.read_array(base, 10)
+
+
+class TestSharedMemory:
+    def test_roundtrip(self):
+        sm = SharedMemory(128)
+        addrs = (4 * np.arange(32)).astype(np.uint32)
+        sm.store_warp(addrs, np.arange(32).astype(np.uint32), full_mask())
+        np.testing.assert_array_equal(
+            sm.load_warp(addrs, full_mask()), np.arange(32)
+        )
+
+    def test_bounds_checked(self):
+        sm = SharedMemory(16)
+        bad = np.full(32, 16, dtype=np.uint32)
+        with pytest.raises(MemoryError_):
+            sm.load_warp(bad, full_mask())
+        with pytest.raises(MemoryError_):
+            sm.store_warp(bad, bad, full_mask())
+
+    def test_misaligned_rejected(self):
+        sm = SharedMemory(64)
+        with pytest.raises(MemoryError_):
+            sm.load_warp(np.full(32, 2, dtype=np.uint32), full_mask())
+
+    def test_word_aligned_size_required(self):
+        with pytest.raises(ValueError):
+            SharedMemory(10)
+
+    def test_zero_size_allowed(self):
+        # Kernels without shared memory still construct a scratchpad.
+        sm = SharedMemory(0)
+        assert sm.nbytes == 0

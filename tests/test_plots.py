@@ -1,0 +1,66 @@
+"""Tests for terminal bar-chart rendering."""
+
+import pytest
+
+from repro.analysis.plots import bar_chart, chart_experiment
+from repro.analysis.report import ExperimentResult
+
+
+class TestBarChart:
+    def test_scales_to_maximum(self):
+        chart = bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("█") == 5
+        assert lines[1].count("█") == 10
+
+    def test_title_and_values_rendered(self):
+        chart = bar_chart(["x"], [0.5], title="demo", unit="x")
+        assert chart.startswith("demo")
+        assert "0.500x" in chart
+
+    def test_none_rendered_as_na(self):
+        chart = bar_chart(["a", "b"], [1.0, None])
+        assert "N/A" in chart
+
+    def test_partial_blocks(self):
+        chart = bar_chart(["a", "b"], [1.0, 0.55], width=10)
+        bar_line = chart.splitlines()[1]
+        # 5.5 cells: five full blocks plus one partial glyph.
+        assert bar_line.count("█") == 5
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart([], [])
+
+    def test_zero_values(self):
+        chart = bar_chart(["a"], [0.0])
+        assert "0.000" in chart
+
+
+class TestChartExperiment:
+    def _result(self):
+        r = ExperimentResult("figX", "demo", ["benchmark", "a", "b"])
+        r.add_row("lib", 0.2, 0.3)
+        r.add_row("AVERAGE", 0.5, 0.6)
+        return r
+
+    def test_defaults_to_last_column(self):
+        chart = chart_experiment(self._result())
+        assert "[b]" in chart
+        assert "0.600" in chart
+
+    def test_explicit_column(self):
+        chart = chart_experiment(self._result(), column="a")
+        assert "[a]" in chart and "0.200" in chart
+
+    def test_unknown_column(self):
+        with pytest.raises(ValueError):
+            chart_experiment(self._result(), column="zzz")
+
+    def test_empty_result_rejected(self):
+        with pytest.raises(ValueError):
+            chart_experiment(ExperimentResult("f", "t", ["benchmark", "x"]))

@@ -1,0 +1,160 @@
+"""Unit tests for compression storage policies."""
+
+import numpy as np
+import pytest
+
+from repro.core.codec import CompressionMode
+from repro.core.policy import (
+    CompressionDecision,
+    PerThreadNarrowPolicy,
+    StaticBDIPolicy,
+    UncompressedPolicy,
+    WarpedCompressionPolicy,
+    make_policy,
+)
+
+
+def lanes(values) -> np.ndarray:
+    return np.asarray(values, dtype=np.uint32)
+
+
+IDENTICAL = lanes([7] * 32)
+SEQUENTIAL = lanes(range(32))
+WIDE = lanes([0, 1 << 20] + [0] * 30)
+
+
+class TestCompressionDecision:
+    def test_bank_bounds(self):
+        with pytest.raises(ValueError):
+            CompressionDecision(CompressionMode.B4D0, 0, False)
+        with pytest.raises(ValueError):
+            CompressionDecision(CompressionMode.B4D0, 9, False)
+
+    def test_is_compressed(self):
+        assert CompressionDecision(CompressionMode.B4D0, 1, True).is_compressed
+        assert not CompressionDecision(
+            CompressionMode.UNCOMPRESSED, 8, False
+        ).is_compressed
+
+
+class TestUncompressedPolicy:
+    def test_always_full_width(self):
+        policy = UncompressedPolicy()
+        for values in (IDENTICAL, SEQUENTIAL, WIDE):
+            decision = policy.decide(values, divergent=False)
+            assert decision.mode is CompressionMode.UNCOMPRESSED
+            assert decision.banks == 8
+            assert not decision.compressor_used
+
+    def test_disabled(self):
+        assert not UncompressedPolicy().enabled
+        assert not UncompressedPolicy().requires_mov_on_divergent_write
+
+
+class TestWarpedCompressionPolicy:
+    def test_nondivergent_compresses(self):
+        policy = WarpedCompressionPolicy()
+        assert policy.decide(IDENTICAL, False).mode is CompressionMode.B4D0
+        assert policy.decide(SEQUENTIAL, False).mode is CompressionMode.B4D1
+        assert policy.decide(WIDE, False).mode is CompressionMode.UNCOMPRESSED
+
+    def test_divergent_writes_stored_raw(self):
+        policy = WarpedCompressionPolicy()
+        decision = policy.decide(IDENTICAL, divergent=True)
+        assert decision.mode is CompressionMode.UNCOMPRESSED
+        assert decision.banks == 8
+        assert not decision.compressor_used
+
+    def test_compressor_charged_on_nondivergent(self):
+        policy = WarpedCompressionPolicy()
+        assert policy.decide(WIDE, False).compressor_used
+
+    def test_requires_mov(self):
+        assert WarpedCompressionPolicy().requires_mov_on_divergent_write
+
+    def test_buffered_variant_compresses_divergent(self):
+        policy = WarpedCompressionPolicy(compress_divergent=True)
+        assert policy.decide(IDENTICAL, True).mode is CompressionMode.B4D0
+        assert not policy.requires_mov_on_divergent_write
+
+    def test_reset_clears_codec_counters(self):
+        policy = WarpedCompressionPolicy()
+        policy.decide(IDENTICAL, False)
+        policy.reset()
+        assert policy.codec.compressions == 0
+
+
+class TestStaticBDIPolicy:
+    def test_4_0_only_compresses_identical(self):
+        policy = StaticBDIPolicy(CompressionMode.B4D0)
+        assert policy.decide(IDENTICAL, False).mode is CompressionMode.B4D0
+        assert (
+            policy.decide(SEQUENTIAL, False).mode
+            is CompressionMode.UNCOMPRESSED
+        )
+
+    def test_4_1_rounds_up_identical_values(self):
+        # The paper: a static <4,1> stores an extra delta byte per chunk
+        # even when <4,0> would have sufficed.
+        policy = StaticBDIPolicy(CompressionMode.B4D1)
+        decision = policy.decide(IDENTICAL, False)
+        assert decision.mode is CompressionMode.B4D1
+        assert decision.banks == 3
+
+    def test_rejects_uncompressed(self):
+        with pytest.raises(ValueError):
+            StaticBDIPolicy(CompressionMode.UNCOMPRESSED)
+
+    def test_names(self):
+        assert StaticBDIPolicy(CompressionMode.B4D2).name == "static<4,2>"
+
+
+class TestPerThreadNarrowPolicy:
+    def test_small_values_pack_one_byte_each(self):
+        policy = PerThreadNarrowPolicy()
+        decision = policy.decide(lanes([3] * 32), False)
+        assert decision.banks == 2  # 32 bytes
+        assert decision.is_compressed
+
+    def test_two_byte_values(self):
+        policy = PerThreadNarrowPolicy()
+        decision = policy.decide(lanes([1000] * 32), False)
+        assert decision.banks == 4  # 64 bytes
+
+    def test_wide_values_do_not_compress(self):
+        policy = PerThreadNarrowPolicy()
+        # Nearby large values: warped-compression would compress these,
+        # narrow-width cannot — the paper's argument in Section 5.2.
+        values = lanes(range(1 << 20, (1 << 20) + 32))
+        decision = policy.decide(values, False)
+        assert decision.banks == 8
+        assert not decision.is_compressed
+
+    def test_negative_small_values_sign_extend(self):
+        policy = PerThreadNarrowPolicy()
+        values = lanes([(-5) & 0xFFFFFFFF] * 32)
+        assert policy.decide(values, False).banks == 2
+
+    def test_divergence_irrelevant(self):
+        policy = PerThreadNarrowPolicy()
+        assert policy.decide(lanes([3] * 32), True).banks == 2
+        assert not policy.requires_mov_on_divergent_write
+
+
+class TestMakePolicy:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("baseline", UncompressedPolicy),
+            ("warped", WarpedCompressionPolicy),
+            ("warped-buffered", WarpedCompressionPolicy),
+            ("static-4-0", StaticBDIPolicy),
+            ("per-thread", PerThreadNarrowPolicy),
+        ],
+    )
+    def test_factory(self, name, cls):
+        assert isinstance(make_policy(name), cls)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            make_policy("nope")

@@ -1,0 +1,77 @@
+"""Unit tests for energy parameters and the wire-energy model."""
+
+import pytest
+
+from repro.power.params import EnergyParams
+from repro.power.wires import wire_energy_per_bank_pj
+
+
+class TestEnergyParams:
+    def test_table3_defaults(self):
+        p = EnergyParams()
+        assert p.bank_access_energy_pj == 7.0
+        assert p.bank_leakage_mw == 5.8
+        assert p.compression_energy_pj == 23.0
+        assert p.decompression_energy_pj == 21.0
+        assert p.clock_ghz == 1.4
+
+    def test_cycle_time(self):
+        assert EnergyParams(clock_ghz=2.0).cycle_time_ns == pytest.approx(0.5)
+
+    def test_leakage_conversion(self):
+        # 5.8 mW at 1.4 GHz = 5.8/1.4 pJ per cycle.
+        p = EnergyParams()
+        assert p.leakage_pj_per_cycle(5.8) == pytest.approx(5.8 / 1.4)
+
+    def test_scaled_bank_access(self):
+        p = EnergyParams().scaled(bank_access=2.0)
+        assert p.bank_access_energy_pj == 14.0
+        assert p.compression_energy_pj == 23.0  # untouched
+
+    def test_scaled_comp_decomp(self):
+        p = EnergyParams().scaled(comp_decomp=2.5)
+        assert p.compression_energy_pj == pytest.approx(57.5)
+        assert p.decompression_energy_pj == pytest.approx(52.5)
+        assert p.bank_access_energy_pj == 7.0
+
+    def test_scaled_wire_activity(self):
+        p = EnergyParams().scaled(wire_activity=0.9)
+        assert p.wire_activity == 0.9
+
+    def test_scaled_returns_new_object(self):
+        p = EnergyParams()
+        assert p.scaled(bank_access=2.0) is not p
+        assert p.bank_access_energy_pj == 7.0
+
+    def test_activity_bounds(self):
+        with pytest.raises(ValueError):
+            EnergyParams(wire_activity=1.5)
+        with pytest.raises(ValueError):
+            EnergyParams(wire_activity=-0.1)
+
+    def test_clock_positive(self):
+        with pytest.raises(ValueError):
+            EnergyParams(clock_ghz=0.0)
+
+
+class TestWireEnergy:
+    def test_anchors_table3_value(self):
+        # 300 fF/mm, 1 V, 1 mm, 128 bits, 50% activity -> 9.6 pJ.
+        assert wire_energy_per_bank_pj(EnergyParams()) == pytest.approx(9.6)
+
+    def test_linear_in_activity(self):
+        p = EnergyParams()
+        assert wire_energy_per_bank_pj(p, activity=1.0) == pytest.approx(19.2)
+        assert wire_energy_per_bank_pj(p, activity=0.0) == 0.0
+
+    def test_linear_in_capacitance(self):
+        p = EnergyParams(wire_capacitance_ff_per_mm=600.0)
+        assert wire_energy_per_bank_pj(p) == pytest.approx(19.2)
+
+    def test_quadratic_in_voltage(self):
+        p = EnergyParams(voltage=2.0)
+        assert wire_energy_per_bank_pj(p) == pytest.approx(9.6 * 4)
+
+    def test_activity_override_bounds(self):
+        with pytest.raises(ValueError):
+            wire_energy_per_bank_pj(EnergyParams(), activity=2.0)

@@ -1,0 +1,263 @@
+"""Unit tests for register file, arbiter, scoreboard, scheduler, collector."""
+
+import numpy as np
+import pytest
+
+from repro.core.codec import CompressionMode
+from repro.core.units import UnitPool
+from repro.gpu.arbiter import BankArbiter
+from repro.gpu.collector import CollectorPool, OperandRead
+from repro.gpu.config import GPUConfig
+from repro.gpu.regfile import RegisterFile
+from repro.gpu.scheduler import WarpScheduler
+from repro.gpu.scoreboard import Scoreboard
+from repro.power.gating import BankGatingController, BankState
+
+
+def make_regfile(gating=False):
+    config = GPUConfig()
+    controller = (
+        BankGatingController(config.num_banks, gate_delay=0) if gating else None
+    )
+    rf = RegisterFile(config, controller)
+    rf.configure_kernel(regs_per_warp=8)
+    return rf, controller
+
+
+class TestRegisterFileGeometry:
+    def test_slot_striping_across_clusters(self):
+        rf, _ = make_regfile()
+        clusters = {rf.cluster(rf.slot(0, r)) for r in range(4)}
+        assert clusters == {0, 1, 2, 3}
+
+    def test_banks_of_low_banks_first(self):
+        rf, _ = make_regfile()
+        slot = rf.slot(0, 0)
+        assert rf.banks_of(slot, 3) == [0, 1, 2]
+        slot1 = rf.slot(0, 1)  # next cluster
+        assert rf.banks_of(slot1, 2) == [8, 9]
+
+    def test_entry_mapping(self):
+        rf, _ = make_regfile()
+        assert rf.entry(rf.slot(0, 0)) == 0
+        assert rf.entry(rf.slot(0, 4)) == 1
+
+
+class TestRegisterFileAllocation:
+    def test_allocate_returns_zeroed_view(self):
+        rf, _ = make_regfile()
+        view = rf.allocate_warp(0)
+        assert view.shape == (8, 32)
+        view[0, :] = 7
+        assert rf.values[rf.slot(0, 0), 0] == 7  # shared storage
+
+    def test_double_allocation_rejected(self):
+        rf, _ = make_regfile()
+        rf.allocate_warp(0)
+        with pytest.raises(RuntimeError):
+            rf.allocate_warp(0)
+
+    def test_capacity_bound(self):
+        rf, _ = make_regfile()
+        with pytest.raises(ValueError):
+            rf.allocate_warp(1000)
+
+    def test_free_resets_modes_and_counters(self):
+        rf, _ = make_regfile()
+        rf.allocate_warp(0)
+        rf.write_commit(0, 0, CompressionMode.B4D0, 1, cycle=5)
+        assert rf.compressed_slots == 1
+        rf.free_warp(0, cycle=10)
+        assert rf.compressed_slots == 0
+        assert rf.allocated_slots == 0
+        assert rf.mode_of(0, 0) is CompressionMode.UNCOMPRESSED
+
+
+class TestRegisterFileWriteCommit:
+    def test_unwritten_register_reads_full_width(self):
+        rf, _ = make_regfile()
+        rf.allocate_warp(0)
+        assert len(rf.read_banks(0, 0)) == 8
+
+    def test_compressed_write_narrows_reads(self):
+        rf, _ = make_regfile()
+        rf.allocate_warp(0)
+        rf.write_commit(0, 0, CompressionMode.B4D1, 3, cycle=1)
+        assert rf.read_banks(0, 0) == [0, 1, 2]
+        assert rf.is_compressed(0, 0)
+
+    def test_gating_valid_bits_follow_bank_span(self):
+        rf, gating = make_regfile(gating=True)
+        rf.allocate_warp(0)
+        rf.write_commit(0, 0, CompressionMode.UNCOMPRESSED, 8, cycle=1)
+        assert all(gating.valid_entries(b) == 1 for b in range(8))
+        # Re-compressing to one bank frees seven entries.
+        rf.write_commit(0, 0, CompressionMode.B4D0, 1, cycle=2)
+        assert gating.valid_entries(0) == 1
+        assert all(gating.valid_entries(b) == 0 for b in range(1, 8))
+        # The banks woken at cycle 1 finish waking at 11; with zero gate
+        # delay they gate at the next settle after that.
+        gating.settle(12)
+        assert all(gating.state(b) is BankState.GATED for b in range(1, 8))
+
+    def test_compressed_fraction(self):
+        rf, _ = make_regfile()
+        rf.allocate_warp(0)
+        assert rf.compressed_fraction == 0.0
+        rf.write_commit(0, 0, CompressionMode.B4D0, 1, cycle=1)
+        assert rf.compressed_fraction == pytest.approx(1 / 8)
+
+
+class TestBankArbiter:
+    def test_one_read_per_bank_per_cycle(self):
+        arb = BankArbiter(4)
+        arb.begin_cycle(0)
+        assert arb.grant_reads([0, 1]) == [0, 1]
+        assert arb.grant_reads([1, 2]) == [2]
+        arb.begin_cycle(1)
+        assert arb.grant_reads([1]) == [1]
+
+    def test_read_and_write_ports_independent(self):
+        arb = BankArbiter(2)
+        arb.begin_cycle(0)
+        assert arb.grant_reads([0]) == [0]
+        assert arb.grant_writes([0]) == [0]
+        assert arb.grant_writes([0]) == []
+
+    def test_gated_bank_not_granted_until_awake(self):
+        gating = BankGatingController(2, wakeup_latency=5, gate_delay=0)
+        arb = BankArbiter(2, gating)
+        arb.begin_cycle(0)
+        assert arb.grant_writes([0]) == []  # wake initiated
+        arb.begin_cycle(4)
+        assert arb.grant_writes([0]) == []
+        arb.begin_cycle(5)
+        assert arb.grant_writes([0]) == [0]
+
+
+class TestScoreboard:
+    def test_raw_waw_blocking(self):
+        sb = Scoreboard()
+        sb.reserve(0, reg=3)
+        assert sb.blocked(0, (3,), None)  # RAW
+        assert sb.blocked(0, (), 3)  # WAW
+        assert not sb.blocked(0, (4,), 5)
+        assert not sb.blocked(1, (3,), 3)  # other warp unaffected
+
+    def test_predicate_tracking(self):
+        sb = Scoreboard()
+        sb.reserve(0, reg=None, pred=1)
+        assert sb.blocked(0, (), None, read_preds=(1,))
+        assert sb.blocked(0, (), None, write_pred=1)
+        sb.release(0, None, pred=1)
+        assert not sb.blocked(0, (), None, read_preds=(1,))
+
+    def test_pending_and_clear(self):
+        sb = Scoreboard()
+        sb.reserve(0, reg=1)
+        sb.reserve(0, reg=2, pred=0)
+        assert sb.pending(0) == 3
+        sb.clear_warp(0)
+        assert sb.pending(0) == 0
+
+
+class TestWarpScheduler:
+    def test_gto_sticks_with_last_warp(self):
+        s = WarpScheduler("gto")
+        for w in (5, 1, 9):
+            s.add_warp(w)
+        assert s.pick(lambda w: True) == 5  # oldest first
+        assert s.pick(lambda w: True) == 5  # greedy
+        assert s.pick(lambda w: w != 5) == 1  # then-oldest on stall
+
+    def test_gto_oldest_is_arrival_order(self):
+        s = WarpScheduler("gto")
+        s.add_warp(7)
+        s.add_warp(2)
+        assert s.pick(lambda w: True) == 7
+
+    def test_lrr_rotates(self):
+        s = WarpScheduler("lrr")
+        for w in (0, 1, 2):
+            s.add_warp(w)
+        picks = [s.pick(lambda w: True) for _ in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_lrr_skips_unready(self):
+        s = WarpScheduler("lrr")
+        for w in (0, 1, 2):
+            s.add_warp(w)
+        assert s.pick(lambda w: w != 0) == 1
+
+    def test_none_when_nothing_ready(self):
+        s = WarpScheduler("gto")
+        s.add_warp(0)
+        assert s.pick(lambda w: False) is None
+        assert WarpScheduler("lrr").pick(lambda w: True) is None
+
+    def test_remove(self):
+        s = WarpScheduler("gto")
+        s.add_warp(0)
+        s.add_warp(1)
+        assert s.pick(lambda w: True) == 0
+        s.remove_warp(0)
+        assert s.pick(lambda w: True) == 1
+        with pytest.raises(ValueError):
+            s.add_warp(1)
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            WarpScheduler("fifo")
+
+
+class TestCollector:
+    def test_pool_counting(self):
+        pool = CollectorPool(2)
+        pool.allocate()
+        pool.allocate()
+        assert not pool.available
+        with pytest.raises(RuntimeError):
+            pool.allocate()
+        pool.release()
+        assert pool.available
+
+    def test_release_underflow(self):
+        with pytest.raises(RuntimeError):
+            CollectorPool(1).release()
+
+    def test_operand_read_uncompressed_ready_after_banks(self):
+        read = OperandRead(0, 0, CompressionMode.UNCOMPRESSED, {0, 1}, 2)
+        assert not read.advance(5, None)
+        read.pending_banks.clear()
+        assert read.advance(6, None)
+        assert read.ready_at == 6
+
+    def test_operand_read_compressed_needs_decompressor(self):
+        decomp = UnitPool(count=1, latency=2)
+        read = OperandRead(
+            0, 0, CompressionMode.B4D0, set(), 1, decompression_needed=True
+        )
+        assert not read.advance(10, decomp)  # starts, ready at 12
+        assert not read.advance(11, decomp)
+        assert read.advance(12, decomp)
+
+    def test_operand_read_structural_hazard_retries(self):
+        decomp = UnitPool(count=1, latency=1)
+        other = OperandRead(
+            0, 0, CompressionMode.B4D0, set(), 1, decompression_needed=True
+        )
+        blocked = OperandRead(
+            0, 1, CompressionMode.B4D0, set(), 1, decompression_needed=True
+        )
+        other.advance(0, decomp)
+        assert not blocked.advance(0, decomp)  # unit issue slot taken
+        assert blocked.ready_at is None
+        assert not blocked.advance(1, decomp)  # accepted now, ready at 2
+        assert blocked.advance(2, decomp)
+
+    def test_compressed_without_decompressors_raises(self):
+        read = OperandRead(
+            0, 0, CompressionMode.B4D0, set(), 1, decompression_needed=True
+        )
+        with pytest.raises(RuntimeError):
+            read.advance(0, None)

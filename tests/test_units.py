@@ -1,0 +1,57 @@
+"""Unit tests for compressor/decompressor unit pools."""
+
+import pytest
+
+from repro.core.units import UnitPool
+
+
+class TestUnitPool:
+    def test_pipelined_pool_accepts_one_per_unit_per_cycle(self):
+        pool = UnitPool(count=2, latency=3)
+        assert pool.try_start(10) == 13
+        assert pool.try_start(10) == 13
+        assert pool.try_start(10) is None  # both issue slots taken
+        assert pool.try_start(11) == 14  # pipelined: free next cycle
+
+    def test_unpipelined_pool(self):
+        pool = UnitPool(count=1, latency=4, initiation_interval=4)
+        assert pool.try_start(0) == 4
+        assert pool.try_start(1) is None
+        assert pool.try_start(3) is None
+        assert pool.try_start(4) == 8
+
+    def test_zero_latency(self):
+        pool = UnitPool(count=1, latency=0)
+        assert pool.try_start(5) == 5
+
+    def test_activation_counting(self):
+        pool = UnitPool(count=4, latency=1)
+        for c in range(10):
+            pool.try_start(c)
+        assert pool.activations == 10
+
+    def test_free_at(self):
+        pool = UnitPool(count=3, latency=2)
+        assert pool.free_at(0) == 3
+        pool.try_start(0)
+        assert pool.free_at(0) == 2
+        assert pool.free_at(1) == 3
+
+    def test_reset(self):
+        pool = UnitPool(count=1, latency=2)
+        pool.try_start(0)
+        pool.reset()
+        assert pool.activations == 0
+        assert pool.try_start(0) == 2
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(count=0, latency=1),
+            dict(count=1, latency=-1),
+            dict(count=1, latency=1, initiation_interval=0),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            UnitPool(**kwargs)
