@@ -1,20 +1,24 @@
 """Shared fixtures for the figure-regeneration bench suite.
 
-One :class:`SimulationCache` is shared across every bench module so that
-the ~dozen distinct simulations behind the seventeen figures each run
-exactly once per pytest session.  Benches run at ``small`` scale so the
-whole suite regenerates in a couple of minutes; use the CLI
+One :class:`repro.sim.Session` is shared across every bench module so
+that the ~dozen distinct simulations behind the seventeen figures each
+run exactly once per pytest session (the session dedupes identical
+(kernel, config) pairs and keeps an on-disk result cache in a temporary
+directory).  Benches run at ``small`` scale so the whole suite
+regenerates in a couple of minutes; use the CLI
 (``warped-compression all``) for the full-size tables.
 """
 
 import pytest
 
-from repro.harness.sweeps import SimulationCache
+from repro.sim import Session
 
 
 @pytest.fixture(scope="session")
-def cache():
-    return SimulationCache(scale="small")
+def cache(tmp_path_factory):
+    return Session(
+        scale="small", cache_dir=tmp_path_factory.mktemp("result-cache")
+    )
 
 
 @pytest.fixture

@@ -20,17 +20,19 @@ from repro.harness.experiments import (
     fig20,
     fig21,
 )
-from repro.harness.sweeps import SimulationCache
+from repro.sim import Session
 
 SUBSET = ["lib", "aes", "spmv"]
 
 
 def main():
-    cache = SimulationCache(scale="small", subset=SUBSET, verbose=True)
+    # Results persist in the content-addressed on-disk cache, so a second
+    # invocation of this script re-renders every table simulation-free.
+    session = Session(scale="small", subset=SUBSET, verbose=True)
     print(f"benchmarks: {', '.join(SUBSET)} (small scale)\n")
 
-    for driver in (fig15, fig16, fig20, fig21, fig17, fig18, fig19):
-        print(driver(cache).render())
+    for spec in (fig15, fig16, fig20, fig21, fig17, fig18, fig19):
+        print(spec(session).render())
         print()
 
     print(

@@ -7,16 +7,14 @@ harness regenerating every figure of the paper's evaluation.
 
 Quickstart::
 
-    from repro import run_kernel
-    from repro.kernels import get_benchmark
+    from repro import Session
 
-    bench = get_benchmark("pathfinder")
-    spec = bench.launch()
-    result = run_kernel(
-        spec.kernel, spec.grid_dim, spec.cta_dim, spec.params,
-        spec.fresh_memory(), policy="warped",
-    )
-    print(result.stats.value.overall_compression_ratio())
+    session = Session()  # memoized + on-disk cached simulation runs
+    result = session.timing_run("pathfinder", policy="warped")
+    print(result.value.overall_compression_ratio())
+
+(`run_kernel` remains available for one-off launches of hand-built
+kernels; experiments always go through a :class:`Session`.)
 """
 
 from repro.core import (
@@ -33,8 +31,9 @@ from repro.gpu.builder import KernelBuilder
 from repro.gpu.functional import run_functional
 from repro.gpu.memory import GlobalMemory
 from repro.power import EnergyParams
+from repro.sim import RunResult, Session, SimRequest
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "GPU",
@@ -45,6 +44,9 @@ __all__ = [
     "EnergyParams",
     "KernelBuilder",
     "LaunchSpec",
+    "RunResult",
+    "Session",
+    "SimRequest",
     "SimulationResult",
     "WarpedCompressionPolicy",
     "banks_required",

@@ -180,6 +180,65 @@ class ValueStats:
         self.occupancy_sum += other.occupancy_sum
         self.occupancy_samples += other.occupancy_samples
 
+    # ------------------------------------------------------------------
+    # Serialisation (RunResult artifacts)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Lossless JSON-compatible representation of every counter."""
+        return {
+            "collect_bdi": self.collect_bdi,
+            "similarity": self.similarity.tolist(),
+            "instructions": int(self.instructions),
+            "divergent_instructions": int(self.divergent_instructions),
+            "writes": self.writes.tolist(),
+            "achievable_banks": self.achievable_banks.tolist(),
+            "stored_banks": self.stored_banks.tolist(),
+            "mode_histogram": {
+                str(int(mode)): int(count)
+                for mode, count in sorted(self.mode_histogram.items())
+            },
+            "bdi_histogram": {
+                str(choice): int(count)
+                for choice, count in sorted(self.bdi_histogram.items())
+            },
+            "movs_injected": int(self.movs_injected),
+            "occupancy_sum": self.occupancy_sum.tolist(),
+            "occupancy_samples": self.occupancy_samples.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ValueStats":
+        """Rebuild the exact counters :meth:`to_dict` captured."""
+        stats = cls(collect_bdi=bool(data["collect_bdi"]))
+        stats.similarity = np.asarray(data["similarity"], dtype=np.int64)
+        stats.instructions = int(data["instructions"])
+        stats.divergent_instructions = int(data["divergent_instructions"])
+        stats.writes = np.asarray(data["writes"], dtype=np.int64)
+        stats.achievable_banks = np.asarray(
+            data["achievable_banks"], dtype=np.int64
+        )
+        stats.stored_banks = np.asarray(data["stored_banks"], dtype=np.int64)
+        stats.mode_histogram = Counter(
+            {
+                CompressionMode(int(mode)): int(count)
+                for mode, count in data["mode_histogram"].items()
+            }
+        )
+        stats.bdi_histogram = Counter(
+            {
+                str(choice): int(count)
+                for choice, count in data["bdi_histogram"].items()
+            }
+        )
+        stats.movs_injected = int(data["movs_injected"])
+        stats.occupancy_sum = np.asarray(
+            data["occupancy_sum"], dtype=np.float64
+        )
+        stats.occupancy_samples = np.asarray(
+            data["occupancy_samples"], dtype=np.int64
+        )
+        return stats
+
 
 @dataclass
 class TimingStats:
@@ -196,10 +255,27 @@ class TimingStats:
         self.collector_stall_cycles += other.collector_stall_cycles
         self.bank_wakeup_stalls += other.bank_wakeup_stalls
 
+    def to_dict(self) -> dict:
+        return {
+            "cycles": int(self.cycles),
+            "issued": int(self.issued),
+            "collector_stall_cycles": int(self.collector_stall_cycles),
+            "bank_wakeup_stalls": int(self.bank_wakeup_stalls),
+        }
 
-@dataclass
+    @classmethod
+    def from_dict(cls, data: dict) -> "TimingStats":
+        return cls(
+            cycles=int(data["cycles"]),
+            issued=int(data["issued"]),
+            collector_stall_cycles=int(data["collector_stall_cycles"]),
+            bank_wakeup_stalls=int(data["bank_wakeup_stalls"]),
+        )
+
+
+@dataclass(frozen=True)
 class RunStats:
-    """Everything one simulation run produced."""
+    """Everything one simulation run produced (immutable once emitted)."""
 
     benchmark: str
     policy: str
@@ -207,4 +283,4 @@ class RunStats:
     timing: TimingStats | None = None
     energy_breakdown: object | None = None  # EnergyBreakdown
     energy_model: object | None = None  # EnergyModel (for re-pricing sweeps)
-    gated_fractions: list[float] | None = None
+    gated_fractions: tuple[float, ...] | None = None

@@ -17,9 +17,9 @@ from repro.power.energy import EnergyBreakdown, EnergyModel
 from repro.power.params import EnergyParams
 
 
-@dataclass
+@dataclass(frozen=True)
 class SimulationResult:
-    """Aggregated outcome of one kernel launch."""
+    """Aggregated outcome of one kernel launch (immutable record)."""
 
     stats: RunStats
     cycles: int
@@ -133,7 +133,7 @@ class GPU:
             timing=timing,
             energy_breakdown=energy_model.breakdown(),
             energy_model=energy_model,
-            gated_fractions=gated,
+            gated_fractions=tuple(gated) if gated is not None else None,
         )
         return SimulationResult(stats=stats, cycles=timing.cycles)
 

@@ -1,13 +1,23 @@
-"""Experiment harness: one driver per paper table/figure.
+"""Experiment harness: one declarative spec per paper table/figure.
 
-* :mod:`repro.harness.sweeps` — cached simulation runner so that figures
-  sharing the same (benchmark, configuration) reuse one simulation.
+* :mod:`repro.harness.engine` — :class:`ExperimentSpec` (workload ×
+  config grid + pure reduction) and the shared engine evaluating specs
+  against a :class:`repro.sim.Session`.
 * :mod:`repro.harness.experiments` — ``fig02`` ... ``fig21`` and
-  ``table1`` drivers returning renderable tables.
+  ``table1`` specs producing renderable tables.
+* :mod:`repro.harness.ablations` / :mod:`repro.harness.extensions` —
+  studies beyond the paper's figures, on the same engine.
 * :mod:`repro.harness.runner` — the ``warped-compression`` CLI.
 """
 
+from repro.harness.engine import ExperimentSpec, ResultGrid, Variant, evaluate
 from repro.harness.experiments import EXPERIMENTS, run_experiment
-from repro.harness.sweeps import SimulationCache
 
-__all__ = ["EXPERIMENTS", "SimulationCache", "run_experiment"]
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentSpec",
+    "ResultGrid",
+    "Variant",
+    "evaluate",
+    "run_experiment",
+]

@@ -4,16 +4,21 @@ These go beyond the paper's own figures: each isolates one mechanism of
 the warped-compression design (or of our reconstruction of it) and
 quantifies its contribution.
 
-* :func:`gate_delay` — the sleep-hysteresis window.  Too short thrashes
+* ``gate_delay`` — the sleep-hysteresis window.  Too short thrashes
   (wake stalls), too long forfeits leakage savings.
-* :func:`wakeup_latency` — sensitivity to the 10-cycle bank wake cost.
-* :func:`collectors` — operand-collector count (structural issue
+* ``wakeup_latency`` — sensitivity to the 10-cycle bank wake cost.
+* ``collectors`` — operand-collector count (structural issue
   bandwidth of the register file).
-* :func:`divergence_policies` — the Section 5.2 alternatives measured
+* ``divergence_policies`` — the Section 5.2 alternatives measured
   end-to-end: chosen design vs buffered recompression vs per-thread
   narrow width.
-* :func:`compressor_count` — how many compressor/decompressor units the
+* ``compressor_count`` — how many compressor/decompressor units the
   two-scheduler SM actually needs.
+
+Each is an :class:`~repro.harness.engine.ExperimentSpec`, so ablation
+configurations flow through the same session cache as the paper figures
+— the default-valued sweep points (e.g. ``bank_gate_delay=64``) dedupe
+with the standard warped run instead of re-simulating it.
 """
 
 from __future__ import annotations
@@ -21,37 +26,23 @@ from __future__ import annotations
 import numpy as np
 
 from repro.analysis.report import ExperimentResult
-from repro.gpu.config import GPUConfig
-from repro.gpu.launch import run_kernel
-from repro.harness.sweeps import SimulationCache
-from repro.kernels import get_benchmark
-
-AVERAGE = "AVERAGE"
+from repro.harness.engine import (
+    AVERAGE,
+    ExperimentSpec,
+    ResultGrid,
+    Variant,
+    experiment,
+)
+from repro.harness.experiments import BASELINE, WARPED
 
 #: A representative trio: best case, worst case, divergent case.
 DEFAULT_SUBSET = ("lib", "aes", "spmv")
 
-
-def _run(
-    name: str,
-    scale: str,
-    policy: str = "warped",
-    config: GPUConfig | None = None,
-):
-    bench = get_benchmark(name)
-    spec = bench.launch(scale)
-    gmem = spec.fresh_memory()
-    result = run_kernel(
-        spec.kernel,
-        spec.grid_dim,
-        spec.cta_dim,
-        spec.params,
-        gmem,
-        config=config,
-        policy=policy,
-    )
-    bench.verify(gmem, spec)
-    return result
+_GATE_DELAYS = (0, 16, 64, 256, 4096)
+_WAKE_LATENCIES = (0, 5, 10, 20, 40)
+_COLLECTOR_COUNTS = (2, 4, 8, 16)
+_DIVERGENCE_POLICIES = ("warped", "warped-buffered", "per-thread")
+_UNIT_CONFIGS = ((1, 1), (1, 2), (2, 4), (4, 8))
 
 
 def _average_row(result: ExperimentResult) -> None:
@@ -59,113 +50,158 @@ def _average_row(result: ExperimentResult) -> None:
     result.add_row(AVERAGE, *(float(np.mean(col)) for col in columns))
 
 
-def gate_delay(cache: SimulationCache) -> ExperimentResult:
+@experiment(
+    "abl-gate-delay",
+    "Energy (vs baseline) and slowdown vs gating hysteresis",
+    variants=[BASELINE]
+    + [
+        Variant(
+            f"delay{d}", config_overrides=(("bank_gate_delay", d),)
+        )
+        for d in _GATE_DELAYS
+    ],
+    suite=DEFAULT_SUBSET,
+)
+def gate_delay(grid: ResultGrid) -> ExperimentResult:
     """Sweep the bank-gating hysteresis window."""
-    delays = [0, 16, 64, 256, 4096]
     result = ExperimentResult(
         exp_id="abl-gate-delay",
         title="Energy (vs baseline) and slowdown vs gating hysteresis",
         headers=["benchmark"]
-        + [f"E@{d}" for d in delays]
-        + [f"T@{d}" for d in delays],
+        + [f"E@{d}" for d in _GATE_DELAYS]
+        + [f"T@{d}" for d in _GATE_DELAYS],
         notes="E = normalised RF energy, T = normalised execution time",
     )
-    for name in cache.benchmarks(list(DEFAULT_SUBSET)):
-        base = cache.timing_run(name, policy="baseline")
+    for name in grid.benchmarks:
+        base = grid.get(name, "baseline")
         energies, times = [], []
-        for delay in delays:
-            cfg = GPUConfig(bank_gate_delay=delay)
-            run = _run(name, cache.scale, config=cfg)
-            energies.append(
-                run.energy.normalized_to(base.energy)["total"]
-            )
+        for delay in _GATE_DELAYS:
+            run = grid.get(name, f"delay{delay}")
+            energies.append(run.energy.normalized_to(base.energy)["total"])
             times.append(run.cycles / base.cycles)
         result.add_row(name, *energies, *times)
     _average_row(result)
     return result
 
 
-def wakeup_latency(cache: SimulationCache) -> ExperimentResult:
+@experiment(
+    "abl-wakeup",
+    "Execution time (vs baseline) vs bank wake-up latency",
+    variants=[BASELINE]
+    + [
+        Variant(
+            f"wake{w}", config_overrides=(("bank_wakeup_latency", w),)
+        )
+        for w in _WAKE_LATENCIES
+    ],
+    suite=DEFAULT_SUBSET,
+)
+def wakeup_latency(grid: ResultGrid) -> ExperimentResult:
     """Sweep the power-gated bank wake-up latency (paper default 10)."""
-    latencies = [0, 5, 10, 20, 40]
     result = ExperimentResult(
         exp_id="abl-wakeup",
         title="Execution time (vs baseline) vs bank wake-up latency",
-        headers=["benchmark"] + [f"wake={w}" for w in latencies],
+        headers=["benchmark"] + [f"wake={w}" for w in _WAKE_LATENCIES],
     )
-    for name in cache.benchmarks(list(DEFAULT_SUBSET)):
-        base = cache.timing_run(name, policy="baseline")
-        cells = []
-        for wake in latencies:
-            cfg = GPUConfig(bank_wakeup_latency=wake)
-            run = _run(name, cache.scale, config=cfg)
-            cells.append(run.cycles / base.cycles)
+    for name in grid.benchmarks:
+        base = grid.get(name, "baseline")
+        cells = [
+            grid.get(name, f"wake{w}").cycles / base.cycles
+            for w in _WAKE_LATENCIES
+        ]
         result.add_row(name, *cells)
     _average_row(result)
     return result
 
 
-def collectors(cache: SimulationCache) -> ExperimentResult:
+@experiment(
+    "abl-collectors",
+    "Execution time (vs 8-collector warped) vs collector count",
+    variants=[WARPED]
+    + [
+        Variant(f"oc{c}", config_overrides=(("num_collectors", c),))
+        for c in _COLLECTOR_COUNTS
+    ],
+    suite=DEFAULT_SUBSET,
+)
+def collectors(grid: ResultGrid) -> ExperimentResult:
     """Sweep the operand-collector count (structural RF bandwidth)."""
-    counts = [2, 4, 8, 16]
     result = ExperimentResult(
         exp_id="abl-collectors",
         title="Execution time (vs 8-collector warped) vs collector count",
-        headers=["benchmark"] + [f"oc={c}" for c in counts],
+        headers=["benchmark"] + [f"oc={c}" for c in _COLLECTOR_COUNTS],
     )
-    for name in cache.benchmarks(list(DEFAULT_SUBSET)):
-        reference = cache.timing_run(name, policy="warped").cycles
-        cells = []
-        for count in counts:
-            cfg = GPUConfig(num_collectors=count)
-            run = _run(name, cache.scale, config=cfg)
-            cells.append(run.cycles / reference)
+    for name in grid.benchmarks:
+        reference = grid.get(name, "warped").cycles
+        cells = [
+            grid.get(name, f"oc{c}").cycles / reference
+            for c in _COLLECTOR_COUNTS
+        ]
         result.add_row(name, *cells)
     _average_row(result)
     return result
 
 
-def divergence_policies(cache: SimulationCache) -> ExperimentResult:
+@experiment(
+    "abl-divergence",
+    "Normalised RF energy per divergence-handling design",
+    variants=[BASELINE]
+    + [Variant(p, policy=p) for p in _DIVERGENCE_POLICIES],
+)
+def divergence_policies(grid: ResultGrid) -> ExperimentResult:
     """End-to-end comparison of the Section 5.2 design alternatives."""
-    policies = ["warped", "warped-buffered", "per-thread"]
     result = ExperimentResult(
         exp_id="abl-divergence",
         title="Normalised RF energy per divergence-handling design",
-        headers=["benchmark"] + policies,
+        headers=["benchmark"] + list(_DIVERGENCE_POLICIES),
     )
-    for name in cache.benchmarks():
-        base = cache.timing_run(name, policy="baseline")
-        cells = []
-        for policy in policies:
-            run = cache.timing_run(name, policy=policy)
-            cells.append(run.energy.normalized_to(base.energy)["total"])
+    for name in grid.benchmarks:
+        base = grid.get(name, "baseline")
+        cells = [
+            grid.get(name, p).energy.normalized_to(base.energy)["total"]
+            for p in _DIVERGENCE_POLICIES
+        ]
         result.add_row(name, *cells)
     _average_row(result)
     return result
 
 
-def compressor_count(cache: SimulationCache) -> ExperimentResult:
+@experiment(
+    "abl-units",
+    "Execution time (vs baseline) per compressor/decompressor count",
+    variants=[BASELINE]
+    + [
+        Variant(
+            f"{c}c{d}d",
+            config_overrides=(
+                ("num_compressors", c),
+                ("num_decompressors", d),
+            ),
+        )
+        for c, d in _UNIT_CONFIGS
+    ],
+    suite=DEFAULT_SUBSET,
+)
+def compressor_count(grid: ResultGrid) -> ExperimentResult:
     """How many compressor/decompressor units does the SM need?"""
-    configs = [(1, 1), (1, 2), (2, 4), (4, 8)]
     result = ExperimentResult(
         exp_id="abl-units",
         title="Execution time (vs baseline) per compressor/decompressor count",
-        headers=["benchmark"] + [f"{c}c/{d}d" for c, d in configs],
+        headers=["benchmark"] + [f"{c}c/{d}d" for c, d in _UNIT_CONFIGS],
         notes="paper provisions 2 compressors / 4 decompressors",
     )
-    for name in cache.benchmarks(list(DEFAULT_SUBSET)):
-        base = cache.timing_run(name, policy="baseline")
-        cells = []
-        for comps, decomps in configs:
-            cfg = GPUConfig(num_compressors=comps, num_decompressors=decomps)
-            run = _run(name, cache.scale, config=cfg)
-            cells.append(run.cycles / base.cycles)
+    for name in grid.benchmarks:
+        base = grid.get(name, "baseline")
+        cells = [
+            grid.get(name, f"{c}c{d}d").cycles / base.cycles
+            for c, d in _UNIT_CONFIGS
+        ]
         result.add_row(name, *cells)
     _average_row(result)
     return result
 
 
-ABLATIONS = {
+ABLATIONS: dict[str, ExperimentSpec] = {
     "abl-gate-delay": gate_delay,
     "abl-wakeup": wakeup_latency,
     "abl-collectors": collectors,

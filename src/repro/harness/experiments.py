@@ -1,10 +1,18 @@
-"""One driver per paper table/figure.
+"""One declarative spec per paper table/figure.
 
-Every public ``figNN``/``tableN`` function takes a
-:class:`~repro.harness.sweeps.SimulationCache` and returns an
+Every public ``figNN``/``tableN`` name is an
+:class:`~repro.harness.engine.ExperimentSpec`: a workload × config grid
+plus a pure reduction from the grid of
+:class:`~repro.sim.result.RunResult` artifacts to an
 :class:`~repro.analysis.report.ExperimentResult` whose rows mirror the
 corresponding plot in the paper (one row per benchmark plus an average
 row, columns = the plotted series).
+
+Specs are callable — ``fig09(session)`` evaluates the grid through the
+shared engine — so the registry, the CLI, and the bench suite all drive
+them the same way.  No spec simulates anything itself: all execution
+(memoized, disk-cached, optionally parallel) happens in the
+:class:`~repro.sim.session.Session`.
 """
 
 from __future__ import annotations
@@ -16,11 +24,22 @@ import numpy as np
 from repro.analysis.report import ExperimentResult
 from repro.analysis.similarity import BDI_CHOICES, SimilarityBin
 from repro.core.bdi import TABLE1_ENCODINGS
-from repro.harness.sweeps import SimulationCache
-
-AVERAGE = "AVERAGE"
+from repro.harness.engine import (
+    AVERAGE,
+    ExperimentSpec,
+    ResultGrid,
+    Variant,
+    experiment,
+)
+from repro.sim.session import Session
 
 _STATIC_POLICIES = ("static-4-0", "static-4-1", "static-4-2")
+
+#: Shared grid points — identical variants dedupe to one simulation.
+FUNC = Variant("func", timing=False)
+FUNC_BDI = Variant("func-bdi", timing=False, collect_bdi=True)
+BASELINE = Variant("baseline", policy="baseline")
+WARPED = Variant("warped")
 
 
 def _mean(values: list[float]) -> float:
@@ -33,9 +52,10 @@ def _mean_opt(values: list[float | None]) -> float | None:
 
 
 # ----------------------------------------------------------------------
-# Table 1 — static BDI size arithmetic
+# Table 1 — static BDI size arithmetic (no simulation at all)
 # ----------------------------------------------------------------------
-def table1(cache: SimulationCache) -> ExperimentResult:
+@experiment("table1", "Possible combinations of chunk size")
+def table1(grid: ResultGrid) -> ExperimentResult:
     """Compressed sizes and bank counts per <base, delta> pair."""
     result = ExperimentResult(
         exp_id="table1",
@@ -51,7 +71,12 @@ def table1(cache: SimulationCache) -> ExperimentResult:
 # ----------------------------------------------------------------------
 # Figure 2 — value-similarity bins
 # ----------------------------------------------------------------------
-def fig02(cache: SimulationCache) -> ExperimentResult:
+@experiment(
+    "fig02",
+    "Characterization of register values (fractions of writes)",
+    variants=[FUNC],
+)
+def fig02(grid: ResultGrid) -> ExperimentResult:
     result = ExperimentResult(
         exp_id="fig02",
         title="Characterization of register values (fractions of writes)",
@@ -60,8 +85,8 @@ def fig02(cache: SimulationCache) -> ExperimentResult:
         + [f"d_{b.label}" for b in SimilarityBin],
     )
     columns: list[list[float | None]] = [[] for _ in range(8)]
-    for name in cache.benchmarks():
-        v = cache.functional_run(name).value
+    for name in grid.benchmarks:
+        v = grid.get(name, "func").value
         nd = v.similarity_fractions(divergent=False)
         cells: list[float | None] = [nd[b] for b in SimilarityBin]
         if int(v.writes[1]) > 0:
@@ -80,15 +105,18 @@ def fig02(cache: SimulationCache) -> ExperimentResult:
 # ----------------------------------------------------------------------
 # Figure 3 — non-divergent instruction share
 # ----------------------------------------------------------------------
-def fig03(cache: SimulationCache) -> ExperimentResult:
+@experiment(
+    "fig03", "Ratio of non-diverged warp instructions", variants=[FUNC]
+)
+def fig03(grid: ResultGrid) -> ExperimentResult:
     result = ExperimentResult(
         exp_id="fig03",
         title="Ratio of non-diverged warp instructions",
         headers=["benchmark", "nondivergent"],
     )
     values = []
-    for name in cache.benchmarks():
-        v = cache.functional_run(name).value
+    for name in grid.benchmarks:
+        v = grid.get(name, "func").value
         result.add_row(name, v.nondivergent_fraction)
         values.append(v.nondivergent_fraction)
     result.add_row(AVERAGE, _mean(values))
@@ -98,7 +126,12 @@ def fig03(cache: SimulationCache) -> ExperimentResult:
 # ----------------------------------------------------------------------
 # Figure 5 — best <base,delta> breakdown
 # ----------------------------------------------------------------------
-def fig05(cache: SimulationCache) -> ExperimentResult:
+@experiment(
+    "fig05",
+    "Breakdown of <base,delta> achieving best compression",
+    variants=[FUNC_BDI],
+)
+def fig05(grid: ResultGrid) -> ExperimentResult:
     result = ExperimentResult(
         exp_id="fig05",
         title="Breakdown of <base,delta> achieving best compression",
@@ -106,8 +139,8 @@ def fig05(cache: SimulationCache) -> ExperimentResult:
     )
     sums = np.zeros(len(BDI_CHOICES))
     rows = 0
-    for name in cache.benchmarks():
-        v = cache.functional_run(name, collect_bdi=True).value
+    for name in grid.benchmarks:
+        v = grid.get(name, "func-bdi").value
         fractions = v.bdi_fractions()
         cells = [fractions.get(c, 0.0) for c in BDI_CHOICES]
         result.add_row(name, *cells)
@@ -120,7 +153,12 @@ def fig05(cache: SimulationCache) -> ExperimentResult:
 # ----------------------------------------------------------------------
 # Figure 8 — compression ratio by phase
 # ----------------------------------------------------------------------
-def fig08(cache: SimulationCache) -> ExperimentResult:
+@experiment(
+    "fig08",
+    "Compression ratio (achievable), non-divergent vs divergent",
+    variants=[FUNC],
+)
+def fig08(grid: ResultGrid) -> ExperimentResult:
     result = ExperimentResult(
         exp_id="fig08",
         title="Compression ratio (achievable), non-divergent vs divergent",
@@ -129,8 +167,8 @@ def fig08(cache: SimulationCache) -> ExperimentResult:
         "(the paper's Figure 8 methodology)",
     )
     nd_all, d_all = [], []
-    for name in cache.benchmarks():
-        v = cache.functional_run(name).value
+    for name in grid.benchmarks:
+        v = grid.get(name, "func").value
         nd = v.compression_ratio(divergent=False, achievable=True)
         has_div = int(v.writes[1]) > 0
         d = v.compression_ratio(divergent=True, achievable=True) if has_div else None
@@ -145,7 +183,12 @@ def fig08(cache: SimulationCache) -> ExperimentResult:
 # ----------------------------------------------------------------------
 # Figure 9 — register file energy
 # ----------------------------------------------------------------------
-def fig09(cache: SimulationCache) -> ExperimentResult:
+@experiment(
+    "fig09",
+    "Register file energy, normalised to the uncompressed baseline",
+    variants=[BASELINE, WARPED],
+)
+def fig09(grid: ResultGrid) -> ExperimentResult:
     result = ExperimentResult(
         exp_id="fig09",
         title="Register file energy, normalised to the uncompressed baseline",
@@ -162,9 +205,9 @@ def fig09(cache: SimulationCache) -> ExperimentResult:
     )
     totals = []
     sums = np.zeros(6)
-    for name in cache.benchmarks():
-        base = cache.timing_run(name, policy="baseline").energy
-        wc = cache.timing_run(name, policy="warped").energy
+    for name in grid.benchmarks:
+        base = grid.get(name, "baseline").energy
+        wc = grid.get(name, "warped").energy
         norm = wc.normalized_to(base)
         row = [
             base.dynamic_pj / base.total_pj,
@@ -185,7 +228,12 @@ def fig09(cache: SimulationCache) -> ExperimentResult:
 # ----------------------------------------------------------------------
 # Figure 10 — power-gated cycles per bank
 # ----------------------------------------------------------------------
-def fig10(cache: SimulationCache) -> ExperimentResult:
+@experiment(
+    "fig10",
+    "Fraction of cycles each register bank is power-gated (suite average)",
+    variants=[WARPED],
+)
+def fig10(grid: ResultGrid) -> ExperimentResult:
     result = ExperimentResult(
         exp_id="fig10",
         title="Fraction of cycles each register bank is power-gated "
@@ -196,9 +244,8 @@ def fig10(cache: SimulationCache) -> ExperimentResult:
     )
     per_bank: np.ndarray | None = None
     count = 0
-    for name in cache.benchmarks():
-        run = cache.timing_run(name, policy="warped")
-        fractions = run.stats.gated_fractions
+    for name in grid.benchmarks:
+        fractions = grid.get(name, "warped").gated_fractions
         if fractions is None:
             continue
         arr = np.asarray(fractions)
@@ -214,15 +261,20 @@ def fig10(cache: SimulationCache) -> ExperimentResult:
 # ----------------------------------------------------------------------
 # Figure 11 — dummy MOV share
 # ----------------------------------------------------------------------
-def fig11(cache: SimulationCache) -> ExperimentResult:
+@experiment(
+    "fig11",
+    "Dummy MOV instructions as a fraction of all instructions",
+    variants=[WARPED],
+)
+def fig11(grid: ResultGrid) -> ExperimentResult:
     result = ExperimentResult(
         exp_id="fig11",
         title="Dummy MOV instructions as a fraction of all instructions",
         headers=["benchmark", "mov_fraction"],
     )
     values = []
-    for name in cache.benchmarks():
-        v = cache.timing_run(name, policy="warped").stats.value
+    for name in grid.benchmarks:
+        v = grid.get(name, "warped").value
         result.add_row(name, v.mov_fraction)
         values.append(v.mov_fraction)
     result.add_row(AVERAGE, _mean(values))
@@ -232,7 +284,12 @@ def fig11(cache: SimulationCache) -> ExperimentResult:
 # ----------------------------------------------------------------------
 # Figure 12 — compressed-register occupancy by phase
 # ----------------------------------------------------------------------
-def fig12(cache: SimulationCache) -> ExperimentResult:
+@experiment(
+    "fig12",
+    "Fraction of allocated registers in compressed state",
+    variants=[WARPED],
+)
+def fig12(grid: ResultGrid) -> ExperimentResult:
     result = ExperimentResult(
         exp_id="fig12",
         title="Fraction of allocated registers in compressed state",
@@ -240,8 +297,8 @@ def fig12(cache: SimulationCache) -> ExperimentResult:
         notes="divergent column is N/A for benchmarks that never diverge",
     )
     nd_all, d_all = [], []
-    for name in cache.benchmarks():
-        v = cache.timing_run(name, policy="warped").stats.value
+    for name in grid.benchmarks:
+        v = grid.get(name, "warped").value
         nd = v.compressed_register_fraction(divergent=False)
         d = v.compressed_register_fraction(divergent=True)
         result.add_row(name, nd, d)
@@ -254,16 +311,21 @@ def fig12(cache: SimulationCache) -> ExperimentResult:
 # ----------------------------------------------------------------------
 # Figure 13 — execution-time impact
 # ----------------------------------------------------------------------
-def fig13(cache: SimulationCache) -> ExperimentResult:
+@experiment(
+    "fig13",
+    "Execution time with compression, normalised to baseline",
+    variants=[BASELINE, WARPED],
+)
+def fig13(grid: ResultGrid) -> ExperimentResult:
     result = ExperimentResult(
         exp_id="fig13",
         title="Execution time with compression, normalised to baseline",
         headers=["benchmark", "slowdown"],
     )
     values = []
-    for name in cache.benchmarks():
-        base = cache.timing_run(name, policy="baseline").cycles
-        wc = cache.timing_run(name, policy="warped").cycles
+    for name in grid.benchmarks:
+        base = grid.get(name, "baseline").cycles
+        wc = grid.get(name, "warped").cycles
         result.add_row(name, wc / base)
         values.append(wc / base)
     result.add_row(AVERAGE, _mean(values))
@@ -273,20 +335,29 @@ def fig13(cache: SimulationCache) -> ExperimentResult:
 # ----------------------------------------------------------------------
 # Figure 14 — GTO vs LRR energy
 # ----------------------------------------------------------------------
-def fig14(cache: SimulationCache) -> ExperimentResult:
+@experiment(
+    "fig14",
+    "Normalised RF energy under GTO and LRR warp scheduling",
+    variants=[
+        BASELINE,
+        WARPED,
+        Variant("baseline-lrr", policy="baseline", scheduler="lrr"),
+        Variant("warped-lrr", scheduler="lrr"),
+    ],
+)
+def fig14(grid: ResultGrid) -> ExperimentResult:
     result = ExperimentResult(
         exp_id="fig14",
         title="Normalised RF energy under GTO and LRR warp scheduling",
         headers=["benchmark", "gto", "lrr"],
     )
+    pairs = (("baseline", "warped"), ("baseline-lrr", "warped-lrr"))
     gto_all, lrr_all = [], []
-    for name in cache.benchmarks():
+    for name in grid.benchmarks:
         row = []
-        for sched in ("gto", "lrr"):
-            base = cache.timing_run(
-                name, policy="baseline", scheduler=sched
-            ).energy
-            wc = cache.timing_run(name, policy="warped", scheduler=sched).energy
+        for base_variant, wc_variant in pairs:
+            base = grid.get(name, base_variant).energy
+            wc = grid.get(name, wc_variant).energy
             row.append(wc.normalized_to(base)["total"])
         result.add_row(name, *row)
         gto_all.append(row[0])
@@ -298,7 +369,14 @@ def fig14(cache: SimulationCache) -> ExperimentResult:
 # ----------------------------------------------------------------------
 # Figures 15/16 — static compression parameter choices
 # ----------------------------------------------------------------------
-def fig15(cache: SimulationCache) -> ExperimentResult:
+@experiment(
+    "fig15",
+    "Compression ratio: dynamic warped-compression vs static parameter "
+    "choices",
+    variants=[Variant("warped-func", timing=False)]
+    + [Variant(p, policy=p, timing=False) for p in _STATIC_POLICIES],
+)
+def fig15(grid: ResultGrid) -> ExperimentResult:
     result = ExperimentResult(
         exp_id="fig15",
         title="Compression ratio: dynamic warped-compression vs static "
@@ -307,10 +385,10 @@ def fig15(cache: SimulationCache) -> ExperimentResult:
     )
     sums = np.zeros(4)
     rows = 0
-    for name in cache.benchmarks():
+    for name in grid.benchmarks:
         cells = []
-        for policy in ("warped",) + _STATIC_POLICIES:
-            v = cache.functional_run(name, policy=policy).value
+        for variant in ("warped-func",) + _STATIC_POLICIES:
+            v = grid.get(name, variant).value
             cells.append(v.overall_compression_ratio(achievable=False))
         result.add_row(name, *cells)
         sums += np.array(cells)
@@ -319,7 +397,13 @@ def fig15(cache: SimulationCache) -> ExperimentResult:
     return result
 
 
-def fig16(cache: SimulationCache) -> ExperimentResult:
+@experiment(
+    "fig16",
+    "Normalised RF energy: dynamic vs static parameter choices",
+    variants=[BASELINE, WARPED]
+    + [Variant(p, policy=p) for p in _STATIC_POLICIES],
+)
+def fig16(grid: ResultGrid) -> ExperimentResult:
     result = ExperimentResult(
         exp_id="fig16",
         title="Normalised RF energy: dynamic vs static parameter choices",
@@ -327,11 +411,11 @@ def fig16(cache: SimulationCache) -> ExperimentResult:
     )
     sums = np.zeros(4)
     rows = 0
-    for name in cache.benchmarks():
-        base = cache.timing_run(name, policy="baseline").energy
+    for name in grid.benchmarks:
+        base = grid.get(name, "baseline").energy
         cells = []
-        for policy in ("warped",) + _STATIC_POLICIES:
-            wc = cache.timing_run(name, policy=policy).energy
+        for variant in ("warped",) + _STATIC_POLICIES:
+            wc = grid.get(name, variant).energy
             cells.append(wc.normalized_to(base)["total"])
         result.add_row(name, *cells)
         sums += np.array(cells)
@@ -343,27 +427,28 @@ def fig16(cache: SimulationCache) -> ExperimentResult:
 # ----------------------------------------------------------------------
 # Figures 17/18/19 — energy-constant sweeps (re-priced, no re-simulation)
 # ----------------------------------------------------------------------
-def _reprice_sweep(
-    cache: SimulationCache,
+def _reprice_reduce(
+    grid: ResultGrid,
     exp_id: str,
     title: str,
     scales: list[float],
     scale_kwargs: Callable[[float], dict],
+    notes: str = "",
 ) -> ExperimentResult:
     headers = ["benchmark"] + [f"x{s:g}" for s in scales]
-    result = ExperimentResult(exp_id=exp_id, title=title, headers=headers)
+    result = ExperimentResult(
+        exp_id=exp_id, title=title, headers=headers, notes=notes
+    )
     sums = np.zeros(len(scales))
     rows = 0
-    for name in cache.benchmarks():
-        base_run = cache.timing_run(name, policy="baseline")
-        wc_run = cache.timing_run(name, policy="warped")
+    for name in grid.benchmarks:
+        base_model = grid.get(name, "baseline").energy_model
+        wc_model = grid.get(name, "warped").energy_model
         cells = []
         for s in scales:
-            params = base_run.stats.energy_model.params.scaled(
-                **scale_kwargs(s)
-            )
-            base = base_run.stats.energy_model.reprice(params)
-            wc = wc_run.stats.energy_model.reprice(params)
+            params = base_model.params.scaled(**scale_kwargs(s))
+            base = base_model.reprice(params)
+            wc = wc_model.reprice(params)
             cells.append(wc.normalized_to(base)["total"])
         result.add_row(name, *cells)
         sums += np.array(cells)
@@ -372,9 +457,14 @@ def _reprice_sweep(
     return result
 
 
-def fig17(cache: SimulationCache) -> ExperimentResult:
-    return _reprice_sweep(
-        cache,
+@experiment(
+    "fig17",
+    "Normalised RF energy vs compression/decompression unit energy",
+    variants=[BASELINE, WARPED],
+)
+def fig17(grid: ResultGrid) -> ExperimentResult:
+    return _reprice_reduce(
+        grid,
         "fig17",
         "Normalised RF energy vs compression/decompression unit energy",
         [1.0, 1.5, 2.0, 2.5],
@@ -382,9 +472,14 @@ def fig17(cache: SimulationCache) -> ExperimentResult:
     )
 
 
-def fig18(cache: SimulationCache) -> ExperimentResult:
-    return _reprice_sweep(
-        cache,
+@experiment(
+    "fig18",
+    "Normalised RF energy vs per-bank access energy",
+    variants=[BASELINE, WARPED],
+)
+def fig18(grid: ResultGrid) -> ExperimentResult:
+    return _reprice_reduce(
+        grid,
         "fig18",
         "Normalised RF energy vs per-bank access energy",
         [1.0, 1.5, 2.0, 2.5],
@@ -392,7 +487,12 @@ def fig18(cache: SimulationCache) -> ExperimentResult:
     )
 
 
-def fig19(cache: SimulationCache) -> ExperimentResult:
+@experiment(
+    "fig19",
+    "Normalised RF energy vs wire switching activity",
+    variants=[BASELINE, WARPED],
+)
+def fig19(grid: ResultGrid) -> ExperimentResult:
     activities = [0.0, 0.25, 0.5, 0.75, 1.0]
     headers = ["benchmark"] + [f"act{int(a * 100)}%" for a in activities]
     result = ExperimentResult(
@@ -403,14 +503,14 @@ def fig19(cache: SimulationCache) -> ExperimentResult:
     )
     sums = np.zeros(len(activities))
     rows = 0
-    for name in cache.benchmarks():
-        base_run = cache.timing_run(name, policy="baseline")
-        wc_run = cache.timing_run(name, policy="warped")
+    for name in grid.benchmarks:
+        base_model = grid.get(name, "baseline").energy_model
+        wc_model = grid.get(name, "warped").energy_model
         cells = []
         for a in activities:
-            params = base_run.stats.energy_model.params.scaled(wire_activity=a)
-            base = base_run.stats.energy_model.reprice(params)
-            wc = wc_run.stats.energy_model.reprice(params)
+            params = base_model.params.scaled(wire_activity=a)
+            base = base_model.reprice(params)
+            wc = wc_model.reprice(params)
             cells.append(wc.normalized_to(base)["total"])
         result.add_row(name, *cells)
         sums += np.array(cells)
@@ -422,18 +522,22 @@ def fig19(cache: SimulationCache) -> ExperimentResult:
 # ----------------------------------------------------------------------
 # Figures 20/21 — latency sweeps
 # ----------------------------------------------------------------------
-def _latency_sweep(
-    cache: SimulationCache, exp_id: str, title: str, param: str, values: list[int]
+def _latency_reduce(
+    grid: ResultGrid,
+    exp_id: str,
+    title: str,
+    param: str,
+    values: list[int],
 ) -> ExperimentResult:
     headers = ["benchmark"] + [f"{param[:4]}={v}" for v in values]
     result = ExperimentResult(exp_id=exp_id, title=title, headers=headers)
     sums = np.zeros(len(values))
     rows = 0
-    for name in cache.benchmarks():
-        base = cache.timing_run(name, policy="baseline").cycles
+    for name in grid.benchmarks:
+        base = grid.get(name, "baseline").cycles
         cells = []
         for v in values:
-            wc = cache.timing_run(name, policy="warped", **{param: v}).cycles
+            wc = grid.get(name, f"{param[:4]}{v}").cycles
             cells.append(wc / base)
         result.add_row(name, *cells)
         sums += np.array(cells)
@@ -442,9 +546,15 @@ def _latency_sweep(
     return result
 
 
-def fig20(cache: SimulationCache) -> ExperimentResult:
-    return _latency_sweep(
-        cache,
+@experiment(
+    "fig20",
+    "Execution time vs compression latency (cycles, vs baseline)",
+    variants=[BASELINE]
+    + [Variant(f"comp{v}", compression_latency=v) for v in (2, 4, 8)],
+)
+def fig20(grid: ResultGrid) -> ExperimentResult:
+    return _latency_reduce(
+        grid,
         "fig20",
         "Execution time vs compression latency (cycles, vs baseline)",
         "compression_latency",
@@ -452,9 +562,15 @@ def fig20(cache: SimulationCache) -> ExperimentResult:
     )
 
 
-def fig21(cache: SimulationCache) -> ExperimentResult:
-    return _latency_sweep(
-        cache,
+@experiment(
+    "fig21",
+    "Execution time vs decompression latency (cycles, vs baseline)",
+    variants=[BASELINE]
+    + [Variant(f"deco{v}", decompression_latency=v) for v in (1, 2, 4, 8)],
+)
+def fig21(grid: ResultGrid) -> ExperimentResult:
+    return _latency_reduce(
+        grid,
         "fig21",
         "Execution time vs decompression latency (cycles, vs baseline)",
         "decompression_latency",
@@ -463,36 +579,39 @@ def fig21(cache: SimulationCache) -> ExperimentResult:
 
 
 #: Registry used by the CLI and the bench suite.
-EXPERIMENTS: dict[str, Callable[[SimulationCache], ExperimentResult]] = {
-    "table1": table1,
-    "fig02": fig02,
-    "fig03": fig03,
-    "fig05": fig05,
-    "fig08": fig08,
-    "fig09": fig09,
-    "fig10": fig10,
-    "fig11": fig11,
-    "fig12": fig12,
-    "fig13": fig13,
-    "fig14": fig14,
-    "fig15": fig15,
-    "fig16": fig16,
-    "fig17": fig17,
-    "fig18": fig18,
-    "fig19": fig19,
-    "fig20": fig20,
-    "fig21": fig21,
+EXPERIMENTS: dict[str, ExperimentSpec] = {
+    spec.exp_id: spec
+    for spec in (
+        table1,
+        fig02,
+        fig03,
+        fig05,
+        fig08,
+        fig09,
+        fig10,
+        fig11,
+        fig12,
+        fig13,
+        fig14,
+        fig15,
+        fig16,
+        fig17,
+        fig18,
+        fig19,
+        fig20,
+        fig21,
+    )
 }
 
 
 def run_experiment(
-    exp_id: str, cache: SimulationCache | None = None
+    exp_id: str, session: Session | None = None
 ) -> ExperimentResult:
-    """Run one experiment by id (creating a cache if none supplied)."""
+    """Run one experiment by id (creating a session if none supplied)."""
     try:
-        driver = EXPERIMENTS[exp_id]
+        spec = EXPERIMENTS[exp_id]
     except KeyError:
         raise KeyError(
             f"unknown experiment {exp_id!r}; available: {sorted(EXPERIMENTS)}"
         ) from None
-    return driver(cache or SimulationCache())
+    return spec(session or Session())

@@ -1,11 +1,17 @@
 """Extension experiments beyond the paper's evaluation.
 
-* :func:`rfc_orthogonality` — measures the paper's Section 7 claim that
+* ``rfc_orthogonality`` — measures the paper's Section 7 claim that
   register compression is *orthogonal* to the register file cache of
   Gebhart et al. (ISCA 2011): RFC filters bank accesses through a small
   per-warp cache, warped-compression shrinks the accesses that remain,
   and the two compose.
-* :func:`rfc_size_sweep` — RFC capacity sensitivity under composition.
+* ``rfc_size_sweep`` — RFC capacity sensitivity under composition.
+* ``extended_suite`` — Figure-9-style energy over the nine
+  extended-suite kernels (a generalisation check).
+
+All are :class:`~repro.harness.engine.ExperimentSpec` grids over the
+shared session, so e.g. the plain baseline/warped runs dedupe with the
+paper figures' simulations.
 """
 
 from __future__ import annotations
@@ -13,34 +19,47 @@ from __future__ import annotations
 import numpy as np
 
 from repro.analysis.report import ExperimentResult
-from repro.harness.sweeps import SimulationCache
+from repro.harness.engine import (
+    AVERAGE,
+    ExperimentSpec,
+    ResultGrid,
+    Variant,
+    experiment,
+)
+from repro.harness.experiments import BASELINE, WARPED, _mean
 
-AVERAGE = "AVERAGE"
+_RFC_SIZES = (2, 4, 6, 12)
 
 
-def rfc_orthogonality(cache: SimulationCache) -> ExperimentResult:
+@experiment(
+    "ext-rfc",
+    "Normalised RF energy: compression vs register file cache vs both",
+    variants=[
+        BASELINE,
+        WARPED,
+        Variant("rfc", policy="baseline", rfc_entries=6),
+        Variant("rfc+warped", rfc_entries=6),
+    ],
+)
+def rfc_orthogonality(grid: ResultGrid) -> ExperimentResult:
     """Energy of WC, RFC, and WC+RFC, all normalised to the baseline."""
-    designs = [
-        ("warped", dict(policy="warped")),
-        ("rfc", dict(policy="baseline", rfc_entries=6)),
-        ("rfc+warped", dict(policy="warped", rfc_entries=6)),
-    ]
+    designs = ("warped", "rfc", "rfc+warped")
     result = ExperimentResult(
         exp_id="ext-rfc",
         title="Normalised RF energy: compression vs register file cache "
         "vs both",
-        headers=["benchmark"] + [name for name, _ in designs],
+        headers=["benchmark"] + list(designs),
         notes="RFC = 6-entry per-warp write-back cache (Gebhart et al.); "
         "the paper argues the techniques are orthogonal",
     )
     sums = np.zeros(len(designs))
     rows = 0
-    for name in cache.benchmarks():
-        base = cache.timing_run(name, policy="baseline").energy
-        cells = []
-        for _, overrides in designs:
-            run = cache.timing_run(name, **overrides)
-            cells.append(run.energy.normalized_to(base)["total"])
+    for name in grid.benchmarks:
+        base = grid.get(name, "baseline").energy
+        cells = [
+            grid.get(name, design).energy.normalized_to(base)["total"]
+            for design in designs
+        ]
         result.add_row(name, *cells)
         sums += np.array(cells)
         rows += 1
@@ -48,23 +67,28 @@ def rfc_orthogonality(cache: SimulationCache) -> ExperimentResult:
     return result
 
 
-def rfc_size_sweep(cache: SimulationCache) -> ExperimentResult:
+@experiment(
+    "ext-rfc-size",
+    "Normalised RF energy (warped + RFC) vs RFC entries/warp",
+    variants=[BASELINE]
+    + [Variant(f"rfc{n}", rfc_entries=n) for n in _RFC_SIZES],
+    suite=("lib", "aes", "spmv"),
+)
+def rfc_size_sweep(grid: ResultGrid) -> ExperimentResult:
     """RFC capacity sweep with compression enabled."""
-    sizes = [2, 4, 6, 12]
     result = ExperimentResult(
         exp_id="ext-rfc-size",
         title="Normalised RF energy (warped + RFC) vs RFC entries/warp",
-        headers=["benchmark"] + [f"rfc{n}" for n in sizes],
+        headers=["benchmark"] + [f"rfc{n}" for n in _RFC_SIZES],
     )
-    subset = cache.benchmarks(["lib", "aes", "spmv"])
-    sums = np.zeros(len(sizes))
+    sums = np.zeros(len(_RFC_SIZES))
     rows = 0
-    for name in subset:
-        base = cache.timing_run(name, policy="baseline").energy
-        cells = []
-        for n in sizes:
-            run = cache.timing_run(name, policy="warped", rfc_entries=n)
-            cells.append(run.energy.normalized_to(base)["total"])
+    for name in grid.benchmarks:
+        base = grid.get(name, "baseline").energy
+        cells = [
+            grid.get(name, f"rfc{n}").energy.normalized_to(base)["total"]
+            for n in _RFC_SIZES
+        ]
         result.add_row(name, *cells)
         sums += np.array(cells)
         rows += 1
@@ -72,33 +96,37 @@ def rfc_size_sweep(cache: SimulationCache) -> ExperimentResult:
     return result
 
 
-def extended_suite(cache: SimulationCache) -> ExperimentResult:
+@experiment(
+    "ext-suite",
+    "Normalised RF energy on the extended (non-paper) suite",
+    variants=[BASELINE, WARPED],
+    extended=True,
+)
+def extended_suite(grid: ResultGrid) -> ExperimentResult:
     """Figure-9-style energy over the nine extended-suite kernels.
 
     A generalisation check: the paper's savings should not be an artifact
     of its particular twelve benchmarks.
     """
-    from repro.kernels import benchmark_names
-
     result = ExperimentResult(
         exp_id="ext-suite",
         title="Normalised RF energy on the extended (non-paper) suite",
         headers=["benchmark", "wc_total", "slowdown"],
     )
     energies, times = [], []
-    for name in benchmark_names(extended=True):
-        base = cache.timing_run(name, policy="baseline")
-        wc = cache.timing_run(name, policy="warped")
+    for name in grid.benchmarks:
+        base = grid.get(name, "baseline")
+        wc = grid.get(name, "warped")
         total = wc.energy.normalized_to(base.energy)["total"]
         slowdown = wc.cycles / base.cycles
         result.add_row(name, total, slowdown)
         energies.append(total)
         times.append(slowdown)
-    result.add_row(AVERAGE, float(np.mean(energies)), float(np.mean(times)))
+    result.add_row(AVERAGE, _mean(energies), _mean(times))
     return result
 
 
-EXTENSIONS = {
+EXTENSIONS: dict[str, ExperimentSpec] = {
     "ext-rfc": rfc_orthogonality,
     "ext-rfc-size": rfc_size_sweep,
     "ext-suite": extended_suite,

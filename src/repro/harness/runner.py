@@ -4,7 +4,15 @@ Examples::
 
     warped-compression --list
     warped-compression fig09 fig13
-    warped-compression all --scale small --out results.txt
+    warped-compression all --scale small --jobs 4 --out results.txt
+    warped-compression fig09 --no-cache   # force fresh simulations
+
+Simulations run through the :mod:`repro.sim` session layer: distinct
+(kernel, config) pairs are simulated exactly once per invocation, fan
+out across cores with ``--jobs``, and persist in a content-addressed
+on-disk cache (``.repro-cache`` by default, override with
+``--cache-dir`` or ``$REPRO_CACHE_DIR``) so re-rendering a figure
+against a warm cache performs zero simulations.
 """
 
 from __future__ import annotations
@@ -16,8 +24,8 @@ import time
 from repro.harness.ablations import ABLATIONS
 from repro.harness.experiments import EXPERIMENTS
 from repro.harness.extensions import EXTENSIONS
-from repro.harness.sweeps import SimulationCache
 from repro.kernels import benchmark_names
+from repro.sim import Session
 
 #: Everything the CLI can run: the paper's figures, our ablations, and
 #: the extension studies (RFC orthogonality).
@@ -58,6 +66,24 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--quiet", action="store_true", help="suppress progress messages"
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="simulate up to N distinct (kernel, config) pairs in parallel",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="on-disk result cache location (default: .repro-cache, "
+        "or $REPRO_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk result cache (in-process memo only)",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -80,16 +106,23 @@ def main(argv: list[str] | None = None) -> int:
     unknown = [e for e in requested if e not in ALL_DRIVERS]
     if unknown:
         parser.error(f"unknown experiments: {unknown}")
+    if args.jobs < 1:
+        parser.error("--jobs must be at least 1")
 
-    cache = SimulationCache(
-        scale=args.scale, verbose=not args.quiet, subset=args.benchmarks
+    session = Session(
+        scale=args.scale,
+        verbose=not args.quiet,
+        subset=args.benchmarks,
+        cache_dir=args.cache_dir,
+        use_disk_cache=not args.no_cache,
+        max_workers=args.jobs,
     )
     blocks = []
     for exp_id in requested:
         start = time.time()
         if not args.quiet:
             print(f"running {exp_id} ...", flush=True)
-        result = ALL_DRIVERS[exp_id](cache)
+        result = ALL_DRIVERS[exp_id](session)
         text = result.render()
         if args.chart:
             from repro.analysis.plots import chart_experiment
@@ -100,6 +133,13 @@ def main(argv: list[str] | None = None) -> int:
         if not args.quiet:
             print(f"  ({time.time() - start:.1f}s)\n", flush=True)
 
+    if not args.quiet:
+        print(
+            f"session: {session.simulated} simulated, "
+            f"{session.memo_hits} memo hits, "
+            f"{session.disk_hits} disk-cache hits",
+            flush=True,
+        )
     if args.out:
         with open(args.out, "w") as fh:
             fh.write("\n\n".join(blocks) + "\n")

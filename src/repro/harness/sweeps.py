@@ -1,110 +1,15 @@
-"""Cached simulation running for the experiment harness.
+"""Deprecated module: superseded by :mod:`repro.sim`.
 
-Most figures evaluate the same two designs (baseline and
-warped-compression, default configuration) over the same twelve
-benchmarks; the cache keys every simulation by its full configuration so
-each distinct run happens exactly once per harness invocation.  The
-energy-constant sweeps (Figures 17-19) never re-simulate at all — they
-re-price the cached run's event counts.
+``SimulationCache`` was the harness's in-process memoizer.  The session
+layer (:class:`repro.sim.Session`) subsumes it — same memoization, plus
+content-addressed on-disk caching, canonical-config deduplication, and a
+multiprocess executor — and :class:`repro.sim.SimRequest` replaces
+``RunKey``.  These aliases keep old imports working.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from repro.sim.session import Session as SimulationCache
+from repro.sim.session import SimRequest as RunKey
 
-from repro.analysis.stats import RunStats
-from repro.gpu.config import GPUConfig
-from repro.gpu.functional import run_functional
-from repro.gpu.gpu import SimulationResult
-from repro.gpu.launch import run_kernel
-from repro.kernels import benchmark_names, get_benchmark
-
-
-@dataclass(frozen=True)
-class RunKey:
-    """Identity of one simulation run."""
-
-    benchmark: str
-    policy: str = "warped"
-    scheduler: str = "gto"
-    compression_latency: int = 2
-    decompression_latency: int = 1
-    rfc_entries: int = 0
-    timing: bool = True
-    collect_bdi: bool = False
-    scale: str = "default"
-
-
-class SimulationCache:
-    """Runs simulations on demand and memoises the results."""
-
-    def __init__(
-        self,
-        scale: str = "default",
-        verbose: bool = False,
-        subset: list[str] | None = None,
-    ):
-        self.scale = scale
-        self.verbose = verbose
-        self.subset = subset
-        self._runs: dict[RunKey, object] = {}
-
-    def key(self, benchmark: str, **overrides) -> RunKey:
-        return RunKey(benchmark=benchmark, scale=self.scale, **overrides)
-
-    def timing_run(self, benchmark: str, **overrides) -> SimulationResult:
-        """A cycle-level run (energy + cycles + value stats)."""
-        key = self.key(benchmark, timing=True, **overrides)
-        if key not in self._runs:
-            self._runs[key] = self._simulate(key)
-        return self._runs[key]
-
-    def functional_run(self, benchmark: str, **overrides) -> RunStats:
-        """A functional run (value stats only, much faster)."""
-        key = self.key(benchmark, timing=False, **overrides)
-        if key not in self._runs:
-            self._runs[key] = self._simulate(key)
-        return self._runs[key]
-
-    def _simulate(self, key: RunKey):
-        if self.verbose:
-            print(f"  simulating {key.benchmark} [{key.policy}"
-                  f"{'' if key.timing else ', functional'}"
-                  f"{'' if key.scheduler == 'gto' else ', ' + key.scheduler}"
-                  f"{'' if key.compression_latency == 2 else f', comp={key.compression_latency}'}"
-                  f"{'' if key.decompression_latency == 1 else f', decomp={key.decompression_latency}'}"
-                  f"{'' if key.rfc_entries == 0 else f', rfc={key.rfc_entries}'}]")
-        bench = get_benchmark(key.benchmark)
-        spec = bench.launch(key.scale)
-        gmem = spec.fresh_memory()
-        if not key.timing:
-            return run_functional(
-                spec.kernel,
-                spec.grid_dim,
-                spec.cta_dim,
-                spec.params,
-                gmem,
-                policy=key.policy,
-                collect_bdi=key.collect_bdi,
-            )
-        config = GPUConfig(
-            scheduler_policy=key.scheduler,
-            compression_latency=key.compression_latency,
-            decompression_latency=key.decompression_latency,
-            rfc_entries_per_warp=key.rfc_entries,
-        )
-        result = run_kernel(
-            spec.kernel,
-            spec.grid_dim,
-            spec.cta_dim,
-            spec.params,
-            gmem,
-            config=config,
-            policy=key.policy,
-            collect_bdi=key.collect_bdi,
-        )
-        bench.verify(gmem, spec)
-        return result
-
-    def benchmarks(self, subset: list[str] | None = None) -> list[str]:
-        return subset or self.subset or benchmark_names()
+__all__ = ["RunKey", "SimulationCache"]

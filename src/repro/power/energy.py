@@ -68,6 +68,24 @@ class EnergyBreakdown:
             "total": self.total_pj / total,
         }
 
+    # ------------------------------------------------------------------
+    # Serialisation (RunResult artifacts)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """The five stored categories, losslessly (floats round-trip)."""
+        return {
+            "bank_access_pj": self.bank_access_pj,
+            "wire_pj": self.wire_pj,
+            "bank_leakage_pj": self.bank_leakage_pj,
+            "compression_pj": self.compression_pj,
+            "decompression_pj": self.decompression_pj,
+            "rfc_pj": self.rfc_pj,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EnergyBreakdown":
+        return cls(**{k: float(v) for k, v in data.items()})
+
 
 @dataclass
 class EnergyModel:
@@ -168,6 +186,44 @@ class EnergyModel:
             decompression_pj=decomp,
             rfc_pj=self.rfc_accesses * p.rfc_access_energy_pj,
         )
+
+    def to_dict(self) -> dict:
+        """Event counts + constants: enough to re-price after reload."""
+        return {
+            "params": self.params.to_dict(),
+            "num_banks": self.num_banks,
+            "num_compressors": self.num_compressors,
+            "num_decompressors": self.num_decompressors,
+            "bank_reads": self.bank_reads,
+            "bank_writes": self.bank_writes,
+            "wire_transfers": self.wire_transfers,
+            "compressions": self.compressions,
+            "decompressions": self.decompressions,
+            "rfc_accesses": self.rfc_accesses,
+            "cycles": self.cycles,
+            "gated_bank_cycles": self.gated_bank_cycles,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EnergyModel":
+        model = cls(
+            params=EnergyParams.from_dict(data["params"]),
+            num_banks=int(data["num_banks"]),
+            num_compressors=int(data["num_compressors"]),
+            num_decompressors=int(data["num_decompressors"]),
+        )
+        for name in (
+            "bank_reads",
+            "bank_writes",
+            "wire_transfers",
+            "compressions",
+            "decompressions",
+            "rfc_accesses",
+            "cycles",
+            "gated_bank_cycles",
+        ):
+            setattr(model, name, int(data[name]))
+        return model
 
     def reprice(self, params: EnergyParams) -> EnergyBreakdown:
         """Price the same event counts under different constants.

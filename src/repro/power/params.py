@@ -10,7 +10,7 @@ scaling knobs for the sensitivity studies of Figures 17 and 18.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, replace
 
 
 @dataclass(frozen=True)
@@ -92,3 +92,14 @@ class EnergyParams:
         if wire_activity is not None:
             kwargs["wire_activity"] = wire_activity
         return replace(self, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Serialisation (RunResult artifacts)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """All constants as a JSON-compatible mapping (lossless)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EnergyParams":
+        return cls(**data)

@@ -1,0 +1,31 @@
+"""Single-run simulation session layer.
+
+The one way experiments execute kernels: :class:`Session` turns a
+:class:`SimRequest` into an immutable, serializable :class:`RunResult`,
+memoized in-process and in a content-addressed on-disk cache, with a
+multiprocess executor fanning distinct (kernel, config) pairs across
+cores.  See :mod:`repro.sim.session` for the full story.
+"""
+
+from repro.sim.cache import (
+    CACHE_DIR_ENV,
+    DEFAULT_CACHE_DIR,
+    ResultCache,
+    code_version,
+    default_cache_dir,
+)
+from repro.sim.result import RunResult
+from repro.sim.session import SIM_COUNTER, Session, SimRequest, simulate
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "DEFAULT_CACHE_DIR",
+    "ResultCache",
+    "RunResult",
+    "SIM_COUNTER",
+    "Session",
+    "SimRequest",
+    "code_version",
+    "default_cache_dir",
+    "simulate",
+]

@@ -1,0 +1,124 @@
+"""Content-addressed on-disk store for :class:`~repro.sim.result.RunResult`.
+
+Every cache entry is keyed by a SHA-256 digest of the *content* that
+determines a simulation's outcome: benchmark name, its input seed, the
+workload scale, the compression policy, the canonicalized
+:class:`~repro.gpu.config.GPUConfig`, and a fingerprint of the simulator
+source itself.  Identical requests — however they were phrased (an
+explicit latency equal to the default, a config override that lands on
+the default value) — hash to the same entry, and any change to the
+simulator's code invalidates the whole cache automatically.
+
+Entries are JSON files under ``<root>/results/<digest[:2]>/<digest>.json``
+written atomically; captured register traces live next to them under
+``<root>/traces/``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.sim.result import RunResult
+
+#: Environment variable overriding the default cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Default on-disk cache directory (relative to the working directory).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Packages whose source determines simulation outcomes.  ``harness`` and
+#: ``sim`` itself are deliberately excluded: they orchestrate and report,
+#: they do not change what a simulation computes.
+_VERSIONED_PACKAGES = ("core", "gpu", "power", "kernels", "analysis")
+
+_code_version: str | None = None
+
+
+def code_version() -> str:
+    """Fingerprint of the simulator source (cached per process).
+
+    A short SHA-256 over every ``.py`` file of the packages that affect
+    simulation results, so stale cache entries can never survive a code
+    change.
+    """
+    global _code_version
+    if _code_version is None:
+        root = Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256()
+        for package in _VERSIONED_PACKAGES:
+            for path in sorted((root / package).rglob("*.py")):
+                digest.update(path.relative_to(root).as_posix().encode())
+                digest.update(path.read_bytes())
+        _code_version = digest.hexdigest()[:16]
+    return _code_version
+
+
+def default_cache_dir() -> Path:
+    """Resolve the cache root (``$REPRO_CACHE_DIR`` or ``.repro-cache``)."""
+    return Path(os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR))
+
+
+def fingerprint(material: dict) -> str:
+    """SHA-256 of canonical JSON — the cache key for one request."""
+    canonical = json.dumps(material, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+class ResultCache:
+    """Content-addressed RunResult store rooted at one directory."""
+
+    def __init__(self, root: Path | str):
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------
+    def _entry_path(self, key: str) -> Path:
+        return self.root / "results" / key[:2] / f"{key}.json"
+
+    def trace_path(self, key: str) -> Path:
+        """Where a captured register trace for ``key`` belongs."""
+        return self.root / "traces" / f"{key}.npz"
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> RunResult | None:
+        """Load one entry, or ``None`` on miss/corruption/stale trace."""
+        path = self._entry_path(key)
+        try:
+            with open(path) as fh:
+                payload = json.load(fh)
+            result = RunResult.from_dict(payload["result"], from_cache=True)
+        except (OSError, ValueError, KeyError):
+            return None
+        # A result advertising a trace must still be able to deliver it.
+        if result.trace_path and not os.path.exists(result.trace_path):
+            return None
+        return result
+
+    def put(self, key: str, material: dict, result: RunResult) -> None:
+        """Atomically persist one entry (key material kept for audit)."""
+        path = self._entry_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"key": key, "material": material, "result": result.to_dict()}
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        results = self.root / "results"
+        if not results.is_dir():
+            return 0
+        return sum(1 for _ in results.rglob("*.json"))

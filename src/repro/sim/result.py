@@ -1,0 +1,129 @@
+"""The immutable per-run artifact the whole experiment layer consumes.
+
+A :class:`RunResult` is everything one kernel simulation produced —
+timing counters, the energy breakdown and its re-priceable event model,
+per-bank gating fractions, value-similarity/divergence statistics, and
+(optionally) a handle to the captured register-write trace.  It is
+
+* **immutable** — experiments read it, nothing downstream mutates it;
+* **serializable** — :meth:`to_dict` / :meth:`from_dict` round-trip
+  losslessly through JSON, which is what lets results live in the
+  content-addressed on-disk cache and travel across process boundaries
+  in the parallel executor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.stats import RunStats, TimingStats, ValueStats
+from repro.power.energy import EnergyBreakdown, EnergyModel
+
+#: Bump when the serialized layout changes (cache entries self-identify).
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True, eq=False)
+class RunResult:
+    """Aggregated, serializable outcome of one (kernel, config) run."""
+
+    benchmark: str
+    policy: str
+    scale: str
+    #: canonical GPUConfig as a plain dict; ``None`` for functional runs
+    config: dict | None
+    #: ``True`` for cycle-level runs, ``False`` for functional runs
+    timing_mode: bool
+    cycles: int
+    value: ValueStats
+    timing: TimingStats | None = None
+    energy: EnergyBreakdown | None = None
+    energy_model: EnergyModel | None = None
+    gated_fractions: tuple[float, ...] | None = None
+    #: path to the run's register-write trace (``.npz``), if captured
+    trace_path: str | None = None
+    #: ``True`` when this result was materialized from the on-disk cache
+    from_cache: bool = field(default=False, compare=False)
+
+    # ------------------------------------------------------------------
+    # Legacy-shaped accessors
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> RunStats:
+        """The run as a :class:`RunStats` record (compatibility view)."""
+        return RunStats(
+            benchmark=self.benchmark,
+            policy=self.policy,
+            value=self.value,
+            timing=self.timing,
+            energy_breakdown=self.energy,
+            energy_model=self.energy_model,
+            gated_fractions=self.gated_fractions,
+        )
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Lossless JSON-compatible representation."""
+        return {
+            "schema": SCHEMA_VERSION,
+            "benchmark": self.benchmark,
+            "policy": self.policy,
+            "scale": self.scale,
+            "config": dict(self.config) if self.config is not None else None,
+            "timing_mode": self.timing_mode,
+            "cycles": int(self.cycles),
+            "value": self.value.to_dict(),
+            "timing": self.timing.to_dict() if self.timing else None,
+            "energy": self.energy.to_dict() if self.energy else None,
+            "energy_model": (
+                self.energy_model.to_dict() if self.energy_model else None
+            ),
+            "gated_fractions": (
+                list(self.gated_fractions)
+                if self.gated_fractions is not None
+                else None
+            ),
+            "trace_path": self.trace_path,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict, from_cache: bool = False) -> "RunResult":
+        schema = data.get("schema")
+        if schema != SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported RunResult schema {schema!r} "
+                f"(expected {SCHEMA_VERSION})"
+            )
+        return cls(
+            benchmark=data["benchmark"],
+            policy=data["policy"],
+            scale=data["scale"],
+            config=data["config"],
+            timing_mode=bool(data["timing_mode"]),
+            cycles=int(data["cycles"]),
+            value=ValueStats.from_dict(data["value"]),
+            timing=(
+                TimingStats.from_dict(data["timing"])
+                if data["timing"] is not None
+                else None
+            ),
+            energy=(
+                EnergyBreakdown.from_dict(data["energy"])
+                if data["energy"] is not None
+                else None
+            ),
+            energy_model=(
+                EnergyModel.from_dict(data["energy_model"])
+                if data["energy_model"] is not None
+                else None
+            ),
+            gated_fractions=(
+                tuple(data["gated_fractions"])
+                if data["gated_fractions"] is not None
+                else None
+            ),
+            trace_path=data["trace_path"],
+            from_cache=from_cache,
+        )

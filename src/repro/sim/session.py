@@ -1,0 +1,362 @@
+"""Single-run simulation sessions: memoized, cached, parallel execution.
+
+:class:`Session` is the **only** way the experiment layer executes
+kernels.  ``Session.run(request)`` returns an immutable
+:class:`~repro.sim.result.RunResult`, memoized three ways:
+
+* **in-process** — identical requests within one session share one
+  result object;
+* **on disk** — results persist in a content-addressed cache (keyed by
+  benchmark, input seed, canonical config, and simulator code version),
+  so a warm cache re-renders any figure without simulating at all;
+* **across request spellings** — keys are computed from the *canonical*
+  GPU configuration, so a request that spells out a default value
+  explicitly dedupes with one that does not.
+
+Distinct (kernel, config) pairs fan out across CPU cores via
+:meth:`Session.run_many` when ``max_workers > 1``.
+
+The module-level :data:`SIM_COUNTER` counts actual simulations (not
+cache hits) process-wide, which is how the test suite *proves* the
+run-once/replay-many discipline: running the Figure 9 and Figure 14
+experiments back-to-back simulates each distinct pair exactly once, and
+a warm-cache rerun simulates nothing.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Iterable
+
+from repro.gpu.config import GPUConfig
+from repro.gpu.functional import run_functional
+from repro.gpu.launch import run_kernel
+from repro.gpu.trace import capture_trace, replay_trace
+from repro.kernels import benchmark_names, get_benchmark
+from repro.sim.cache import ResultCache, code_version, default_cache_dir, fingerprint
+from repro.sim.result import RunResult
+
+
+class SimulationCounter:
+    """Process-wide count of kernel simulations actually executed."""
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def add(self, n: int = 1) -> None:
+        self.value += n
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+#: Global counter incremented once per simulation (never per cache hit).
+SIM_COUNTER = SimulationCounter()
+
+
+@dataclass(frozen=True)
+class SimRequest:
+    """Identity of one simulation: benchmark × configuration × mode."""
+
+    benchmark: str
+    policy: str = "warped"
+    scheduler: str = "gto"
+    compression_latency: int = 2
+    decompression_latency: int = 1
+    rfc_entries: int = 0
+    timing: bool = True
+    collect_bdi: bool = False
+    scale: str = "default"
+    #: extra :class:`GPUConfig` fields, as a sorted tuple of pairs
+    config_overrides: tuple[tuple[str, object], ...] = ()
+    #: functional runs only: also capture the register-write trace
+    capture_trace: bool = False
+
+    def gpu_config(self) -> GPUConfig | None:
+        """The canonical config this request simulates (timing only)."""
+        if not self.timing:
+            return None
+        config = GPUConfig(
+            scheduler_policy=self.scheduler,
+            compression_latency=self.compression_latency,
+            decompression_latency=self.decompression_latency,
+            rfc_entries_per_warp=self.rfc_entries,
+        )
+        if self.config_overrides:
+            config = config.with_overrides(**dict(self.config_overrides))
+        return config
+
+    def key_material(self) -> dict:
+        """Everything that determines this request's outcome.
+
+        Timing-only knobs are folded into the canonical config (or
+        dropped entirely for functional runs), so equivalent requests
+        share one cache entry regardless of how they were phrased.
+        """
+        config = self.gpu_config()
+        return {
+            "benchmark": self.benchmark,
+            "seed": int(get_benchmark(self.benchmark).seed),
+            "scale": self.scale,
+            "policy": self.policy,
+            "timing": self.timing,
+            "collect_bdi": self.collect_bdi,
+            "capture_trace": self.capture_trace and not self.timing,
+            "config": asdict(config) if config is not None else None,
+            "code": code_version(),
+        }
+
+
+def simulate(request: SimRequest, trace_destination: str | None = None) -> RunResult:
+    """Execute one request for real (no caching at this layer).
+
+    Increments :data:`SIM_COUNTER`.  For functional requests with
+    ``capture_trace``, the register-write trace is saved to
+    ``trace_destination`` and the run's statistics are produced by
+    replaying it — guaranteeing the stored trace reproduces the result.
+    """
+    SIM_COUNTER.add()
+    bench = get_benchmark(request.benchmark)
+    spec = bench.launch(request.scale)
+    gmem = spec.fresh_memory()
+
+    if not request.timing:
+        trace_path = None
+        if request.capture_trace:
+            trace = capture_trace(
+                spec.kernel, spec.grid_dim, spec.cta_dim, spec.params, gmem
+            )
+            if trace_destination is not None:
+                Path(trace_destination).parent.mkdir(parents=True, exist_ok=True)
+                trace.save(trace_destination)
+                trace_path = trace_destination
+            stats = replay_trace(
+                trace,
+                policy=request.policy,
+                collect_bdi=request.collect_bdi,
+            )
+        else:
+            stats = run_functional(
+                spec.kernel,
+                spec.grid_dim,
+                spec.cta_dim,
+                spec.params,
+                gmem,
+                policy=request.policy,
+                collect_bdi=request.collect_bdi,
+            )
+        return RunResult(
+            benchmark=request.benchmark,
+            policy=request.policy,
+            scale=request.scale,
+            config=None,
+            timing_mode=False,
+            cycles=0,
+            value=stats.value,
+            trace_path=trace_path,
+        )
+
+    config = request.gpu_config()
+    sim = run_kernel(
+        spec.kernel,
+        spec.grid_dim,
+        spec.cta_dim,
+        spec.params,
+        gmem,
+        config=config,
+        policy=request.policy,
+        collect_bdi=request.collect_bdi,
+    )
+    bench.verify(gmem, spec)
+    return RunResult(
+        benchmark=request.benchmark,
+        policy=request.policy,
+        scale=request.scale,
+        config=asdict(config),
+        timing_mode=True,
+        cycles=sim.cycles,
+        value=sim.stats.value,
+        timing=sim.stats.timing,
+        energy=sim.stats.energy_breakdown,
+        energy_model=sim.stats.energy_model,
+        gated_fractions=sim.stats.gated_fractions,
+    )
+
+
+def _pool_simulate(job: tuple[SimRequest, str | None]) -> dict:
+    """Worker-process entry point: simulate and ship a plain dict back."""
+    request, trace_destination = job
+    return simulate(request, trace_destination).to_dict()
+
+
+class Session:
+    """Runs simulations on demand; every result is a cached artifact."""
+
+    def __init__(
+        self,
+        scale: str = "default",
+        verbose: bool = False,
+        subset: list[str] | None = None,
+        *,
+        cache_dir: str | Path | None = None,
+        use_disk_cache: bool = True,
+        max_workers: int = 1,
+    ):
+        self.scale = scale
+        self.verbose = verbose
+        self.subset = subset
+        self.max_workers = max_workers
+        self._memo: dict[str, RunResult] = {}
+        self._disk: ResultCache | None = None
+        if use_disk_cache:
+            self._disk = ResultCache(cache_dir or default_cache_dir())
+        self._tmp_trace_dir: str | None = None
+        # Per-session accounting (SIM_COUNTER is the process-wide proof).
+        self.simulated = 0
+        self.memo_hits = 0
+        self.disk_hits = 0
+
+    # ------------------------------------------------------------------
+    # Request construction
+    # ------------------------------------------------------------------
+    def request(self, benchmark: str, **overrides) -> SimRequest:
+        return SimRequest(benchmark=benchmark, scale=self.scale, **overrides)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, request: SimRequest | str, **overrides) -> RunResult:
+        """One memoized run (a :class:`SimRequest` or benchmark name)."""
+        if isinstance(request, str):
+            request = self.request(request, **overrides)
+        elif overrides:
+            raise TypeError("overrides only apply to benchmark-name requests")
+        key, material, hit = self._lookup(request)
+        if hit is not None:
+            return hit
+        result = self._execute(request, key)
+        self._store(key, material, result)
+        return result
+
+    def run_many(
+        self, requests: Iterable[SimRequest]
+    ) -> dict[SimRequest, RunResult]:
+        """Evaluate many requests, fanning cache misses across cores.
+
+        Only *distinct* (kernel, config) pairs are simulated — duplicate
+        and equivalent requests collapse onto one execution — and the
+        returned mapping covers every requested key.
+        """
+        requests = list(dict.fromkeys(requests))
+        out: dict[SimRequest, RunResult] = {}
+        misses: dict[str, tuple[SimRequest, dict]] = {}
+        for request in requests:
+            key, material, hit = self._lookup(request)
+            if hit is not None:
+                out[request] = hit
+            elif key in misses:
+                # Equivalent request already queued: alias after execution.
+                pass
+            else:
+                misses[key] = (request, material)
+
+        if misses:
+            if self.max_workers > 1 and len(misses) > 1:
+                jobs = [
+                    (request, self._trace_destination(request, key))
+                    for key, (request, _) in misses.items()
+                ]
+                with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+                    payloads = list(pool.map(_pool_simulate, jobs))
+                for (key, (request, material)), payload in zip(
+                    misses.items(), payloads
+                ):
+                    result = RunResult.from_dict(payload)
+                    self.simulated += 1
+                    SIM_COUNTER.add()  # workers counted in their own process
+                    self._log(request)
+                    self._store(key, material, result)
+            else:
+                for key, (request, material) in misses.items():
+                    result = self._execute(request, key)
+                    self._store(key, material, result)
+
+        # Resolve every original request (including aliases) via the memo.
+        for request in requests:
+            if request not in out:
+                out[request] = self._memo[fingerprint(request.key_material())]
+        return out
+
+    # Convenience wrappers mirroring the retired SimulationCache API.
+    def timing_run(self, benchmark: str, **overrides) -> RunResult:
+        """A cycle-level run (energy + cycles + value stats)."""
+        return self.run(self.request(benchmark, timing=True, **overrides))
+
+    def functional_run(self, benchmark: str, **overrides) -> RunResult:
+        """A functional run (value stats only, much faster)."""
+        return self.run(self.request(benchmark, timing=False, **overrides))
+
+    def benchmarks(self, subset: list[str] | None = None) -> list[str]:
+        return subset or self.subset or benchmark_names()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _lookup(
+        self, request: SimRequest
+    ) -> tuple[str, dict, RunResult | None]:
+        material = request.key_material()
+        key = fingerprint(material)
+        if key in self._memo:
+            self.memo_hits += 1
+            return key, material, self._memo[key]
+        if self._disk is not None:
+            result = self._disk.get(key)
+            if result is not None:
+                self.disk_hits += 1
+                self._memo[key] = result
+                return key, material, result
+        return key, material, None
+
+    def _execute(self, request: SimRequest, key: str) -> RunResult:
+        self._log(request)
+        result = simulate(request, self._trace_destination(request, key))
+        self.simulated += 1
+        return result
+
+    def _store(self, key: str, material: dict, result: RunResult) -> None:
+        self._memo[key] = result
+        if self._disk is not None:
+            self._disk.put(key, material, result)
+
+    def _trace_destination(
+        self, request: SimRequest, key: str
+    ) -> str | None:
+        if request.timing or not request.capture_trace:
+            return None
+        if self._disk is not None:
+            return str(self._disk.trace_path(key))
+        if self._tmp_trace_dir is None:
+            self._tmp_trace_dir = tempfile.mkdtemp(prefix="repro-traces-")
+        return str(Path(self._tmp_trace_dir) / f"{key}.npz")
+
+    def _log(self, request: SimRequest) -> None:
+        if not self.verbose:
+            return
+        config = request.gpu_config()
+        default = GPUConfig()
+        deltas = ""
+        if config is not None:
+            changed = {
+                name: value
+                for name, value in asdict(config).items()
+                if value != getattr(default, name)
+            }
+            deltas = "".join(f", {k}={v}" for k, v in sorted(changed.items()))
+        print(
+            f"  simulating {request.benchmark} [{request.policy}"
+            f"{'' if request.timing else ', functional'}{deltas}]"
+        )

@@ -15,14 +15,14 @@ from repro.harness.ablations import (
 )
 from repro.harness.extensions import EXTENSIONS, rfc_orthogonality
 from repro.harness.runner import ALL_DRIVERS, main
-from repro.harness.sweeps import SimulationCache
+from repro.sim import Session
 
 SUBSET = ["lib", "pathfinder"]
 
 
 @pytest.fixture(scope="module")
 def cache():
-    return SimulationCache(scale="small", subset=SUBSET)
+    return Session(scale="small", subset=SUBSET, use_disk_cache=False)
 
 
 class TestRegistries:
@@ -77,6 +77,7 @@ class TestCliIntegration:
                 "--benchmarks",
                 "lib",
                 "--quiet",
+                "--no-cache",
             ]
         )
         assert code == 0
@@ -84,6 +85,6 @@ class TestCliIntegration:
         assert "abl-divergence" in out and "lib" in out
 
     def test_chart_flag(self, capsys):
-        code = main(["table1", "--quiet", "--chart"])
+        code = main(["table1", "--quiet", "--chart", "--no-cache"])
         assert code == 0
         assert "█" in capsys.readouterr().out

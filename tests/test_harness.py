@@ -3,9 +3,12 @@
 import pytest
 
 from repro.analysis.report import ExperimentResult, fmt
+from repro.harness.ablations import ABLATIONS
+from repro.harness.engine import ExperimentSpec, Variant, evaluate, experiment
 from repro.harness.experiments import EXPERIMENTS, run_experiment, table1
+from repro.harness.extensions import EXTENSIONS
 from repro.harness.runner import main
-from repro.harness.sweeps import RunKey, SimulationCache
+from repro.sim import Session, SimRequest
 
 #: Two cheap benchmarks exercising both divergence regimes.
 SUBSET = ["lib", "pathfinder"]
@@ -13,7 +16,7 @@ SUBSET = ["lib", "pathfinder"]
 
 @pytest.fixture(scope="module")
 def cache():
-    return SimulationCache(scale="small", subset=SUBSET)
+    return Session(scale="small", subset=SUBSET, use_disk_cache=False)
 
 
 class TestReport:
@@ -39,7 +42,7 @@ class TestReport:
         assert "note: hello" in r.render()
 
 
-class TestSimulationCache:
+class TestSession:
     def test_memoises_runs(self, cache):
         first = cache.timing_run("lib", policy="baseline")
         second = cache.timing_run("lib", policy="baseline")
@@ -54,9 +57,56 @@ class TestSimulationCache:
         assert cache.benchmarks() == SUBSET
         assert cache.benchmarks(["aes"]) == ["aes"]
 
-    def test_key_is_hashable_identity(self):
-        assert RunKey("lib") == RunKey("lib")
-        assert RunKey("lib") != RunKey("lib", policy="baseline")
+    def test_request_is_hashable_identity(self):
+        assert SimRequest("lib") == SimRequest("lib")
+        assert SimRequest("lib") != SimRequest("lib", policy="baseline")
+
+    def test_legacy_shim_importable(self):
+        from repro.harness.sweeps import RunKey, SimulationCache
+
+        assert RunKey is SimRequest
+        assert SimulationCache is Session
+
+
+class TestEngine:
+    def test_variant_builds_request(self):
+        variant = Variant(
+            "x", policy="baseline", config_overrides=(("num_collectors", 8),)
+        )
+        request = variant.request("lib", "small")
+        assert request.benchmark == "lib"
+        assert request.policy == "baseline"
+        assert request.scale == "small"
+        assert request.gpu_config().num_collectors == 8
+
+    def test_spec_grid_shape(self, cache):
+        spec = EXPERIMENTS["fig09"]
+        requests = spec.requests(cache)
+        assert set(requests) == {
+            (b, v) for b in SUBSET for v in ("baseline", "warped")
+        }
+
+    def test_reduction_id_mismatch_rejected(self, cache):
+        @experiment("right", "t")
+        def bad(grid):
+            return ExperimentResult("wrong", "t", ["benchmark"])
+
+        with pytest.raises(ValueError, match="produced 'wrong'"):
+            evaluate(bad, cache)
+
+    def test_spec_is_callable_driver(self, cache):
+        spec = EXPERIMENTS["table1"]
+        assert isinstance(spec, ExperimentSpec)
+        assert spec(cache).exp_id == "table1"
+
+    def test_grid_missing_cell_raises(self, cache):
+        result_grid = EXPERIMENTS["fig03"].requests(cache)
+        assert ("lib", "func") in result_grid
+        from repro.harness.engine import ResultGrid
+
+        grid = ResultGrid(SUBSET, {})
+        with pytest.raises(KeyError, match="no result"):
+            grid.get("lib", "func")
 
 
 class TestExperiments:
@@ -67,8 +117,13 @@ class TestExperiments:
         }
         assert set(EXPERIMENTS) == expected
 
+    def test_registries_are_disjoint(self):
+        assert not set(EXPERIMENTS) & set(ABLATIONS)
+        assert not set(EXPERIMENTS) & set(EXTENSIONS)
+        assert not set(ABLATIONS) & set(EXTENSIONS)
+
     def test_table1_static(self):
-        result = table1(SimulationCache())
+        result = table1(Session(use_disk_cache=False))
         assert result.cell("<4,1>", "banks") == 3
         assert result.cell("<8,1>", "comp_bytes") == 23
         assert len(result.rows) == 9
@@ -166,10 +221,41 @@ class TestRunnerCli:
         with pytest.raises(SystemExit):
             main(["fig99"])
 
+    def test_bad_jobs_errors(self):
+        with pytest.raises(SystemExit):
+            main(["table1", "--jobs", "0"])
+
     def test_single_experiment_to_file(self, tmp_path, capsys):
         out = tmp_path / "results.txt"
         code = main(
-            ["table1", "--scale", "small", "--quiet", "--out", str(out)]
+            [
+                "table1",
+                "--scale",
+                "small",
+                "--quiet",
+                "--no-cache",
+                "--out",
+                str(out),
+            ]
         )
         assert code == 0
         assert "table1" in out.read_text()
+
+    def test_cache_dir_flag_populates_cache(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        args = [
+            "fig03",
+            "--scale",
+            "small",
+            "--benchmarks",
+            "lib",
+            "--quiet",
+            "--cache-dir",
+            str(cache_dir),
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert list(cache_dir.glob("results/*/*.json"))
+        # Second invocation re-renders from the warm cache, identically.
+        assert main(args) == 0
+        assert capsys.readouterr().out == first

@@ -1,0 +1,377 @@
+"""Tests for the repro.sim session layer.
+
+Covers the three pillars of the single-run discipline:
+
+* **artifacts** — :class:`RunResult` and its stat components round-trip
+  losslessly through JSON (property-based where cheap);
+* **dedup** — the in-process memo and the canonical request keys make
+  the Figure 9 + Figure 14 experiments share every (kernel, config)
+  pair, so back-to-back they simulate each distinct pair exactly once;
+* **cache** — a warm on-disk cache re-renders any figure with *zero*
+  simulations and byte-identical tables, and the parallel executor
+  produces results identical to serial execution.
+"""
+
+import json
+from collections import Counter
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stats import TimingStats, ValueStats
+from repro.core.codec import CompressionMode
+from repro.gpu.trace import RegisterTrace, replay_trace
+from repro.harness.experiments import fig03, fig09, fig14
+from repro.sim import (
+    SIM_COUNTER,
+    ResultCache,
+    RunResult,
+    Session,
+    SimRequest,
+    code_version,
+    simulate,
+)
+from repro.sim.cache import fingerprint
+from repro.sim.result import SCHEMA_VERSION
+
+SUBSET = ["lib", "pathfinder"]
+
+
+def canonical_json(result: RunResult) -> str:
+    return json.dumps(result.to_dict(), sort_keys=True)
+
+
+# ---------------------------------------------------------------------------
+# Serialization
+# ---------------------------------------------------------------------------
+
+counts = st.integers(min_value=0, max_value=2**40)
+phase_pair = st.lists(counts, min_size=2, max_size=2)
+
+
+@st.composite
+def value_stats(draw):
+    stats = ValueStats(collect_bdi=draw(st.booleans()))
+    stats.similarity = np.asarray(
+        draw(
+            st.lists(
+                st.lists(counts, min_size=4, max_size=4),
+                min_size=2,
+                max_size=2,
+            )
+        ),
+        dtype=np.int64,
+    )
+    stats.instructions = draw(counts)
+    stats.divergent_instructions = draw(counts)
+    stats.writes = np.asarray(draw(phase_pair), dtype=np.int64)
+    stats.achievable_banks = np.asarray(draw(phase_pair), dtype=np.int64)
+    stats.stored_banks = np.asarray(draw(phase_pair), dtype=np.int64)
+    stats.mode_histogram = Counter(
+        draw(
+            st.dictionaries(
+                st.sampled_from(list(CompressionMode)),
+                st.integers(min_value=1, max_value=2**40),
+            )
+        )
+    )
+    stats.bdi_histogram = Counter(
+        draw(
+            st.dictionaries(
+                st.sampled_from(["b1d0", "b2d1", "b4d2", "zeros", "none"]),
+                st.integers(min_value=1, max_value=2**40),
+            )
+        )
+    )
+    stats.movs_injected = draw(counts)
+    stats.occupancy_sum = np.asarray(
+        draw(
+            st.lists(
+                st.floats(
+                    min_value=0.0, max_value=1e9, allow_nan=False
+                ),
+                min_size=2,
+                max_size=2,
+            )
+        ),
+        dtype=np.float64,
+    )
+    stats.occupancy_samples = np.asarray(draw(phase_pair), dtype=np.int64)
+    return stats
+
+
+class TestSerialization:
+    @settings(max_examples=50, deadline=None)
+    @given(stats=value_stats())
+    def test_value_stats_roundtrip_lossless(self, stats):
+        wire = json.loads(json.dumps(stats.to_dict()))
+        restored = ValueStats.from_dict(wire)
+        assert json.dumps(restored.to_dict(), sort_keys=True) == json.dumps(
+            stats.to_dict(), sort_keys=True
+        )
+        assert restored.mode_histogram == stats.mode_histogram
+        for mode in restored.mode_histogram:
+            assert isinstance(mode, CompressionMode)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        cycles=counts,
+        issued=counts,
+        stalls=counts,
+        wakeups=counts,
+    )
+    def test_timing_stats_roundtrip(self, cycles, issued, stalls, wakeups):
+        stats = TimingStats(
+            cycles=cycles,
+            issued=issued,
+            collector_stall_cycles=stalls,
+            bank_wakeup_stalls=wakeups,
+        )
+        assert TimingStats.from_dict(
+            json.loads(json.dumps(stats.to_dict()))
+        ) == stats
+
+    def test_timing_run_result_roundtrip_lossless(self):
+        result = simulate(SimRequest("lib", scale="small"))
+        wire = json.loads(json.dumps(result.to_dict()))
+        restored = RunResult.from_dict(wire, from_cache=True)
+        assert restored.from_cache and not result.from_cache
+        assert canonical_json(restored) == canonical_json(result)
+        # The re-priceable energy model survives: same totals either side.
+        assert (
+            restored.energy_model.breakdown().total_pj
+            == result.energy_model.breakdown().total_pj
+        )
+
+    def test_functional_run_result_roundtrip_lossless(self):
+        result = simulate(
+            SimRequest("lib", scale="small", timing=False, collect_bdi=True)
+        )
+        wire = json.loads(json.dumps(result.to_dict()))
+        assert canonical_json(RunResult.from_dict(wire)) == canonical_json(
+            result
+        )
+
+    def test_schema_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="unsupported RunResult schema"):
+            RunResult.from_dict({"schema": SCHEMA_VERSION + 1})
+
+    def test_stats_compat_view(self):
+        result = simulate(SimRequest("lib", scale="small"))
+        stats = result.stats
+        assert stats.benchmark == "lib"
+        assert stats.value is result.value
+        assert stats.energy_breakdown is result.energy
+
+
+# ---------------------------------------------------------------------------
+# Canonical request keys
+# ---------------------------------------------------------------------------
+
+
+class TestRequestKeys:
+    def test_explicit_default_override_collapses(self):
+        # bank_gate_delay=64 IS the default: spelling it out must not
+        # change the cache key.
+        plain = SimRequest("lib")
+        spelled = SimRequest(
+            "lib", config_overrides=(("bank_gate_delay", 64),)
+        )
+        assert fingerprint(plain.key_material()) == fingerprint(
+            spelled.key_material()
+        )
+
+    def test_timing_knobs_ignored_for_functional_runs(self):
+        a = SimRequest("lib", timing=False)
+        b = SimRequest(
+            "lib", timing=False, compression_latency=9, scheduler="lrr"
+        )
+        assert fingerprint(a.key_material()) == fingerprint(b.key_material())
+
+    def test_distinct_configs_distinct_keys(self):
+        a = SimRequest("lib")
+        for other in (
+            SimRequest("lib", policy="baseline"),
+            SimRequest("lib", scheduler="lrr"),
+            SimRequest("lib", compression_latency=4),
+            SimRequest("lib", scale="small"),
+            SimRequest("lib", timing=False),
+            SimRequest("pathfinder"),
+        ):
+            assert fingerprint(a.key_material()) != fingerprint(
+                other.key_material()
+            )
+
+    def test_key_material_carries_seed_and_code_version(self):
+        material = SimRequest("lib").key_material()
+        assert material["code"] == code_version()
+        assert isinstance(material["seed"], int)
+
+
+# ---------------------------------------------------------------------------
+# In-process dedup (the run-once proof)
+# ---------------------------------------------------------------------------
+
+
+class TestDedup:
+    def test_fig09_fig14_simulate_each_pair_exactly_once(self, tmp_path):
+        session = Session(
+            scale="small", subset=SUBSET, cache_dir=tmp_path / "cache"
+        )
+        before = SIM_COUNTER.value
+        fig09(session)
+        assert SIM_COUNTER.value - before == 4  # 2 benchmarks × {baseline, warped}
+        fig14(session)
+        # Figure 14 re-uses both GTO runs; only the LRR pairs are new.
+        assert SIM_COUNTER.value - before == 8
+        assert session.memo_hits >= 4
+        # Re-rendering either figure is now simulation-free.
+        fig09(session)
+        fig14(session)
+        assert SIM_COUNTER.value - before == 8
+
+    def test_run_many_collapses_duplicates(self):
+        session = Session(scale="small", use_disk_cache=False)
+        before = SIM_COUNTER.value
+        requests = [
+            SimRequest("lib", scale="small", timing=False),
+            SimRequest("lib", scale="small", timing=False),
+            SimRequest(
+                "lib",
+                scale="small",
+                timing=False,
+                compression_latency=77,  # timing-only: same canonical key
+            ),
+        ]
+        out = session.run_many(requests)
+        assert SIM_COUNTER.value - before == 1
+        assert len(out) == 2  # two distinct request spellings
+        assert out[requests[0]] is out[requests[2]]
+
+    def test_memo_returns_same_object(self):
+        session = Session(scale="small", use_disk_cache=False)
+        assert session.functional_run("lib") is session.functional_run("lib")
+
+
+# ---------------------------------------------------------------------------
+# On-disk cache
+# ---------------------------------------------------------------------------
+
+
+class TestDiskCache:
+    def test_warm_cache_zero_simulations_identical_tables(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        cold = Session(scale="small", subset=SUBSET, cache_dir=cache_dir)
+        first = fig03(cold).render()
+        assert cold.simulated > 0
+
+        warm = Session(scale="small", subset=SUBSET, cache_dir=cache_dir)
+        before = SIM_COUNTER.value
+        second = fig03(warm).render()
+        assert SIM_COUNTER.value == before
+        assert warm.simulated == 0
+        assert warm.disk_hits > 0
+        assert second == first  # byte-identical re-render
+
+    def test_cached_results_flagged(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        Session(scale="small", cache_dir=cache_dir).functional_run("lib")
+        warm = Session(scale="small", cache_dir=cache_dir)
+        assert warm.functional_run("lib").from_cache
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        Session(scale="small", cache_dir=cache_dir).functional_run("lib")
+        cache = ResultCache(cache_dir)
+        assert len(cache) == 1
+        (entry,) = cache_dir.glob("results/*/*.json")
+        entry.write_text("{not json")
+        session = Session(scale="small", cache_dir=cache_dir)
+        before = SIM_COUNTER.value
+        assert not session.functional_run("lib").from_cache
+        assert SIM_COUNTER.value == before + 1
+
+    def test_code_version_partitions_cache(self, tmp_path, monkeypatch):
+        cache_dir = tmp_path / "cache"
+        Session(scale="small", cache_dir=cache_dir).functional_run("lib")
+        monkeypatch.setattr(
+            "repro.sim.cache.code_version", lambda: "different"
+        )
+        monkeypatch.setattr(
+            "repro.sim.session.code_version", lambda: "different"
+        )
+        session = Session(scale="small", cache_dir=cache_dir)
+        assert not session.functional_run("lib").from_cache
+        assert session.simulated == 1
+
+
+# ---------------------------------------------------------------------------
+# Trace handles
+# ---------------------------------------------------------------------------
+
+
+class TestTraceHandles:
+    def test_captured_trace_replays_to_identical_stats(self, tmp_path):
+        session = Session(scale="small", cache_dir=tmp_path / "cache")
+        result = session.functional_run("pathfinder", capture_trace=True)
+        assert result.trace_path is not None
+        trace = RegisterTrace.load(result.trace_path)
+        replayed = replay_trace(trace, policy=result.policy)
+        assert json.dumps(
+            replayed.value.to_dict(), sort_keys=True
+        ) == json.dumps(result.value.to_dict(), sort_keys=True)
+
+    def test_missing_trace_file_is_a_cache_miss(self, tmp_path):
+        import os
+
+        cache_dir = tmp_path / "cache"
+        first = Session(scale="small", cache_dir=cache_dir).functional_run(
+            "lib", capture_trace=True
+        )
+        os.remove(first.trace_path)
+        session = Session(scale="small", cache_dir=cache_dir)
+        again = session.functional_run("lib", capture_trace=True)
+        assert not again.from_cache
+        assert session.simulated == 1
+
+    def test_trace_survives_without_disk_cache(self):
+        session = Session(scale="small", use_disk_cache=False)
+        result = session.functional_run("lib", capture_trace=True)
+        assert result.trace_path is not None
+        assert len(RegisterTrace.load(result.trace_path)) > 0
+
+
+# ---------------------------------------------------------------------------
+# Parallel execution
+# ---------------------------------------------------------------------------
+
+
+class TestParallel:
+    def test_parallel_equals_serial(self, tmp_path):
+        requests = [
+            SimRequest("lib", scale="small", policy="baseline"),
+            SimRequest("lib", scale="small", policy="warped"),
+            SimRequest("pathfinder", scale="small", timing=False),
+        ]
+        serial = Session(scale="small", use_disk_cache=False).run_many(
+            requests
+        )
+        parallel_session = Session(
+            scale="small",
+            cache_dir=tmp_path / "cache",
+            max_workers=2,
+        )
+        before = SIM_COUNTER.value
+        parallel = parallel_session.run_many(requests)
+        assert SIM_COUNTER.value - before == len(requests)
+        assert parallel_session.simulated == len(requests)
+        for request in requests:
+            assert canonical_json(parallel[request]) == canonical_json(
+                serial[request]
+            )
+        # Pooled results landed in the memo and the disk cache.
+        assert ResultCache(tmp_path / "cache") and len(
+            ResultCache(tmp_path / "cache")
+        ) == len(requests)

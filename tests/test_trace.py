@@ -98,6 +98,31 @@ class TestSerialisation:
             replayed.value.similarity, direct.value.similarity
         )
 
+    def test_saved_trace_replays_identical_to_live_run(
+        self, pathfinder_trace, tmp_path
+    ):
+        """capture -> .npz save -> load -> replay == the live run."""
+        trace, live = pathfinder_trace
+        path = str(tmp_path / "trace.npz")
+        trace.save(path)
+        replayed = replay_trace(RegisterTrace.load(path), policy="warped")
+        assert replayed.value.instructions == live.value.instructions
+        assert (
+            replayed.value.divergent_instructions
+            == live.value.divergent_instructions
+        )
+        assert replayed.value.movs_injected == live.value.movs_injected
+        assert replayed.value.mode_histogram == live.value.mode_histogram
+        for name in (
+            "similarity",
+            "writes",
+            "achievable_banks",
+            "stored_banks",
+        ):
+            np.testing.assert_array_equal(
+                getattr(replayed.value, name), getattr(live.value, name)
+            )
+
     def test_empty_trace_roundtrip(self, tmp_path):
         trace = RegisterTrace(kernel_name="empty")
         path = str(tmp_path / "empty.npz")
