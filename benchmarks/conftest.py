@@ -14,6 +14,12 @@ import pytest
 from repro.sim import Session
 
 
+def pytest_collection_modifyitems(items):
+    """Everything under ``benchmarks/`` is tier-2 (slow, non-blocking)."""
+    for item in items:
+        item.add_marker(pytest.mark.tier2)
+
+
 @pytest.fixture(scope="session")
 def cache(tmp_path_factory):
     return Session(

@@ -9,6 +9,8 @@ the register before issuing any bank access.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.codec import CompressionMode
 
 
@@ -27,15 +29,20 @@ class CompressionRangeIndicator:
         if num_slots <= 0:
             raise ValueError(f"num_slots must be positive, got {num_slots}")
         self.num_slots = num_slots
-        self._modes = [CompressionMode.UNCOMPRESSED] * num_slots
+        # 2-bit values packed into a uint8 vector: keeps per-slot access
+        # O(1) while letting whole-vector consistency scans (the
+        # verify_level=2 checks in repro.verify) stay vectorised.
+        self._modes = np.full(
+            num_slots, int(CompressionMode.UNCOMPRESSED), dtype=np.uint8
+        )
 
     def get(self, slot: int) -> CompressionMode:
         """Mode of the register stored at ``slot``."""
-        return self._modes[self._check(slot)]
+        return CompressionMode(int(self._modes[self._check(slot)]))
 
     def set(self, slot: int, mode: CompressionMode) -> None:
         """Record the storage mode chosen for a register write."""
-        self._modes[self._check(slot)] = mode
+        self._modes[self._check(slot)] = int(mode)
 
     def reset(self, slot: int) -> None:
         """Return a slot to its power-on (uncompressed) state."""
@@ -47,7 +54,15 @@ class CompressionRangeIndicator:
 
     def compressed_count(self) -> int:
         """Number of slots currently holding compressed registers."""
-        return sum(1 for m in self._modes if m.is_compressed)
+        return int(
+            (self._modes != int(CompressionMode.UNCOMPRESSED)).sum()
+        )
+
+    def modes_array(self) -> np.ndarray:
+        """Read-only view of the raw 2-bit mode values (for bulk scans)."""
+        view = self._modes.view()
+        view.flags.writeable = False
+        return view
 
     @property
     def storage_bits(self) -> int:

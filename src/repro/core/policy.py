@@ -73,6 +73,12 @@ class CompressionPolicy:
     #: Whether the register file performs any compression at all.
     enabled = True
 
+    #: Whether ``decision.banks`` always equals ``decision.mode.banks``,
+    #: i.e. the 2-bit indicator describes the storage layout exactly.
+    #: The verification layer skips indicator/bank-count cross-checks for
+    #: policies where this is ``False`` (per-thread narrow-width storage).
+    indicator_exact = True
+
     def decide(
         self, values: np.ndarray, divergent: bool
     ) -> CompressionDecision:
@@ -171,6 +177,7 @@ class PerThreadNarrowPolicy(CompressionPolicy):
     """
 
     name = "per-thread-narrow"
+    indicator_exact = False
 
     def decide(
         self, values: np.ndarray, divergent: bool

@@ -30,12 +30,26 @@ class BankArbiter:
         self._read_busy = [False] * num_banks
         self._write_busy = [False] * num_banks
         self._cycle = -1
+        #: Lifetime grant totals; the invariant layer cross-checks these
+        #: against the energy model's bank access event counts.
+        self.read_grants = 0
+        self.write_grants = 0
+        #: Grants issued in the current cycle (reset by begin_cycle).
+        self.reads_this_cycle = 0
+        self.writes_this_cycle = 0
+
+    @property
+    def cycle(self) -> int:
+        """The cycle the arbiter last began (-1 before the first)."""
+        return self._cycle
 
     def begin_cycle(self, cycle: int) -> None:
         """Reset port state at the start of a cycle."""
         self._cycle = cycle
         self._read_busy = [False] * self.num_banks
         self._write_busy = [False] * self.num_banks
+        self.reads_this_cycle = 0
+        self.writes_this_cycle = 0
         if self.gating is not None:
             self.gating.settle(cycle)
 
@@ -56,6 +70,8 @@ class BankArbiter:
             if not self._read_busy[bank] and self._bank_ready(bank):
                 self._read_busy[bank] = True
                 granted.append(bank)
+        self.read_grants += len(granted)
+        self.reads_this_cycle += len(granted)
         return granted
 
     def grant_writes(self, banks: Iterable[int]) -> list[int]:
@@ -65,4 +81,16 @@ class BankArbiter:
             if not self._write_busy[bank] and self._bank_ready(bank):
                 self._write_busy[bank] = True
                 granted.append(bank)
+        self.write_grants += len(granted)
+        self.writes_this_cycle += len(granted)
         return granted
+
+    def busy_port_counts(self) -> tuple[int, int]:
+        """(read, write) ports claimed this cycle — for invariant checks.
+
+        Because each grant sets exactly one busy flag, these must always
+        equal ``reads_this_cycle``/``writes_this_cycle``; the verify layer
+        asserts that, which would catch any future code path granting a
+        bank's port twice in one cycle.
+        """
+        return sum(self._read_busy), sum(self._write_busy)

@@ -54,7 +54,18 @@ class GPUConfig:
     global_mem_latency: int = 120
     shared_mem_latency: int = 24
 
+    # ----- verification ------------------------------------------------
+    #: Runtime self-check intensity (see :mod:`repro.verify.invariants`):
+    #: 0 = off, 1 = cheap O(1) event checks + end-of-run conservation
+    #: totals (default), 2 = exhaustive per-cycle state scans plus a
+    #: codec-vs-BDI cross-check on every committed register write.
+    verify_level: int = 1
+
     def __post_init__(self) -> None:
+        if self.verify_level not in (0, 1, 2):
+            raise ValueError(
+                f"verify_level must be 0, 1 or 2, got {self.verify_level}"
+            )
         if self.scheduler_policy not in ("gto", "lrr"):
             raise ValueError(
                 f"scheduler_policy must be 'gto' or 'lrr', got "

@@ -52,6 +52,9 @@ class GPU:
         self.collect_bdi = collect_bdi
         self.max_cycles = max_cycles
         self._policy_spec = policy
+        #: SMs of the most recent :meth:`run` — lets the verification
+        #: layer inspect per-SM checker counters after a launch.
+        self.last_sms: list[SMCore] = []
 
     def _make_policy(self) -> CompressionPolicy:
         if isinstance(self._policy_spec, CompressionPolicy):
@@ -109,6 +112,7 @@ class GPU:
                 while queue and sm.can_accept_cta():
                     sm.launch_cta(queue.popleft())
 
+        self.last_sms = sms
         # Aggregate across SMs.
         value = ValueStats(collect_bdi=self.collect_bdi)
         timing = TimingStats()

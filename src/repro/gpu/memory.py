@@ -115,6 +115,19 @@ class GlobalMemory:
             b, lane_buf = self._locate(int(addr))
             lane_buf[(int(addr) - b) >> 2] = val
 
+    def snapshot(self) -> dict[str, np.ndarray]:
+        """Copy of every buffer keyed by name — for bit-exact comparison.
+
+        Buffer names repeat only if a caller allocated two buffers under
+        the same explicit name; the key is then suffixed with the buffer
+        ordinal so no state is silently dropped from the snapshot.
+        """
+        out: dict[str, np.ndarray] = {}
+        for i, (name, buf) in enumerate(zip(self._names, self._buffers)):
+            key = name if name not in out else f"{name}#{i}"
+            out[key] = buf.copy()
+        return out
+
     def read_array(self, base: int, words: int, dtype=np.uint32) -> np.ndarray:
         """Host-side read-back of a buffer region (for result checking)."""
         buf_base, buf = self._locate(base)

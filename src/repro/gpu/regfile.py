@@ -172,3 +172,93 @@ class RegisterFile:
         if self.allocated_slots == 0:
             return 0.0
         return self.compressed_slots / self.allocated_slots
+
+    # ------------------------------------------------------------------
+    # Verification support (repro.verify)
+    # ------------------------------------------------------------------
+    def bank_occupancy(self) -> np.ndarray:
+        """Valid entries per physical bank, recomputed from slot state.
+
+        Compressed data always occupies the lowest ``banks_used`` banks of
+        a slot's cluster, so bank ``cluster*8 + j`` holds one valid entry
+        for every valid slot of that cluster using more than ``j`` banks.
+        The gating controller's incrementally-maintained valid-entry
+        counters must agree with this ground truth at all times.
+        """
+        occupancy = np.zeros(self.config.num_banks, dtype=np.int64)
+        clusters = np.arange(self.num_slots) % self.config.num_clusters
+        banks = self._banks_used
+        per_cluster = occupancy.reshape(
+            self.config.num_clusters, BANKS_PER_WARP_REGISTER
+        )
+        for j in range(BANKS_PER_WARP_REGISTER):
+            sel = self._valid & (banks > j)
+            per_cluster[:, j] = np.bincount(
+                clusters[sel], minlength=self.config.num_clusters
+            )
+        return occupancy
+
+    def check_consistency(self, indicator_exact: bool = True) -> np.ndarray:
+        """Full-state scan of slot metadata; returns bank occupancy.
+
+        Raises :class:`repro.verify.invariants.InvariantViolation` when the
+        incrementally-maintained metadata (valid bits, bank counts,
+        indicator modes, compressed/allocated slot counters) disagrees with
+        itself.  Used by the exhaustive ``verify_level=2`` checks.
+        """
+        from repro.verify.invariants import InvariantViolation
+
+        modes = self.indicator.modes_array()
+        banks = self._banks_used
+        uncompressed = int(CompressionMode.UNCOMPRESSED)
+
+        bad = self._valid & ~self._allocated
+        if bad.any():
+            raise InvariantViolation(
+                f"valid slots outside any allocated warp: {np.flatnonzero(bad)[:8]}"
+            )
+        bad = self._valid & ((banks < 1) | (banks > BANKS_PER_WARP_REGISTER))
+        if bad.any():
+            raise InvariantViolation(
+                f"valid slots with bank count out of [1, 8]: "
+                f"{np.flatnonzero(bad)[:8]}"
+            )
+        bad = ~self._valid & (banks != 0)
+        if bad.any():
+            raise InvariantViolation(
+                f"invalid slots holding banks: {np.flatnonzero(bad)[:8]}"
+            )
+        bad = ~self._valid & (modes != uncompressed)
+        if bad.any():
+            raise InvariantViolation(
+                f"invalid slots with a compressed indicator: "
+                f"{np.flatnonzero(bad)[:8]}"
+            )
+        if indicator_exact:
+            # The 2-bit indicator fully determines the bank count, so the
+            # occupancy tracked by the register file must match the bank
+            # count the arbiter would derive from the indicator.
+            mode_banks = np.array(
+                [CompressionMode(v).banks for v in range(4)], dtype=np.int8
+            )
+            bad = self._valid & (banks != mode_banks[modes])
+            if bad.any():
+                s = int(np.flatnonzero(bad)[0])
+                raise InvariantViolation(
+                    f"slot {s}: indicator {CompressionMode(int(modes[s])).name} "
+                    f"implies {int(mode_banks[modes[s]])} banks but "
+                    f"{int(banks[s])} are occupied"
+                )
+        recount = int((self._valid & (modes != uncompressed)).sum())
+        if recount != self.compressed_slots:
+            raise InvariantViolation(
+                f"compressed_slots counter {self.compressed_slots} != "
+                f"recount {recount}"
+            )
+        recount = int(self._allocated.sum())
+        if recount != self.allocated_slots:
+            raise InvariantViolation(
+                f"allocated_slots counter {self.allocated_slots} != "
+                f"recount {recount}"
+            )
+        return self.bank_occupancy()

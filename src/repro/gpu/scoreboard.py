@@ -11,10 +11,25 @@ from __future__ import annotations
 from collections import defaultdict
 
 
-class Scoreboard:
-    """Pending-write sets keyed by warp slot."""
+class ScoreboardError(RuntimeError):
+    """A reserve/release protocol violation caught in strict mode."""
 
-    def __init__(self) -> None:
+
+class Scoreboard:
+    """Pending-write sets keyed by warp slot.
+
+    With ``strict=True`` (enabled by ``GPUConfig.verify_level >= 1``) the
+    scoreboard enforces the exactly-once protocol: reserving an already
+    pending destination or releasing one that is not pending raises
+    :class:`ScoreboardError` instead of silently coalescing.  The pipeline
+    never legitimately does either — in-order per-warp issue blocks on WAW
+    before a duplicate reserve could happen, and each in-flight op releases
+    its destinations exactly once (predicate at execute, register at
+    commit).
+    """
+
+    def __init__(self, strict: bool = False) -> None:
+        self.strict = strict
         self._regs: dict[int, set[int]] = defaultdict(set)
         self._preds: dict[int, set[int]] = defaultdict(set)
 
@@ -23,8 +38,16 @@ class Scoreboard:
     ) -> None:
         """Mark a destination register/predicate as pending."""
         if reg is not None:
+            if self.strict and reg in self._regs[warp_slot]:
+                raise ScoreboardError(
+                    f"warp {warp_slot}: double reserve of register r{reg}"
+                )
             self._regs[warp_slot].add(reg)
         if pred is not None:
+            if self.strict and pred in self._preds[warp_slot]:
+                raise ScoreboardError(
+                    f"warp {warp_slot}: double reserve of predicate p{pred}"
+                )
             self._preds[warp_slot].add(pred)
 
     def release(
@@ -32,8 +55,18 @@ class Scoreboard:
     ) -> None:
         """Clear a pending destination after writeback."""
         if reg is not None:
+            if self.strict and reg not in self._regs[warp_slot]:
+                raise ScoreboardError(
+                    f"warp {warp_slot}: release of register r{reg} "
+                    "which is not pending"
+                )
             self._regs[warp_slot].discard(reg)
         if pred is not None:
+            if self.strict and pred not in self._preds[warp_slot]:
+                raise ScoreboardError(
+                    f"warp {warp_slot}: release of predicate p{pred} "
+                    "which is not pending"
+                )
             self._preds[warp_slot].discard(pred)
 
     def blocked(
@@ -63,3 +96,13 @@ class Scoreboard:
     def pending(self, warp_slot: int) -> int:
         """Number of outstanding writes for a warp (drain check)."""
         return len(self._regs[warp_slot]) + len(self._preds[warp_slot])
+
+    def is_pending(self, warp_slot: int, reg: int) -> bool:
+        """Whether register ``reg`` has an outstanding write."""
+        return reg in self._regs[warp_slot]
+
+    def total_pending(self) -> int:
+        """Outstanding writes across all warps (end-of-run drain check)."""
+        return sum(len(s) for s in self._regs.values()) + sum(
+            len(s) for s in self._preds.values()
+        )

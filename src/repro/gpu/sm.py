@@ -52,6 +52,7 @@ from repro.gpu.scoreboard import Scoreboard
 from repro.gpu.simt import popcount
 from repro.power.energy import EnergyModel
 from repro.power.gating import BankGatingController
+from repro.verify.invariants import InvariantChecker
 
 
 class OpState(Enum):
@@ -116,7 +117,12 @@ class SMCore:
         )
         self.arbiter = BankArbiter(config.num_banks, self.gating)
         self.collectors = CollectorPool(config.num_collectors)
-        self.scoreboard = Scoreboard()
+        self.scoreboard = Scoreboard(strict=config.verify_level >= 1)
+        self.checker = (
+            InvariantChecker(config, policy)
+            if config.verify_level >= 1
+            else None
+        )
         self.schedulers = [
             WarpScheduler(config.scheduler_policy)
             for _ in range(config.num_schedulers)
@@ -226,6 +232,8 @@ class SMCore:
         self._collect_stage()
         self._issue_stage()
         self._retire_warps()
+        if self.checker is not None:
+            self.checker.check_tick(self)
         self.timing.cycles = self.cycle
 
     # ----- writeback ---------------------------------------------------
@@ -247,6 +255,8 @@ class SMCore:
     def _commit(self, op: InflightOp) -> None:
         result = op.result
         ctx = self._warps[op.warp_slot]
+        if self.checker is not None:
+            self.checker.check_commit(result.values, op.decision)
         self.interpreter.apply(ctx, result)
         self.regfile.write_commit(
             op.warp_slot,
@@ -524,6 +534,8 @@ class SMCore:
                 compressor_used=False,
             )
         )
+        if self.checker is not None:
+            self.checker.check_commit(result.values, decision)
         self.value_stats.record_write(
             result.values,
             result.divergent,
@@ -555,6 +567,8 @@ class SMCore:
                 BANKS_PER_WARP_REGISTER,
                 compressor_used=False,
             )
+        if self.checker is not None:
+            self.checker.check_commit(values, decision)
         self.regfile.write_commit(
             warp_slot, reg, decision.mode, decision.banks, self.cycle
         )
@@ -604,6 +618,8 @@ class SMCore:
     # ------------------------------------------------------------------
     def finalize(self) -> None:
         """Close gating intervals and push unit activations to energy."""
+        if self.checker is not None:
+            self.checker.check_finalize(self)
         if self.gating is not None:
             self.gating.finalize(self.cycle)
             self.energy.finalize(

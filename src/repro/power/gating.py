@@ -189,3 +189,36 @@ class BankGatingController:
 
     def valid_entries(self, bank: int) -> int:
         return self._banks[bank].valid_entries
+
+    # ------------------------------------------------------------------
+    # Verification support (repro.verify)
+    # ------------------------------------------------------------------
+    def check_consistency(self, occupancy) -> None:
+        """Cross-check valid-entry counters against register-file truth.
+
+        ``occupancy`` is the per-bank valid-entry count recomputed from
+        register-file slot state (:meth:`RegisterFile.bank_occupancy`).
+        Verifies the two gating invariants: the incrementally-maintained
+        counters never drift from the ground truth, and a GATED bank never
+        holds live data (gating a bank with valid entries would corrupt
+        architectural state in real hardware).
+        """
+        from repro.verify.invariants import InvariantViolation
+
+        if len(occupancy) != self.num_banks:
+            raise InvariantViolation(
+                f"occupancy vector covers {len(occupancy)} banks, "
+                f"controller has {self.num_banks}"
+            )
+        for bank, b in enumerate(self._banks):
+            expected = int(occupancy[bank])
+            if b.valid_entries != expected:
+                raise InvariantViolation(
+                    f"bank {bank}: gating tracks {b.valid_entries} valid "
+                    f"entries but the register file holds {expected}"
+                )
+            if b.state is BankState.GATED and b.valid_entries != 0:
+                raise InvariantViolation(
+                    f"bank {bank}: gated while holding "
+                    f"{b.valid_entries} valid entries"
+                )

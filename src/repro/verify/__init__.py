@@ -1,0 +1,60 @@
+"""Verification subsystem: invariants, differential oracle, kernel fuzzer.
+
+Three layers of defence against simulator drift (see DESIGN.md §"The
+verification subsystem"):
+
+* :mod:`repro.verify.invariants` — runtime conservation checks threaded
+  through the cycle-level pipeline, controlled by
+  ``GPUConfig.verify_level``.
+* :mod:`repro.verify.oracle` — runs a kernel through both the functional
+  runner and the cycle-level SM and asserts bit-identical final memory,
+  cross-checking the fast codec against the byte-level BDI reference on
+  every written warp register.
+* :mod:`repro.verify.generator` / :mod:`repro.verify.fuzz` — a seeded
+  random kernel generator over the builder DSL plus a fuzz loop that
+  shrinks failures to minimal replayable artifacts.
+
+Submodules are resolved lazily: ``repro.gpu.sm`` imports the invariant
+layer while the oracle imports ``repro.gpu``, so eagerly importing
+everything here would create a cycle.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+_SUBMODULES = ("cli", "fuzz", "generator", "invariants", "oracle")
+
+_LAZY_ATTRS = {
+    "CodecMismatch": "invariants",
+    "InvariantChecker": "invariants",
+    "InvariantViolation": "invariants",
+    "check_decision": "invariants",
+    "crosscheck_register": "invariants",
+    "DifferentialMismatch": "oracle",
+    "CheckedPolicy": "oracle",
+    "run_differential": "oracle",
+    "verify_benchmark": "oracle",
+    "GenSpec": "generator",
+    "KernelGenerator": "generator",
+    "FuzzFailure": "fuzz",
+    "FuzzReport": "fuzz",
+    "fuzz_many": "fuzz",
+    "replay_artifact": "fuzz",
+    "shrink": "fuzz",
+}
+
+__all__ = sorted({*_SUBMODULES, *_LAZY_ATTRS})
+
+
+def __getattr__(name: str):
+    if name in _SUBMODULES:
+        return importlib.import_module(f"{__name__}.{name}")
+    if name in _LAZY_ATTRS:
+        module = importlib.import_module(f"{__name__}.{_LAZY_ATTRS[name]}")
+        return getattr(module, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return __all__

@@ -1,0 +1,7 @@
+"""``python -m repro.verify`` — alias for the ``repro`` CLI."""
+
+import sys
+
+from repro.verify.cli import main
+
+sys.exit(main())

@@ -1,0 +1,158 @@
+"""``repro`` CLI — verification entry point.
+
+Examples::
+
+    repro verify --seeds 200              # fuzz sweep + built-in suite
+    repro verify --seeds 50 --no-suite    # generated kernels only
+    repro verify --start-seed 1000 --seeds 500
+    repro verify --replay .repro-cache/verify/fail-42-0123456789ab.json
+
+Exit status is non-zero on any functional-vs-cycle mismatch,
+codec-vs-BDI mismatch, or pipeline invariant violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.verify import fuzz as fuzz_mod
+from repro.verify.oracle import verify_benchmark
+
+
+def _verify_suite(policies: list[str], quiet: bool) -> list[str]:
+    """Differential-check every built-in benchmark; returns failures."""
+    from repro.kernels.suite import benchmark_names, iter_benchmarks
+
+    names = benchmark_names() + benchmark_names(extended=True)
+    failures = []
+    for bench in iter_benchmarks(names):
+        for policy in policies:
+            start = time.time()
+            try:
+                outcome = verify_benchmark(bench, policy=policy)
+            except Exception as exc:  # noqa: BLE001 - report, keep going
+                failures.append(
+                    f"{bench.name} [{policy}]: {type(exc).__name__}: {exc}"
+                )
+                print(f"  {bench.name} [{policy}]: FAIL ({exc})")
+                continue
+            if not quiet:
+                print(
+                    f"  {bench.name} [{policy}]: ok — {outcome.cycles} "
+                    f"cycles, {outcome.cycle_writes_checked} writes "
+                    f"checked ({time.time() - start:.1f}s)"
+                )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction toolkit verification commands",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    verify = sub.add_parser(
+        "verify",
+        help="differential oracle + invariant fuzzing",
+        description="Cross-check the functional and cycle-level engines "
+        "on randomly generated kernels and the built-in benchmark suite.",
+    )
+    verify.add_argument(
+        "--seeds",
+        type=int,
+        default=200,
+        metavar="N",
+        help="number of generated kernels to check (default 200)",
+    )
+    verify.add_argument(
+        "--start-seed",
+        type=int,
+        default=0,
+        metavar="S",
+        help="first seed of the sweep (default 0)",
+    )
+    verify.add_argument(
+        "--no-suite",
+        action="store_true",
+        help="skip the built-in benchmark suite pass",
+    )
+    verify.add_argument(
+        "--suite-policies",
+        nargs="+",
+        default=["warped"],
+        metavar="POLICY",
+        help="policies for the suite pass (default: warped)",
+    )
+    verify.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="dump failing seeds without minimising them first",
+    )
+    verify.add_argument(
+        "--artifact-dir",
+        metavar="DIR",
+        help="root for failure artifacts (default: the sim cache dir; "
+        "artifacts land in <root>/verify/)",
+    )
+    verify.add_argument(
+        "--replay",
+        metavar="ARTIFACT",
+        help="re-run one dumped failure artifact and exit",
+    )
+    verify.add_argument(
+        "--quiet", action="store_true", help="suppress per-kernel progress"
+    )
+    args = parser.parse_args(argv)
+
+    if args.replay:
+        try:
+            fuzz_mod.replay_artifact(args.replay)
+        except Exception as exc:  # noqa: BLE001 - the reproducer output
+            print(f"replay still fails: {type(exc).__name__}: {exc}")
+            return 1
+        print("replay passed — the recorded failure no longer reproduces")
+        return 0
+
+    start = time.time()
+    seeds = range(args.start_seed, args.start_seed + args.seeds)
+    progress = None if args.quiet else lambda msg: print(f"  {msg}")
+    print(f"fuzzing {args.seeds} generated kernels (seeds {seeds.start}..."
+          f"{seeds.stop - 1}) ...")
+    report = fuzz_mod.fuzz_many(
+        seeds,
+        artifact_root=args.artifact_dir,
+        do_shrink=not args.no_shrink,
+        progress=progress,
+    )
+    print(
+        f"generated kernels: {report.seeds_run} checked, "
+        f"{len(report.failures)} failed ({time.time() - start:.1f}s)"
+    )
+    for failure in report.failures:
+        print(f"  seed {failure.seed}: {failure.error}")
+        print(f"    reproducer: {failure.artifact_path}")
+        print(
+            "    replay with: repro verify --replay "
+            f"{failure.artifact_path}"
+        )
+
+    suite_failures: list[str] = []
+    if not args.no_suite:
+        print(f"built-in suite ({', '.join(args.suite_policies)}) ...")
+        suite_failures = _verify_suite(args.suite_policies, args.quiet)
+        print(
+            f"built-in suite: {len(suite_failures)} failures "
+            f"({time.time() - start:.1f}s total)"
+        )
+
+    if report.failures or suite_failures:
+        return 1
+    print("verification passed: engines agree, codec matches BDI, "
+          "all invariants hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,311 @@
+"""Fuzz loop: sweep seeds, shrink failures, dump replayable artifacts.
+
+Each seed deterministically derives a :class:`~repro.verify.generator.
+GenSpec` plus a (policy, config-override) pair from a pool covering the
+design points the simulator models — scheduler policies, compression
+latencies, gating parameters, multi-SM dispatch, the RFC extension — and
+runs the differential oracle on the generated kernel.
+
+On failure the spec is *shrunk*: a greedy pass over field-level
+reductions (fewer CTAs, narrower CTAs, fewer blocks, features disabled)
+keeps any reduction that still reproduces the failure, converging to a
+locally-minimal reproducer.  The result is dumped as a JSON artifact
+through the :mod:`repro.sim` cache layer conventions (content-addressed
+name under ``<cache-dir>/verify/``, stamped with ``code_version`` and a
+schema number) and can be replayed with :func:`replay_artifact` or
+``repro verify --replay``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.gpu.config import GPUConfig
+from repro.sim.cache import code_version, default_cache_dir, fingerprint
+from repro.verify.generator import GenSpec, generate_launch
+from repro.verify.oracle import run_differential
+
+ARTIFACT_SCHEMA = 1
+
+#: Policies exercised by the fuzz sweep, weighted towards the paper's
+#: proposal.  All of them must agree with the functional model.
+POLICY_POOL: tuple[str, ...] = (
+    "warped",
+    "warped",
+    "baseline",
+    "warped-buffered",
+    "static-4-0",
+    "static-4-1",
+    "static-4-2",
+    "per-thread",
+)
+
+#: Config-override pool: named design points whose pipelines differ
+#: enough to shake out timing-dependent bugs.
+CONFIG_POOL: tuple[dict, ...] = (
+    {},
+    {"scheduler_policy": "lrr"},
+    {"num_collectors": 4},
+    {"num_compressors": 1, "compression_latency": 3},
+    {"decompression_latency": 2},
+    {"bank_gate_delay": 0},
+    {"bank_wakeup_latency": 0, "bank_gate_delay": 8},
+    {"num_schedulers": 1},
+    {"num_sms": 2},
+    {"rfc_entries_per_warp": 2},
+)
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One fuzz trial: the generated kernel plus its simulator variant."""
+
+    spec: GenSpec
+    policy: str
+    config_overrides: dict
+
+    def run(self) -> None:
+        """Generate and differentially check; raises on any failure."""
+        launch = generate_launch(self.spec)
+        config = GPUConfig(**self.config_overrides)
+        run_differential(launch, policy=self.policy, config=config)
+
+
+def case_for_seed(seed: int) -> FuzzCase:
+    """Deterministically derive the fuzz case for one seed.
+
+    A separate rng stream (seed XOR a constant) picks the policy and
+    config so shrinking the kernel spec never changes the variant.
+    """
+    rng = np.random.default_rng(seed ^ 0x5EED_CAFE)
+    policy = POLICY_POOL[int(rng.integers(len(POLICY_POOL)))]
+    overrides = dict(CONFIG_POOL[int(rng.integers(len(CONFIG_POOL)))])
+    if overrides.get("rfc_entries_per_warp") and policy == "per-thread":
+        # The RFC extension models the warped design point; keep the
+        # variant meaningful.
+        policy = "warped"
+    return FuzzCase(
+        spec=GenSpec(seed=seed), policy=policy, config_overrides=overrides
+    )
+
+
+@dataclass
+class FuzzFailure:
+    """A reproducible failure, before and after shrinking."""
+
+    seed: int
+    error: str
+    original_spec: GenSpec
+    shrunk_spec: GenSpec
+    policy: str
+    config_overrides: dict
+    artifact_path: Path | None = None
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one sweep."""
+
+    seeds_run: int = 0
+    failures: list[FuzzFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+# ----------------------------------------------------------------------
+# Shrinking
+# ----------------------------------------------------------------------
+def _reductions(spec: GenSpec) -> list[GenSpec]:
+    """Candidate one-step reductions of ``spec``, most aggressive first."""
+    out = []
+    if spec.num_ctas > 1:
+        out.append(spec.with_(num_ctas=1))
+    if spec.cta_threads > 32:
+        out.append(spec.with_(cta_threads=32))
+    if spec.allow_shared:
+        out.append(spec.with_(allow_shared=False))
+    if spec.allow_loops:
+        out.append(spec.with_(allow_loops=False))
+    if spec.allow_float:
+        out.append(spec.with_(allow_float=False))
+    if spec.allow_divergence:
+        out.append(spec.with_(allow_divergence=False))
+    if spec.blocks > 1:
+        out.append(spec.with_(blocks=max(1, spec.blocks // 2)))
+        out.append(spec.with_(blocks=spec.blocks - 1))
+    if spec.max_block_ops > 1:
+        out.append(spec.with_(max_block_ops=max(1, spec.max_block_ops // 2)))
+    if spec.max_loop_trips > 1:
+        out.append(spec.with_(max_loop_trips=1))
+    if spec.reg_budget > 8:
+        out.append(spec.with_(reg_budget=max(8, spec.reg_budget // 2)))
+    return out
+
+
+def shrink(
+    case: FuzzCase,
+    still_fails: Callable[[FuzzCase], bool] | None = None,
+    max_attempts: int = 64,
+) -> GenSpec:
+    """Greedily minimise ``case.spec`` while the failure reproduces.
+
+    ``still_fails`` defaults to re-running the differential oracle and
+    catching any exception.  Returns the smallest failing spec found
+    (possibly the original).  Shrinking changes the *generator knobs*
+    only, so the result is always a valid, replayable spec.
+    """
+    if still_fails is None:
+
+        def still_fails(c: FuzzCase) -> bool:
+            try:
+                c.run()
+            except Exception:
+                return True
+            return False
+
+    current = case.spec
+    attempts = 0
+    improved = True
+    while improved and attempts < max_attempts:
+        improved = False
+        for candidate in _reductions(current):
+            attempts += 1
+            if attempts > max_attempts:
+                break
+            reduced = FuzzCase(
+                spec=candidate,
+                policy=case.policy,
+                config_overrides=case.config_overrides,
+            )
+            if still_fails(reduced):
+                current = candidate
+                improved = True
+                break
+    return current
+
+
+# ----------------------------------------------------------------------
+# Artifacts
+# ----------------------------------------------------------------------
+def artifact_dir(root: Path | str | None = None) -> Path:
+    base = Path(root) if root is not None else default_cache_dir()
+    return base / "verify"
+
+
+def dump_artifact(failure: FuzzFailure, root: Path | str | None = None) -> Path:
+    """Write a replayable JSON reproducer; returns its path.
+
+    The filename is content-addressed (like the sim result cache) so
+    re-running a sweep never duplicates artifacts for the same failure.
+    """
+    payload = {
+        "schema": ARTIFACT_SCHEMA,
+        "kind": "fuzz-failure",
+        "code_version": code_version(),
+        "seed": failure.seed,
+        "error": failure.error,
+        "policy": failure.policy,
+        "config_overrides": failure.config_overrides,
+        "spec": asdict(failure.shrunk_spec),
+        "original_spec": asdict(failure.original_spec),
+    }
+    directory = artifact_dir(root)
+    directory.mkdir(parents=True, exist_ok=True)
+    key = fingerprint(
+        {k: payload[k] for k in ("seed", "policy", "config_overrides", "spec")}
+    )
+    path = directory / f"fail-{failure.seed}-{key[:12]}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    failure.artifact_path = path
+    return path
+
+
+def load_artifact(path: Path | str) -> FuzzCase:
+    """Rebuild the failing case from an artifact file."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("kind") != "fuzz-failure":
+        raise ValueError(f"{path} is not a fuzz-failure artifact")
+    if payload.get("schema") != ARTIFACT_SCHEMA:
+        raise ValueError(
+            f"artifact schema {payload.get('schema')} not supported "
+            f"(expected {ARTIFACT_SCHEMA})"
+        )
+    return FuzzCase(
+        spec=GenSpec(**payload["spec"]),
+        policy=payload["policy"],
+        config_overrides=dict(payload["config_overrides"]),
+    )
+
+
+def replay_artifact(path: Path | str) -> None:
+    """Re-run a dumped reproducer; raises the original class of failure.
+
+    Artifacts record the ``code_version`` they were produced under; a
+    replay against different code still runs (that is the point — to
+    check whether the bug is fixed), the stamp just documents provenance.
+    """
+    load_artifact(path).run()
+
+
+# ----------------------------------------------------------------------
+# Sweep
+# ----------------------------------------------------------------------
+def fuzz_many(
+    seeds: Sequence[int],
+    artifact_root: Path | str | None = None,
+    do_shrink: bool = True,
+    progress: Callable[[str], None] | None = None,
+) -> FuzzReport:
+    """Differentially check every seed; shrink and dump each failure."""
+    report = FuzzReport()
+    for seed in seeds:
+        case = case_for_seed(int(seed))
+        report.seeds_run += 1
+        try:
+            case.run()
+        except Exception as exc:  # noqa: BLE001 - any failure is a finding
+            failure = FuzzFailure(
+                seed=int(seed),
+                error=f"{type(exc).__name__}: {exc}",
+                original_spec=case.spec,
+                shrunk_spec=case.spec,
+                policy=case.policy,
+                config_overrides=case.config_overrides,
+            )
+            if do_shrink:
+                failure.shrunk_spec = shrink(case)
+            dump_artifact(failure, artifact_root)
+            report.failures.append(failure)
+            if progress is not None:
+                progress(
+                    f"seed {seed}: FAIL ({failure.error}) -> "
+                    f"{failure.artifact_path}"
+                )
+        else:
+            if progress is not None and report.seeds_run % 25 == 0:
+                progress(f"{report.seeds_run} seeds ok")
+    return report
+
+
+__all__ = [
+    "ARTIFACT_SCHEMA",
+    "CONFIG_POOL",
+    "POLICY_POOL",
+    "FuzzCase",
+    "FuzzFailure",
+    "FuzzReport",
+    "artifact_dir",
+    "case_for_seed",
+    "dump_artifact",
+    "fuzz_many",
+    "load_artifact",
+    "replay_artifact",
+    "shrink",
+]

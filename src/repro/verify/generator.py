@@ -1,0 +1,459 @@
+"""Seeded random kernel generator over the builder DSL.
+
+Produces small but adversarial PTX-like programs for the differential
+oracle: mixed-width integer/float arithmetic (so compression modes keep
+flipping), branch divergence with proper reconvergence, data-dependent
+loop trip counts, shared-memory exchange phases, and guarded stores.
+
+Every generated program is **deterministic across warp scheduling
+orders** by construction, which is what lets the oracle demand bit-exact
+agreement between the functional runner and the cycle-level SM:
+
+* global loads touch only the read-only input buffer or the thread's own
+  scratch slots;
+* every global store lands in a per-thread-disjoint slice (``tid``-strided
+  scratch slots, ``tid``-strided dump rows);
+* shared-memory phases happen only at top level as a
+  store → barrier → load → barrier sequence, so no lane reads a shared
+  word that another warp may not have written yet, and no lane overwrites
+  a word before everyone has read it;
+* there is no early ``EXIT``, so barrier participation is total.
+
+The epilogue spills every architectural register to the per-thread dump
+row, putting the final register state of all 32 lanes into the memory
+image the oracle compares.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.gpu.builder import KernelBuilder, fimm
+from repro.gpu.isa import Cmp, Imm, Pred, Reg, SReg
+from repro.gpu.launch import LaunchSpec
+from repro.gpu.memory import GlobalMemory
+
+#: Words reserved per thread in the result-dump buffer; the register
+#: budget stays below this so the epilogue can spill every register.
+DUMP_STRIDE = 64
+
+#: Power-of-two word count of the read-only input buffer (indices are
+#: masked with ``& (INPUT_WORDS - 1)`` so any value is a safe index).
+INPUT_WORDS = 1024
+
+#: Guard words appended to the input buffer so static load offsets
+#: cannot run off the end.
+_INPUT_PAD = 8
+
+#: Scratch words owned by each thread.
+_SCRATCH_SLOTS = 8
+
+_INT_BIN = ("iadd", "isub", "imul", "imin", "imax", "and_", "or_", "xor")
+_SHIFTS = ("shl", "shr", "sar")
+_FLOAT_BIN = ("fadd", "fsub", "fmul", "fmin", "fmax", "fdiv")
+_FLOAT_UN = ("fabs", "fneg", "frcp", "fsqrt", "fexp", "flog", "fsin", "fcos")
+_CMPS = (Cmp.EQ, Cmp.NE, Cmp.LT, Cmp.LE, Cmp.GT, Cmp.GE)
+_FLOAT_IMMS = (0.0, 0.5, 1.0, -1.5, 2.0, 3.25, -0.125, 1024.0, 1e-3)
+
+
+@dataclass(frozen=True)
+class GenSpec:
+    """Deterministic description of one generated kernel + its inputs.
+
+    Two generators built from equal specs produce byte-identical programs
+    and input buffers; the fuzz shrinker minimises failures by shrinking
+    these fields (never by editing instructions directly), so a spec is a
+    complete, replayable reproducer.
+    """
+
+    seed: int
+    blocks: int = 6
+    max_block_ops: int = 5
+    num_ctas: int = 2
+    cta_threads: int = 64
+    reg_budget: int = 40
+    max_loop_trips: int = 3
+    allow_divergence: bool = True
+    allow_shared: bool = True
+    allow_loops: bool = True
+    allow_float: bool = True
+
+    def __post_init__(self) -> None:
+        if self.seed < 0:
+            raise ValueError("seed must be non-negative")
+        if self.blocks < 1 or self.max_block_ops < 1:
+            raise ValueError("blocks and max_block_ops must be >= 1")
+        if self.num_ctas < 1:
+            raise ValueError("num_ctas must be >= 1")
+        if self.cta_threads not in (32, 64, 128):
+            raise ValueError(
+                f"cta_threads must be 32, 64 or 128, got {self.cta_threads}"
+            )
+        if not 8 <= self.reg_budget <= DUMP_STRIDE - 8:
+            raise ValueError(
+                f"reg_budget must be in [8, {DUMP_STRIDE - 8}] so the "
+                "epilogue can spill every register"
+            )
+        if self.max_loop_trips < 1:
+            raise ValueError("max_loop_trips must be >= 1")
+
+    def with_(self, **overrides) -> "GenSpec":
+        return replace(self, **overrides)
+
+
+class KernelGenerator:
+    """Single-use generator: :meth:`generate` consumes the seeded stream."""
+
+    def __init__(self, spec: GenSpec):
+        self.spec = spec
+        self.rng = np.random.default_rng(spec.seed)
+        self._generated = False
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def generate(self) -> LaunchSpec:
+        if self._generated:
+            raise RuntimeError("KernelGenerator instances are single-use")
+        self._generated = True
+        spec = self.spec
+
+        shared_bytes = spec.cta_threads * 4 if spec.allow_shared else 0
+        self.b = b = KernelBuilder(
+            f"fuzz-{spec.seed}",
+            params=("inp", "out", "scratch"),
+            shared_bytes=shared_bytes,
+        )
+
+        # Preamble: thread indices, parameter bases, seed values.  These
+        # registers are protected from reuse — addresses derive from them.
+        self.tid = b.global_tid_x()
+        self.tidx = b.tid_x()
+        self.inp = b.param("inp")
+        self.out = b.param("out")
+        self.scratch = b.param("scratch")
+        self.protected = {
+            r.index
+            for r in (self.tid, self.tidx, self.inp, self.out, self.scratch)
+        }
+        self.live: list[Reg] = [self.tid, self.tidx]
+        for _ in range(3):
+            self._gen_input_load()
+        for _ in range(2):
+            self.live.append(b.mov(self._imm()))
+
+        for _ in range(spec.blocks):
+            self._block(depth=0)
+
+        # Epilogue: spill every architectural register to the dump row.
+        dump_addr = b.imad(self.tid, DUMP_STRIDE * 4, self.out)
+        ndump = min(b._next_reg, DUMP_STRIDE)
+        for r in range(ndump):
+            b.stg(dump_addr, Reg(r), offset=4 * r)
+        kernel = b.build()
+        if kernel.num_registers > DUMP_STRIDE:
+            raise AssertionError(
+                f"generator used {kernel.num_registers} registers, "
+                f"dump row holds {DUMP_STRIDE}"
+            )
+        return self._launch_spec(kernel, ndump)
+
+    # ------------------------------------------------------------------
+    # Launch assembly
+    # ------------------------------------------------------------------
+    def _launch_spec(self, kernel, ndump: int) -> LaunchSpec:
+        spec = self.spec
+        total_threads = spec.num_ctas * spec.cta_threads
+        inp_data = self._input_array(INPUT_WORDS + _INPUT_PAD)
+        out_words = total_threads * DUMP_STRIDE
+        scratch_words = total_threads * _SCRATCH_SLOTS
+
+        def factory() -> GlobalMemory:
+            g = GlobalMemory()
+            g.alloc_array(inp_data, "inp")
+            g.alloc(out_words, "out")
+            g.alloc(scratch_words, "scratch")
+            return g
+
+        probe = GlobalMemory()
+        buffers = {
+            "inp": probe.alloc_array(inp_data, "inp"),
+            "out": probe.alloc(out_words, "out"),
+            "scratch": probe.alloc(scratch_words, "scratch"),
+        }
+        return LaunchSpec(
+            kernel=kernel,
+            grid_dim=(spec.num_ctas, 1),
+            cta_dim=(spec.cta_threads, 1),
+            params=[buffers["inp"], buffers["out"], buffers["scratch"]],
+            gmem_factory=factory,
+            buffers=buffers,
+            meta={"spec": spec, "dump_regs": ndump},
+        )
+
+    def _input_array(self, nwords: int) -> np.ndarray:
+        """Mixed-width input: 32-word groups of varying delta widths.
+
+        Patterned so warp-wide loads hit every compression mode: all-equal
+        groups (``<4,0>``), byte-delta (``<4,1>``), 16-bit-delta
+        (``<4,2>``), lane-affine ramps, raw random words, and float bit
+        patterns — including bases parked at 0 and 0xFFFFFFFF to exercise
+        wrap-around deltas.
+        """
+        rng = self.rng
+        out = np.zeros(nwords, dtype=np.uint32)
+        i = 0
+        while i < nwords:
+            n = min(32, nwords - i)
+            kind = int(rng.integers(0, 6))
+            base = int(
+                rng.choice(
+                    (
+                        0,
+                        0xFFFFFFFF,
+                        int(rng.integers(0, 1 << 32)),
+                        int(rng.integers(0, 4096)),
+                    )
+                )
+            )
+            if kind == 0:
+                words = np.full(n, base, dtype=np.uint64)
+            elif kind == 1:
+                words = base + rng.integers(-128, 128, n).astype(np.int64)
+            elif kind == 2:
+                words = base + rng.integers(-32768, 32768, n).astype(np.int64)
+            elif kind == 3:
+                stride = int(rng.integers(1, 64))
+                words = base + stride * np.arange(n, dtype=np.int64)
+            elif kind == 4:
+                words = rng.integers(0, 1 << 32, n)
+            else:
+                scale = float(rng.choice((1.0, 255.0, 1e6)))
+                vals = rng.uniform(-scale, scale, n).astype(np.float32)
+                words = vals.view(np.uint32).astype(np.int64)
+            out[i : i + n] = np.asarray(words, dtype=np.int64) % (1 << 32)
+            i += n
+        return out
+
+    # ------------------------------------------------------------------
+    # Program constructs
+    # ------------------------------------------------------------------
+    def _block(self, depth: int) -> None:
+        spec, rng = self.spec, self.rng
+        kinds = ["ops", "ops", "gload", "gstore"]
+        if spec.allow_divergence and depth < 2:
+            kinds.append("if")
+        if spec.allow_loops and depth == 0:
+            kinds.append("loop")
+        if spec.allow_shared and depth == 0:
+            kinds.append("shared")
+        kind = kinds[int(rng.integers(len(kinds)))]
+        getattr(self, f"_gen_{kind}")(depth)
+
+    def _gen_ops(self, depth: int) -> None:
+        count = 1 + int(self.rng.integers(self.spec.max_block_ops))
+        for _ in range(count):
+            self._emit_op()
+
+    def _gen_if(self, depth: int) -> None:
+        b, rng = self.b, self.rng
+        pred = self._mk_pred()
+        with b.if_(pred):
+            self._block(depth + 1)
+        if rng.random() < 0.5:
+            with b.else_():
+                self._block(depth + 1)
+
+    def _gen_loop(self, depth: int) -> None:
+        b, rng, spec = self.b, self.rng, self.spec
+        pinned: set[int] = set()
+        if spec.allow_divergence and rng.random() < 0.5:
+            # Data-dependent trip count: lanes exit at different
+            # iterations and reconverge at the loop end.
+            bound = b.and_(
+                self._pick_value(), spec.max_loop_trips, dst=self._dst()
+            )
+            pinned.add(bound.index)
+        else:
+            bound = 1 + int(rng.integers(spec.max_loop_trips))
+        with b.for_range(0, bound) as i:
+            # The induction variable and the bound register must not be
+            # recycled as destinations inside the body: the trip count
+            # would become unbounded.
+            pinned.add(i.index)
+            self.protected |= pinned
+            self._gen_ops(depth + 1)
+            if rng.random() < 0.5:
+                self._gen_gstore(depth + 1)
+        self.protected -= pinned
+        self.live.append(i)
+
+    def _gen_shared(self, depth: int) -> None:
+        b, rng, spec = self.b, self.rng, self.spec
+        addr = b.shl(self.tidx, 2, dst=self._dst(exclude=()))
+        b.sts(addr, self._pick_value())
+        b.bar()
+        span = int(math.log2(spec.cta_threads))
+        mask = 1 << int(rng.integers(0, span))
+        partner = b.xor(self.tidx, mask, dst=self._dst())
+        paddr = b.shl(partner, 2, dst=self._dst(exclude=(partner,)))
+        self.live.append(b.lds(paddr, dst=self._dst(exclude=(paddr,))))
+        b.bar()
+
+    def _gen_gstore(self, depth: int) -> None:
+        b, rng, spec = self.b, self.rng, self.spec
+        slot = int(rng.integers(_SCRATCH_SLOTS))
+        value = self._pick_value()
+        addr = b.imad(
+            self.tid,
+            _SCRATCH_SLOTS * 4,
+            self.scratch,
+            dst=self._dst(exclude=(value,)),
+        )
+        guard = None
+        if spec.allow_divergence and rng.random() < 0.4:
+            guard = self._mk_pred()
+        b.stg(addr, value, offset=4 * slot, guard=guard)
+
+    def _gen_gload(self, depth: int) -> None:
+        b, rng = self.b, self.rng
+        if rng.random() < 0.3:
+            # Read back the thread's own scratch slots.
+            addr = b.imad(
+                self.tid, _SCRATCH_SLOTS * 4, self.scratch, dst=self._dst()
+            )
+            dst = self._dst(exclude=(addr,))
+            value = b.ldg(
+                addr, offset=4 * int(rng.integers(_SCRATCH_SLOTS)), dst=dst
+            )
+        else:
+            value = self._gen_input_load()
+        if value not in self.live:
+            self.live.append(value)
+
+    def _gen_input_load(self) -> Reg:
+        b, rng = self.b, self.rng
+        idx = b.and_(
+            self._pick_value(), INPUT_WORDS - 1, dst=self._dst()
+        )
+        addr = b.imad(idx, 4, self.inp, dst=self._dst(exclude=(idx,)))
+        value = b.ldg(
+            addr,
+            offset=4 * int(rng.integers(_INPUT_PAD)),
+            dst=self._dst(exclude=(addr,)),
+        )
+        if value not in self.live:
+            self.live.append(value)
+        return value
+
+    # ------------------------------------------------------------------
+    # Single instructions
+    # ------------------------------------------------------------------
+    def _emit_op(self) -> None:
+        b, rng, spec = self.b, self.rng, self.spec
+        kinds = ["int", "int", "shift", "imad", "mov", "sel", "sreg"]
+        if spec.allow_float:
+            kinds += ["fbin", "fun", "cvt"]
+        kind = kinds[int(rng.integers(len(kinds)))]
+        if kind == "int":
+            fn = getattr(b, _INT_BIN[int(rng.integers(len(_INT_BIN)))])
+            dst = fn(self._pick_value(), self._value_or_imm(), dst=self._dst())
+        elif kind == "shift":
+            fn = getattr(b, _SHIFTS[int(rng.integers(len(_SHIFTS)))])
+            amount = int(rng.integers(0, 32))
+            dst = fn(self._pick_value(), amount, dst=self._dst())
+        elif kind == "imad":
+            dst = b.imad(
+                self._pick_value(),
+                self._value_or_imm(),
+                self._value_or_imm(),
+                dst=self._dst(),
+            )
+        elif kind == "mov":
+            dst = b.mov(self._value_or_imm(), dst=self._dst())
+        elif kind == "sel":
+            pred = self._mk_pred()
+            dst = b.sel(
+                pred, self._pick_value(), self._value_or_imm(), dst=self._dst()
+            )
+        elif kind == "sreg":
+            sregs = (SReg.LANEID, SReg.TID_X, SReg.CTAID_X, SReg.NTID_X)
+            dst = b.s2r(sregs[int(rng.integers(len(sregs)))], dst=self._dst())
+        elif kind == "fbin":
+            fn = getattr(b, _FLOAT_BIN[int(rng.integers(len(_FLOAT_BIN)))])
+            dst = fn(self._pick_value(), self._float_operand(), dst=self._dst())
+        elif kind == "fun":
+            fn = getattr(b, _FLOAT_UN[int(rng.integers(len(_FLOAT_UN)))])
+            dst = fn(self._pick_value(), dst=self._dst())
+        else:  # cvt
+            fn = b.i2f if rng.random() < 0.5 else b.f2i
+            dst = fn(self._pick_value(), dst=self._dst())
+        if dst not in self.live:
+            self.live.append(dst)
+
+    def _mk_pred(self) -> Pred:
+        b, rng, spec = self.b, self.rng, self.spec
+        cmp = _CMPS[int(rng.integers(len(_CMPS)))]
+        if spec.allow_float and rng.random() < 0.25:
+            return b.fsetp(cmp, self._pick_value(), self._float_operand())
+        return b.isetp(cmp, self._pick_value(), self._value_or_imm())
+
+    # ------------------------------------------------------------------
+    # Operand / destination selection
+    # ------------------------------------------------------------------
+    def _pick_value(self) -> Reg:
+        return self.live[int(self.rng.integers(len(self.live)))]
+
+    def _value_or_imm(self):
+        if self.rng.random() < 0.3:
+            return self._imm()
+        return self._pick_value()
+
+    def _float_operand(self):
+        if self.rng.random() < 0.4:
+            rng = self.rng
+            return float(_FLOAT_IMMS[int(rng.integers(len(_FLOAT_IMMS)))])
+        return self._pick_value()
+
+    def _imm(self) -> Imm:
+        rng = self.rng
+        kind = int(rng.integers(0, 5))
+        if kind == 0:
+            return Imm(0)
+        if kind == 1:
+            return Imm(int(rng.integers(-128, 128)))
+        if kind == 2:
+            return Imm(int(rng.integers(-32768, 32768)))
+        if kind == 3:
+            return Imm(int(rng.integers(0, 1 << 32)))
+        return fimm(float(_FLOAT_IMMS[int(rng.integers(len(_FLOAT_IMMS)))]))
+
+    def _dst(self, exclude: tuple[Reg, ...] = ()) -> Reg | None:
+        """Fresh register, or a recycled one once the budget is spent.
+
+        ``exclude`` lists registers whose value must survive this write
+        (e.g. an address register consumed by the same construct).
+        """
+        banned = self.protected | {r.index for r in exclude}
+        cands = [r for r in self.live if r.index not in banned]
+        force = self.b._next_reg >= self.spec.reg_budget
+        if cands and (force or self.rng.random() < 0.35):
+            return cands[int(self.rng.integers(len(cands)))]
+        return None
+
+
+def generate_launch(spec: GenSpec) -> LaunchSpec:
+    """Generate the deterministic launch described by ``spec``."""
+    return KernelGenerator(spec).generate()
+
+
+__all__ = [
+    "DUMP_STRIDE",
+    "GenSpec",
+    "INPUT_WORDS",
+    "KernelGenerator",
+    "generate_launch",
+]

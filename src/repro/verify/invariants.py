@@ -1,0 +1,305 @@
+"""Runtime invariant checks for the cycle-level pipeline.
+
+The simulator maintains several pieces of state incrementally for speed —
+bank valid-entry counters in the gating controller, compressed-slot
+counters in the register file, the 2-bit compression-range indicator, the
+scoreboard's pending sets, the energy model's event totals.  Each has a
+ground truth it must never drift from.  This module makes those
+conservation properties executable:
+
+``verify_level=1`` (the default)
+    Cheap, event-driven O(1) checks: compression decisions are validated
+    for internal consistency on every commit, the scoreboard runs in
+    strict exactly-once mode, and end-of-run conservation totals are
+    asserted (energy bank-access events == arbiter grants, scoreboard and
+    register file fully drained, no gated bank holding live data).
+
+``verify_level=2`` (exhaustive, used by the differential oracle)
+    Everything above plus a per-cycle full-state scan — register-file
+    metadata vs indicator vs gating counters vs in-flight ops — and a
+    codec-vs-BDI cross-check (:func:`crosscheck_register`) on every
+    committed warp-register value.
+
+Violations raise :class:`InvariantViolation`, an ``AssertionError``
+subclass so plain ``pytest.raises(AssertionError)`` also catches it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import bdi
+from repro.core.banks import BANKS_PER_WARP_REGISTER
+from repro.core.codec import (
+    CompressionMode,
+    choose_mode,
+    decode_register,
+    encode_register,
+)
+from repro.core.policy import CompressionDecision
+
+
+class InvariantViolation(AssertionError):
+    """A pipeline conservation property failed at runtime."""
+
+
+class CodecMismatch(InvariantViolation):
+    """The fast vectorised codec disagrees with the byte-level BDI model."""
+
+
+#: CompressionMode values paired with their generic BDI encodings, in
+#: preference (fewest-banks-first) order — the order ``choose_mode`` uses.
+_MODE_TABLE = (
+    (CompressionMode.B4D0, bdi.Encoding(4, 0)),
+    (CompressionMode.B4D1, bdi.Encoding(4, 1)),
+    (CompressionMode.B4D2, bdi.Encoding(4, 2)),
+)
+
+
+def crosscheck_register(values: np.ndarray) -> CompressionMode:
+    """Validate the fast codec against the byte-level BDI reference.
+
+    For one 32-lane warp-register value this checks, independently of the
+    vectorised implementation:
+
+    1. ``choose_mode`` picks exactly the first warped encoding whose
+       byte-level ``can_encode`` accepts the little-endian lane bytes;
+    2. the mode's claimed compressed size and bank count match paper
+       eq. (1) evaluated through :class:`~repro.core.bdi.Encoding`;
+    3. ``encode_register``/``decode_register`` round-trip the lanes
+       bit-exactly, and the generic ``encode``/``decode`` plus the
+       ``to_bytes``/``from_bytes`` bit layout round-trip the raw bytes.
+
+    Returns the (verified) mode so callers can reuse it.
+    """
+    lanes = np.asarray(values, dtype=np.uint32)
+    data = lanes.astype("<u4").tobytes()
+    mode = choose_mode(lanes)
+
+    expected = CompressionMode.UNCOMPRESSED
+    for candidate, enc in _MODE_TABLE:
+        if bdi.can_encode(data, enc):
+            expected = candidate
+            break
+    if mode is not expected:
+        raise CodecMismatch(
+            f"choose_mode picked {mode.name} but the byte-level reference "
+            f"says {expected.name} for lanes {lanes[:4]}..."
+        )
+
+    if mode is CompressionMode.UNCOMPRESSED:
+        if mode.banks != BANKS_PER_WARP_REGISTER:
+            raise CodecMismatch(
+                f"UNCOMPRESSED claims {mode.banks} banks, expected "
+                f"{BANKS_PER_WARP_REGISTER}"
+            )
+        re_mode, re_block = encode_register(lanes)
+        if re_mode is not mode or re_block is not None:
+            raise CodecMismatch(
+                f"encode_register returned ({re_mode.name}, {re_block}) "
+                "for an uncompressible register"
+            )
+        return mode
+
+    enc = mode.encoding
+    if mode.compressed_bytes != enc.compressed_size(len(data)):
+        raise CodecMismatch(
+            f"{mode.name} claims {mode.compressed_bytes} bytes but eq. (1) "
+            f"gives {enc.compressed_size(len(data))}"
+        )
+    if mode.banks != enc.banks(len(data)):
+        raise CodecMismatch(
+            f"{mode.name} claims {mode.banks} banks but the BDI reference "
+            f"needs {enc.banks(len(data))}"
+        )
+
+    re_mode, block = encode_register(lanes)
+    if re_mode is not mode or block is None:
+        raise CodecMismatch(
+            f"encode_register mode {re_mode.name} != choose_mode {mode.name}"
+        )
+    decoded = decode_register(block)
+    if not np.array_equal(decoded, lanes):
+        raise CodecMismatch(
+            f"decode(encode_register(...)) changed the lanes in mode "
+            f"{mode.name}: {decoded[:4]}... != {lanes[:4]}..."
+        )
+
+    ref_block = bdi.encode(data, enc)
+    if bdi.decode(ref_block) != data:
+        raise CodecMismatch(f"byte-level decode(encode) mismatch for {enc}")
+    if ref_block.base != block.base or ref_block.deltas != block.deltas:
+        raise CodecMismatch(
+            f"fast and byte-level blocks differ in {mode.name}: "
+            f"base {block.base}/{ref_block.base}"
+        )
+    payload = bdi.to_bytes(ref_block)
+    if len(payload) != mode.compressed_bytes:
+        raise CodecMismatch(
+            f"serialised payload is {len(payload)} bytes, mode claims "
+            f"{mode.compressed_bytes}"
+        )
+    if bdi.from_bytes(payload, enc, len(data)) != ref_block:
+        raise CodecMismatch(f"from_bytes(to_bytes(...)) mismatch for {enc}")
+    return mode
+
+
+def check_decision(
+    decision: CompressionDecision | None,
+    values: np.ndarray,
+    *,
+    indicator_exact: bool = True,
+    level: int = 1,
+) -> None:
+    """Validate one commit-time compression decision.
+
+    Level 1 checks are O(1) in the warp width: the decision must be
+    internally consistent (mode vs bank count vs indicator encoding).
+    Level 2 additionally runs the full :func:`crosscheck_register` on the
+    committed value and asserts the stored mode can actually represent it
+    (storing a tighter mode than achievable would be lossy).
+    """
+    if decision is None:
+        raise InvariantViolation("commit without a compression decision")
+    if not 1 <= decision.banks <= BANKS_PER_WARP_REGISTER:
+        raise InvariantViolation(
+            f"decision bank count {decision.banks} out of [1, 8]"
+        )
+    if indicator_exact:
+        if decision.banks != decision.mode.banks:
+            raise InvariantViolation(
+                f"decision stores {decision.banks} banks but indicator "
+                f"{decision.mode.name} encodes {decision.mode.banks}"
+            )
+    elif not decision.mode.is_compressed:
+        if decision.banks != BANKS_PER_WARP_REGISTER:
+            raise InvariantViolation(
+                f"uncompressed decision with {decision.banks} banks"
+            )
+    if level >= 2:
+        achievable = crosscheck_register(values)
+        if (
+            indicator_exact
+            and decision.mode.is_compressed
+            and decision.mode < achievable
+        ):
+            raise InvariantViolation(
+                f"stored mode {decision.mode.name} is tighter than the "
+                f"achievable {achievable.name}: the write would be lossy"
+            )
+
+
+class InvariantChecker:
+    """Per-SM runtime checker driven from :meth:`SMCore.tick`.
+
+    Instantiated by the SM when ``config.verify_level >= 1``; the SM calls
+    :meth:`check_commit` on every register-file commit, :meth:`check_tick`
+    at the end of every cycle, and :meth:`check_finalize` once the run
+    drains.  All heavyweight scans are gated behind level 2 so the default
+    level adds only O(1) work per event.
+    """
+
+    def __init__(self, config, policy):
+        self.level = config.verify_level
+        self.indicator_exact = getattr(policy, "indicator_exact", True)
+        self.commits_checked = 0
+        self.ticks_checked = 0
+
+    # ----- event-driven (level >= 1) -----------------------------------
+    def check_commit(
+        self, values: np.ndarray, decision: CompressionDecision | None
+    ) -> None:
+        check_decision(
+            decision,
+            values,
+            indicator_exact=self.indicator_exact,
+            level=self.level,
+        )
+        self.commits_checked += 1
+
+    # ----- per-cycle (scan only at level >= 2) -------------------------
+    def check_tick(self, sm) -> None:
+        if sm.arbiter.cycle != sm.cycle:
+            raise InvariantViolation(
+                f"arbiter cycle {sm.arbiter.cycle} out of sync with SM "
+                f"cycle {sm.cycle}"
+            )
+        reads, writes = sm.arbiter.busy_port_counts()
+        if reads != sm.arbiter.reads_this_cycle:
+            raise InvariantViolation(
+                f"cycle {sm.cycle}: {sm.arbiter.reads_this_cycle} read "
+                f"grants but {reads} read ports claimed (>1 grant per "
+                "bank port)"
+            )
+        if writes != sm.arbiter.writes_this_cycle:
+            raise InvariantViolation(
+                f"cycle {sm.cycle}: {sm.arbiter.writes_this_cycle} write "
+                f"grants but {writes} write ports claimed (>1 grant per "
+                "bank port)"
+            )
+        if self.level < 2:
+            return
+        self.ticks_checked += 1
+        occupancy = sm.regfile.check_consistency(self.indicator_exact)
+        if sm.gating is not None:
+            sm.gating.check_consistency(occupancy)
+        seen: set[tuple[int, int]] = set()
+        for op in sm._inflight:
+            dst = op.result.dst
+            if dst is None:
+                continue
+            key = (op.warp_slot, dst)
+            if key in seen:
+                raise InvariantViolation(
+                    f"two in-flight writers of r{dst} in warp "
+                    f"{op.warp_slot} (WAW hazard escaped the scoreboard)"
+                )
+            seen.add(key)
+            if not sm.scoreboard.is_pending(op.warp_slot, dst):
+                raise InvariantViolation(
+                    f"in-flight write of r{dst} in warp {op.warp_slot} "
+                    "has no scoreboard reservation"
+                )
+
+    # ----- end of run (level >= 1) -------------------------------------
+    def check_finalize(self, sm) -> None:
+        if sm.rfc is None:
+            # RFC hits/evictions move data without arbiter involvement,
+            # so the grant==event identity only holds without an RFC.
+            if sm.energy.bank_reads != sm.arbiter.read_grants:
+                raise InvariantViolation(
+                    f"energy charged {sm.energy.bank_reads} bank reads "
+                    f"but the arbiter granted {sm.arbiter.read_grants}"
+                )
+            if sm.energy.bank_writes != sm.arbiter.write_grants:
+                raise InvariantViolation(
+                    f"energy charged {sm.energy.bank_writes} bank writes "
+                    f"but the arbiter granted {sm.arbiter.write_grants}"
+                )
+        if sm.scoreboard.total_pending() != 0:
+            raise InvariantViolation(
+                f"{sm.scoreboard.total_pending()} scoreboard entries "
+                "still pending after drain"
+            )
+        if sm._inflight:
+            raise InvariantViolation(
+                f"{len(sm._inflight)} ops still in flight after drain"
+            )
+        if sm.regfile.allocated_slots or sm.regfile.compressed_slots:
+            raise InvariantViolation(
+                f"register file not drained: {sm.regfile.allocated_slots} "
+                f"allocated / {sm.regfile.compressed_slots} compressed "
+                "slots remain"
+            )
+        occupancy = sm.regfile.check_consistency(self.indicator_exact)
+        if sm.gating is not None:
+            sm.gating.check_consistency(occupancy)
+
+
+__all__ = [
+    "CodecMismatch",
+    "InvariantChecker",
+    "InvariantViolation",
+    "check_decision",
+    "crosscheck_register",
+]

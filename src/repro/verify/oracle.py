@@ -1,0 +1,217 @@
+"""Differential oracle: functional runner vs cycle-level SM.
+
+Runs one launch through both execution engines on independently-built
+global memory images and demands the final memory state be bit-identical.
+Generated fuzz kernels spill every architectural register to memory in
+their epilogue, so the comparison covers final register state too; for
+built-in benchmarks the benchmark's own ``verify`` reference check runs
+on top.
+
+Both engines execute with :class:`CheckedPolicy`, which cross-checks the
+fast vectorised ``choose_mode`` codec against the byte-level BDI
+reference on every written warp register, and the cycle-level run uses
+``verify_level=2`` so the exhaustive pipeline invariants are scanned
+every cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.policy import CompressionPolicy, make_policy
+from repro.gpu.config import GPUConfig
+from repro.gpu.functional import FunctionalRunner
+from repro.gpu.gpu import GPU
+from repro.gpu.launch import LaunchSpec
+from repro.verify.invariants import InvariantViolation, crosscheck_register
+
+
+class DifferentialMismatch(InvariantViolation):
+    """The two execution engines disagreed on final memory state."""
+
+
+class CheckedPolicy(CompressionPolicy):
+    """Wraps any policy, cross-checking the codec on every decision.
+
+    Both engines funnel every register write through
+    ``policy.decide(values, divergent)``, so wrapping the policy is the
+    one place that sees every written warp-register value in either
+    engine.  Each call runs :func:`crosscheck_register` (choose_mode vs
+    byte-level BDI, encode/decode round-trips) before delegating.
+    """
+
+    def __init__(self, inner: CompressionPolicy):
+        self.inner = inner
+        self.name = inner.name
+        self.requires_mov_on_divergent_write = (
+            inner.requires_mov_on_divergent_write
+        )
+        self.enabled = inner.enabled
+        self.indicator_exact = inner.indicator_exact
+        self.checked_writes = 0
+
+    def decide(self, values: np.ndarray, divergent: bool):
+        crosscheck_register(values)
+        self.checked_writes += 1
+        return self.inner.decide(values, divergent)
+
+    def reset(self) -> None:
+        self.inner.reset()
+
+
+@dataclass(frozen=True)
+class OracleOutcome:
+    """Successful differential run — agreement plus check volumes."""
+
+    kernel: str
+    policy: str
+    cycles: int
+    functional_writes_checked: int
+    cycle_writes_checked: int
+    invariant_commits: int
+    invariant_ticks: int
+    buffers_compared: int
+
+
+def compare_memory(
+    expected: dict[str, np.ndarray],
+    actual: dict[str, np.ndarray],
+    context: str,
+) -> int:
+    """Bit-exact comparison of two memory snapshots; returns buffer count."""
+    if expected.keys() != actual.keys():
+        raise DifferentialMismatch(
+            f"{context}: buffer sets differ: {sorted(expected)} vs "
+            f"{sorted(actual)}"
+        )
+    for name in expected:
+        e, a = expected[name], actual[name]
+        if e.shape != a.shape:
+            raise DifferentialMismatch(
+                f"{context}: buffer {name!r} shapes differ: "
+                f"{e.shape} vs {a.shape}"
+            )
+        if not np.array_equal(e, a):
+            diff = np.flatnonzero(e != a)
+            first = int(diff[0])
+            raise DifferentialMismatch(
+                f"{context}: buffer {name!r} differs at {len(diff)} of "
+                f"{e.size} words; first at word {first}: functional "
+                f"{e[first]:#010x} vs cycle-level {a[first]:#010x}"
+            )
+    return len(expected)
+
+
+def run_differential(
+    launch: LaunchSpec,
+    policy: str | CompressionPolicy = "warped",
+    config: GPUConfig | None = None,
+    verify_level: int = 2,
+) -> OracleOutcome:
+    """Run ``launch`` through both engines; raise on any disagreement.
+
+    Returns an :class:`OracleOutcome` summarising how much checking
+    actually happened (useful to assert the oracle is not vacuous).
+    """
+    outcome, _ = _run_both(launch, policy, config, verify_level)
+    return outcome
+
+
+def _run_both(
+    launch: LaunchSpec,
+    policy: str | CompressionPolicy,
+    config: GPUConfig | None,
+    verify_level: int,
+):
+    base = config or GPUConfig()
+    base = base.with_overrides(verify_level=verify_level)
+
+    def wrap(p):
+        return CheckedPolicy(make_policy(p) if isinstance(p, str) else p)
+
+    if isinstance(policy, str):
+        func_policy, cycle_policy = wrap(policy), wrap(policy)
+    else:
+        # A policy instance cannot be safely shared across engines (it
+        # may carry counters), but decisions must match: reuse the same
+        # inner policy sequentially — the functional run completes before
+        # the cycle-level run starts.
+        func_policy = cycle_policy = wrap(policy)
+
+    gmem_func = launch.fresh_memory()
+    runner = FunctionalRunner(policy=func_policy)
+    runner.run(
+        launch.kernel,
+        launch.grid_dim,
+        launch.cta_dim,
+        launch.params,
+        gmem_func,
+    )
+
+    gmem_cycle = launch.fresh_memory()
+    gpu = GPU(config=base, policy=cycle_policy)
+    result = gpu.run(
+        launch.kernel,
+        launch.grid_dim,
+        launch.cta_dim,
+        launch.params,
+        gmem_cycle,
+    )
+
+    nbuffers = compare_memory(
+        gmem_func.snapshot(),
+        gmem_cycle.snapshot(),
+        f"kernel {launch.kernel.name!r} policy {func_policy.name!r}",
+    )
+    commits = sum(
+        sm.checker.commits_checked
+        for sm in gpu.last_sms
+        if sm.checker is not None
+    )
+    ticks = sum(
+        sm.checker.ticks_checked
+        for sm in gpu.last_sms
+        if sm.checker is not None
+    )
+    outcome = OracleOutcome(
+        kernel=launch.kernel.name,
+        policy=func_policy.name,
+        cycles=result.cycles,
+        functional_writes_checked=func_policy.checked_writes,
+        cycle_writes_checked=cycle_policy.checked_writes,
+        invariant_commits=commits,
+        invariant_ticks=ticks,
+        buffers_compared=nbuffers,
+    )
+    return outcome, gmem_cycle
+
+
+def verify_benchmark(
+    bench,
+    scale: str = "small",
+    policy: str | CompressionPolicy = "warped",
+    config: GPUConfig | None = None,
+    verify_level: int = 2,
+) -> OracleOutcome:
+    """Differential-check one built-in benchmark at ``scale``.
+
+    Additionally replays the cycle-level memory image through the
+    benchmark's own reference ``verify`` so all three implementations
+    (reference CPU, functional, cycle-level) must agree.
+    """
+    spec = bench.launch(scale)
+    outcome, gmem_cycle = _run_both(spec, policy, config, verify_level)
+    bench.verify(gmem_cycle, spec)
+    return outcome
+
+
+__all__ = [
+    "CheckedPolicy",
+    "DifferentialMismatch",
+    "OracleOutcome",
+    "compare_memory",
+    "run_differential",
+    "verify_benchmark",
+]

@@ -1,0 +1,152 @@
+"""Boundary-value tests: fast codec vs byte-level BDI reference.
+
+The mode boundaries are the signed-delta limits of ``<4,1>`` and
+``<4,2>`` (±127/128 and ±32767/32768), exercised at the extreme bases 0
+and ``0xFFFFFFFF`` where the wrap-around delta arithmetic is most easily
+got wrong.  A hypothesis sweep hammers the neighbourhood of every limit,
+and an end-to-end case covers a register write whose predicate is false
+for every lane (the all-inactive-write path through both engines).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import bdi
+from repro.core.bdi import Encoding
+from repro.core.codec import (
+    CompressionMode,
+    choose_mode,
+    decode_register,
+    encode_register,
+)
+from repro.gpu.builder import KernelBuilder
+from repro.gpu.isa import Cmp
+from repro.gpu.functional import FunctionalRunner
+from repro.gpu.launch import LaunchSpec
+from repro.gpu.memory import GlobalMemory
+from repro.verify.invariants import crosscheck_register
+from repro.verify.oracle import run_differential
+
+BASES = (0, 1, 0x7FFF_FFFF, 0x8000_0000, 0xFFFF_FF80, 0xFFFF_FFFF)
+
+#: (delta, expected mode) pairs straddling every boundary of Figure 5.
+DELTA_CASES = (
+    (0, CompressionMode.B4D0),
+    (1, CompressionMode.B4D1),
+    (127, CompressionMode.B4D1),
+    (-128, CompressionMode.B4D1),
+    (128, CompressionMode.B4D2),
+    (-129, CompressionMode.B4D2),
+    (32767, CompressionMode.B4D2),
+    (-32768, CompressionMode.B4D2),
+    (32768, CompressionMode.UNCOMPRESSED),
+    (-32769, CompressionMode.UNCOMPRESSED),
+)
+
+
+def _lanes(base: int, delta: int) -> np.ndarray:
+    """A warp register with one lane offset from a uniform base."""
+    lanes = np.full(32, base, dtype=np.uint64)
+    lanes[17] = (base + delta) % (1 << 32)
+    return lanes.astype(np.uint32)
+
+
+class TestDeltaBoundaries:
+    @pytest.mark.parametrize("base", BASES)
+    @pytest.mark.parametrize("delta,expected", DELTA_CASES)
+    def test_mode_at_boundary(self, base, delta, expected):
+        lanes = _lanes(base, delta)
+        assert choose_mode(lanes) is expected
+        # Byte-level reference agrees on encodability per parameter set.
+        data = lanes.astype("<u4").tobytes()
+        for d, mode in ((0, CompressionMode.B4D0),
+                        (1, CompressionMode.B4D1),
+                        (2, CompressionMode.B4D2)):
+            assert bdi.can_encode(data, Encoding(4, d)) == (expected <= mode)
+        crosscheck_register(lanes)
+
+    @pytest.mark.parametrize("base", BASES)
+    @pytest.mark.parametrize("delta,expected", DELTA_CASES)
+    def test_round_trip_at_boundary(self, base, delta, expected):
+        lanes = _lanes(base, delta)
+        mode, block = encode_register(lanes)
+        assert mode is expected
+        if block is not None:
+            np.testing.assert_array_equal(decode_register(block), lanes)
+            assert bdi.decode(block) == lanes.astype("<u4").tobytes()
+
+    def test_wraparound_base_is_one_byte_delta(self):
+        """0xFFFFFFFF -> 0 wraps to delta +1, not -(2^32 - 1)."""
+        lanes = np.full(32, 0xFFFF_FFFF, dtype=np.uint32)
+        lanes[5] = 0
+        assert choose_mode(lanes) is CompressionMode.B4D1
+        crosscheck_register(lanes)
+
+    def test_full_spread_is_uncompressed(self):
+        lanes = np.zeros(32, dtype=np.uint32)
+        lanes[1] = 0x8000_0000
+        assert choose_mode(lanes) is CompressionMode.UNCOMPRESSED
+
+
+@settings(max_examples=300, deadline=None)
+@given(
+    base=st.integers(0, (1 << 32) - 1),
+    limit=st.sampled_from([0, 127, 128, 32767, 32768]),
+    jitter=st.integers(-2, 2),
+    sign=st.sampled_from([1, -1]),
+)
+def test_property_codec_matches_bdi_near_limits(base, limit, jitter, sign):
+    """choose_mode and the BDI reference agree arbitrarily close to every
+    mode boundary, for arbitrary bases (wrap-around included)."""
+    lanes = _lanes(base, sign * (limit + jitter))
+    crosscheck_register(lanes)
+
+
+class TestAllLanesInactive:
+    def _launch(self):
+        b = KernelBuilder("dead-write", params=("out",))
+        tid = b.global_tid_x()
+        out = b.param("out")
+        big = b.mov(1_000_000)
+        p = b.isetp(Cmp.GT, tid, big)  # false for every lane
+        r = b.mov(0xDEAD)
+        with b.if_(p):
+            b.iadd(r, 1, dst=r)  # never executes in any lane
+        addr = b.imad(tid, 4, out)
+        b.stg(addr, r)
+        kernel = b.build()
+
+        def factory():
+            g = GlobalMemory()
+            g.alloc(64, "out")
+            return g
+
+        gmem = factory()
+        out_base = GlobalMemory().alloc(64, "out")
+        return kernel, gmem, factory, out_base
+
+    def test_engines_agree_on_fully_predicated_off_write(self):
+        kernel, gmem, factory, out_base = self._launch()
+        runner = FunctionalRunner(policy="warped")
+        runner.run(kernel, (2, 1), (32, 1), [out_base], gmem)
+        out = gmem.snapshot()["out"]
+        assert (out == 0xDEAD).all()
+        launch = LaunchSpec(
+            kernel=kernel,
+            grid_dim=(2, 1),
+            cta_dim=(32, 1),
+            params=[out_base],
+            gmem_factory=factory,
+        )
+        run_differential(launch, policy="warped")
+
+    def test_uniform_dead_register_stays_compressible(self):
+        """A register only ever written uniformly is <4,0> even when a
+        guarded all-inactive write targets it."""
+        lanes = np.zeros(32, dtype=np.uint32)
+        assert choose_mode(lanes) is CompressionMode.B4D0
+        crosscheck_register(lanes)

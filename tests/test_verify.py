@@ -1,0 +1,380 @@
+"""Tests for the :mod:`repro.verify` subsystem.
+
+Covers the kernel generator (determinism, feature coverage), the
+differential oracle (non-vacuous agreement across policies and configs),
+fault injection (a deliberately corrupted codec table must be caught by
+BOTH the invariant layer and the oracle's checked policy), the strict
+scoreboard and state-scan invariants, the shrinker, artifact round-trips,
+and the ``repro verify`` CLI.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.core.codec as codec
+from repro.core.codec import CompressionMode
+from repro.gpu.config import GPUConfig
+from repro.gpu.launch import run_kernel
+from repro.gpu.regfile import RegisterFile
+from repro.gpu.scoreboard import Scoreboard, ScoreboardError
+from repro.power.gating import BankGatingController
+from repro.verify.cli import main as cli_main
+from repro.verify.fuzz import (
+    FuzzCase,
+    FuzzFailure,
+    case_for_seed,
+    dump_artifact,
+    fuzz_many,
+    load_artifact,
+    replay_artifact,
+    shrink,
+)
+from repro.verify.generator import DUMP_STRIDE, GenSpec, generate_launch
+from repro.verify.invariants import (
+    CodecMismatch,
+    InvariantViolation,
+    check_decision,
+    crosscheck_register,
+)
+from repro.verify.oracle import (
+    DifferentialMismatch,
+    compare_memory,
+    run_differential,
+    verify_benchmark,
+)
+
+
+@pytest.fixture
+def broken_banks_table(monkeypatch):
+    """Inject the ISSUE's example fault: <4,1> claims 4 banks, not 3."""
+    patched = dict(codec._MODE_BANKS)
+    patched[CompressionMode.B4D1] = 4
+    monkeypatch.setattr(codec, "_MODE_BANKS", patched)
+
+
+# ----------------------------------------------------------------------
+# Generator
+# ----------------------------------------------------------------------
+class TestGenerator:
+    def test_same_spec_same_kernel(self):
+        spec = GenSpec(seed=7)
+        a, b = generate_launch(spec), generate_launch(spec)
+        assert [str(i) for i in a.kernel.instructions] == [
+            str(i) for i in b.kernel.instructions
+        ]
+        assert a.params == b.params
+        sa, sb = a.fresh_memory().snapshot(), b.fresh_memory().snapshot()
+        assert sa.keys() == sb.keys()
+        for name in sa:
+            np.testing.assert_array_equal(sa[name], sb[name])
+
+    def test_different_seeds_differ(self):
+        a = generate_launch(GenSpec(seed=1))
+        b = generate_launch(GenSpec(seed=2))
+        assert [str(i) for i in a.kernel.instructions] != [
+            str(i) for i in b.kernel.instructions
+        ]
+
+    def test_fresh_memory_is_independent(self):
+        launch = generate_launch(GenSpec(seed=3))
+        m1, m2 = launch.fresh_memory(), launch.fresh_memory()
+        s1 = m1.snapshot()
+        run_kernel(
+            launch.kernel,
+            launch.grid_dim,
+            launch.cta_dim,
+            launch.params,
+            m1,
+        )
+        # m2 still holds the pristine image even after m1 was mutated.
+        for name, arr in m2.snapshot().items():
+            if name.startswith("inp"):
+                np.testing.assert_array_equal(arr, s1[name])
+
+    def test_feature_coverage(self):
+        """The interesting constructs actually appear across a few seeds."""
+        text = "\n".join(
+            str(i)
+            for s in range(8)
+            for i in generate_launch(GenSpec(seed=s)).kernel.instructions
+        )
+        for op in ("sts", "lds", "bar", "@", "fadd", "ldg", "stg"):
+            assert op in text, f"generator never emitted {op!r}"
+
+    def test_register_budget_respected(self):
+        spec = GenSpec(seed=11, reg_budget=16, blocks=10)
+        launch = generate_launch(spec)
+        assert launch.kernel.num_registers <= DUMP_STRIDE
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            GenSpec(seed=0, cta_threads=48)
+        with pytest.raises(ValueError):
+            GenSpec(seed=0, reg_budget=4)
+
+
+# ----------------------------------------------------------------------
+# Differential oracle
+# ----------------------------------------------------------------------
+class TestOracle:
+    @pytest.mark.parametrize("policy", ["warped", "baseline", "per-thread"])
+    def test_generated_kernel_agrees(self, policy):
+        outcome = run_differential(generate_launch(GenSpec(seed=5)), policy)
+        # The oracle must not be vacuous: both engines checked writes and
+        # the invariant checker scanned every cycle.
+        assert outcome.functional_writes_checked > 0
+        assert outcome.cycle_writes_checked > 0
+        assert outcome.invariant_commits > 0
+        assert outcome.invariant_ticks == outcome.cycles
+        assert outcome.buffers_compared >= 3
+
+    def test_multi_sm_and_rfc_variants(self):
+        launch = generate_launch(GenSpec(seed=6))
+        run_differential(launch, config=GPUConfig(num_sms=2))
+        run_differential(launch, config=GPUConfig(rfc_entries_per_warp=2))
+
+    def test_benchmark_verifies(self):
+        from repro.kernels.suite import get_benchmark
+
+        outcome = verify_benchmark(get_benchmark("pathfinder"))
+        assert outcome.invariant_ticks == outcome.cycles
+        assert outcome.cycle_writes_checked > 0
+
+    def test_compare_memory_reports_first_difference(self):
+        base = {"buf": np.arange(8, dtype=np.uint32)}
+        other = {"buf": np.arange(8, dtype=np.uint32)}
+        other["buf"][5] ^= 1
+        with pytest.raises(DifferentialMismatch, match="word 5"):
+            compare_memory(base, other, "unit")
+        with pytest.raises(DifferentialMismatch, match="buffer sets"):
+            compare_memory(base, {}, "unit")
+
+
+# ----------------------------------------------------------------------
+# Fault injection: the same fault must be caught by both layers
+# ----------------------------------------------------------------------
+class TestFaultInjection:
+    def test_invariant_layer_catches_bank_table_fault(
+        self, broken_banks_table
+    ):
+        """Cycle-level run alone (no oracle): the level-2 invariant
+        checker's codec cross-check flags the corrupt bank count."""
+        launch = generate_launch(GenSpec(seed=2))
+        with pytest.raises(CodecMismatch, match="B4D1"):
+            run_kernel(
+                launch.kernel,
+                launch.grid_dim,
+                launch.cta_dim,
+                launch.params,
+                launch.fresh_memory(),
+                config=GPUConfig(verify_level=2),
+                policy="warped",
+            )
+
+    def test_oracle_catches_bank_table_fault(self, broken_banks_table):
+        """Differential oracle with the invariant checker OFF: the checked
+        policy wrapper still cross-checks every write in both engines."""
+        with pytest.raises(CodecMismatch, match="B4D1"):
+            run_differential(
+                generate_launch(GenSpec(seed=2)), verify_level=0
+            )
+
+    def test_crosscheck_register_direct(self, broken_banks_table):
+        values = np.zeros(32, dtype=np.uint32)
+        values[1] = 3  # one-byte delta -> B4D1
+        with pytest.raises(CodecMismatch, match="claims 4 banks"):
+            crosscheck_register(values)
+
+    def test_clean_codec_crosschecks_clean(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            base = rng.integers(0, 1 << 32, dtype=np.uint32)
+            spread = int(rng.choice([0, 1, 100, 40_000, 1 << 20]))
+            lanes = (
+                base
+                + rng.integers(0, spread + 1, 32, dtype=np.uint32)
+            ).astype(np.uint32)
+            crosscheck_register(lanes)
+
+
+# ----------------------------------------------------------------------
+# Invariant layer units
+# ----------------------------------------------------------------------
+class TestInvariants:
+    def test_strict_scoreboard_double_reserve(self):
+        sb = Scoreboard(strict=True)
+        sb.reserve(0, 1)
+        with pytest.raises(ScoreboardError, match="double reserve"):
+            sb.reserve(0, 1)
+
+    def test_strict_scoreboard_double_release(self):
+        sb = Scoreboard(strict=True)
+        sb.reserve(0, 1)
+        sb.release(0, 1)
+        with pytest.raises(ScoreboardError, match="not pending"):
+            sb.release(0, 1)
+
+    def test_lenient_scoreboard_unchanged(self):
+        sb = Scoreboard()
+        sb.release(0, 1)  # no-op, as before
+
+    def test_check_decision_rejects_missing_and_bad(self):
+        values = np.zeros(32, dtype=np.uint32)
+        with pytest.raises(
+            InvariantViolation, match="without a compression decision"
+        ):
+            check_decision(None, values)
+
+    def test_regfile_consistency_catches_corruption(self):
+        config = GPUConfig()
+        gating = BankGatingController(config.num_banks)
+        rf = RegisterFile(config, gating)
+        rf.configure_kernel(4)
+        rf.allocate_warp(0)
+        rf.write_commit(0, 1, CompressionMode.B4D1, 3, cycle=0)
+        rf.check_consistency()  # clean state passes
+        gating.check_consistency(rf.bank_occupancy())
+        # Corrupt the incrementally-maintained counter.
+        rf.compressed_slots += 1
+        with pytest.raises(InvariantViolation, match="compressed_slots"):
+            rf.check_consistency()
+        rf.compressed_slots -= 1
+        # Corrupt a bank count behind the gating controller's back.
+        s = rf.slot(0, 1)
+        rf._banks_used[s] = 5
+        with pytest.raises(InvariantViolation):
+            gating.check_consistency(rf.bank_occupancy())
+
+    def test_verify_level_validation(self):
+        with pytest.raises(ValueError, match="verify_level"):
+            GPUConfig(verify_level=3)
+
+
+# ----------------------------------------------------------------------
+# Fuzz loop, shrinking, artifacts
+# ----------------------------------------------------------------------
+class TestFuzz:
+    def test_sweep_is_clean(self):
+        report = fuzz_many(range(25))
+        assert report.seeds_run == 25
+        assert report.ok, [f.error for f in report.failures]
+
+    def test_case_derivation_is_deterministic(self):
+        assert case_for_seed(123) == case_for_seed(123)
+
+    def test_shrink_converges_to_trigger(self):
+        """A synthetic predicate shrinks to the minimal spec keeping it."""
+        case = case_for_seed(0)
+
+        def still_fails(c: FuzzCase) -> bool:
+            return c.spec.allow_shared  # "bug" depends only on shared mem
+
+        spec = shrink(case, still_fails=still_fails)
+        assert spec.allow_shared
+        assert spec.num_ctas == 1
+        assert spec.cta_threads == 32
+        assert spec.blocks == 1
+        assert not spec.allow_float
+
+    def test_failure_artifact_round_trip(
+        self, broken_banks_table, tmp_path
+    ):
+        report = fuzz_many(range(2, 3), artifact_root=tmp_path)
+        assert not report.ok
+        failure = report.failures[0]
+        assert failure.artifact_path is not None
+        assert failure.artifact_path.exists()
+        assert "CodecMismatch" in failure.error
+        # Shrinking the spec must not change policy/config derivation.
+        case = load_artifact(failure.artifact_path)
+        assert case.policy == failure.policy
+        with pytest.raises(CodecMismatch):
+            replay_artifact(failure.artifact_path)
+
+    def test_replay_passes_once_fixed(self, tmp_path):
+        failure = FuzzFailure(
+            seed=2,
+            error="CodecMismatch: injected",
+            original_spec=GenSpec(seed=2),
+            shrunk_spec=GenSpec(seed=2, blocks=1),
+            policy="warped",
+            config_overrides={},
+        )
+        path = dump_artifact(failure, tmp_path)
+        replay_artifact(path)  # codec is healthy -> no exception
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        bad = tmp_path / "x.json"
+        bad.write_text('{"kind": "something-else"}')
+        with pytest.raises(ValueError, match="not a fuzz-failure"):
+            load_artifact(bad)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestCli:
+    def test_verify_ok(self, capsys, tmp_path):
+        rc = cli_main(
+            [
+                "verify",
+                "--seeds",
+                "3",
+                "--no-suite",
+                "--quiet",
+                "--artifact-dir",
+                str(tmp_path),
+            ]
+        )
+        assert rc == 0
+        assert "verification passed" in capsys.readouterr().out
+
+    def test_verify_fails_nonzero(
+        self, broken_banks_table, capsys, tmp_path
+    ):
+        rc = cli_main(
+            [
+                "verify",
+                "--seeds",
+                "1",
+                "--start-seed",
+                "2",
+                "--no-suite",
+                "--no-shrink",
+                "--quiet",
+                "--artifact-dir",
+                str(tmp_path),
+            ]
+        )
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "1 failed" in out
+        assert "--replay" in out
+
+    def test_replay_round_trip_via_cli(
+        self, broken_banks_table, capsys, tmp_path
+    ):
+        assert (
+            cli_main(
+                [
+                    "verify",
+                    "--seeds",
+                    "1",
+                    "--start-seed",
+                    "2",
+                    "--no-suite",
+                    "--no-shrink",
+                    "--quiet",
+                    "--artifact-dir",
+                    str(tmp_path),
+                ]
+            )
+            == 1
+        )
+        artifacts = list((tmp_path / "verify").glob("fail-*.json"))
+        assert len(artifacts) == 1
+        rc = cli_main(["verify", "--replay", str(artifacts[0])])
+        assert rc == 1
+        assert "still fails" in capsys.readouterr().out
