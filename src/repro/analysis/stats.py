@@ -248,12 +248,15 @@ class TimingStats:
     issued: int = 0
     collector_stall_cycles: int = 0
     bank_wakeup_stalls: int = 0
+    #: scheduler slots that found no issuable warp (stall-cause series)
+    issue_idle_cycles: int = 0
 
     def merge(self, other: "TimingStats") -> None:
         self.cycles = max(self.cycles, other.cycles)
         self.issued += other.issued
         self.collector_stall_cycles += other.collector_stall_cycles
         self.bank_wakeup_stalls += other.bank_wakeup_stalls
+        self.issue_idle_cycles += other.issue_idle_cycles
 
     def to_dict(self) -> dict:
         return {
@@ -261,6 +264,7 @@ class TimingStats:
             "issued": int(self.issued),
             "collector_stall_cycles": int(self.collector_stall_cycles),
             "bank_wakeup_stalls": int(self.bank_wakeup_stalls),
+            "issue_idle_cycles": int(self.issue_idle_cycles),
         }
 
     @classmethod
@@ -270,6 +274,7 @@ class TimingStats:
             issued=int(data["issued"]),
             collector_stall_cycles=int(data["collector_stall_cycles"]),
             bank_wakeup_stalls=int(data["bank_wakeup_stalls"]),
+            issue_idle_cycles=int(data["issue_idle_cycles"]),
         )
 
 
@@ -284,3 +289,4 @@ class RunStats:
     energy_breakdown: object | None = None  # EnergyBreakdown
     energy_model: object | None = None  # EnergyModel (for re-pricing sweeps)
     gated_fractions: tuple[float, ...] | None = None
+    timeline: object | None = None  # repro.obs.timeline.Timeline

@@ -1,0 +1,111 @@
+"""Timeline reductions and terminal sparklines.
+
+The interval sampler produces raw per-interval rows; this module turns
+them into the quantities a stall investigation actually reads — rates
+per cycle, moving averages, peaks — and renders compact one-line
+sparklines so a run's temporal shape is visible straight from the
+terminal (``repro trace`` prints one per series).
+"""
+
+from __future__ import annotations
+
+from repro.obs.timeline import Timeline
+
+_SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def rates(timeline: Timeline, name: str) -> list[float]:
+    """A delta series as per-cycle rates (e.g. ``sm.issued`` → IPC).
+
+    Uses the recorded cycle axis, not the nominal interval, so the
+    trailing partial interval stays honest.
+    """
+    values = timeline.get(name)
+    out: list[float] = []
+    prev = 0
+    for cycle, value in zip(timeline.cycles, values):
+        span = cycle - prev
+        out.append(value / span if span > 0 else 0.0)
+        prev = cycle
+    return out
+
+
+def moving_average(values: list[float], window: int = 4) -> list[float]:
+    """Simple trailing moving average (window clipped at the start)."""
+    if window <= 0:
+        raise ValueError(f"window must be positive: {window}")
+    out = []
+    acc = 0.0
+    for i, v in enumerate(values):
+        acc += v
+        if i >= window:
+            acc -= values[i - window]
+        out.append(acc / min(i + 1, window))
+    return out
+
+
+def peak(timeline: Timeline, name: str) -> tuple[int, float]:
+    """(cycle, value) of the series' maximum."""
+    values = timeline.get(name)
+    if not values:
+        raise ValueError(f"series {name!r} is empty")
+    i = max(range(len(values)), key=values.__getitem__)
+    return timeline.cycles[i], values[i]
+
+
+def sparkline(values: list[float], width: int = 60) -> str:
+    """Render values as one line of eighth-block characters.
+
+    Longer series are bucket-averaged down to ``width`` columns; the
+    vertical axis spans [0, max] so zero is always the baseline.
+    """
+    if not values:
+        return ""
+    if len(values) > width:
+        bucket = len(values) / width
+        values = [
+            _mean(values[int(i * bucket) : max(int((i + 1) * bucket), int(i * bucket) + 1)])
+            for i in range(width)
+        ]
+    top = max(values)
+    if top <= 0:
+        return _SPARK_BLOCKS[0] * len(values)
+    return "".join(
+        _SPARK_BLOCKS[
+            min(len(_SPARK_BLOCKS) - 1, int(max(0.0, v) / top * (len(_SPARK_BLOCKS) - 1) + 0.5))
+        ]
+        for v in values
+    )
+
+
+def _mean(chunk: list[float]) -> float:
+    return sum(chunk) / len(chunk) if chunk else 0.0
+
+
+def timeline_summary(timeline: Timeline, width: int = 60) -> str:
+    """One sparkline + min/mean/max per series, as a terminal block.
+
+    Delta series are shown as per-cycle rates (their natural reading);
+    gauge series as-is.
+    """
+    if not len(timeline):
+        return "(empty timeline)"
+    lines = [
+        f"timeline: {len(timeline)} samples every "
+        f"{timeline.interval} cycles (to cycle {timeline.cycles[-1]})"
+    ]
+    name_width = max(len(n) for n in timeline.series)
+    for name in sorted(timeline.series):
+        values = (
+            rates(timeline, name)
+            if timeline.kinds.get(name) == "delta"
+            else timeline.get(name)
+        )
+        if not values:
+            continue
+        lines.append(
+            f"  {name:<{name_width}} {sparkline(values, width)} "
+            f"min {min(values):.3g} mean {_mean(values):.3g} "
+            f"max {max(values):.3g}"
+        )
+    return "\n".join(lines)

@@ -43,6 +43,15 @@ class BankArbiter:
         """The cycle the arbiter last began (-1 before the first)."""
         return self._cycle
 
+    def attach_metrics(self, registry) -> None:
+        """Register grant totals into a :class:`repro.obs` registry."""
+        registry.probe(
+            "arbiter.read_grants", lambda: self.read_grants, kind="delta"
+        )
+        registry.probe(
+            "arbiter.write_grants", lambda: self.write_grants, kind="delta"
+        )
+
     def begin_cycle(self, cycle: int) -> None:
         """Reset port state at the start of a cycle."""
         self._cycle = cycle

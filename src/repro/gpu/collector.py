@@ -86,3 +86,7 @@ class CollectorPool:
         if self.in_use <= 0:
             raise RuntimeError("releasing an unallocated collector")
         self.in_use -= 1
+
+    def attach_metrics(self, registry) -> None:
+        """Register collector occupancy into a metric registry."""
+        registry.probe("collector.in_use", lambda: self.in_use)

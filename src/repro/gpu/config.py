@@ -54,6 +54,14 @@ class GPUConfig:
     global_mem_latency: int = 120
     shared_mem_latency: int = 24
 
+    # ----- observability -----------------------------------------------
+    #: Interval-sampler period in cycles (:mod:`repro.obs`): every N
+    #: cycles each SM snapshots its metric registry into the run's
+    #: :class:`~repro.obs.timeline.Timeline`.  0 disables sampling, and
+    #: with it the registry itself (instrumented components receive
+    #: no-op null instruments, keeping the cycle loop overhead-free).
+    sample_interval: int = 0
+
     # ----- verification ------------------------------------------------
     #: Runtime self-check intensity (see :mod:`repro.verify.invariants`):
     #: 0 = off, 1 = cheap O(1) event checks + end-of-run conservation
@@ -62,6 +70,11 @@ class GPUConfig:
     verify_level: int = 1
 
     def __post_init__(self) -> None:
+        if self.sample_interval < 0:
+            raise ValueError(
+                f"sample_interval must be non-negative, got "
+                f"{self.sample_interval}"
+            )
         if self.verify_level not in (0, 1, 2):
             raise ValueError(
                 f"verify_level must be 0, 1 or 2, got {self.verify_level}"

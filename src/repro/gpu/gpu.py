@@ -13,6 +13,7 @@ from repro.gpu.config import GPUConfig
 from repro.gpu.memory import GlobalMemory
 from repro.gpu.program import Kernel
 from repro.gpu.sm import SMCore
+from repro.obs.tracer import EventTracer
 from repro.power.energy import EnergyBreakdown, EnergyModel
 from repro.power.params import EnergyParams
 
@@ -44,6 +45,7 @@ class GPU:
         energy_params: EnergyParams | None = None,
         collect_bdi: bool = False,
         max_cycles: int = 20_000_000,
+        tracer: EventTracer | None = None,
     ):
         self.config = config or GPUConfig()
         self.energy_params = energy_params or EnergyParams(
@@ -51,6 +53,7 @@ class GPU:
         )
         self.collect_bdi = collect_bdi
         self.max_cycles = max_cycles
+        self.tracer = tracer
         self._policy_spec = policy
         #: SMs of the most recent :meth:`run` — lets the verification
         #: layer inspect per-SM checker counters after a launch.
@@ -90,7 +93,14 @@ class GPU:
                 if policy.enabled
                 else 0,
             )
-            sm = SMCore(self.config, policy, energy, self.collect_bdi)
+            sm = SMCore(
+                self.config,
+                policy,
+                energy,
+                self.collect_bdi,
+                tracer=self.tracer,
+                sm_index=len(sms),
+            )
             sm.prepare_kernel(kernel, grid_dim, cta_dim, params, gmem)
             sms.append(sm)
 
@@ -117,10 +127,16 @@ class GPU:
         value = ValueStats(collect_bdi=self.collect_bdi)
         timing = TimingStats()
         gated: list[float] | None = None
+        timeline = None
         for sm in sms:
             sm.finalize()
             value.merge(sm.value_stats)
             timing.merge(sm.timing)
+            if sm.timeline is not None:
+                if timeline is None:
+                    timeline = sm.timeline
+                else:
+                    timeline.merge(sm.timeline)
             fractions = sm.gated_fractions()
             if fractions is not None:
                 if gated is None:
@@ -138,6 +154,7 @@ class GPU:
             energy_breakdown=energy_model.breakdown(),
             energy_model=energy_model,
             gated_fractions=tuple(gated) if gated is not None else None,
+            timeline=timeline,
         )
         return SimulationResult(stats=stats, cycles=timing.cycles)
 

@@ -55,12 +55,18 @@ def run_kernel(
     policy: str = "warped",
     energy_params: EnergyParams | None = None,
     collect_bdi: bool = False,
+    tracer=None,
 ) -> SimulationResult:
-    """Run one kernel launch on a freshly-constructed GPU."""
+    """Run one kernel launch on a freshly-constructed GPU.
+
+    ``tracer`` (a :class:`repro.obs.tracer.EventTracer`) records the
+    run's pipeline spans and counter tracks for Chrome-trace export.
+    """
     gpu = GPU(
         config=config,
         policy=policy,
         energy_params=energy_params,
         collect_bdi=collect_bdi,
+        tracer=tracer,
     )
     return gpu.run(kernel, grid_dim, cta_dim, params, gmem)

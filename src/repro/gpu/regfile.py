@@ -173,6 +173,18 @@ class RegisterFile:
             return 0.0
         return self.compressed_slots / self.allocated_slots
 
+    def attach_metrics(self, registry) -> None:
+        """Register occupancy state into a :class:`repro.obs` registry."""
+        registry.probe(
+            "regfile.compressed_fraction", lambda: self.compressed_fraction
+        )
+        registry.probe(
+            "regfile.compressed_slots", lambda: self.compressed_slots
+        )
+        registry.probe(
+            "regfile.allocated_slots", lambda: self.allocated_slots
+        )
+
     # ------------------------------------------------------------------
     # Verification support (repro.verify)
     # ------------------------------------------------------------------

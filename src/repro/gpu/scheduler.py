@@ -75,3 +75,7 @@ class WarpScheduler:
 
     def __len__(self) -> int:
         return len(self._warps)
+
+    def attach_metrics(self, registry, index: int) -> None:
+        """Register resident-warp depth into a metric registry."""
+        registry.probe(f"scheduler{index}.resident_warps", self.__len__)

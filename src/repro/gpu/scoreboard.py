@@ -106,3 +106,7 @@ class Scoreboard:
         return sum(len(s) for s in self._regs.values()) + sum(
             len(s) for s in self._preds.values()
         )
+
+    def attach_metrics(self, registry) -> None:
+        """Register the pending-write depth into a metric registry."""
+        registry.probe("scoreboard.pending_writes", self.total_pending)

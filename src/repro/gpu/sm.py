@@ -50,9 +50,16 @@ from repro.gpu.rfc import RegisterFileCache
 from repro.gpu.scheduler import WarpScheduler
 from repro.gpu.scoreboard import Scoreboard
 from repro.gpu.simt import popcount
+from repro.obs.metrics import MetricRegistry
+from repro.obs.sampler import IntervalSampler
+from repro.obs.tracer import COMPRESSOR_TID, DECOMPRESSOR_TID, EventTracer
 from repro.power.energy import EnergyModel
 from repro.power.gating import BankGatingController
 from repro.verify.invariants import InvariantChecker
+
+#: Sampling period used when tracing is requested without an explicit
+#: ``GPUConfig.sample_interval`` (counter tracks need a time base).
+DEFAULT_TRACE_INTERVAL = 64
 
 
 class OpState(Enum):
@@ -76,6 +83,9 @@ class InflightOp:
     write_ready: int = 0
     pending_write_banks: list[int] = field(default_factory=list)
     is_mov: bool = False
+    # Stage-boundary timestamps (cycle numbers) for the event tracer.
+    issued_at: int = 0
+    collect_done: int = -1
 
 
 @dataclass
@@ -95,6 +105,8 @@ class SMCore:
         policy: CompressionPolicy,
         energy: EnergyModel,
         collect_bdi: bool = False,
+        tracer: EventTracer | None = None,
+        sm_index: int = 0,
     ):
         self.config = config
         self.policy = policy
@@ -155,6 +167,55 @@ class SMCore:
             OpClass.SHARED: config.shared_mem_latency,
             OpClass.CONTROL: 1,
         }
+        # ----- observability (repro.obs) -------------------------------
+        self.sm_index = sm_index
+        self.tracer = tracer
+        self.timeline = None
+        self._stall_cause: dict[int, str] = {}
+        self._last_issue_cycle: dict[int, int] = {}
+        interval = config.sample_interval
+        if interval == 0 and tracer is not None:
+            interval = DEFAULT_TRACE_INTERVAL
+        if interval > 0:
+            self.metrics = MetricRegistry(enabled=True)
+            self.sampler = IntervalSampler(self.metrics, interval)
+            self._attach_metrics()
+        else:
+            self.metrics = None
+            self.sampler = None
+        if tracer is not None:
+            tracer.name_process(sm_index, f"SM {sm_index}")
+            tracer.name_track(sm_index, COMPRESSOR_TID, "compressors")
+            tracer.name_track(sm_index, DECOMPRESSOR_TID, "decompressors")
+
+    def _attach_metrics(self) -> None:
+        """Register every component's probes into the SM's registry."""
+        registry = self.metrics
+        registry.probe("sm.issued", lambda: self.timing.issued, kind="delta")
+        registry.probe(
+            "sm.collector_stalls",
+            lambda: self.timing.collector_stall_cycles,
+            kind="delta",
+        )
+        registry.probe(
+            "sm.issue_idle",
+            lambda: self.timing.issue_idle_cycles,
+            kind="delta",
+        )
+        registry.probe(
+            "sm.movs", lambda: self.value_stats.movs_injected, kind="delta"
+        )
+        registry.probe("sm.inflight_ops", lambda: len(self._inflight))
+        registry.probe("sm.resident_warps", lambda: len(self._warps))
+        self.regfile.attach_metrics(registry)
+        self.arbiter.attach_metrics(registry)
+        self.scoreboard.attach_metrics(registry)
+        self.collectors.attach_metrics(registry)
+        self.energy.attach_metrics(registry)
+        if self.gating is not None:
+            self.gating.attach_metrics(registry)
+        for i, scheduler in enumerate(self.schedulers):
+            scheduler.attach_metrics(registry, i)
 
     # ------------------------------------------------------------------
     # Kernel / CTA management
@@ -214,6 +275,11 @@ class SMCore:
             self._warp_cta[slot] = cta_id
             self._next_issue[slot] = self.cycle
             self.schedulers[slot % len(self.schedulers)].add_warp(slot)
+            if self.tracer is not None:
+                self.tracer.name_track(
+                    self.sm_index, slot + 1, f"warp {slot}"
+                )
+                self._last_issue_cycle[slot] = self.cycle
         self._ctas[cta_id] = _CtaState(cta_id, slots, shared, len(slots))
 
     @property
@@ -235,6 +301,83 @@ class SMCore:
         if self.checker is not None:
             self.checker.check_tick(self)
         self.timing.cycles = self.cycle
+        if self.sampler is not None:
+            row = self.sampler.tick(self.cycle)
+            if row is not None and self.tracer is not None:
+                self._emit_counter_tracks(row)
+
+    def _emit_counter_tracks(self, row: dict[str, float]) -> None:
+        """Forward one sampler row to the tracer's counter tracks."""
+        tracer, pid, ts = self.tracer, self.sm_index, self.cycle
+        tracer.counter(
+            pid,
+            "bank accesses",
+            ts,
+            reads=row.get("energy.bank_reads", 0.0),
+            writes=row.get("energy.bank_writes", 0.0),
+        )
+        tracer.counter(
+            pid,
+            "compressed occupancy",
+            ts,
+            fraction=row.get("regfile.compressed_fraction", 0.0),
+        )
+        tracer.counter(
+            pid, "gated banks", ts, count=row.get("gating.gated_banks", 0.0)
+        )
+        tracer.counter(
+            pid,
+            "collector occupancy",
+            ts,
+            in_use=row.get("collector.in_use", 0.0),
+        )
+        tracer.counter(
+            pid,
+            "issue",
+            ts,
+            issued=row.get("sm.issued", 0.0),
+            idle=row.get("sm.issue_idle", 0.0),
+            movs=row.get("sm.movs", 0.0),
+        )
+
+    def _emit_op_spans(self, op: InflightOp) -> None:
+        """Emit a retired op's lifetime and stage phases as trace spans."""
+        tracer, pid = self.tracer, self.sm_index
+        tid = op.warp_slot + 1
+        result = op.result
+        if op.is_mov:
+            name = f"dummy MOV r{result.dst}"
+        elif result.dst is not None:
+            name = f"{result.instr.op.name} r{result.dst}"
+        else:
+            name = result.instr.op.name
+        end = max(self.cycle, op.issued_at)
+        args: dict = {"pc": result.pc, "divergent": result.divergent}
+        if op.decision is not None:
+            args["mode"] = op.decision.mode.name
+            args["banks"] = op.decision.banks
+        tracer.span(pid, tid, name, op.issued_at, end, **args)
+        if op.collect_done > op.issued_at:
+            tracer.span(pid, tid, "collect", op.issued_at, op.collect_done)
+        exec_start = op.collect_done if op.collect_done >= 0 else op.issued_at
+        if op.exec_done > exec_start:
+            tracer.span(pid, tid, "exec", exec_start, min(op.exec_done, end))
+        if (
+            op.decision is not None
+            and op.decision.compressor_used
+            and op.write_ready > op.exec_done
+        ):
+            tracer.span(
+                pid,
+                COMPRESSOR_TID,
+                f"compress r{result.dst}",
+                op.exec_done,
+                op.write_ready,
+                warp=op.warp_slot,
+                mode=op.decision.mode.name,
+            )
+        if op.state is OpState.WRITE and end > op.write_ready:
+            tracer.span(pid, tid, "write", op.write_ready, end)
 
     # ----- writeback ---------------------------------------------------
     def _writeback_stage(self) -> None:
@@ -251,6 +394,8 @@ class SMCore:
             if not op.pending_write_banks:
                 self._commit(op)
                 self._inflight.remove(op)
+                if self.tracer is not None:
+                    self._emit_op_spans(op)
 
     def _commit(self, op: InflightOp) -> None:
         result = op.result
@@ -305,6 +450,8 @@ class SMCore:
                     else None,
                 )
                 self._inflight.remove(op)
+                if self.tracer is not None:
+                    self._emit_op_spans(op)
                 continue
             if result.instr.pred_dst is not None:
                 self.scoreboard.release(
@@ -313,6 +460,8 @@ class SMCore:
             if self.rfc is not None:
                 self._commit_to_cache(op)
                 self._inflight.remove(op)
+                if self.tracer is not None:
+                    self._emit_op_spans(op)
                 continue
             op.decision = self._decide(op)
             slot = self.regfile.slot(op.warp_slot, result.dst)
@@ -361,13 +510,31 @@ class SMCore:
                     if granted:
                         self.energy.record_read(len(granted))
                         read.pending_banks.difference_update(granted)
+                unscheduled = read.ready_at is None
                 if not read.advance(self.cycle, self.decompressors):
                     all_ready = False
+                if (
+                    self.tracer is not None
+                    and unscheduled
+                    and read.ready_at is not None
+                    and read.decompression_needed
+                ):
+                    # The read just won a decompressor this cycle.
+                    self.tracer.span(
+                        self.sm_index,
+                        DECOMPRESSOR_TID,
+                        f"decompress r{read.reg}",
+                        self.cycle,
+                        read.ready_at,
+                        warp=read.warp_slot,
+                        mode=read.mode.name,
+                    )
             if all_ready:
                 if op.holds_collector:
                     self.collectors.release()
                     op.holds_collector = False
                 op.state = OpState.EXEC
+                op.collect_done = self.cycle
                 op.exec_done = self.cycle + self._latency[op.result.op_class]
 
     # ----- issue -------------------------------------------------------
@@ -376,6 +543,9 @@ class SMCore:
             picked = scheduler.pick(self._can_issue)
             if picked is not None:
                 self._issue(picked)
+            elif len(scheduler):
+                # Resident warps exist but none could issue this cycle.
+                self.timing.issue_idle_cycles += 1
 
     def _needs_mov(self, warp_slot: int, instr: Instruction, exec_mask: int) -> bool:
         if self.rfc is not None:
@@ -390,20 +560,30 @@ class SMCore:
             return False
         return self.regfile.is_compressed(warp_slot, instr.dst.index)
 
+    def _stalled(self, warp_slot: int, cause: str) -> bool:
+        """Record why a warp cannot issue (tracer only) and return False."""
+        if self.tracer is not None:
+            self._stall_cause[warp_slot] = cause
+        return False
+
     def _can_issue(self, warp_slot: int) -> bool:
         ctx = self._warps[warp_slot]
-        if ctx.at_barrier or self.cycle < self._next_issue[warp_slot]:
-            return False
+        if ctx.at_barrier:
+            return self._stalled(warp_slot, "barrier")
+        if self.cycle < self._next_issue[warp_slot]:
+            return self._stalled(warp_slot, "branch latency")
         peeked = self.interpreter.peek(ctx)
         if peeked is None:
-            return False
+            return self._stalled(warp_slot, "drained")
         instr, exec_mask, _ = peeked
         if self._needs_mov(warp_slot, instr, exec_mask):
             if not self.collectors.available:
-                return False
-            return not self.scoreboard.blocked(
+                return self._stalled(warp_slot, "collector")
+            if self.scoreboard.blocked(
                 warp_slot, (instr.dst.index,), instr.dst.index
-            )
+            ):
+                return self._stalled(warp_slot, "scoreboard")
+            return True
         srcs = instr.source_registers()
         # RFC hits bypass the operand collector, but RAW hazards must be
         # checked on every source regardless of caching.
@@ -414,19 +594,21 @@ class SMCore:
             )
         if uncached and not self.collectors.available:
             self.timing.collector_stall_cycles += 1
-            return False
+            return self._stalled(warp_slot, "collector")
         read_preds = tuple(
             p.index
             for p in (instr.guard, instr.pred_src)
             if p is not None
         )
-        return not self.scoreboard.blocked(
+        if self.scoreboard.blocked(
             warp_slot,
             srcs,
             instr.dst.index if instr.dst else None,
             read_preds,
             instr.pred_dst.index if instr.pred_dst else None,
-        )
+        ):
+            return self._stalled(warp_slot, "scoreboard")
+        return True
 
     def _issue(self, warp_slot: int) -> None:
         ctx = self._warps[warp_slot]
@@ -491,7 +673,11 @@ class SMCore:
                 )
             )
         op = InflightOp(
-            warp_slot=warp_slot, result=result, reads=reads, is_mov=is_mov
+            warp_slot=warp_slot,
+            result=result,
+            reads=reads,
+            is_mov=is_mov,
+            issued_at=self.cycle,
         )
         if reads:
             self.collectors.allocate()
@@ -499,7 +685,20 @@ class SMCore:
         if not reads:
             # No operands to gather: skip straight to execution.
             op.state = OpState.EXEC
+            op.collect_done = self.cycle
             op.exec_done = self.cycle + self._latency[result.op_class]
+        if self.tracer is not None:
+            last = self._last_issue_cycle.get(warp_slot, self.cycle)
+            if self.cycle - last > 1:
+                self.tracer.span(
+                    self.sm_index,
+                    warp_slot + 1,
+                    "stall",
+                    last,
+                    self.cycle,
+                    cause=self._stall_cause.get(warp_slot, "unknown"),
+                )
+            self._last_issue_cycle[warp_slot] = self.cycle
         self.scoreboard.reserve(
             warp_slot,
             result.dst,
@@ -630,6 +829,8 @@ class SMCore:
             self.energy.finalize(self.cycle)
         self.energy.record_compression(self.compressors.activations)
         self.energy.record_decompression(self.decompressors.activations)
+        if self.sampler is not None:
+            self.timeline = self.sampler.finish(self.cycle)
 
     def gated_fractions(self) -> list[float] | None:
         if self.gating is None:

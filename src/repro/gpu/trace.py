@@ -50,6 +50,13 @@ class RegisterTrace:
         self.registers.append(register)
         self.divergent.append(divergent)
         self.values.append(np.asarray(values, dtype=np.uint32).copy())
+        # Keep the allocation bound consistent with the recorded writes:
+        # hand-built traces (tests, external producers) never set
+        # ``num_registers`` up front the way :func:`capture_trace` does,
+        # and replay's occupancy denominator silently degenerated to zero
+        # without this.
+        if register >= self.num_registers:
+            self.num_registers = register + 1
 
     def __len__(self) -> int:
         return len(self.values)

@@ -18,6 +18,7 @@ against a warm cache performs zero simulations.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
@@ -25,7 +26,11 @@ from repro.harness.ablations import ABLATIONS
 from repro.harness.experiments import EXPERIMENTS
 from repro.harness.extensions import EXTENSIONS
 from repro.kernels import benchmark_names
+from repro.obs.log import configure_logging, get_logger
+from repro.obs.profiler import HostProfiler
 from repro.sim import Session
+
+logger = get_logger("harness.runner")
 
 #: Everything the CLI can run: the paper's figures, our ablations, and
 #: the extension studies (RFC orthogonality).
@@ -65,6 +70,19 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--quiet", action="store_true", help="suppress progress messages"
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default=None,
+        help="progress-message verbosity (default: info; --quiet implies "
+        "warning)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        help="write host-side profiling metrics (phase wall-clock, cache "
+        "hits, per-worker throughput) to FILE as JSON",
     )
     parser.add_argument(
         "--jobs",
@@ -109,6 +127,12 @@ def main(argv: list[str] | None = None) -> int:
     if args.jobs < 1:
         parser.error("--jobs must be at least 1")
 
+    # One knob for all progress output: every ad-hoc message below (and
+    # in the session layer) goes through the repro.obs logging tree.
+    level = args.log_level or ("warning" if args.quiet else "info")
+    configure_logging(level)
+
+    profiler = HostProfiler()
     session = Session(
         scale=args.scale,
         verbose=not args.quiet,
@@ -116,33 +140,42 @@ def main(argv: list[str] | None = None) -> int:
         cache_dir=args.cache_dir,
         use_disk_cache=not args.no_cache,
         max_workers=args.jobs,
+        profiler=profiler,
     )
     blocks = []
     for exp_id in requested:
         start = time.time()
-        if not args.quiet:
-            print(f"running {exp_id} ...", flush=True)
-        result = ALL_DRIVERS[exp_id](session)
-        text = result.render()
+        logger.info(f"running {exp_id} ...")
+        with profiler.phase(exp_id):
+            result = ALL_DRIVERS[exp_id](session)
+            text = result.render()
         if args.chart:
             from repro.analysis.plots import chart_experiment
 
             text += "\n\n" + chart_experiment(result)
         blocks.append(text)
-        print(text)
-        if not args.quiet:
-            print(f"  ({time.time() - start:.1f}s)\n", flush=True)
+        print(text, flush=True)
+        logger.info(f"  ({time.time() - start:.1f}s)\n")
 
-    if not args.quiet:
-        print(
-            f"session: {session.simulated} simulated, "
-            f"{session.memo_hits} memo hits, "
-            f"{session.disk_hits} disk-cache hits",
-            flush=True,
-        )
+    logger.info(
+        f"session: {session.simulated} simulated, "
+        f"{session.memo_hits} memo hits, "
+        f"{session.disk_hits} disk-cache hits"
+    )
     if args.out:
         with open(args.out, "w") as fh:
             fh.write("\n\n".join(blocks) + "\n")
+    if args.metrics_out:
+        payload = profiler.to_dict()
+        payload["session"] = {
+            "simulated": session.simulated,
+            "memo_hits": session.memo_hits,
+            "disk_hits": session.disk_hits,
+        }
+        with open(args.metrics_out, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        logger.info(f"metrics written to {args.metrics_out}")
     return 0
 
 

@@ -1,0 +1,46 @@
+"""``repro.obs`` — always-available observability for the simulator.
+
+Four layers, all optional and all near-zero-cost when switched off:
+
+* :mod:`repro.obs.metrics` — a hierarchical counter/gauge/histogram
+  registry components register into; a disabled registry hands out
+  shared null instruments whose methods are no-ops.
+* :mod:`repro.obs.timeline` + :mod:`repro.obs.sampler` — per-N-cycle
+  time series (IPC, bank pressure, compressed occupancy, dummy-MOV
+  rate, gated banks, stall breakdown) attached to
+  :class:`~repro.sim.result.RunResult` as a serializable
+  :class:`~repro.obs.timeline.Timeline`.
+* :mod:`repro.obs.tracer` — a bounded ring buffer of structured events
+  exported as Chrome trace-event JSON (loadable in Perfetto).
+* :mod:`repro.obs.profiler` + :mod:`repro.obs.log` — host-side wall
+  clock per phase, cache hit/miss counts, per-worker throughput, and
+  the one logging layer all progress output routes through.
+"""
+
+from repro.obs.log import configure_logging, get_logger
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    NULL_REGISTRY,
+)
+from repro.obs.profiler import HostProfiler
+from repro.obs.sampler import IntervalSampler
+from repro.obs.timeline import Timeline
+from repro.obs.tracer import EventTracer, validate_chrome_trace
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "NULL_REGISTRY",
+    "Timeline",
+    "IntervalSampler",
+    "EventTracer",
+    "validate_chrome_trace",
+    "HostProfiler",
+    "configure_logging",
+    "get_logger",
+]

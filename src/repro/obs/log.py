@@ -1,0 +1,51 @@
+"""The one logging layer all progress output routes through.
+
+Everything that used to be an ad-hoc ``print`` in the harness and the
+session layer goes through ``get_logger(...)`` so a single
+``--log-level`` flag controls verbosity uniformly.  Result tables are
+*output*, not progress, and still print directly.
+
+The handler writes bare messages (no timestamps or level prefixes) to
+keep CLI output byte-stable for the tests that compare rendered runs.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+#: Root of the observability logging hierarchy.
+ROOT = "repro"
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (``repro.<name>``)."""
+    return logging.getLogger(f"{ROOT}.{name}" if name else ROOT)
+
+
+def configure_logging(level: str = "info", stream=None) -> logging.Logger:
+    """Install the plain-message handler and set the root level.
+
+    Idempotent: reconfiguring replaces the previous handler instead of
+    stacking a duplicate.
+    """
+    if level not in _LEVELS:
+        raise ValueError(
+            f"log level must be one of {sorted(_LEVELS)}, got {level!r}"
+        )
+    root = get_logger()
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stdout)
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    root.addHandler(handler)
+    root.setLevel(_LEVELS[level])
+    root.propagate = False
+    return root

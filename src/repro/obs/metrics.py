@@ -1,0 +1,214 @@
+"""Hierarchical metric registry: counters, gauges, histograms, probes.
+
+Components (SM, register file, arbiter, scoreboard, collectors,
+scheduler, gating controller, energy model) *register into* a
+:class:`MetricRegistry` under dotted names (``regfile.compressed_fraction``,
+``arbiter.read_grants``).  Two properties make the registry safe to
+thread through the hot cycle loop:
+
+* **near-zero overhead when disabled** — a disabled registry hands out
+  the shared :data:`NULL_COUNTER` / :data:`NULL_GAUGE` /
+  :data:`NULL_HISTOGRAM` singletons whose mutators are no-ops, and
+  drops probe registrations entirely, so instrumented code pays one
+  attribute call at most;
+* **pull-based probes** — most simulator state is already counted
+  somewhere (the energy model's event totals, the arbiter's grant
+  counters, the register file's compressed-slot count).  A
+  :class:`Probe` wraps a zero-arg callable evaluated only when the
+  interval sampler fires, so steady-state cycles pay nothing at all.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Callable, Iterable
+
+
+class Counter:
+    """A monotonically non-decreasing event count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.value = 0
+
+    def add(self, n: int = 1) -> None:
+        self.value += n
+
+    def inc(self) -> None:
+        self.value += 1
+
+    def read(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """A point-in-time value that can move in either direction."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, n: float = 1) -> None:
+        self.value += n
+
+    def read(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """Bucketed distribution of observed samples.
+
+    ``bounds`` are inclusive upper bucket edges; samples above the last
+    bound land in the implicit overflow bucket.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "total", "sum")
+
+    def __init__(self, name: str = "", bounds: Iterable[float] = ()):
+        self.name = name
+        self.bounds = tuple(sorted(bounds))
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.total = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_right(self.bounds, value)] += 1
+        self.total += 1
+        self.sum += value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else 0.0
+
+    def read(self) -> float:
+        return self.mean
+
+    def to_dict(self) -> dict:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "total": self.total,
+            "sum": self.sum,
+        }
+
+
+class Probe:
+    """A pull-based gauge: evaluated only when the sampler fires."""
+
+    __slots__ = ("name", "fn")
+
+    def __init__(self, name: str, fn: Callable[[], float]):
+        self.name = name
+        self.fn = fn
+
+    def read(self) -> float:
+        return self.fn()
+
+
+class _NullInstrument:
+    """Shared do-nothing stand-in handed out by a disabled registry."""
+
+    __slots__ = ()
+    name = ""
+    value = 0
+
+    def add(self, n: int = 1) -> None:
+        pass
+
+    def inc(self) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def read(self) -> float:
+        return 0.0
+
+
+#: Singletons returned by a disabled registry — every caller shares them.
+NULL_COUNTER = _NullInstrument()
+NULL_GAUGE = _NullInstrument()
+NULL_HISTOGRAM = _NullInstrument()
+
+
+class MetricRegistry:
+    """Flat namespace of dotted metric names → instruments.
+
+    ``kind`` per metric records how the interval sampler should treat
+    it: ``"delta"`` metrics are cumulative counts sampled as per-interval
+    differences; ``"gauge"`` metrics are sampled as instantaneous values.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._metrics: dict[str, object] = {}
+        self._kinds: dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def _register(self, name: str, metric, kind: str):
+        if name in self._metrics:
+            raise ValueError(f"metric {name!r} already registered")
+        self._metrics[name] = metric
+        self._kinds[name] = kind
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        if not self.enabled:
+            return NULL_COUNTER
+        return self._register(name, Counter(name), "delta")
+
+    def gauge(self, name: str) -> Gauge:
+        if not self.enabled:
+            return NULL_GAUGE
+        return self._register(name, Gauge(name), "gauge")
+
+    def histogram(self, name: str, bounds: Iterable[float] = ()) -> Histogram:
+        if not self.enabled:
+            return NULL_HISTOGRAM
+        return self._register(name, Histogram(name, bounds), "gauge")
+
+    def probe(
+        self, name: str, fn: Callable[[], float], kind: str = "gauge"
+    ) -> None:
+        """Register a pull-based metric; dropped when disabled."""
+        if kind not in ("gauge", "delta"):
+            raise ValueError(f"probe kind must be gauge or delta: {kind!r}")
+        if self.enabled:
+            self._register(name, Probe(name, fn), kind)
+
+    # ------------------------------------------------------------------
+    # Introspection (the sampler's read side)
+    # ------------------------------------------------------------------
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def kind(self, name: str) -> str:
+        return self._kinds[name]
+
+    def read(self, name: str) -> float:
+        return self._metrics[name].read()
+
+    def read_all(self) -> dict[str, float]:
+        return {name: m.read() for name, m in sorted(self._metrics.items())}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+
+#: The registry instrumented code falls back to when sampling is off.
+NULL_REGISTRY = MetricRegistry(enabled=False)

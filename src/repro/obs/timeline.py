@@ -1,0 +1,98 @@
+"""The serializable per-interval time series attached to a run.
+
+A :class:`Timeline` is what the interval sampler produces: one row of
+metric values every ``interval`` cycles, stored column-wise as named
+series.  It rides inside :class:`~repro.sim.result.RunResult`, so it
+must round-trip losslessly through ``to_dict``/``from_dict`` (the
+content-addressed cache and the process-pool executor both serialize
+results to JSON).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Timeline:
+    """Column-wise per-interval samples of named metrics.
+
+    ``series[name][i]`` is the value of ``name`` at ``cycles[i]``.
+    ``kinds[name]`` is ``"delta"`` (per-interval event count, summed
+    when merging SMs) or ``"gauge"`` (instantaneous value, averaged
+    when merging).
+    """
+
+    interval: int
+    cycles: list[int] = field(default_factory=list)
+    series: dict[str, list[float]] = field(default_factory=dict)
+    kinds: dict[str, str] = field(default_factory=dict)
+
+    def append(self, cycle: int, row: dict[str, float]) -> None:
+        """Add one sample row (all series advance together)."""
+        self.cycles.append(cycle)
+        for name, value in row.items():
+            self.series.setdefault(name, []).append(value)
+
+    def __len__(self) -> int:
+        return len(self.cycles)
+
+    def get(self, name: str) -> list[float]:
+        return self.series[name]
+
+    # ------------------------------------------------------------------
+    # Cross-SM merge
+    # ------------------------------------------------------------------
+    def merge(self, other: "Timeline") -> None:
+        """Fold another SM's timeline into this one, interval-aligned.
+
+        Delta series add (events across SMs accumulate); gauge series
+        average.  Rows beyond the shorter timeline keep the longer
+        timeline's values — an SM that drained early simply stops
+        contributing.
+        """
+        if other.interval != self.interval:
+            raise ValueError(
+                f"cannot merge timelines with intervals "
+                f"{self.interval} and {other.interval}"
+            )
+        if len(other) > len(self):
+            self.cycles = list(other.cycles)
+        for name, values in other.series.items():
+            kind = other.kinds.get(name, "gauge")
+            self.kinds.setdefault(name, kind)
+            mine = self.series.setdefault(name, [])
+            for i, value in enumerate(values):
+                if i < len(mine):
+                    if kind == "delta":
+                        mine[i] += value
+                    else:
+                        mine[i] = (mine[i] + value) / 2.0
+                else:
+                    mine.append(value)
+
+    # ------------------------------------------------------------------
+    # Serialisation (RunResult artifacts)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Lossless JSON-compatible representation."""
+        return {
+            "interval": int(self.interval),
+            "cycles": [int(c) for c in self.cycles],
+            "series": {
+                name: list(values)
+                for name, values in sorted(self.series.items())
+            },
+            "kinds": dict(sorted(self.kinds.items())),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Timeline":
+        return cls(
+            interval=int(data["interval"]),
+            cycles=[int(c) for c in data["cycles"]],
+            series={
+                name: list(values) for name, values in data["series"].items()
+            },
+            kinds=dict(data["kinds"]),
+        )

@@ -1,0 +1,231 @@
+"""Structured event tracer → Chrome trace-event / Perfetto JSON.
+
+The tracer is a bounded ring buffer of span, instant, and counter
+events.  The SM emits one span per pipeline stage of every in-flight
+instruction onto its warp's named track, spans for the compressor and
+decompressor units, and counter samples (bank accesses, compressed
+occupancy, gated banks, collector occupancy) at the sampling interval.
+``export()`` renders everything as Chrome trace-event JSON — the
+``chrome://tracing`` / Perfetto "JSON trace" dialect — with
+
+* ``pid`` = SM index (named ``SM n`` via process_name metadata),
+* ``tid`` = warp slot + 1 for warp tracks (named ``warp n``), plus
+  reserved tids for the compression pipeline tracks,
+* ``ts``/``dur`` in simulated cycles (displayed as microseconds).
+
+When the buffer overflows, the *oldest* events are dropped (the tail of
+a run is usually what a stall investigation needs) and the drop count
+is reported in the export's metadata.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+#: Reserved tids for non-warp tracks (warp tracks are warp_slot + 1).
+COMPRESSOR_TID = 9001
+DECOMPRESSOR_TID = 9002
+#: Counter events attach to tid 0 of their SM's pid.
+COUNTER_TID = 0
+
+#: Default ring-buffer capacity (events, not bytes).
+DEFAULT_CAPACITY = 200_000
+
+
+class EventTracer:
+    """Bounded recorder of trace events for one simulation."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity <= 0:
+            raise ValueError(f"tracer capacity must be positive: {capacity}")
+        self.capacity = capacity
+        self._events: deque[dict] = deque(maxlen=capacity)
+        self._track_names: dict[tuple[int, int], str] = {}
+        self._process_names: dict[int, str] = {}
+        self.emitted = 0
+
+    # ------------------------------------------------------------------
+    # Track naming
+    # ------------------------------------------------------------------
+    def name_process(self, pid: int, name: str) -> None:
+        self._process_names[pid] = name
+
+    def name_track(self, pid: int, tid: int, name: str) -> None:
+        self._track_names[(pid, tid)] = name
+
+    # ------------------------------------------------------------------
+    # Event emission
+    # ------------------------------------------------------------------
+    def _push(self, event: dict) -> None:
+        self.emitted += 1
+        self._events.append(event)
+
+    def span(
+        self,
+        pid: int,
+        tid: int,
+        name: str,
+        start: int,
+        end: int,
+        **args,
+    ) -> None:
+        """A complete ("X") event covering ``[start, end]`` cycles."""
+        self._push(
+            {
+                "ph": "X",
+                "pid": pid,
+                "tid": tid,
+                "name": name,
+                "ts": int(start),
+                "dur": max(0, int(end) - int(start)),
+                "args": args,
+            }
+        )
+
+    def instant(self, pid: int, tid: int, name: str, ts: int, **args) -> None:
+        self._push(
+            {
+                "ph": "i",
+                "s": "t",
+                "pid": pid,
+                "tid": tid,
+                "name": name,
+                "ts": int(ts),
+                "args": args,
+            }
+        )
+
+    def counter(self, pid: int, name: str, ts: int, **values) -> None:
+        """A counter ("C") sample — one stacked track per name."""
+        self._push(
+            {
+                "ph": "C",
+                "pid": pid,
+                "tid": COUNTER_TID,
+                "name": name,
+                "ts": int(ts),
+                "args": {k: float(v) for k, v in values.items()},
+            }
+        )
+
+    @property
+    def dropped(self) -> int:
+        return self.emitted - len(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def export(self) -> dict:
+        """Chrome trace-event JSON (the ``traceEvents`` envelope)."""
+        meta: list[dict] = []
+        for pid, name in sorted(self._process_names.items()):
+            meta.append(
+                {
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "ts": 0,
+                    "name": "process_name",
+                    "args": {"name": name},
+                }
+            )
+        for (pid, tid), name in sorted(self._track_names.items()):
+            meta.append(
+                {
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "ts": 0,
+                    "name": "thread_name",
+                    "args": {"name": name},
+                }
+            )
+        # Longest span first at equal timestamps so viewers nest
+        # contained stage spans under the enclosing instruction span.
+        events = sorted(
+            self._events,
+            key=lambda e: (e["ts"], e["pid"], e["tid"], -e.get("dur", 0)),
+        )
+        return {
+            "traceEvents": meta + events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "source": "repro.obs",
+                "events_emitted": self.emitted,
+                "events_dropped": self.dropped,
+                "time_unit": "simulated cycles (shown as us)",
+            },
+        }
+
+
+# ---------------------------------------------------------------------------
+# Schema validation (CI smoke + tests)
+# ---------------------------------------------------------------------------
+
+_REQUIRED_KEYS = {"ph", "pid", "tid", "name", "ts"}
+
+
+def validate_chrome_trace(payload: dict, strict: bool = False) -> list[str]:
+    """Check a trace export against the minimal Chrome-trace schema.
+
+    Validates: a ``traceEvents`` list whose entries carry the required
+    keys, non-negative sorted timestamps, non-negative durations, every
+    (pid, tid) used by a real event introduced by name metadata, and at
+    least one non-empty counter track.  Returns a list of problems;
+    with ``strict=True`` raises ``ValueError`` instead when any exist.
+    """
+    problems: list[str] = []
+    events = payload.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        problems.append("traceEvents missing or empty")
+        events = []
+
+    named_pids: set[int] = set()
+    named_tracks: set[tuple[int, int]] = set()
+    last_ts = None
+    counter_tracks: set[str] = set()
+    for i, event in enumerate(events):
+        missing = _REQUIRED_KEYS - set(event)
+        if missing:
+            problems.append(f"event {i} missing keys {sorted(missing)}")
+            continue
+        ph = event["ph"]
+        ts = event["ts"]
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"event {i} has invalid ts {ts!r}")
+        if ph == "M":
+            if event["name"] == "process_name":
+                named_pids.add(event["pid"])
+            elif event["name"] == "thread_name":
+                named_tracks.add((event["pid"], event["tid"]))
+            continue
+        if last_ts is not None and ts < last_ts:
+            problems.append(f"event {i} timestamps not sorted ({ts} < {last_ts})")
+        last_ts = ts
+        if event["pid"] not in named_pids:
+            problems.append(f"event {i} pid {event['pid']} has no process_name")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"event {i} has invalid dur {dur!r}")
+            if (event["pid"], event["tid"]) not in named_tracks:
+                problems.append(
+                    f"event {i} track ({event['pid']}, {event['tid']}) "
+                    "has no thread_name"
+                )
+        elif ph == "C":
+            if not event.get("args"):
+                problems.append(f"counter event {i} has empty args")
+            else:
+                counter_tracks.add(event["name"])
+    if not counter_tracks:
+        problems.append("no non-empty counter tracks")
+
+    # Deduplicate while preserving order, and cap the report.
+    problems = list(dict.fromkeys(problems))[:50]
+    if strict and problems:
+        raise ValueError("invalid Chrome trace: " + "; ".join(problems))
+    return problems

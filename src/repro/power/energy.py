@@ -139,6 +139,26 @@ class EnergyModel:
     def record_decompression(self, count: int = 1) -> None:
         self.decompressions += count
 
+    def attach_metrics(self, registry) -> None:
+        """Register event totals into a :class:`repro.obs` registry.
+
+        These are the grant-time access counts the interval sampler
+        turns into per-interval bank pressure and codec activity series.
+        """
+        registry.probe("energy.bank_reads", lambda: self.bank_reads, kind="delta")
+        registry.probe(
+            "energy.bank_writes", lambda: self.bank_writes, kind="delta"
+        )
+        registry.probe(
+            "energy.compressions", lambda: self.compressions, kind="delta"
+        )
+        registry.probe(
+            "energy.decompressions", lambda: self.decompressions, kind="delta"
+        )
+        registry.probe(
+            "energy.rfc_accesses", lambda: self.rfc_accesses, kind="delta"
+        )
+
     def finalize(
         self, cycles: int, gated_cycles_per_bank: list[int] | None = None
     ) -> None:

@@ -184,6 +184,15 @@ class BankGatingController:
     def total_wakeups(self) -> int:
         return sum(b.wakeups for b in self._banks)
 
+    def gated_bank_count(self) -> int:
+        """Banks currently powered off (the live Figure 10 signal)."""
+        return sum(1 for b in self._banks if b.state is BankState.GATED)
+
+    def attach_metrics(self, registry) -> None:
+        """Register gating state into a :class:`repro.obs` registry."""
+        registry.probe("gating.gated_banks", self.gated_bank_count)
+        registry.probe("gating.wakeups", self.total_wakeups, kind="delta")
+
     def state(self, bank: int) -> BankState:
         return self._banks[bank].state
 

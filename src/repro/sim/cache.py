@@ -32,8 +32,9 @@ DEFAULT_CACHE_DIR = ".repro-cache"
 
 #: Packages whose source determines simulation outcomes.  ``harness`` and
 #: ``sim`` itself are deliberately excluded: they orchestrate and report,
-#: they do not change what a simulation computes.
-_VERSIONED_PACKAGES = ("core", "gpu", "power", "kernels", "analysis")
+#: they do not change what a simulation computes.  ``obs`` is included
+#: because the interval sampler shapes the cached ``timeline`` payload.
+_VERSIONED_PACKAGES = ("core", "gpu", "power", "kernels", "analysis", "obs")
 
 _code_version: str | None = None
 

@@ -17,10 +17,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.analysis.stats import RunStats, TimingStats, ValueStats
+from repro.obs.timeline import Timeline
 from repro.power.energy import EnergyBreakdown, EnergyModel
 
 #: Bump when the serialized layout changes (cache entries self-identify).
-SCHEMA_VERSION = 1
+#: v2: added ``timeline`` (interval-sampled series) and
+#: ``timing.issue_idle_cycles``.
+SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True, eq=False)
@@ -42,6 +45,8 @@ class RunResult:
     gated_fractions: tuple[float, ...] | None = None
     #: path to the run's register-write trace (``.npz``), if captured
     trace_path: str | None = None
+    #: interval-sampled metric series (``GPUConfig.sample_interval > 0``)
+    timeline: Timeline | None = None
     #: ``True`` when this result was materialized from the on-disk cache
     from_cache: bool = field(default=False, compare=False)
 
@@ -59,6 +64,7 @@ class RunResult:
             energy_breakdown=self.energy,
             energy_model=self.energy_model,
             gated_fractions=self.gated_fractions,
+            timeline=self.timeline,
         )
 
     # ------------------------------------------------------------------
@@ -86,6 +92,7 @@ class RunResult:
                 else None
             ),
             "trace_path": self.trace_path,
+            "timeline": self.timeline.to_dict() if self.timeline else None,
         }
 
     @classmethod
@@ -125,5 +132,10 @@ class RunResult:
                 else None
             ),
             trace_path=data["trace_path"],
+            timeline=(
+                Timeline.from_dict(data["timeline"])
+                if data.get("timeline") is not None
+                else None
+            ),
             from_cache=from_cache,
         )

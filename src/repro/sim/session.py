@@ -25,8 +25,10 @@ a warm-cache rerun simulates nothing.
 
 from __future__ import annotations
 
+import os
 import tempfile
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Iterable
@@ -36,8 +38,12 @@ from repro.gpu.functional import run_functional
 from repro.gpu.launch import run_kernel
 from repro.gpu.trace import capture_trace, replay_trace
 from repro.kernels import benchmark_names, get_benchmark
+from repro.obs.log import get_logger
+from repro.obs.profiler import HostProfiler
 from repro.sim.cache import ResultCache, code_version, default_cache_dir, fingerprint
 from repro.sim.result import RunResult
+
+logger = get_logger("sim.session")
 
 
 class SimulationCounter:
@@ -183,13 +189,24 @@ def simulate(request: SimRequest, trace_destination: str | None = None) -> RunRe
         energy=sim.stats.energy_breakdown,
         energy_model=sim.stats.energy_model,
         gated_fractions=sim.stats.gated_fractions,
+        timeline=sim.stats.timeline,
     )
 
 
 def _pool_simulate(job: tuple[SimRequest, str | None]) -> dict:
-    """Worker-process entry point: simulate and ship a plain dict back."""
+    """Worker-process entry point: simulate and ship a plain dict back.
+
+    The payload carries the worker's pid and wall-clock so the parent's
+    :class:`~repro.obs.profiler.HostProfiler` can attribute throughput.
+    """
     request, trace_destination = job
-    return simulate(request, trace_destination).to_dict()
+    start = time.perf_counter()
+    result = simulate(request, trace_destination).to_dict()
+    return {
+        "result": result,
+        "elapsed": time.perf_counter() - start,
+        "worker": os.getpid(),
+    }
 
 
 class Session:
@@ -204,11 +221,13 @@ class Session:
         cache_dir: str | Path | None = None,
         use_disk_cache: bool = True,
         max_workers: int = 1,
+        profiler: HostProfiler | None = None,
     ):
         self.scale = scale
         self.verbose = verbose
         self.subset = subset
         self.max_workers = max_workers
+        self.profiler = profiler
         self._memo: dict[str, RunResult] = {}
         self._disk: ResultCache | None = None
         if use_disk_cache:
@@ -265,20 +284,7 @@ class Session:
 
         if misses:
             if self.max_workers > 1 and len(misses) > 1:
-                jobs = [
-                    (request, self._trace_destination(request, key))
-                    for key, (request, _) in misses.items()
-                ]
-                with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-                    payloads = list(pool.map(_pool_simulate, jobs))
-                for (key, (request, material)), payload in zip(
-                    misses.items(), payloads
-                ):
-                    result = RunResult.from_dict(payload)
-                    self.simulated += 1
-                    SIM_COUNTER.add()  # workers counted in their own process
-                    self._log(request)
-                    self._store(key, material, result)
+                self._run_pool(misses)
             else:
                 for key, (request, material) in misses.items():
                     result = self._execute(request, key)
@@ -289,6 +295,34 @@ class Session:
             if request not in out:
                 out[request] = self._memo[fingerprint(request.key_material())]
         return out
+
+    def _run_pool(self, misses: dict[str, tuple[SimRequest, dict]]) -> None:
+        """Fan cache misses across worker processes with progress beats."""
+        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+            futures = {
+                pool.submit(
+                    _pool_simulate,
+                    (request, self._trace_destination(request, key)),
+                ): (key, request, material)
+                for key, (request, material) in misses.items()
+            }
+            done = 0
+            for future in as_completed(futures):
+                key, request, material = futures[future]
+                payload = future.result()
+                result = RunResult.from_dict(payload["result"])
+                self.simulated += 1
+                SIM_COUNTER.add()  # workers counted in their own process
+                done += 1
+                if self.profiler is not None:
+                    self.profiler.record_simulation(
+                        payload["elapsed"], worker=payload["worker"]
+                    )
+                    self.profiler.heartbeat(
+                        done, len(futures), label=request.benchmark
+                    )
+                self._log(request)
+                self._store(key, material, result)
 
     # Convenience wrappers mirroring the retired SimulationCache API.
     def timing_run(self, benchmark: str, **overrides) -> RunResult:
@@ -323,8 +357,11 @@ class Session:
 
     def _execute(self, request: SimRequest, key: str) -> RunResult:
         self._log(request)
+        start = time.perf_counter()
         result = simulate(request, self._trace_destination(request, key))
         self.simulated += 1
+        if self.profiler is not None:
+            self.profiler.record_simulation(time.perf_counter() - start)
         return result
 
     def _store(self, key: str, material: dict, result: RunResult) -> None:
@@ -344,8 +381,6 @@ class Session:
         return str(Path(self._tmp_trace_dir) / f"{key}.npz")
 
     def _log(self, request: SimRequest) -> None:
-        if not self.verbose:
-            return
         config = request.gpu_config()
         default = GPUConfig()
         deltas = ""
@@ -356,7 +391,13 @@ class Session:
                 if value != getattr(default, name)
             }
             deltas = "".join(f", {k}={v}" for k, v in sorted(changed.items()))
-        print(
+        message = (
             f"  simulating {request.benchmark} [{request.policy}"
             f"{'' if request.timing else ', functional'}{deltas}]"
         )
+        # ``verbose`` promotes the line to INFO (shown at the default log
+        # level); otherwise it is DEBUG-only detail.
+        if self.verbose:
+            logger.info(message)
+        else:
+            logger.debug(message)

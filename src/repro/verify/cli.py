@@ -1,4 +1,4 @@
-"""``repro`` CLI — verification entry point.
+"""``repro`` CLI — verification and observability entry point.
 
 Examples::
 
@@ -6,9 +6,12 @@ Examples::
     repro verify --seeds 50 --no-suite    # generated kernels only
     repro verify --start-seed 1000 --seeds 500
     repro verify --replay .repro-cache/verify/fail-42-0123456789ab.json
+    repro trace vecadd --timeline out.json   # Perfetto-loadable timeline
+    repro profile vecadd --limit 15          # host-side hot-spot table
 
 Exit status is non-zero on any functional-vs-cycle mismatch,
-codec-vs-BDI mismatch, or pipeline invariant violation.
+codec-vs-BDI mismatch, pipeline invariant violation, or (for ``trace``)
+a trace export that fails the Chrome-trace schema check.
 """
 
 from __future__ import annotations
@@ -45,6 +48,85 @@ def _verify_suite(policies: list[str], quiet: bool) -> list[str]:
                     f"checked ({time.time() - start:.1f}s)"
                 )
     return failures
+
+
+def _cmd_trace(args) -> int:
+    """Run one kernel with full sampling + tracing; export Chrome JSON."""
+    import json
+
+    from repro.analysis.timeline import timeline_summary
+    from repro.gpu.config import GPUConfig
+    from repro.gpu.launch import run_kernel
+    from repro.kernels import get_benchmark
+    from repro.obs.tracer import EventTracer, validate_chrome_trace
+
+    bench = get_benchmark(args.benchmark)
+    spec = bench.launch(args.scale)
+    gmem = spec.fresh_memory()
+    config = GPUConfig(sample_interval=args.interval)
+    tracer = EventTracer(capacity=args.capacity)
+    sim = run_kernel(
+        spec.kernel,
+        spec.grid_dim,
+        spec.cta_dim,
+        spec.params,
+        gmem,
+        config=config,
+        policy=args.policy,
+        tracer=tracer,
+    )
+    payload = tracer.export()
+    problems = validate_chrome_trace(payload)
+    with open(args.timeline, "w") as fh:
+        json.dump(payload, fh)
+    print(
+        f"wrote {args.timeline}: {len(payload['traceEvents'])} events "
+        f"({tracer.dropped} dropped) over {sim.cycles} cycles "
+        f"[{args.benchmark}, {args.policy}] — load in ui.perfetto.dev or "
+        "chrome://tracing"
+    )
+    if sim.stats.timeline is not None:
+        print(timeline_summary(sim.stats.timeline))
+    for problem in problems:
+        print(f"  schema problem: {problem}")
+    return 1 if problems else 0
+
+
+def _cmd_profile(args) -> int:
+    """cProfile one kernel simulation; print a sorted hot-spot table."""
+    import cProfile
+    import io
+    import pstats
+
+    from repro.gpu.config import GPUConfig
+    from repro.gpu.launch import run_kernel
+    from repro.kernels import get_benchmark
+
+    bench = get_benchmark(args.benchmark)
+    spec = bench.launch(args.scale)
+    gmem = spec.fresh_memory()
+    config = GPUConfig()
+    profile = cProfile.Profile()
+    profile.enable()
+    sim = run_kernel(
+        spec.kernel,
+        spec.grid_dim,
+        spec.cta_dim,
+        spec.params,
+        gmem,
+        config=config,
+        policy=args.policy,
+    )
+    profile.disable()
+    buffer = io.StringIO()
+    stats = pstats.Stats(profile, stream=buffer)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.limit)
+    print(
+        f"profiled {args.benchmark} [{args.policy}]: {sim.cycles} "
+        f"simulated cycles"
+    )
+    print(buffer.getvalue().rstrip())
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -104,7 +186,76 @@ def main(argv: list[str] | None = None) -> int:
     verify.add_argument(
         "--quiet", action="store_true", help="suppress per-kernel progress"
     )
+
+    trace = sub.add_parser(
+        "trace",
+        help="export a Chrome-trace / Perfetto timeline of one kernel",
+        description="Run one benchmark kernel cycle-accurately with full "
+        "interval sampling and event tracing, write the Chrome "
+        "trace-event JSON, and print per-series sparklines.",
+    )
+    trace.add_argument("benchmark", help="benchmark name (see --list)")
+    trace.add_argument(
+        "--timeline",
+        required=True,
+        metavar="FILE",
+        help="output path for the Chrome trace-event JSON",
+    )
+    trace.add_argument(
+        "--scale",
+        choices=("small", "default"),
+        default="small",
+        help="workload scale (default: small — traces grow fast)",
+    )
+    trace.add_argument(
+        "--policy", default="warped", help="compression policy (default: warped)"
+    )
+    trace.add_argument(
+        "--interval",
+        type=int,
+        default=64,
+        metavar="N",
+        help="counter-sampling period in cycles (default 64)",
+    )
+    trace.add_argument(
+        "--capacity",
+        type=int,
+        default=200_000,
+        metavar="N",
+        help="event ring-buffer capacity (oldest events drop beyond it)",
+    )
+
+    profile = sub.add_parser(
+        "profile",
+        help="host-side cProfile hot-spot table for one kernel",
+        description="Simulate one benchmark under cProfile and print the "
+        "hottest simulator functions.",
+    )
+    profile.add_argument("benchmark", help="benchmark name")
+    profile.add_argument(
+        "--scale", choices=("small", "default"), default="small"
+    )
+    profile.add_argument("--policy", default="warped")
+    profile.add_argument(
+        "--limit",
+        type=int,
+        default=20,
+        metavar="N",
+        help="rows of the hot-spot table (default 20)",
+    )
+    profile.add_argument(
+        "--sort",
+        default="cumulative",
+        choices=("cumulative", "tottime", "calls"),
+        help="pstats sort key (default: cumulative)",
+    )
+
     args = parser.parse_args(argv)
+
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
 
     if args.replay:
         try:

@@ -1,0 +1,318 @@
+"""End-to-end observability: sampled runs, cached timelines, tracing.
+
+Covers the acceptance criteria of the observability layer:
+
+* a sampled timing run attaches a populated ``Timeline`` to its
+  ``RunResult`` and the timeline round-trips losslessly through the
+  on-disk cache;
+* a pre-schema-bump cache entry is treated as a miss (stale-entry
+  invalidation), not a crash;
+* a traced run exports Perfetto-loadable Chrome-trace JSON with the
+  required named tracks;
+* sampling disabled leaves no registry/sampler attached to the SM;
+* the host profiler and logging layer behave as the CLI expects.
+"""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.gpu.config import GPUConfig
+from repro.gpu.launch import run_kernel
+from repro.kernels import get_benchmark
+from repro.obs.log import configure_logging, get_logger
+from repro.obs.profiler import HostProfiler
+from repro.obs.tracer import EventTracer, validate_chrome_trace
+from repro.sim import SIM_COUNTER, RunResult, Session, SimRequest, simulate
+from repro.sim.cache import fingerprint
+from repro.sim.result import SCHEMA_VERSION
+
+SAMPLED = (("sample_interval", 32),)
+
+
+def small_launch(name="lib"):
+    bench = get_benchmark(name)
+    spec = bench.launch("small")
+    return spec, spec.fresh_memory()
+
+
+# ---------------------------------------------------------------------------
+# Sampled runs and cached timelines
+# ---------------------------------------------------------------------------
+
+
+class TestSampledRuns:
+    def test_unsampled_run_has_no_timeline_or_registry(self):
+        spec, gmem = small_launch()
+        sim = run_kernel(
+            spec.kernel, spec.grid_dim, spec.cta_dim, spec.params, gmem
+        )
+        assert sim.stats.timeline is None
+
+    def test_sampled_run_attaches_timeline(self):
+        spec, gmem = small_launch()
+        sim = run_kernel(
+            spec.kernel,
+            spec.grid_dim,
+            spec.cta_dim,
+            spec.params,
+            gmem,
+            config=GPUConfig(sample_interval=32),
+        )
+        tl = sim.stats.timeline
+        assert tl is not None and len(tl) > 1
+        assert tl.interval == 32
+        # The headline series the recipe documents are all present.
+        for name in (
+            "sm.issued",
+            "sm.issue_idle",
+            "sm.movs",
+            "energy.bank_reads",
+            "regfile.compressed_fraction",
+            "gating.gated_banks",
+            "collector.in_use",
+        ):
+            assert name in tl.series, name
+        assert tl.kinds["sm.issued"] == "delta"
+        assert tl.kinds["regfile.compressed_fraction"] == "gauge"
+        # Conservation: interval deltas sum to the run totals.
+        assert sum(tl.get("sm.issued")) == sim.stats.timing.issued
+
+    def test_sample_interval_changes_cache_key(self):
+        plain = SimRequest("lib", scale="small")
+        sampled = SimRequest("lib", scale="small", config_overrides=SAMPLED)
+        assert fingerprint(plain.key_material()) != fingerprint(
+            sampled.key_material()
+        )
+
+    def test_timeline_roundtrips_through_run_result(self):
+        result = simulate(
+            SimRequest("lib", scale="small", config_overrides=SAMPLED)
+        )
+        assert result.timeline is not None
+        wire = json.loads(json.dumps(result.to_dict()))
+        restored = RunResult.from_dict(wire)
+        assert restored.timeline == result.timeline
+        assert json.dumps(restored.to_dict(), sort_keys=True) == json.dumps(
+            result.to_dict(), sort_keys=True
+        )
+
+    def test_timeline_survives_disk_cache(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        request = SimRequest("lib", scale="small", config_overrides=SAMPLED)
+        first = Session(scale="small", cache_dir=cache_dir).run(request)
+        warm = Session(scale="small", cache_dir=cache_dir)
+        before = SIM_COUNTER.value
+        again = warm.run(request)
+        assert SIM_COUNTER.value == before  # pure cache hit
+        assert again.from_cache
+        assert again.timeline == first.timeline
+
+
+class TestSchemaInvalidation:
+    def test_current_schema_is_v2(self):
+        assert SCHEMA_VERSION == 2
+
+    def test_stale_schema_entry_is_a_miss(self, tmp_path):
+        """A cache written before the schema bump re-simulates cleanly."""
+        cache_dir = tmp_path / "cache"
+        session = Session(scale="small", cache_dir=cache_dir)
+        session.functional_run("lib")
+        (entry,) = cache_dir.glob("results/*/*.json")
+        stale = json.loads(entry.read_text())
+        stale["result"]["schema"] = SCHEMA_VERSION - 1
+        stale["result"].pop("timeline", None)  # v1 had no timeline field
+        entry.write_text(json.dumps(stale))
+
+        fresh = Session(scale="small", cache_dir=cache_dir)
+        before = SIM_COUNTER.value
+        result = fresh.functional_run("lib")
+        assert not result.from_cache
+        assert SIM_COUNTER.value == before + 1
+
+
+# ---------------------------------------------------------------------------
+# Tracing end-to-end
+# ---------------------------------------------------------------------------
+
+
+class TestTracedRun:
+    @pytest.fixture(scope="class")
+    def traced(self):
+        spec, gmem = small_launch()
+        tracer = EventTracer()
+        sim = run_kernel(
+            spec.kernel,
+            spec.grid_dim,
+            spec.cta_dim,
+            spec.params,
+            gmem,
+            config=GPUConfig(sample_interval=32),
+            tracer=tracer,
+        )
+        return sim, tracer, tracer.export()
+
+    def test_export_passes_schema_validation(self, traced):
+        _, _, payload = traced
+        assert validate_chrome_trace(payload, strict=True) == []
+
+    def test_required_named_tracks_present(self, traced):
+        _, _, payload = traced
+        thread_names = {
+            e["args"]["name"]
+            for e in payload["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert "warp 0" in thread_names
+        assert "compressors" in thread_names
+        assert "decompressors" in thread_names
+        counter_tracks = {
+            e["name"] for e in payload["traceEvents"] if e["ph"] == "C"
+        }
+        assert {
+            "bank accesses",
+            "compressed occupancy",
+            "gated banks",
+            "collector occupancy",
+            "issue",
+        } <= counter_tracks
+        assert len(thread_names | counter_tracks) >= 4
+
+    def test_warp_spans_cover_instructions(self, traced):
+        sim, _, payload = traced
+        warp_spans = [
+            e
+            for e in payload["traceEvents"]
+            if e["ph"] == "X" and 1 <= e["tid"] <= 64
+        ]
+        assert warp_spans
+        stage_names = {"collect", "exec", "write", "stall"}
+        full_ops = [
+            e for e in warp_spans if e["name"] not in stage_names
+        ]
+        # Every full-op span carries its issue pc and fits in the run.
+        for span in full_ops:
+            assert "pc" in span["args"]
+            assert 0 <= span["ts"] <= sim.cycles
+            assert span["ts"] + span["dur"] <= sim.cycles
+
+    def test_tracer_without_sampling_config_still_samples(self):
+        """A tracer alone turns on counter sampling (default interval)."""
+        spec, gmem = small_launch()
+        tracer = EventTracer()
+        sim = run_kernel(
+            spec.kernel,
+            spec.grid_dim,
+            spec.cta_dim,
+            spec.params,
+            gmem,
+            tracer=tracer,
+        )
+        assert sim.stats.timeline is not None
+        assert any(
+            e["ph"] == "C" for e in tracer.export()["traceEvents"]
+        )
+
+    def test_traced_values_match_untraced_run(self):
+        """Observability must not perturb simulation results."""
+        spec, gmem = small_launch()
+        plain = run_kernel(
+            spec.kernel, spec.grid_dim, spec.cta_dim, spec.params, gmem
+        )
+        spec2, gmem2 = small_launch()
+        traced = run_kernel(
+            spec2.kernel,
+            spec2.grid_dim,
+            spec2.cta_dim,
+            spec2.params,
+            gmem2,
+            config=GPUConfig(sample_interval=16),
+            tracer=EventTracer(),
+        )
+        assert traced.cycles == plain.cycles
+        assert json.dumps(
+            traced.stats.value.to_dict(), sort_keys=True
+        ) == json.dumps(plain.stats.value.to_dict(), sort_keys=True)
+
+
+# ---------------------------------------------------------------------------
+# Host-side profiling and logging
+# ---------------------------------------------------------------------------
+
+
+class TestHostProfiler:
+    def test_phases_accumulate(self):
+        profiler = HostProfiler()
+        with profiler.phase("render"):
+            pass
+        with profiler.phase("render"):
+            pass
+        assert profiler.phase_calls["render"] == 2
+        assert profiler.phases["render"] >= 0.0
+
+    def test_to_dict_payload_shape(self):
+        profiler = HostProfiler()
+        with profiler.phase("fig03"):
+            pass
+        profiler.record_simulation(0.25, worker=1234)
+        payload = json.loads(json.dumps(profiler.to_dict()))
+        assert payload["phases"]["fig03"]["calls"] == 1
+        assert payload["simulations"]["count"] == 1
+        assert payload["workers"]["1234"]["simulations"] == 1
+        assert payload["workers"]["1234"]["throughput_per_s"] == 4.0
+
+    def test_hotspot_table_sorted(self):
+        profiler = HostProfiler()
+        profiler.phases = {"fast": 0.1, "slow": 2.0}
+        profiler.phase_calls = {"fast": 1, "slow": 1}
+        table = profiler.hotspot_table()
+        assert table.index("slow") < table.index("fast")
+        assert HostProfiler().hotspot_table() == "(no phases recorded)"
+
+    def test_session_records_simulations(self, tmp_path):
+        profiler = HostProfiler()
+        session = Session(
+            scale="small", cache_dir=tmp_path / "cache", profiler=profiler
+        )
+        session.functional_run("lib")
+        assert profiler.sim_seconds.total == 1
+        # Cache hits are not simulations.
+        session.functional_run("lib")
+        assert profiler.sim_seconds.total == 1
+
+
+class TestLogging:
+    def test_configure_is_idempotent(self):
+        root = configure_logging("info")
+        configure_logging("info")
+        assert len(root.handlers) == 1
+
+    def test_level_controls_output(self):
+        stream = io.StringIO()
+        configure_logging("warning", stream=stream)
+        logger = get_logger("test.obs")
+        logger.info("progress line")
+        logger.warning("something odd")
+        out = stream.getvalue()
+        assert "progress line" not in out
+        assert "something odd" in out
+        # Restore the default so later tests see INFO-level behavior.
+        configure_logging("info")
+
+    def test_bare_message_format(self):
+        stream = io.StringIO()
+        configure_logging("info", stream=stream)
+        get_logger("x").info("exactly this")
+        assert stream.getvalue() == "exactly this\n"
+        configure_logging("info")
+
+    def test_invalid_level_rejected(self):
+        with pytest.raises(ValueError, match="log level"):
+            configure_logging("loud")
+
+    def test_loggers_share_the_repro_root(self):
+        assert get_logger("a.b").parent.name.startswith("repro")
+        assert get_logger().name == "repro"
+        assert isinstance(get_logger("x"), logging.Logger)

@@ -1,0 +1,126 @@
+"""Tests for the repro.obs metric registry and instruments."""
+
+import time
+
+import pytest
+
+from repro.obs.metrics import (
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+)
+
+
+class TestInstruments:
+    def test_counter(self):
+        c = Counter("events")
+        c.inc()
+        c.add(4)
+        assert c.read() == 5
+
+    def test_gauge(self):
+        g = Gauge("depth")
+        g.set(3.5)
+        g.add(1)
+        assert g.read() == 4.5
+
+    def test_histogram_buckets(self):
+        h = Histogram("lat", bounds=(1.0, 10.0))
+        for v in (0.5, 0.9, 5.0, 100.0):
+            h.observe(v)
+        assert h.counts == [2, 1, 1]  # <=1, <=10, overflow
+        assert h.total == 4
+        assert h.mean == pytest.approx((0.5 + 0.9 + 5.0 + 100.0) / 4)
+
+    def test_histogram_bounds_sorted(self):
+        h = Histogram("x", bounds=(10.0, 1.0))
+        assert h.bounds == (1.0, 10.0)
+
+
+class TestRegistry:
+    def test_registration_and_read(self):
+        reg = MetricRegistry()
+        c = reg.counter("a.count")
+        g = reg.gauge("a.level")
+        c.add(3)
+        g.set(7)
+        assert reg.read("a.count") == 3
+        assert reg.read("a.level") == 7
+        assert reg.names() == ["a.count", "a.level"]
+        assert reg.kind("a.count") == "delta"
+        assert reg.kind("a.level") == "gauge"
+        assert reg.read_all() == {"a.count": 3, "a.level": 7}
+
+    def test_duplicate_name_rejected(self):
+        reg = MetricRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("x")
+
+    def test_probe_pull_based(self):
+        reg = MetricRegistry()
+        state = {"v": 0}
+        calls = []
+
+        def read():
+            calls.append(1)
+            return state["v"]
+
+        reg.probe("probe.v", read, kind="delta")
+        assert not calls  # registration never evaluates
+        state["v"] = 42
+        assert reg.read("probe.v") == 42
+        assert len(calls) == 1
+
+    def test_probe_kind_validated(self):
+        with pytest.raises(ValueError, match="gauge or delta"):
+            MetricRegistry().probe("x", lambda: 0, kind="rate")
+
+
+class TestDisabledRegistry:
+    def test_hands_out_shared_null_singletons(self):
+        reg = MetricRegistry(enabled=False)
+        assert reg.counter("a") is NULL_COUNTER
+        assert reg.gauge("b") is NULL_GAUGE
+        assert reg.histogram("c") is NULL_HISTOGRAM
+        assert len(reg) == 0
+
+    def test_null_instruments_are_noops(self):
+        NULL_COUNTER.inc()
+        NULL_COUNTER.add(5)
+        NULL_GAUGE.set(3)
+        NULL_HISTOGRAM.observe(1.0)
+        assert NULL_COUNTER.read() == 0.0
+        assert NULL_GAUGE.read() == 0.0
+
+    def test_probes_dropped(self):
+        reg = MetricRegistry(enabled=False)
+        reg.probe("x", lambda: 1 / 0)  # must never be evaluated
+        assert "x" not in reg
+        assert reg.names() == []
+
+    def test_null_registry_singleton_disabled(self):
+        assert not NULL_REGISTRY.enabled
+        assert NULL_REGISTRY.counter("anything") is NULL_COUNTER
+
+
+class TestOverhead:
+    def test_null_instrument_overhead_is_small(self):
+        """Perf smoke: disabled instruments must stay trivially cheap.
+
+        The budget is deliberately generous (shared CI machines) — this
+        guards against the null path accidentally growing real work, not
+        against ordinary jitter.
+        """
+        c = MetricRegistry(enabled=False).counter("hot.path")
+        n = 200_000
+        start = time.perf_counter()
+        for _ in range(n):
+            c.inc()
+        elapsed = time.perf_counter() - start
+        assert elapsed < 1.0, f"{n} null increments took {elapsed:.3f}s"

@@ -1,0 +1,139 @@
+"""Tests for Timeline, the interval sampler, and timeline reductions."""
+
+import json
+
+import pytest
+
+from repro.analysis.timeline import (
+    moving_average,
+    peak,
+    rates,
+    sparkline,
+    timeline_summary,
+)
+from repro.obs.metrics import MetricRegistry
+from repro.obs.sampler import IntervalSampler
+from repro.obs.timeline import Timeline
+
+
+def make_timeline():
+    tl = Timeline(interval=10)
+    tl.kinds = {"issued": "delta", "depth": "gauge"}
+    tl.append(10, {"issued": 5.0, "depth": 2.0})
+    tl.append(20, {"issued": 7.0, "depth": 4.0})
+    tl.append(25, {"issued": 1.0, "depth": 6.0})  # trailing partial row
+    return tl
+
+
+class TestTimeline:
+    def test_append_and_get(self):
+        tl = make_timeline()
+        assert len(tl) == 3
+        assert tl.get("issued") == [5.0, 7.0, 1.0]
+        assert tl.cycles == [10, 20, 25]
+
+    def test_roundtrip_lossless(self):
+        tl = make_timeline()
+        wire = json.loads(json.dumps(tl.to_dict()))
+        restored = Timeline.from_dict(wire)
+        assert restored == tl
+
+    def test_merge_delta_sums_gauge_averages(self):
+        a, b = make_timeline(), make_timeline()
+        a.merge(b)
+        assert a.get("issued") == [10.0, 14.0, 2.0]
+        assert a.get("depth") == [2.0, 4.0, 6.0]  # same values average out
+
+    def test_merge_interval_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="intervals"):
+            Timeline(interval=10).merge(Timeline(interval=20))
+
+    def test_merge_uneven_lengths_keeps_longer_tail(self):
+        a = Timeline(interval=10)
+        a.kinds = {"issued": "delta"}
+        a.append(10, {"issued": 1.0})
+        b = make_timeline()
+        a.merge(b)
+        assert len(a) == 3
+        assert a.get("issued") == [6.0, 7.0, 1.0]
+
+
+class TestSampler:
+    def test_samples_on_interval_boundaries(self):
+        reg = MetricRegistry()
+        c = reg.counter("n")
+        sampler = IntervalSampler(reg, interval=4)
+        rows = []
+        for cycle in range(1, 10):
+            c.inc()
+            row = sampler.tick(cycle)
+            if row is not None:
+                rows.append((cycle, row))
+        assert [cycle for cycle, _ in rows] == [4, 8]
+        # Delta metrics arrive as per-interval differences.
+        assert rows[0][1]["n"] == 4.0
+        assert rows[1][1]["n"] == 4.0
+
+    def test_gauge_sampled_as_instantaneous(self):
+        reg = MetricRegistry()
+        g = reg.gauge("depth")
+        sampler = IntervalSampler(reg, interval=2)
+        g.set(9)
+        sampler.tick(2)
+        g.set(3)
+        sampler.tick(4)
+        assert sampler.timeline.get("depth") == [9.0, 3.0]
+
+    def test_finish_flushes_partial_interval(self):
+        reg = MetricRegistry()
+        c = reg.counter("n")
+        sampler = IntervalSampler(reg, interval=10)
+        for cycle in range(1, 14):
+            c.inc()
+            sampler.tick(cycle)
+        tl = sampler.finish(13)
+        assert tl.cycles == [10, 13]
+        assert tl.get("n") == [10.0, 3.0]
+        assert tl.kinds["n"] == "delta"
+
+    def test_finish_idempotent_on_boundary(self):
+        reg = MetricRegistry()
+        reg.counter("n")
+        sampler = IntervalSampler(reg, interval=5)
+        sampler.tick(5)
+        assert len(sampler.finish(5)) == 1
+
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            IntervalSampler(MetricRegistry(), interval=0)
+
+
+class TestReductions:
+    def test_rates_use_recorded_cycle_axis(self):
+        tl = make_timeline()
+        # 5 events over the first 10 cycles, 7 over 10, then 1 over 5.
+        assert rates(tl, "issued") == [0.5, 0.7, 0.2]
+
+    def test_moving_average(self):
+        assert moving_average([1.0, 3.0, 5.0], window=2) == [1.0, 2.0, 4.0]
+        with pytest.raises(ValueError):
+            moving_average([1.0], window=0)
+
+    def test_peak(self):
+        assert peak(make_timeline(), "depth") == (25, 6.0)
+
+    def test_sparkline_shape(self):
+        line = sparkline([0.0, 1.0, 2.0, 4.0])
+        assert len(line) == 4
+        assert line[0] == "▁" and line[-1] == "█"
+        assert sparkline([]) == ""
+        assert sparkline([0.0, 0.0]) == "▁▁"
+
+    def test_sparkline_buckets_long_series(self):
+        assert len(sparkline(list(range(1000)), width=60)) == 60
+
+    def test_summary_mentions_every_series(self):
+        text = timeline_summary(make_timeline())
+        assert "issued" in text and "depth" in text
+        assert "64 samples" not in text  # uses the real sample count
+        assert timeline_summary(Timeline(interval=4)) == "(empty timeline)"

@@ -1,0 +1,142 @@
+"""Tests for the event tracer and the Chrome-trace schema validator."""
+
+import json
+
+import pytest
+
+from repro.obs.tracer import (
+    COMPRESSOR_TID,
+    COUNTER_TID,
+    EventTracer,
+    validate_chrome_trace,
+)
+
+
+def make_valid_tracer():
+    tracer = EventTracer()
+    tracer.name_process(0, "SM 0")
+    tracer.name_track(0, 1, "warp 0")
+    tracer.name_track(0, COMPRESSOR_TID, "compressors")
+    tracer.span(0, 1, "ADD r3", 5, 9, pc=2)
+    tracer.span(0, COMPRESSOR_TID, "compress r3", 9, 11)
+    tracer.instant(0, 1, "retire", 11)
+    tracer.counter(0, "bank accesses", 8, reads=3, writes=1)
+    return tracer
+
+
+class TestEmission:
+    def test_span_shape(self):
+        tracer = make_valid_tracer()
+        payload = tracer.export()
+        spans = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert spans[0] == {
+            "ph": "X",
+            "pid": 0,
+            "tid": 1,
+            "name": "ADD r3",
+            "ts": 5,
+            "dur": 4,
+            "args": {"pc": 2},
+        }
+
+    def test_counter_events_attach_to_counter_tid(self):
+        payload = make_valid_tracer().export()
+        (counter,) = [e for e in payload["traceEvents"] if e["ph"] == "C"]
+        assert counter["tid"] == COUNTER_TID
+        assert counter["args"] == {"reads": 3.0, "writes": 1.0}
+
+    def test_negative_duration_clamped(self):
+        tracer = EventTracer()
+        tracer.span(0, 1, "x", 10, 5)
+        assert list(tracer._events)[0]["dur"] == 0
+
+    def test_ring_buffer_drops_oldest(self):
+        tracer = EventTracer(capacity=3)
+        for i in range(5):
+            tracer.instant(0, 1, f"e{i}", i)
+        assert len(tracer) == 3
+        assert tracer.dropped == 2
+        assert tracer.emitted == 5
+        names = [e["name"] for e in tracer._events]
+        assert names == ["e2", "e3", "e4"]  # the tail survives
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            EventTracer(capacity=0)
+
+
+class TestExport:
+    def test_metadata_precedes_sorted_events(self):
+        tracer = make_valid_tracer()
+        events = tracer.export()["traceEvents"]
+        phases = [e["ph"] for e in events]
+        first_real = phases.index("X")
+        assert all(p == "M" for p in phases[:first_real])
+        real_ts = [e["ts"] for e in events[first_real:]]
+        assert real_ts == sorted(real_ts)
+
+    def test_longer_span_sorts_first_at_equal_ts(self):
+        tracer = EventTracer()
+        tracer.name_process(0, "SM 0")
+        tracer.name_track(0, 1, "warp 0")
+        tracer.span(0, 1, "collect", 5, 7)  # emitted first, shorter
+        tracer.span(0, 1, "ADD r1", 5, 20)  # enclosing span
+        spans = [e for e in tracer.export()["traceEvents"] if e["ph"] == "X"]
+        assert [s["name"] for s in spans] == ["ADD r1", "collect"]
+
+    def test_export_json_serializable_with_drop_accounting(self):
+        tracer = make_valid_tracer()
+        payload = json.loads(json.dumps(tracer.export()))
+        assert payload["otherData"]["events_emitted"] == 4
+        assert payload["otherData"]["events_dropped"] == 0
+
+
+class TestValidation:
+    def test_valid_trace_passes(self):
+        assert validate_chrome_trace(make_valid_tracer().export()) == []
+
+    def test_empty_payload_fails(self):
+        assert "traceEvents missing or empty" in validate_chrome_trace({})
+
+    def test_missing_keys_reported(self):
+        problems = validate_chrome_trace(
+            {"traceEvents": [{"ph": "X", "ts": 0}]}
+        )
+        assert any("missing keys" in p for p in problems)
+
+    def test_unnamed_pid_reported(self):
+        tracer = EventTracer()
+        tracer.name_track(0, 1, "warp 0")
+        tracer.span(0, 1, "x", 0, 1)
+        tracer.counter(0, "c", 0, v=1)
+        problems = validate_chrome_trace(tracer.export())
+        assert any("no process_name" in p for p in problems)
+
+    def test_unnamed_span_track_reported(self):
+        tracer = EventTracer()
+        tracer.name_process(0, "SM 0")
+        tracer.span(0, 7, "x", 0, 1)
+        tracer.counter(0, "c", 0, v=1)
+        problems = validate_chrome_trace(tracer.export())
+        assert any("no thread_name" in p for p in problems)
+
+    def test_missing_counter_tracks_reported(self):
+        tracer = EventTracer()
+        tracer.name_process(0, "SM 0")
+        tracer.name_track(0, 1, "warp 0")
+        tracer.span(0, 1, "x", 0, 1)
+        problems = validate_chrome_trace(tracer.export())
+        assert "no non-empty counter tracks" in problems
+
+    def test_unsorted_timestamps_reported(self):
+        payload = make_valid_tracer().export()
+        payload["traceEvents"].append(
+            {"ph": "i", "s": "t", "pid": 0, "tid": 1, "name": "late", "ts": 0,
+             "args": {}}
+        )
+        problems = validate_chrome_trace(payload)
+        assert any("not sorted" in p for p in problems)
+
+    def test_strict_raises(self):
+        with pytest.raises(ValueError, match="invalid Chrome trace"):
+            validate_chrome_trace({}, strict=True)
