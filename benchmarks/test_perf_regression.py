@@ -1,0 +1,64 @@
+"""Tier-2 perf regression: measure the quick bench against the baseline.
+
+Two classes of signal from one ``run_bench(quick=True)`` pass:
+
+* **hard** — simulated cycle counts must equal the committed
+  ``BENCH_simulator.json`` exactly.  Cycles are machine-independent, and
+  the fast path is bit-identical by contract, so any drift means the
+  simulation itself changed and the baseline needs regenerating.
+* **soft** — wall-clock speedup warnings from
+  :func:`repro.harness.bench.compare_reports` are printed, never
+  asserted: this suite runs on whatever hardware CI hands us, and the
+  ``repro bench`` CLI (with ``--fail-on-regression`` where wanted) is
+  the tool for deliberate performance comparisons.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.harness.bench import QUICK_KERNELS, compare_reports, run_bench
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_simulator.json"
+
+
+@pytest.fixture(scope="module")
+def baseline() -> dict:
+    if not BASELINE_PATH.exists():
+        pytest.skip("no committed BENCH_simulator.json baseline")
+    return json.loads(BASELINE_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def quick_report():
+    return run_bench(quick=True).to_dict()
+
+
+def test_quick_bench_covers_expected_kernels(quick_report):
+    assert set(quick_report["kernels"]) == set(QUICK_KERNELS)
+    for record in quick_report["kernels"].values():
+        assert record["cycles"] > 0
+        assert record["fast_seconds"] > 0
+
+
+def test_cycle_counts_match_committed_baseline(baseline, quick_report):
+    for name, record in quick_report["kernels"].items():
+        base = baseline["kernels"].get(name)
+        assert base is not None, f"{name} missing from committed baseline"
+        assert record["cycles"] == base["cycles"], (
+            f"{name}: simulated {record['cycles']} cycles but the baseline "
+            f"records {base['cycles']} — simulation behaviour changed; "
+            "regenerate BENCH_simulator.json with `repro bench` if intended"
+        )
+
+
+def test_wall_clock_comparison_is_advisory(baseline, quick_report):
+    warnings = [
+        w
+        for w in compare_reports(quick_report, baseline)
+        if "cycles changed" not in w  # covered by the hard assert above
+    ]
+    for warning in warnings:
+        print(f"PERF WARNING: {warning}")
+    # Advisory by design: no assertion on wall-clock derived warnings.

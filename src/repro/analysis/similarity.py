@@ -51,7 +51,7 @@ def successive_distances(values: np.ndarray, mask: np.ndarray) -> np.ndarray:
     if active.size < 2:
         return np.zeros(0, dtype=np.int64)
     signed = active.view(np.int32).astype(np.int64)
-    return np.abs(np.diff(signed))
+    return np.abs(signed[1:] - signed[:-1])
 
 
 def classify_write(values: np.ndarray, mask: np.ndarray) -> SimilarityBin:

@@ -14,6 +14,9 @@ Public surface:
 * :mod:`repro.core.banks` — register-bank geometry arithmetic.
 * :mod:`repro.core.indicator` — the 2-bit compression-range indicator
   vector stored alongside the bank arbiter.
+* :mod:`repro.core.memo` — the content-keyed codec memo cache that lets
+  repeated register images (the paper's similarity observation) skip the
+  encoding search.
 * :mod:`repro.core.units` — pipelined compressor/decompressor unit models.
 * :mod:`repro.core.policy` — storage policies (dynamic warped-compression,
   static single-parameter, per-thread narrow width, uncompressed baseline).
@@ -39,6 +42,12 @@ from repro.core.codec import (
     encode_register,
 )
 from repro.core.indicator import CompressionRangeIndicator
+from repro.core.memo import (
+    MEMO_CACHE,
+    CodecMemoCache,
+    memo_disabled,
+    set_memo_enabled,
+)
 from repro.core.policy import (
     CompressionDecision,
     CompressionPolicy,
@@ -58,7 +67,9 @@ __all__ = [
     "CompressionMode",
     "CompressionPolicy",
     "CompressionRangeIndicator",
+    "CodecMemoCache",
     "Encoding",
+    "MEMO_CACHE",
     "PerThreadNarrowPolicy",
     "StaticBDIPolicy",
     "TABLE1_ENCODINGS",
@@ -77,4 +88,6 @@ __all__ = [
     "encode",
     "encode_register",
     "make_policy",
+    "memo_disabled",
+    "set_memo_enabled",
 ]

@@ -24,6 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from repro.core.banks import BANK_BYTES, banks_required
 
 
@@ -116,7 +118,35 @@ class BDIBlock:
         return self.encoding.compressed_size(self.input_size)
 
 
+#: (unsigned, signed) little-endian numpy dtypes per chunk size.  The
+#: unsigned subtraction wraps modulo ``2**(8*size)`` and the signed view
+#: reinterprets the result as two's complement — exactly the hardware
+#: subtractor semantics the scalar reference (`_signed_delta`) defines.
+_CHUNK_DTYPES = {
+    1: (np.dtype("<u1"), np.dtype("<i1")),
+    2: (np.dtype("<u2"), np.dtype("<i2")),
+    4: (np.dtype("<u4"), np.dtype("<i4")),
+    8: (np.dtype("<u8"), np.dtype("<i8")),
+}
+
+
+def _chunk_array(data: bytes, size: int) -> np.ndarray:
+    """All chunks of ``data`` as one little-endian unsigned vector."""
+    if len(data) % size != 0:
+        raise ValueError(
+            f"data length {len(data)} is not a multiple of chunk size {size}"
+        )
+    return np.frombuffer(data, dtype=_CHUNK_DTYPES[size][0])
+
+
+def _delta_array(data: bytes, size: int) -> np.ndarray:
+    """Signed wrap-around deltas of every chunk to the first, one pass."""
+    chunks = _chunk_array(data, size)
+    return (chunks - chunks[0]).view(_CHUNK_DTYPES[size][1])
+
+
 def _chunks(data: bytes, size: int) -> list[int]:
+    """Scalar reference chunking (kept for tests and documentation)."""
     if len(data) % size != 0:
         raise ValueError(
             f"data length {len(data)} is not a multiple of chunk size {size}"
@@ -143,29 +173,43 @@ def _fits(delta: int, delta_size: int) -> bool:
     return -bound <= delta < bound
 
 
+def _range_fits(low: int, high: int, delta_size: int) -> bool:
+    """Whether every delta in ``[low, high]`` fits the delta width."""
+    if delta_size == 0:
+        return low == 0 and high == 0
+    bound = 1 << (8 * delta_size - 1)
+    return low >= -bound and high < bound
+
+
 def can_encode(data: bytes, encoding: Encoding) -> bool:
     """Whether every chunk's delta to the first chunk fits the delta width."""
-    base_chunks = _chunks(data, encoding.base_size)
-    base = base_chunks[0]
-    return all(
-        _fits(_signed_delta(c, base, encoding.base_size), encoding.delta_size)
-        for c in base_chunks
+    deltas = _delta_array(data, encoding.base_size)
+    return _range_fits(
+        int(deltas.min()), int(deltas.max()), encoding.delta_size
     )
 
 
 def encode(data: bytes, encoding: Encoding) -> BDIBlock:
     """Compress ``data`` with ``encoding``; raises if not compressible."""
-    base_chunks = _chunks(data, encoding.base_size)
-    base = base_chunks[0]
-    deltas = []
-    for chunk in base_chunks[1:]:
-        delta = _signed_delta(chunk, base, encoding.base_size)
-        if not _fits(delta, encoding.delta_size):
-            raise ValueError(
-                f"delta {delta} does not fit {encoding} for chunk {chunk:#x}"
-            )
-        deltas.append(delta)
-    return BDIBlock(encoding, len(data), base, tuple(deltas))
+    chunks = _chunk_array(data, encoding.base_size)
+    deltas = (chunks - chunks[0]).view(
+        _CHUNK_DTYPES[encoding.base_size][1]
+    )
+    if not _range_fits(
+        int(deltas.min()), int(deltas.max()), encoding.delta_size
+    ):
+        bad = next(
+            i
+            for i, d in enumerate(deltas.tolist())
+            if not _fits(d, encoding.delta_size)
+        )
+        raise ValueError(
+            f"delta {int(deltas[bad])} does not fit {encoding} for chunk "
+            f"{int(chunks[bad]):#x}"
+        )
+    return BDIBlock(
+        encoding, len(data), int(chunks[0]), tuple(deltas[1:].tolist())
+    )
 
 
 def decode(block: BDIBlock) -> bytes:
@@ -228,8 +272,10 @@ def best_encoding(
     raw_banks = banks_required(len(data), bank_bytes)
     best: Encoding | None = None
     best_key: tuple[int, int, int] | None = None
+    ranges = _delta_ranges(data, candidates)
     for enc in candidates:
-        if len(data) % enc.base_size != 0 or not can_encode(data, enc):
+        span = ranges.get(enc.base_size)
+        if span is None or not _range_fits(span[0], span[1], enc.delta_size):
             continue
         size = enc.compressed_size(len(data))
         key = (banks_required(size, bank_bytes), size, enc.delta_size)
@@ -240,12 +286,33 @@ def best_encoding(
     return best
 
 
+def _delta_ranges(
+    data: bytes, candidates: Iterable[Encoding]
+) -> dict[int, tuple[int, int]]:
+    """(min, max) signed delta per distinct candidate base size.
+
+    One vectorised pass per base size answers the fit question for every
+    delta width sharing that base — the all-candidates search touches the
+    data at most four times instead of once per ``<base, delta>`` pair.
+    """
+    ranges: dict[int, tuple[int, int]] = {}
+    for enc in candidates:
+        size = enc.base_size
+        if size in ranges or len(data) % size != 0:
+            continue
+        deltas = _delta_array(data, size)
+        ranges[size] = (int(deltas.min()), int(deltas.max()))
+    return ranges
+
+
 def compressible_sizes(
     data: bytes, candidates: Sequence[Encoding] = ALL_ENCODINGS
 ) -> dict[Encoding, int]:
     """Map of every candidate that can encode ``data`` to its byte size."""
+    ranges = _delta_ranges(data, candidates)
     return {
         enc: enc.compressed_size(len(data))
         for enc in candidates
-        if len(data) % enc.base_size == 0 and can_encode(data, enc)
+        if enc.base_size in ranges
+        and _range_fits(*ranges[enc.base_size], enc.delta_size)
     }

@@ -8,9 +8,13 @@ as a 0/1/2-byte signed delta.  A register that fits none of the three is
 stored uncompressed.
 
 This module is the hot path of the simulator, so mode selection is
-vectorised over ``numpy`` ``uint32`` lanes; the bit-exact reference
-implementation (arbitrary parameters, byte-level layout) lives in
-:mod:`repro.core.bdi` and the two are cross-checked by property tests.
+vectorised over ``numpy`` ``uint32`` lanes **and memoized**: register
+images recur constantly across warps (the paper's own observation), so
+the full encoding outcome is cached in the content-keyed
+:data:`repro.core.memo.MEMO_CACHE` keyed by the raw lane bytes.  The
+bit-exact reference implementation (arbitrary parameters, byte-level
+layout) lives in :mod:`repro.core.bdi` and the two are cross-checked by
+property tests and the ``repro.verify`` differential oracle.
 """
 
 from __future__ import annotations
@@ -26,6 +30,7 @@ from repro.core.banks import (
     banks_required,
 )
 from repro.core.bdi import BDIBlock, Encoding
+from repro.core.memo import MEMO_CACHE
 
 
 class CompressionMode(IntEnum):
@@ -92,40 +97,59 @@ def _as_lanes(values: np.ndarray) -> np.ndarray:
     return lanes
 
 
+def _encode_lanes(lanes: np.ndarray) -> tuple[CompressionMode, BDIBlock | None]:
+    """One full (unmemoized) encoding search over validated lanes."""
+    deltas = (lanes - lanes[0]).astype(np.int32)
+    high, low = int(deltas.max()), int(deltas.min())
+    if high == 0 and low == 0:
+        mode = CompressionMode.B4D0
+    elif high <= 127 and low >= -128:
+        mode = CompressionMode.B4D1
+    elif high <= 32767 and low >= -32768:
+        mode = CompressionMode.B4D2
+    else:
+        return CompressionMode.UNCOMPRESSED, None
+    block = BDIBlock(
+        encoding=_MODE_ENCODING[mode],
+        input_size=lanes.size * 4,
+        base=int(lanes[0]),
+        deltas=tuple(deltas[1:].tolist()),
+    )
+    return mode, block
+
+
+def _memoized_encode(lanes: np.ndarray) -> tuple[CompressionMode, BDIBlock | None]:
+    """Memoized encoding search (content-keyed, bounded LRU)."""
+    cache = MEMO_CACHE
+    if not cache.enabled:
+        return _encode_lanes(lanes)
+    key = lanes.tobytes()
+    entry = cache.get(key)
+    if entry is None:
+        entry = _encode_lanes(lanes)
+        cache.put(key, entry)
+    return entry
+
+
 def choose_mode(values: np.ndarray) -> CompressionMode:
     """Pick the cheapest mode that can represent a warp register.
 
     ``values`` is the array of 32 thread-register values (``uint32``).
     Deltas are wrap-around differences to lane 0 reinterpreted as signed
     32-bit values, matching the hardware subtractor in Figure 7.
+    Memoized by register content: repeated images (the common case, per
+    the paper's similarity observation) skip the search entirely.
     """
-    lanes = _as_lanes(values)
-    deltas = (lanes - lanes[0]).astype(np.int32)
-    magnitude = int(np.max(deltas)), int(np.min(deltas))
-    high, low = magnitude
-    if high == 0 and low == 0:
-        return CompressionMode.B4D0
-    if high <= 127 and low >= -128:
-        return CompressionMode.B4D1
-    if high <= 32767 and low >= -32768:
-        return CompressionMode.B4D2
-    return CompressionMode.UNCOMPRESSED
+    return _memoized_encode(_as_lanes(values))[0]
 
 
 def encode_register(values: np.ndarray) -> tuple[CompressionMode, BDIBlock | None]:
-    """Compress a warp register; returns the mode and block (``None`` raw)."""
-    lanes = _as_lanes(values)
-    mode = choose_mode(lanes)
-    if mode is CompressionMode.UNCOMPRESSED:
-        return mode, None
-    deltas = (lanes - lanes[0]).astype(np.int32)
-    block = BDIBlock(
-        encoding=_MODE_ENCODING[mode],
-        input_size=lanes.size * 4,
-        base=int(lanes[0]),
-        deltas=tuple(int(d) for d in deltas[1:]),
-    )
-    return mode, block
+    """Compress a warp register; returns the mode and block (``None`` raw).
+
+    Served from the content-keyed memo cache when the identical register
+    image has been encoded before (see :mod:`repro.core.memo`).
+    """
+    return _memoized_encode(_as_lanes(values))
 
 
 def decode_register(block: BDIBlock) -> np.ndarray:

@@ -63,6 +63,17 @@ class UnitPool:
                 return cycle + self.latency
         return None
 
+    def next_free_cycle(self) -> int:
+        """Earliest cycle any unit can accept new work — side-effect-free.
+
+        The simulator fast path uses this to compute how far it may skip
+        while an op waits out a structural hazard on the pool: after a
+        failed :meth:`try_start`, every issue slot is reserved past the
+        current cycle, and the earliest reservation expiry is the first
+        cycle a retry could succeed.
+        """
+        return min(self._busy_until)
+
     def free_at(self, cycle: int) -> int:
         """Number of units with a free issue slot at ``cycle``."""
         return sum(1 for busy in self._busy_until if busy <= cycle)

@@ -53,10 +53,16 @@ class BankArbiter:
         )
 
     def begin_cycle(self, cycle: int) -> None:
-        """Reset port state at the start of a cycle."""
+        """Reset port state at the start of a cycle.
+
+        Only ports actually claimed last cycle are cleared — grants are
+        sparse relative to the bank count, and this runs every tick.
+        """
         self._cycle = cycle
-        self._read_busy = [False] * self.num_banks
-        self._write_busy = [False] * self.num_banks
+        if self.reads_this_cycle:
+            self._read_busy = [False] * self.num_banks
+        if self.writes_this_cycle:
+            self._write_busy = [False] * self.num_banks
         self.reads_this_cycle = 0
         self.writes_this_cycle = 0
         if self.gating is not None:

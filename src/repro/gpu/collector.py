@@ -19,7 +19,7 @@ from repro.core.codec import CompressionMode
 from repro.core.units import UnitPool
 
 
-@dataclass
+@dataclass(slots=True)
 class OperandRead:
     """Progress of one source operand's register-file read."""
 

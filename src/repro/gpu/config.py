@@ -54,6 +54,17 @@ class GPUConfig:
     global_mem_latency: int = 120
     shared_mem_latency: int = 24
 
+    # ----- simulation fast path ----------------------------------------
+    #: Event-driven cycle skipping: when every busy SM reports a tick
+    #: with no pipeline progress, the run loop fast-forwards to the
+    #: earliest pending event (execution latency, write-ready, operand
+    #: ready, branch resolution) instead of ticking idle cycles one by
+    #: one.  Results are bit-identical to cycle-by-cycle execution (see
+    #: :mod:`repro.verify.fastpath`); disable only to cross-check.
+    #: Ignored (treated as off) at ``verify_level`` 2, whose contract is
+    #: an exhaustive scan of every simulated cycle.
+    fast_path: bool = True
+
     # ----- observability -----------------------------------------------
     #: Interval-sampler period in cycles (:mod:`repro.obs`): every N
     #: cycles each SM snapshots its metric registry into the run's

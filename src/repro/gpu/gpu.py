@@ -109,6 +109,9 @@ class GPU:
             while queue and sm.can_accept_cta():
                 sm.launch_cta(queue.popleft())
 
+        # verify_level 2 promises exhaustive per-cycle state scans, so the
+        # fast path stands down and every cycle is ticked (and checked).
+        fast_path = self.config.fast_path and self.config.verify_level < 2
         cycles = 0
         while any(sm.busy for sm in sms) or queue:
             cycles += 1
@@ -116,11 +119,29 @@ class GPU:
                 raise RuntimeError(
                     f"kernel {kernel.name!r} exceeded {self.max_cycles} cycles"
                 )
+            launched = False
             for sm in sms:
                 if sm.busy:
                     sm.tick()
                 while queue and sm.can_accept_cta():
                     sm.launch_cta(queue.popleft())
+                    launched = True
+            if not fast_path or launched:
+                continue
+            # Event-driven cycle skipping: when no SM made progress this
+            # cycle and no CTA launched, every busy SM is frozen until its
+            # earliest pending event.  Fast-forward to the soonest one;
+            # each skipped cycle would have been an exact repeat of the
+            # tick above, so skip_cycles replays its per-cycle accounting.
+            busy = [sm for sm in sms if sm.busy]
+            if not busy:
+                continue
+            skip = min(sm.wake_hint() - sm.cycle for sm in busy) - 1
+            skip = min(skip, self.max_cycles - cycles)
+            if skip > 0:
+                cycles += skip
+                for sm in busy:
+                    sm.skip_cycles(skip)
 
         self.last_sms = sms
         # Aggregate across SMs.

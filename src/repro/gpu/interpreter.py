@@ -21,7 +21,7 @@ import numpy as np
 from repro.gpu.isa import Cmp, Imm, Instruction, Op, OpClass, Reg, SReg, op_class
 from repro.gpu.memory import GlobalMemory, SharedMemory
 from repro.gpu.program import Kernel
-from repro.gpu.simt import SimtStack, popcount
+from repro.gpu.simt import SimtStack
 
 
 @dataclass
@@ -50,7 +50,7 @@ class WarpContext:
         return self.stack.done
 
 
-@dataclass
+@dataclass(slots=True)
 class ExecResult:
     """Outcome of executing one warp instruction."""
 
@@ -73,14 +73,33 @@ class ExecResult:
 
 _LANES = np.arange(64, dtype=np.uint64)
 
+#: Cached boolean arrays for the two masks that dominate divergence-free
+#: kernels: all lanes active and no lanes active.  The arrays are frozen
+#: (``writeable=False``) because callers only ever index with them.
+_COMMON_MASKS: dict[tuple[int, int], np.ndarray] = {}
+
 
 def _mask_array(mask: int, warp_size: int) -> np.ndarray:
     """Expand an int bitmask into a per-lane boolean array."""
+    full = (1 << warp_size) - 1
+    if mask == full or mask == 0:
+        key = (mask, warp_size)
+        cached = _COMMON_MASKS.get(key)
+        if cached is None:
+            cached = np.full(warp_size, mask != 0, dtype=bool)
+            cached.setflags(write=False)
+            _COMMON_MASKS[key] = cached
+        return cached
     return ((np.uint64(mask) >> _LANES[:warp_size]) & np.uint64(1)).astype(bool)
 
 
 def _mask_int(arr: np.ndarray) -> int:
     """Pack a per-lane boolean array into an int bitmask."""
+    count = int(arr.sum())
+    if count == len(arr):
+        return (1 << count) - 1
+    if count == 0:
+        return 0
     lanes = _LANES[: len(arr)]
     return int((arr.astype(np.uint64) << lanes).sum())
 
@@ -90,6 +109,7 @@ class Interpreter:
 
     def __init__(self, warp_size: int = 32):
         self.warp_size = warp_size
+        self._full = (1 << warp_size) - 1
 
     # ------------------------------------------------------------------
     # Fetch / peek
@@ -123,14 +143,23 @@ class Interpreter:
     # ------------------------------------------------------------------
     # Execute
     # ------------------------------------------------------------------
-    def execute(self, ctx: WarpContext) -> ExecResult | None:
+    def execute(
+        self,
+        ctx: WarpContext,
+        peeked: tuple[Instruction, int, int] | None = None,
+    ) -> ExecResult | None:
         """Execute the next instruction of ``ctx``; ``None`` when done.
 
         Register writes are returned in the result, not applied; all other
         architectural effects (PC, SIMT stack, predicates, memory) are
-        applied immediately.
+        applied immediately.  ``peeked`` lets a caller that already called
+        :meth:`peek` this cycle (and has not touched the warp since) pass
+        the result through instead of paying for a second fetch.
         """
-        peeked = self.peek(ctx)
+        if peeked is None:
+            peeked = self.peek(ctx)
+        else:
+            ctx.stack.settle()
         if peeked is None:
             return None
         instr, exec_mask, pc = peeked
@@ -140,8 +169,8 @@ class Interpreter:
             pc=pc,
             exec_mask=exec_mask,
             base_mask=base_mask,
-            divergent=popcount(exec_mask) < self.warp_size,
-            base_divergent=popcount(base_mask) < self.warp_size,
+            divergent=exec_mask != self._full,
+            base_divergent=base_mask != self._full,
             op_class=op_class(instr.op),
             src_regs=instr.source_registers(),
         )
@@ -207,55 +236,10 @@ class Interpreter:
     def _compute(
         self, ctx: WarpContext, instr: Instruction, mask_arr: np.ndarray
     ) -> np.ndarray:
-        op = instr.op
-        read = lambda i: self._read(ctx, instr.srcs[i])  # noqa: E731
-
-        if op is Op.MOV:
-            return read(0).copy()
-        if op is Op.S2R:
-            return ctx.sregs[instr.sreg].copy()
-        if op is Op.PARAM:
-            return self._broadcast(ctx, int(ctx.params[instr.param_index]))
-        if op is Op.SEL:
-            pbits = ctx.preds[instr.pred_src.index]
-            if instr.pred_src.negated:
-                pbits = ~pbits
-            return np.where(pbits, read(0), read(1)).astype(np.uint32)
-        if op in (Op.LDG, Op.LDS):
-            addrs = (read(0).astype(np.int64) + instr.offset).astype(np.uint32)
-            space = ctx.gmem if op is Op.LDG else ctx.shared
-            return space.load_warp(addrs, mask_arr)
-
-        if op in _INT_BINOPS:
-            return _INT_BINOPS[op](read(0), read(1))
-        if op in _FLOAT_BINOPS:
-            a = read(0).view(np.float32)
-            b = read(1).view(np.float32)
-            with np.errstate(all="ignore"):
-                return _FLOAT_BINOPS[op](a, b).astype(np.float32).view(np.uint32)
-        if op is Op.IMAD:
-            a, b, c = read(0), read(1), read(2)
-            return (a.astype(np.uint64) * b + c).astype(np.uint32)
-        if op is Op.FFMA:
-            a = read(0).view(np.float32)
-            b = read(1).view(np.float32)
-            c = read(2).view(np.float32)
-            with np.errstate(all="ignore"):
-                return (a * b + c).astype(np.float32).view(np.uint32)
-        if op is Op.NOT:
-            return ~read(0)
-        if op in _FLOAT_UNOPS:
-            a = read(0).view(np.float32)
-            with np.errstate(all="ignore"):
-                return _FLOAT_UNOPS[op](a).astype(np.float32).view(np.uint32)
-        if op is Op.I2F:
-            return read(0).view(np.int32).astype(np.float32).view(np.uint32)
-        if op is Op.F2I:
-            with np.errstate(all="ignore"):
-                vals = np.trunc(read(0).view(np.float32))
-                vals = np.nan_to_num(vals, nan=0.0, posinf=2**31 - 1, neginf=-(2**31))
-            return np.clip(vals, -(2**31), 2**31 - 1).astype(np.int32).view(np.uint32)
-        raise NotImplementedError(f"no semantics for {op}")
+        handler = _COMPUTE_DISPATCH.get(instr.op)
+        if handler is None:
+            raise NotImplementedError(f"no semantics for {instr.op}")
+        return handler(self, ctx, instr, mask_arr)
 
     def _setp(
         self, ctx: WarpContext, instr: Instruction, mask_arr: np.ndarray
@@ -334,6 +318,127 @@ _CMP_FNS = {
     Cmp.GT: lambda a, b: a > b,
     Cmp.GE: lambda a, b: a >= b,
 }
+
+
+# ----------------------------------------------------------------------
+# Opcode dispatch table for :meth:`Interpreter._compute`.  Handlers take
+# ``(interp, ctx, instr, mask_arr)``; the table replaces a long if-chain
+# so every opcode resolves with one dict lookup on the hot path.
+# ----------------------------------------------------------------------
+def _h_mov(interp, ctx, instr, mask_arr):
+    return interp._read(ctx, instr.srcs[0]).copy()
+
+
+def _h_s2r(interp, ctx, instr, mask_arr):
+    return ctx.sregs[instr.sreg].copy()
+
+
+def _h_param(interp, ctx, instr, mask_arr):
+    return interp._broadcast(ctx, int(ctx.params[instr.param_index]))
+
+
+def _h_sel(interp, ctx, instr, mask_arr):
+    pbits = ctx.preds[instr.pred_src.index]
+    if instr.pred_src.negated:
+        pbits = ~pbits
+    a = interp._read(ctx, instr.srcs[0])
+    b = interp._read(ctx, instr.srcs[1])
+    return np.where(pbits, a, b).astype(np.uint32)
+
+
+def _h_load(interp, ctx, instr, mask_arr):
+    addrs = (
+        interp._read(ctx, instr.srcs[0]).astype(np.int64) + instr.offset
+    ).astype(np.uint32)
+    space = ctx.gmem if instr.op is Op.LDG else ctx.shared
+    return space.load_warp(addrs, mask_arr)
+
+
+def _h_imad(interp, ctx, instr, mask_arr):
+    a = interp._read(ctx, instr.srcs[0])
+    b = interp._read(ctx, instr.srcs[1])
+    c = interp._read(ctx, instr.srcs[2])
+    return (a.astype(np.uint64) * b + c).astype(np.uint32)
+
+
+def _h_ffma(interp, ctx, instr, mask_arr):
+    a = interp._read(ctx, instr.srcs[0]).view(np.float32)
+    b = interp._read(ctx, instr.srcs[1]).view(np.float32)
+    c = interp._read(ctx, instr.srcs[2]).view(np.float32)
+    with np.errstate(all="ignore"):
+        return (a * b + c).astype(np.float32).view(np.uint32)
+
+
+def _h_not(interp, ctx, instr, mask_arr):
+    return ~interp._read(ctx, instr.srcs[0])
+
+
+def _h_i2f(interp, ctx, instr, mask_arr):
+    return (
+        interp._read(ctx, instr.srcs[0])
+        .view(np.int32)
+        .astype(np.float32)
+        .view(np.uint32)
+    )
+
+
+def _h_f2i(interp, ctx, instr, mask_arr):
+    with np.errstate(all="ignore"):
+        vals = np.trunc(interp._read(ctx, instr.srcs[0]).view(np.float32))
+        vals = np.nan_to_num(vals, nan=0.0, posinf=2**31 - 1, neginf=-(2**31))
+    return np.clip(vals, -(2**31), 2**31 - 1).astype(np.int32).view(np.uint32)
+
+
+def _int_binop_handler(fn):
+    def handler(interp, ctx, instr, mask_arr):
+        a = interp._read(ctx, instr.srcs[0])
+        b = interp._read(ctx, instr.srcs[1])
+        return fn(a, b)
+
+    return handler
+
+
+def _float_binop_handler(fn):
+    def handler(interp, ctx, instr, mask_arr):
+        a = interp._read(ctx, instr.srcs[0]).view(np.float32)
+        b = interp._read(ctx, instr.srcs[1]).view(np.float32)
+        with np.errstate(all="ignore"):
+            return fn(a, b).astype(np.float32).view(np.uint32)
+
+    return handler
+
+
+def _float_unop_handler(fn):
+    def handler(interp, ctx, instr, mask_arr):
+        a = interp._read(ctx, instr.srcs[0]).view(np.float32)
+        with np.errstate(all="ignore"):
+            return fn(a).astype(np.float32).view(np.uint32)
+
+    return handler
+
+
+_COMPUTE_DISPATCH = {
+    Op.MOV: _h_mov,
+    Op.S2R: _h_s2r,
+    Op.PARAM: _h_param,
+    Op.SEL: _h_sel,
+    Op.LDG: _h_load,
+    Op.LDS: _h_load,
+    Op.IMAD: _h_imad,
+    Op.FFMA: _h_ffma,
+    Op.NOT: _h_not,
+    Op.I2F: _h_i2f,
+    Op.F2I: _h_f2i,
+}
+_COMPUTE_DISPATCH.update(
+    {op: _int_binop_handler(fn) for op, fn in _INT_BINOPS.items()}
+)
+_COMPUTE_DISPATCH.update(
+    {op: _float_binop_handler(fn) for op, fn in _FLOAT_BINOPS.items()}
+)
+_COMPUTE_DISPATCH.update(
+    {op: _float_unop_handler(fn) for op, fn in _FLOAT_UNOPS.items()}
+)
 
 
 def make_warp_context(

@@ -90,8 +90,7 @@ _SHARED_OPS = {Op.LDS, Op.STS}
 _CONTROL_OPS = {Op.BRA, Op.BAR, Op.EXIT, Op.NOP}
 
 
-def op_class(op: Op) -> OpClass:
-    """Execution class used by the timing model to pick a latency."""
+def _classify(op: Op) -> OpClass:
     if op in _SFU_OPS:
         return OpClass.SFU
     if op in _GLOBAL_OPS:
@@ -101,6 +100,14 @@ def op_class(op: Op) -> OpClass:
     if op in _CONTROL_OPS:
         return OpClass.CONTROL
     return OpClass.ALU
+
+
+_OP_CLASS = {op: _classify(op) for op in Op}
+
+
+def op_class(op: Op) -> OpClass:
+    """Execution class used by the timing model to pick a latency."""
+    return _OP_CLASS[op]
 
 
 class Cmp(Enum):
@@ -207,8 +214,36 @@ class Instruction:
     label_reconv: str | None = field(default=None, compare=False)
 
     def source_registers(self) -> tuple[int, ...]:
-        """Indices of banked registers this instruction reads."""
-        return tuple(s.index for s in self.srcs if isinstance(s, Reg))
+        """Indices of banked registers this instruction reads.
+
+        Computed once per instruction: the scheduler asks on every issue
+        attempt and instructions are immutable.
+        """
+        cached = self.__dict__.get("_source_registers")
+        if cached is None:
+            cached = tuple(s.index for s in self.srcs if isinstance(s, Reg))
+            object.__setattr__(self, "_source_registers", cached)
+        return cached
+
+    def issue_operands(self) -> tuple:
+        """``(srcs, read_preds, dst_index, pred_dst_index)`` — memoized.
+
+        Everything the per-cycle scoreboard check needs, flattened to
+        plain ints so the issue stage does no per-attempt tuple building.
+        """
+        cached = self.__dict__.get("_issue_operands")
+        if cached is None:
+            read_preds = tuple(
+                p.index for p in (self.guard, self.pred_src) if p is not None
+            )
+            cached = (
+                self.source_registers(),
+                read_preds,
+                self.dst.index if self.dst else None,
+                self.pred_dst.index if self.pred_dst else None,
+            )
+            object.__setattr__(self, "_issue_operands", cached)
+        return cached
 
     def writes_register(self) -> bool:
         return self.dst is not None

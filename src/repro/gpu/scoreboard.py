@@ -79,14 +79,20 @@ class Scoreboard:
     ) -> bool:
         """Whether an instruction with these operands must wait."""
         regs = self._regs[warp_slot]
-        if write_reg is not None and write_reg in regs:
-            return True
-        if any(r in regs for r in read_regs):
-            return True
+        if regs:
+            if write_reg is not None and write_reg in regs:
+                return True
+            for r in read_regs:
+                if r in regs:
+                    return True
         preds = self._preds[warp_slot]
-        if write_pred is not None and write_pred in preds:
-            return True
-        return any(p in preds for p in read_preds)
+        if preds:
+            if write_pred is not None and write_pred in preds:
+                return True
+            for p in read_preds:
+                if p in preds:
+                    return True
+        return False
 
     def clear_warp(self, warp_slot: int) -> None:
         """Drop all state for a retired warp."""

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 
 def popcount(mask: int) -> int:
     """Number of active lanes in a bitmap mask."""
-    return bin(mask).count("1")
+    return mask.bit_count()
 
 
 def full_mask(warp_size: int) -> int:
@@ -25,7 +25,7 @@ def full_mask(warp_size: int) -> int:
     return (1 << warp_size) - 1
 
 
-@dataclass
+@dataclass(slots=True)
 class StackEntry:
     """One SIMT stack entry: where to execute, with which lanes."""
 

@@ -49,7 +49,6 @@ from repro.gpu.regfile import RegisterFile
 from repro.gpu.rfc import RegisterFileCache
 from repro.gpu.scheduler import WarpScheduler
 from repro.gpu.scoreboard import Scoreboard
-from repro.gpu.simt import popcount
 from repro.obs.metrics import MetricRegistry
 from repro.obs.sampler import IntervalSampler
 from repro.obs.tracer import COMPRESSOR_TID, DECOMPRESSOR_TID, EventTracer
@@ -61,6 +60,9 @@ from repro.verify.invariants import InvariantChecker
 #: ``GPUConfig.sample_interval`` (counter tracks need a time base).
 DEFAULT_TRACE_INTERVAL = 64
 
+#: Distinguishes "no cache entry" from a cached ``None`` (drained warp).
+_PEEK_MISS = object()
+
 
 class OpState(Enum):
     COLLECT = "collect"
@@ -69,7 +71,7 @@ class OpState(Enum):
     WRITE = "write"
 
 
-@dataclass
+@dataclass(slots=True)
 class InflightOp:
     """One instruction moving through the register-file pipeline."""
 
@@ -83,6 +85,9 @@ class InflightOp:
     write_ready: int = 0
     pending_write_banks: list[int] = field(default_factory=list)
     is_mov: bool = False
+    #: Deferred-removal flag: stages mark finished ops and the in-flight
+    #: list is rebuilt once, instead of copying it every cycle.
+    retired: bool = False
     # Stage-boundary timestamps (cycle numbers) for the event tracer.
     issued_at: int = 0
     collect_done: int = -1
@@ -167,6 +172,26 @@ class SMCore:
             OpClass.SHARED: config.shared_mem_latency,
             OpClass.CONTROL: 1,
         }
+        # ----- fast path (event-driven cycle skipping) -----------------
+        #: Whether the last tick changed any pipeline state.  A tick with
+        #: no progress proves the SM is frozen until :meth:`wake_hint`.
+        self._progress = True
+        #: Per-cycle stat increments measured during the last tick; a
+        #: frozen SM repeats them identically every skipped cycle.
+        self._idle_delta = 0
+        self._stall_delta = 0
+        #: warp slot → peek result: one instruction fetch per warp per
+        #: *issue*, not per cycle.  A peek depends only on the warp's
+        #: SIMT stack and predicate file, and both change exclusively in
+        #: :meth:`Interpreter.execute` — so the entry stays valid until
+        #: the warp next issues a real instruction (dummy MOVs leave the
+        #: fetch state untouched).
+        self._peek_cache: dict[int, tuple | None] = {}
+        #: Precomputed issue-stage constants.
+        self._full_mask = (1 << config.warp_size) - 1
+        self._mov_candidate = (
+            self.rfc is None and policy.requires_mov_on_divergent_write
+        )
         # ----- observability (repro.obs) -------------------------------
         self.sm_index = sm_index
         self.tracer = tracer
@@ -207,6 +232,9 @@ class SMCore:
         )
         registry.probe("sm.inflight_ops", lambda: len(self._inflight))
         registry.probe("sm.resident_warps", lambda: len(self._warps))
+        from repro.core.memo import MEMO_CACHE
+
+        MEMO_CACHE.attach_metrics(registry)
         self.regfile.attach_metrics(registry)
         self.arbiter.attach_metrics(registry)
         self.scoreboard.attach_metrics(registry)
@@ -246,6 +274,7 @@ class SMCore:
                 f"occupancy allows {max_warps}"
             )
         self._free_slots = list(range(max_warps))
+        self._peek_cache.clear()
 
     def can_accept_cta(self) -> bool:
         return len(self._free_slots) >= self._cta_warps
@@ -291,12 +320,17 @@ class SMCore:
     # ------------------------------------------------------------------
     def tick(self) -> None:
         self.cycle += 1
+        self._progress = False
         self.arbiter.begin_cycle(self.cycle)
         self._writeback_stage()
         self._compress_stage()
         self._execute_stage()
         self._collect_stage()
+        idle_before = self.timing.issue_idle_cycles
+        stall_before = self.timing.collector_stall_cycles
         self._issue_stage()
+        self._idle_delta = self.timing.issue_idle_cycles - idle_before
+        self._stall_delta = self.timing.collector_stall_cycles - stall_before
         self._retire_warps()
         if self.checker is not None:
             self.checker.check_tick(self)
@@ -305,6 +339,127 @@ class SMCore:
             row = self.sampler.tick(self.cycle)
             if row is not None and self.tracer is not None:
                 self._emit_counter_tracks(row)
+
+    def wake_hint(self) -> int:
+        """Earliest future cycle at which this SM's state can change.
+
+        Valid only right after a :meth:`tick`.  When that tick made
+        progress the hint is the very next cycle and nothing may be
+        skipped.  Otherwise the pipeline is provably frozen: every
+        remaining event is a pending timestamp (execution latency,
+        compressor output, write-ready, operand ready, issue-delay
+        expiry), and the minimum of those is the first cycle a re-run of
+        the stages could act differently.  Ops retrying arbitration are
+        timestamp-bound too: a frozen tick leaves every port free, so a
+        failed grant proves the banks involved are waking from a gated
+        state (usable at a known ``ready_at``), and a failed
+        compressor/decompressor claim proves every issue slot is reserved
+        past this cycle — the retries in between are pure no-ops.  The
+        hint is additionally capped at the sampler's next boundary so
+        timeline rows are taken on real ticks, exactly as when ticking
+        cycle-by-cycle.
+        """
+        cycle = self.cycle
+        if self._progress:
+            return cycle + 1
+        wake: int | None = None
+        for op in self._inflight:
+            if op.state is OpState.EXEC:
+                w = op.exec_done
+            elif op.state is OpState.WRITE:
+                if cycle >= op.write_ready:
+                    w = self._earliest_bank_wake(op.pending_write_banks)
+                    if w is None:
+                        return cycle + 1
+                else:
+                    w = op.write_ready
+            elif op.state is OpState.COLLECT:
+                w = self._collect_wake(op)
+                if w is None:
+                    return cycle + 1
+            else:  # COMPRESS: waiting for a compressor issue slot
+                w = self.compressors.next_free_cycle()
+            if w <= cycle:
+                return cycle + 1  # defensive: should have advanced
+            if wake is None or w < wake:
+                wake = w
+        for next_issue in self._next_issue.values():
+            if next_issue > cycle and (wake is None or next_issue < wake):
+                wake = next_issue
+        if wake is None:
+            return cycle + 1  # nothing schedulable: never skip blindly
+        if self.sampler is not None:
+            wake = min(wake, self.sampler.next_sample)
+        return max(wake, cycle + 1)
+
+    def _earliest_bank_wake(self, banks) -> int | None:
+        """Earliest wake-completion over ``banks``; None means "no skip".
+
+        Only called for banks whose grant just failed in a frozen tick.
+        Every port was free (a frozen tick grants nothing), so each bank
+        must have failed the gating check: it was either already waking
+        or gated — and the failed grant's ``ready_cycle_for_access`` has
+        since put it in the WAKING state.  Any other state is unexpected
+        and conservatively forces cycle-by-cycle ticking.
+        """
+        gating = self.arbiter.gating
+        if gating is None:
+            return None
+        earliest: int | None = None
+        for bank in banks:
+            ready = gating.waking_ready_at(bank)
+            if ready is None:
+                return None
+            if earliest is None or ready < earliest:
+                earliest = ready
+        return earliest
+
+    def _collect_wake(self, op: InflightOp) -> int | None:
+        """Earliest cycle a frozen COLLECT op's state can change.
+
+        A read still owing bank accesses advances when the first of its
+        (waking) banks becomes usable; a read that has its banks but not
+        its decompression slot advances when a decompressor frees up;
+        once every read is scheduled the op leaves COLLECT at the latest
+        ``ready_at``.  None means the op must retry next cycle.
+        """
+        pending: int | None = None
+        latest_ready = 0
+        for read in op.reads:
+            if read.pending_banks:
+                c = self._earliest_bank_wake(read.pending_banks)
+                if c is None:
+                    return None
+            elif read.ready_at is None:
+                if not read.decompression_needed:
+                    return None  # defensive: advance() would have run
+                c = self.decompressors.next_free_cycle()
+            else:
+                if read.ready_at > latest_ready:
+                    latest_ready = read.ready_at
+                continue
+            if pending is None or c < pending:
+                pending = c
+        return pending if pending is not None else latest_ready
+
+    def skip_cycles(self, n: int) -> None:
+        """Fast-forward ``n`` frozen cycles with identical accounting.
+
+        Every skipped cycle would have run the exact same tick as the one
+        just executed (same comparisons, same failed scheduler picks), so
+        the only architecturally-visible effects are the cycle counter and
+        the per-cycle stall statistics — replicated here verbatim.  All
+        other accounting (gating intervals, unit reservations, energy
+        events) is timestamp-based and needs no per-cycle upkeep.
+        """
+        if n <= 0:
+            return
+        self.cycle += n
+        self.timing.cycles = self.cycle
+        if self._idle_delta:
+            self.timing.issue_idle_cycles += n * self._idle_delta
+        if self._stall_delta:
+            self.timing.collector_stall_cycles += n * self._stall_delta
 
     def _emit_counter_tracks(self, row: dict[str, float]) -> None:
         """Forward one sampler row to the tracer's counter tracks."""
@@ -381,11 +536,13 @@ class SMCore:
 
     # ----- writeback ---------------------------------------------------
     def _writeback_stage(self) -> None:
-        for op in list(self._inflight):
+        retired_any = False
+        for op in self._inflight:
             if op.state is not OpState.WRITE or self.cycle < op.write_ready:
                 continue
             granted = self.arbiter.grant_writes(op.pending_write_banks)
             if granted:
+                self._progress = True
                 self.energy.record_write(len(granted))
                 remaining = [
                     b for b in op.pending_write_banks if b not in granted
@@ -393,9 +550,12 @@ class SMCore:
                 op.pending_write_banks = remaining
             if not op.pending_write_banks:
                 self._commit(op)
-                self._inflight.remove(op)
+                op.retired = True
+                retired_any = True
                 if self.tracer is not None:
                     self._emit_op_spans(op)
+        if retired_any:
+            self._inflight = [op for op in self._inflight if not op.retired]
 
     def _commit(self, op: InflightOp) -> None:
         result = op.result
@@ -428,6 +588,7 @@ class SMCore:
             ready = self.compressors.try_start(self.cycle)
             if ready is None:
                 continue  # both compressor issue slots taken this cycle
+            self._progress = True
             op.state = OpState.WRITE
             op.write_ready = ready
             op.pending_write_banks = self.regfile.banks_of(
@@ -437,9 +598,11 @@ class SMCore:
 
     # ----- execute -----------------------------------------------------
     def _execute_stage(self) -> None:
-        for op in list(self._inflight):
+        retired_any = False
+        for op in self._inflight:
             if op.state is not OpState.EXEC or self.cycle < op.exec_done:
                 continue
+            self._progress = True
             result = op.result
             if result.dst is None:
                 self.scoreboard.release(
@@ -449,7 +612,8 @@ class SMCore:
                     if result.instr.pred_dst
                     else None,
                 )
-                self._inflight.remove(op)
+                op.retired = True
+                retired_any = True
                 if self.tracer is not None:
                     self._emit_op_spans(op)
                 continue
@@ -459,7 +623,8 @@ class SMCore:
                 )
             if self.rfc is not None:
                 self._commit_to_cache(op)
-                self._inflight.remove(op)
+                op.retired = True
+                retired_any = True
                 if self.tracer is not None:
                     self._emit_op_spans(op)
                 continue
@@ -486,6 +651,8 @@ class SMCore:
                 op.pending_write_banks = self.regfile.banks_of(
                     slot, op.decision.banks
                 )
+        if retired_any:
+            self._inflight = [op for op in self._inflight if not op.retired]
 
     def _decide(self, op: InflightOp) -> CompressionDecision:
         if op.is_mov:
@@ -508,11 +675,14 @@ class SMCore:
                 if read.pending_banks:
                     granted = self.arbiter.grant_reads(read.pending_banks)
                     if granted:
+                        self._progress = True
                         self.energy.record_read(len(granted))
                         read.pending_banks.difference_update(granted)
                 unscheduled = read.ready_at is None
                 if not read.advance(self.cycle, self.decompressors):
                     all_ready = False
+                if unscheduled and read.ready_at is not None:
+                    self._progress = True  # won a decompressor slot
                 if (
                     self.tracer is not None
                     and unscheduled
@@ -530,6 +700,7 @@ class SMCore:
                         mode=read.mode.name,
                     )
             if all_ready:
+                self._progress = True
                 if op.holds_collector:
                     self.collectors.release()
                     op.holds_collector = False
@@ -542,21 +713,22 @@ class SMCore:
         for scheduler in self.schedulers:
             picked = scheduler.pick(self._can_issue)
             if picked is not None:
+                self._progress = True
                 self._issue(picked)
             elif len(scheduler):
                 # Resident warps exist but none could issue this cycle.
                 self.timing.issue_idle_cycles += 1
 
     def _needs_mov(self, warp_slot: int, instr: Instruction, exec_mask: int) -> bool:
-        if self.rfc is not None:
-            # With a register file cache, divergent writes merge into the
-            # cache line; no decompressing MOV is ever needed.
-            return False
-        if not self.policy.requires_mov_on_divergent_write:
-            return False
-        if instr.dst is None:
-            return False
-        if popcount(exec_mask) >= self.config.warp_size:
+        # _mov_candidate folds the two static disqualifiers: a register
+        # file cache merges divergent writes into the cache line (no
+        # decompressing MOV ever), and policies without the paper's
+        # dummy-MOV rule never inject one.
+        if (
+            not self._mov_candidate
+            or instr.dst is None
+            or exec_mask == self._full_mask
+        ):
             return False
         return self.regfile.is_compressed(warp_slot, instr.dst.index)
 
@@ -572,19 +744,17 @@ class SMCore:
             return self._stalled(warp_slot, "barrier")
         if self.cycle < self._next_issue[warp_slot]:
             return self._stalled(warp_slot, "branch latency")
-        peeked = self.interpreter.peek(ctx)
+        peeked = self._peek(warp_slot, ctx)
         if peeked is None:
             return self._stalled(warp_slot, "drained")
         instr, exec_mask, _ = peeked
+        srcs, read_preds, dst_index, pred_dst_index = instr.issue_operands()
         if self._needs_mov(warp_slot, instr, exec_mask):
             if not self.collectors.available:
                 return self._stalled(warp_slot, "collector")
-            if self.scoreboard.blocked(
-                warp_slot, (instr.dst.index,), instr.dst.index
-            ):
+            if self.scoreboard.blocked(warp_slot, (dst_index,), dst_index):
                 return self._stalled(warp_slot, "scoreboard")
             return True
-        srcs = instr.source_registers()
         # RFC hits bypass the operand collector, but RAW hazards must be
         # checked on every source regardless of caching.
         uncached = srcs
@@ -595,28 +765,35 @@ class SMCore:
         if uncached and not self.collectors.available:
             self.timing.collector_stall_cycles += 1
             return self._stalled(warp_slot, "collector")
-        read_preds = tuple(
-            p.index
-            for p in (instr.guard, instr.pred_src)
-            if p is not None
-        )
         if self.scoreboard.blocked(
-            warp_slot,
-            srcs,
-            instr.dst.index if instr.dst else None,
-            read_preds,
-            instr.pred_dst.index if instr.pred_dst else None,
+            warp_slot, srcs, dst_index, read_preds, pred_dst_index
         ):
             return self._stalled(warp_slot, "scoreboard")
         return True
 
+    def _peek(self, warp_slot: int, ctx: WarpContext) -> tuple | None:
+        """Cached :meth:`Interpreter.peek` — one real fetch per issue."""
+        cached = self._peek_cache.get(warp_slot, _PEEK_MISS)
+        if cached is not _PEEK_MISS:
+            return cached
+        peeked = self.interpreter.peek(ctx)
+        self._peek_cache[warp_slot] = peeked
+        return peeked
+
     def _issue(self, warp_slot: int) -> None:
         ctx = self._warps[warp_slot]
-        instr, exec_mask, pc = self.interpreter.peek(ctx)
+        peeked = self._peek(warp_slot, ctx)
+        instr, exec_mask, pc = peeked
         if self._needs_mov(warp_slot, instr, exec_mask):
+            # The dummy MOV issues *instead of* the peeked instruction,
+            # which stays pending: the fetch state is untouched and the
+            # peek cache entry stays valid.
             self._issue_mov(warp_slot, instr.dst.index)
             return
-        result = self.interpreter.execute(ctx)
+        result = self.interpreter.execute(ctx, peeked)
+        # The warp's stack (and possibly predicates) just moved; the next
+        # fetch must re-peek.
+        del self._peek_cache[warp_slot]
         self.timing.issued += 1
         self.value_stats.record_instruction(result.base_divergent)
         self.value_stats.record_occupancy(
@@ -789,11 +966,14 @@ class SMCore:
                 self._warps[s].at_barrier = False
 
     def _retire_warps(self) -> None:
+        inflight_slots = {op.warp_slot for op in self._inflight}
         for warp_slot, ctx in list(self._warps.items()):
-            if not ctx.done or self.scoreboard.pending(warp_slot):
+            if warp_slot in inflight_slots or self.scoreboard.pending(warp_slot):
                 continue
-            if any(op.warp_slot == warp_slot for op in self._inflight):
+            # Drained ⟺ the (cached) fetch comes back empty.
+            if self._peek(warp_slot, ctx) is not None:
                 continue
+            self._progress = True
             if self.rfc is not None:
                 for reg in self.rfc.flush_warp(warp_slot):
                     self._evict_to_banks(warp_slot, reg)
@@ -803,6 +983,7 @@ class SMCore:
             self.scoreboard.clear_warp(warp_slot)
             del self._warps[warp_slot]
             del self._next_issue[warp_slot]
+            self._peek_cache.pop(warp_slot, None)
             cta = self._ctas[self._warp_cta.pop(warp_slot)]
             cta.remaining -= 1
             if cta.remaining == 0:

@@ -8,6 +8,8 @@
 * :mod:`repro.harness.ablations` / :mod:`repro.harness.extensions` —
   studies beyond the paper's figures, on the same engine.
 * :mod:`repro.harness.runner` — the ``warped-compression`` CLI.
+* :mod:`repro.harness.bench` — the simulator's own perf-regression
+  bench (``repro bench``), emitting ``BENCH_simulator.json``.
 """
 
 from repro.harness.engine import ExperimentSpec, ResultGrid, Variant, evaluate

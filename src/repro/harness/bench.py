@@ -1,0 +1,295 @@
+"""Simulator perf-regression bench: wall-clock, throughput, memo hit-rate.
+
+This is a bench of the *simulator*, not of the simulated GPU: it times
+how long the host takes to run each registry kernel with the production
+fast path on (event-driven cycle skipping + codec memo cache) and with
+it off (every cycle ticked, every register image re-encoded), and writes
+the result as ``BENCH_simulator.json``.
+
+Wall-clock seconds are machine-dependent, so regression comparison
+against a committed baseline uses the machine-independent signals:
+
+* ``speedup`` — the fast/slow wall-clock ratio measured *in the same
+  process on the same machine*; a shrinking ratio means the fast path
+  lost its edge regardless of how fast the host is.
+* ``cycles`` — the simulated cycle count, which must not drift at all
+  (the fast path is bit-identical by contract; a change here means the
+  simulation itself changed and the baseline needs regeneration).
+
+The comparison warns (it never fails by itself — CI runs it as a
+non-blocking job) when a kernel's speedup drops more than ``tolerance``
+below the baseline, or when cycle counts diverge.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from time import perf_counter
+
+from repro.core.memo import MEMO_CACHE, memo_disabled
+from repro.gpu.config import GPUConfig
+from repro.gpu.gpu import GPU
+
+SCHEMA_VERSION = 1
+
+#: Spread of pipeline behaviours for ``--quick``: aes (compute-heavy,
+#: high memo traffic), bfs (divergent, short), nw (bank-wakeup bound),
+#: spmv (memory-latency bound).
+QUICK_KERNELS = ("aes", "bfs", "nw", "spmv")
+
+#: Default relative speedup loss that triggers a regression warning.
+DEFAULT_TOLERANCE = 0.20
+
+
+@dataclass(frozen=True)
+class KernelBench:
+    """Measured performance of the simulator on one kernel."""
+
+    name: str
+    cycles: int
+    fast_seconds: float
+    slow_seconds: float
+    memo_hit_rate: float
+
+    @property
+    def speedup(self) -> float:
+        """Slow over fast wall-clock (>1 means the fast path won)."""
+        if self.fast_seconds <= 0:
+            return float("inf")
+        return self.slow_seconds / self.fast_seconds
+
+    @property
+    def cycles_per_second(self) -> float:
+        """Simulated cycles per host second with the fast path on."""
+        if self.fast_seconds <= 0:
+            return float("inf")
+        return self.cycles / self.fast_seconds
+
+    def to_dict(self) -> dict:
+        return {
+            "cycles": self.cycles,
+            "fast_seconds": round(self.fast_seconds, 6),
+            "slow_seconds": round(self.slow_seconds, 6),
+            "speedup": round(self.speedup, 4),
+            "cycles_per_second": round(self.cycles_per_second, 1),
+            "memo_hit_rate": round(self.memo_hit_rate, 4),
+        }
+
+
+@dataclass
+class BenchReport:
+    """One full bench run over a set of kernels."""
+
+    scale: str
+    policy: str
+    repeats: int
+    kernels: list[KernelBench] = field(default_factory=list)
+    #: Free-form provenance (e.g. the one-time seed-commit measurement
+    #: recorded in the committed baseline).  Carried through to_dict.
+    reference: dict | None = None
+
+    @property
+    def total_fast_seconds(self) -> float:
+        return sum(k.fast_seconds for k in self.kernels)
+
+    @property
+    def total_slow_seconds(self) -> float:
+        return sum(k.slow_seconds for k in self.kernels)
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(k.cycles for k in self.kernels)
+
+    @property
+    def total_speedup(self) -> float:
+        fast = self.total_fast_seconds
+        return self.total_slow_seconds / fast if fast > 0 else float("inf")
+
+    def to_dict(self) -> dict:
+        data = {
+            "schema_version": SCHEMA_VERSION,
+            "scale": self.scale,
+            "policy": self.policy,
+            "repeats": self.repeats,
+            "kernels": {k.name: k.to_dict() for k in self.kernels},
+            "totals": {
+                "fast_seconds": round(self.total_fast_seconds, 6),
+                "slow_seconds": round(self.total_slow_seconds, 6),
+                "speedup": round(self.total_speedup, 4),
+                "cycles": self.total_cycles,
+                "cycles_per_second": round(
+                    self.total_cycles / self.total_fast_seconds, 1
+                )
+                if self.total_fast_seconds > 0
+                else 0.0,
+            },
+        }
+        if self.reference is not None:
+            data["reference"] = self.reference
+        return data
+
+    def write_json(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    def render(self) -> str:
+        """Human-readable table of the measurements."""
+        lines = [
+            f"simulator bench: scale={self.scale} policy={self.policy} "
+            f"repeats={self.repeats} (best-of)",
+            f"{'kernel':<12} {'cycles':>9} {'fast s':>8} {'slow s':>8} "
+            f"{'speedup':>8} {'Kcyc/s':>8} {'memo hit':>9}",
+        ]
+        for k in self.kernels:
+            lines.append(
+                f"{k.name:<12} {k.cycles:>9d} {k.fast_seconds:>8.3f} "
+                f"{k.slow_seconds:>8.3f} {k.speedup:>7.2f}x "
+                f"{k.cycles_per_second / 1e3:>8.1f} "
+                f"{k.memo_hit_rate:>8.1%}"
+            )
+        lines.append(
+            f"{'TOTAL':<12} {self.total_cycles:>9d} "
+            f"{self.total_fast_seconds:>8.3f} "
+            f"{self.total_slow_seconds:>8.3f} {self.total_speedup:>7.2f}x"
+        )
+        return "\n".join(lines)
+
+
+def _time_run(launch, policy: str, config: GPUConfig, repeats: int):
+    """Best-of-``repeats`` wall-clock for one launch; returns (s, cycles)."""
+    best = float("inf")
+    cycles = 0
+    for _ in range(repeats):
+        gmem = launch.fresh_memory()
+        gpu = GPU(config=config, policy=policy, max_cycles=20_000_000)
+        start = perf_counter()
+        result = gpu.run(
+            launch.kernel, launch.grid_dim, launch.cta_dim, launch.params, gmem
+        )
+        elapsed = perf_counter() - start
+        best = min(best, elapsed)
+        cycles = result.cycles
+    return best, cycles
+
+
+def bench_kernel(
+    name: str,
+    scale: str = "small",
+    policy: str = "warped",
+    repeats: int = 3,
+) -> KernelBench:
+    """Time one registry kernel fast (production) and slow (reference)."""
+    from repro.kernels.suite import get_benchmark
+
+    launch = get_benchmark(name).launch(scale)
+    base = GPUConfig()
+
+    hits0, lookups0 = MEMO_CACHE.hits, MEMO_CACHE.lookups
+    fast_seconds, cycles = _time_run(
+        launch, policy, base.with_overrides(fast_path=True), repeats
+    )
+    lookups = MEMO_CACHE.lookups - lookups0
+    hit_rate = (MEMO_CACHE.hits - hits0) / lookups if lookups else 0.0
+
+    with memo_disabled():
+        slow_seconds, slow_cycles = _time_run(
+            launch, policy, base.with_overrides(fast_path=False), repeats
+        )
+    if slow_cycles != cycles:
+        raise RuntimeError(
+            f"{name}: fast path simulated {cycles} cycles but the "
+            f"reference run simulated {slow_cycles} — bit-identity broken"
+        )
+    return KernelBench(
+        name=name,
+        cycles=cycles,
+        fast_seconds=fast_seconds,
+        slow_seconds=slow_seconds,
+        memo_hit_rate=hit_rate,
+    )
+
+
+def run_bench(
+    names=None,
+    scale: str = "small",
+    policy: str = "warped",
+    repeats: int = 3,
+    quick: bool = False,
+    progress=None,
+) -> BenchReport:
+    """Bench ``names`` (default: the full registry suite, in order)."""
+    from repro.kernels.suite import benchmark_names
+
+    if names is None:
+        names = QUICK_KERNELS if quick else benchmark_names()
+    if quick:
+        repeats = 1
+    report = BenchReport(scale=scale, policy=policy, repeats=repeats)
+    for name in names:
+        record = bench_kernel(name, scale=scale, policy=policy, repeats=repeats)
+        report.kernels.append(record)
+        if progress is not None:
+            progress(
+                f"{name}: {record.fast_seconds:.3f}s fast, "
+                f"{record.slow_seconds:.3f}s slow ({record.speedup:.2f}x)"
+            )
+    return report
+
+
+def compare_reports(
+    current: dict,
+    baseline: dict,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> list[str]:
+    """Regression warnings for ``current`` measured against ``baseline``.
+
+    Both arguments are ``BenchReport.to_dict`` payloads (the baseline
+    typically loaded from the committed ``BENCH_simulator.json``).  Only
+    machine-independent signals are compared; wall-clock seconds are
+    reported in the run's own output but never diffed across machines.
+    """
+    warnings: list[str] = []
+    base_kernels = baseline.get("kernels", {})
+    for name, cur in current.get("kernels", {}).items():
+        base = base_kernels.get(name)
+        if base is None:
+            continue
+        if cur["cycles"] != base["cycles"]:
+            warnings.append(
+                f"{name}: simulated cycles changed "
+                f"{base['cycles']} -> {cur['cycles']} (simulation behaviour "
+                "changed; regenerate the baseline if intentional)"
+            )
+        floor = base["speedup"] * (1.0 - tolerance)
+        if cur["speedup"] < floor:
+            warnings.append(
+                f"{name}: fast-path speedup regressed "
+                f"{base['speedup']:.2f}x -> {cur['speedup']:.2f}x "
+                f"(> {tolerance:.0%} below baseline)"
+            )
+    cur_total = current.get("totals", {}).get("speedup")
+    base_total = baseline.get("totals", {}).get("speedup")
+    if (
+        cur_total is not None
+        and base_total is not None
+        and cur_total < base_total * (1.0 - tolerance)
+    ):
+        warnings.append(
+            f"suite: total fast-path speedup regressed "
+            f"{base_total:.2f}x -> {cur_total:.2f}x"
+        )
+    return warnings
+
+
+__all__ = [
+    "DEFAULT_TOLERANCE",
+    "QUICK_KERNELS",
+    "SCHEMA_VERSION",
+    "BenchReport",
+    "KernelBench",
+    "bench_kernel",
+    "compare_reports",
+    "run_bench",
+]

@@ -25,6 +25,16 @@ class IntervalSampler:
         self._next_sample = interval
         self._last: dict[str, float] = {}
 
+    @property
+    def next_sample(self) -> int:
+        """First cycle at which :meth:`tick` will take a sample.
+
+        The fast path (:meth:`repro.gpu.sm.SMCore.wake_hint`) caps cycle
+        skips here so every sample boundary lands on a real tick and the
+        timeline matches cycle-by-cycle execution row for row.
+        """
+        return self._next_sample
+
     def tick(self, cycle: int) -> dict[str, float] | None:
         """Advance to ``cycle``; samples when the interval boundary passes.
 

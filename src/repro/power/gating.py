@@ -81,6 +81,11 @@ class BankGatingController:
             _Bank(state=BankState.GATED, interval_start=0)
             for _ in range(num_banks)
         ]
+        #: Outstanding lazy transitions: a WAKING bank counts one and a
+        #: running hysteresis timer counts one (a bank can hold both).
+        #: settle() runs every cycle, so it must cost O(1) — not a bank
+        #: sweep — when nothing can change.
+        self._unsettled = 0
 
     # ------------------------------------------------------------------
     # Valid-entry bookkeeping
@@ -89,7 +94,9 @@ class BankGatingController:
         """A register entry in ``bank`` became valid (register written)."""
         b = self._banks[bank]
         b.valid_entries += 1
-        b.empty_since = None
+        if b.empty_since is not None:
+            b.empty_since = None
+            self._unsettled -= 1
         if b.state is BankState.GATED:
             # Writing wakes the bank; the access-side stall is modelled by
             # ready_cycle_for_access, which callers use before the write.
@@ -104,6 +111,8 @@ class BankGatingController:
         if b.valid_entries == 0:
             # Start the hysteresis timer; settle() gates the bank once it
             # has stayed empty for gate_delay cycles.
+            if b.empty_since is None:
+                self._unsettled += 1
             b.empty_since = cycle
 
     # ------------------------------------------------------------------
@@ -132,9 +141,12 @@ class BankGatingController:
         to timer expiry so the accounting does not depend on how often
         settle runs).
         """
+        if self._unsettled == 0:
+            return
         for b in self._banks:
             if b.state is BankState.WAKING and cycle >= b.ready_at:
                 b.state = BankState.ON
+                self._unsettled -= 1
             if (
                 b.state is BankState.ON
                 and b.empty_since is not None
@@ -143,16 +155,32 @@ class BankGatingController:
                 b.state = BankState.GATED
                 b.interval_start = b.empty_since + self.gate_delay
                 b.empty_since = None
+                self._unsettled -= 1
+
+    def waking_ready_at(self, bank: int) -> int | None:
+        """``ready_at`` of a WAKING bank, ``None`` otherwise.
+
+        Side-effect-free counterpart of :meth:`ready_cycle_for_access`
+        for the simulator fast path: an access stalled on a wake-up
+        cannot proceed before this cycle, so the run loop may skip to it.
+        """
+        b = self._banks[bank]
+        if b.state is BankState.WAKING:
+            return b.ready_at
+        return None
 
     def _wake(self, b: _Bank, cycle: int) -> None:
         b.gated_cycles += max(0, cycle - b.interval_start)
         b.state = BankState.WAKING
+        self._unsettled += 1
         b.ready_at = cycle + self.wakeup_latency
         b.wakeups += 1
         # A wake is always in service of an imminent access: restart the
         # idle timer, otherwise a stale timestamp would re-gate the bank
         # the moment it finishes waking.
-        b.empty_since = None
+        if b.empty_since is not None:
+            b.empty_since = None
+            self._unsettled -= 1
 
     # ------------------------------------------------------------------
     # Statistics
@@ -231,3 +259,13 @@ class BankGatingController:
                     f"bank {bank}: gated while holding "
                     f"{b.valid_entries} valid entries"
                 )
+        expected_unsettled = sum(
+            (b.state is BankState.WAKING) + (b.empty_since is not None)
+            for b in self._banks
+        )
+        if self._unsettled != expected_unsettled:
+            raise InvariantViolation(
+                f"gating settle short-circuit counter drifted: tracks "
+                f"{self._unsettled} outstanding transitions, banks hold "
+                f"{expected_unsettled}"
+            )

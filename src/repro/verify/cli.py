@@ -8,10 +8,14 @@ Examples::
     repro verify --replay .repro-cache/verify/fail-42-0123456789ab.json
     repro trace vecadd --timeline out.json   # Perfetto-loadable timeline
     repro profile vecadd --limit 15          # host-side hot-spot table
+    repro bench --quick                      # simulator perf smoke test
+    repro bench --output BENCH_simulator.json  # full perf-regression bench
 
 Exit status is non-zero on any functional-vs-cycle mismatch,
 codec-vs-BDI mismatch, pipeline invariant violation, or (for ``trace``)
-a trace export that fails the Chrome-trace schema check.
+a trace export that fails the Chrome-trace schema check.  ``bench``
+regressions only warn (CI runs it non-blocking) unless
+``--fail-on-regression`` is given.
 """
 
 from __future__ import annotations
@@ -127,6 +131,53 @@ def _cmd_profile(args) -> int:
     )
     print(buffer.getvalue().rstrip())
     return 0
+
+
+def _cmd_bench(args) -> int:
+    """Time the simulator fast vs slow; emit/compare BENCH_simulator.json."""
+    import json
+    import os
+
+    from repro.harness.bench import DEFAULT_TOLERANCE, compare_reports, run_bench
+
+    baseline = None
+    baseline_path = args.baseline
+    if baseline_path is None and os.path.exists(args.output):
+        # Re-benching over a committed baseline: compare before overwriting.
+        baseline_path = args.output
+    if baseline_path is not None and os.path.exists(baseline_path):
+        with open(baseline_path) as fh:
+            baseline = json.load(fh)
+
+    report = run_bench(
+        names=args.kernels or None,
+        scale=args.scale,
+        policy=args.policy,
+        repeats=args.repeats,
+        quick=args.quick,
+        progress=None if args.quiet else lambda msg: print(f"  {msg}"),
+    )
+    print(report.render())
+    data = report.to_dict()
+    if baseline is not None and "reference" in baseline:
+        # Keep the one-time provenance block (e.g. the pre-fast-path seed
+        # measurement) when refreshing a baseline in place.
+        data["reference"] = baseline["reference"]
+    with open(args.output, "w") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+
+    if baseline is None:
+        print("no baseline to compare against")
+        return 0
+    warnings = compare_reports(data, baseline, tolerance=DEFAULT_TOLERANCE)
+    if not warnings:
+        print(f"no regressions vs {baseline_path}")
+        return 0
+    for warning in warnings:
+        print(f"  PERF WARNING: {warning}")
+    return 1 if args.fail_on_regression else 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -250,12 +301,67 @@ def main(argv: list[str] | None = None) -> int:
         help="pstats sort key (default: cumulative)",
     )
 
+    bench = sub.add_parser(
+        "bench",
+        help="simulator perf-regression bench (fast path vs reference)",
+        description="Time every registry kernel with the production fast "
+        "path (cycle skipping + codec memo) and with it disabled, write "
+        "BENCH_simulator.json, and warn when machine-independent signals "
+        "(per-kernel speedup ratio, simulated cycle counts) regress "
+        "against a baseline.",
+    )
+    bench.add_argument(
+        "--output",
+        "-o",
+        default="BENCH_simulator.json",
+        metavar="FILE",
+        help="output JSON path (default: BENCH_simulator.json)",
+    )
+    bench.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="baseline JSON to compare against (default: the output path, "
+        "when it already exists)",
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="smoke mode: four representative kernels, one repetition",
+    )
+    bench.add_argument(
+        "--kernels",
+        nargs="+",
+        metavar="NAME",
+        help="explicit kernel subset (default: full registry suite)",
+    )
+    bench.add_argument(
+        "--scale", choices=("small", "default"), default="small"
+    )
+    bench.add_argument("--policy", default="warped")
+    bench.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        metavar="N",
+        help="repetitions per kernel, best-of (default 3; --quick forces 1)",
+    )
+    bench.add_argument(
+        "--fail-on-regression",
+        action="store_true",
+        help="exit non-zero on perf warnings (default: warn only)",
+    )
+    bench.add_argument(
+        "--quiet", action="store_true", help="suppress per-kernel progress"
+    )
+
     args = parser.parse_args(argv)
 
     if args.command == "trace":
         return _cmd_trace(args)
     if args.command == "profile":
         return _cmd_profile(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
 
     if args.replay:
         try:

@@ -1,0 +1,228 @@
+"""Fast-path equivalence: cycle skipping + memoization change nothing.
+
+The simulator's fast path (``GPUConfig.fast_path`` event-driven cycle
+skipping, plus the content-keyed codec memo cache of
+:mod:`repro.core.memo`) is only admissible because it is *bit-identical*
+to brute-force cycle-by-cycle execution.  This module enforces that end
+to end: one launch is run twice —
+
+* **fast**: ``fast_path=True`` with the codec memo cache enabled (the
+  production configuration), and
+* **slow**: ``fast_path=False`` with the memo cache disabled (every
+  cycle ticked, every register image re-encoded from scratch)
+
+— and every observable output is compared bit-for-bit: final global
+memory, cycle count, timing counters, value-similarity statistics, the
+energy event model and priced breakdown, per-bank gating fractions, and
+(when sampling is on) the full interval timeline, row by row.
+
+Any disagreement raises :class:`FastPathMismatch` naming the first
+diverging field, which turns a silent performance-hack bug into a loud
+test failure.  The equivalence suite in ``tests/test_fastpath.py`` runs
+this over every registry kernel and a batch of fuzz-generated kernels.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from time import perf_counter
+
+import numpy as np
+
+from repro.core.memo import memo_disabled
+from repro.core.policy import CompressionPolicy
+from repro.gpu.config import GPUConfig
+from repro.gpu.gpu import GPU, SimulationResult
+from repro.gpu.launch import LaunchSpec
+from repro.verify.invariants import InvariantViolation
+
+
+class FastPathMismatch(InvariantViolation):
+    """Fast-path-on and fast-path-off runs disagreed on an output."""
+
+
+@dataclass(frozen=True)
+class FastPathOutcome:
+    """Successful equivalence check, with the measured wall-clock gain."""
+
+    kernel: str
+    policy: str
+    cycles: int
+    fast_seconds: float
+    slow_seconds: float
+    fields_compared: int
+
+    @property
+    def speedup(self) -> float:
+        """Slow over fast wall-clock ratio (>1 means the fast path won)."""
+        if self.fast_seconds <= 0:
+            return float("inf")
+        return self.slow_seconds / self.fast_seconds
+
+
+def _timeline_fields(timeline) -> dict | None:
+    """Timeline rows minus the memo cache's own hit/miss diagnostics.
+
+    ``codec.memo_*`` tracks observe the memoization layer itself — the
+    slow run deliberately disables it, so those series differ by design
+    and say nothing about simulation fidelity.
+    """
+    if timeline is None:
+        return None
+    data = timeline.to_dict()
+    for section in ("series", "kinds"):
+        if isinstance(data.get(section), dict):
+            data[section] = {
+                k: v
+                for k, v in data[section].items()
+                if not k.startswith("codec.memo_")
+            }
+    return data
+
+
+def _result_fields(result: SimulationResult) -> dict:
+    """Every comparable output of one run, as a JSON-ish nested dict."""
+    stats = result.stats
+    return {
+        "cycles": result.cycles,
+        "value": stats.value.to_dict(),
+        "timing": stats.timing.to_dict() if stats.timing else None,
+        "energy": (
+            stats.energy_breakdown.to_dict() if stats.energy_breakdown else None
+        ),
+        "energy_model": (
+            stats.energy_model.to_dict() if stats.energy_model else None
+        ),
+        "gated_fractions": (
+            list(stats.gated_fractions)
+            if stats.gated_fractions is not None
+            else None
+        ),
+        "timeline": _timeline_fields(stats.timeline),
+    }
+
+
+def _diff_path(fast, slow, path: str, diffs: list[str]) -> int:
+    """Recursively compare two nested values; returns leaves compared."""
+    if isinstance(fast, dict) and isinstance(slow, dict):
+        count = 0
+        for key in sorted(set(fast) | set(slow)):
+            if key not in fast or key not in slow:
+                diffs.append(f"{path}.{key}: present in only one run")
+                continue
+            count += _diff_path(fast[key], slow[key], f"{path}.{key}", diffs)
+        return count
+    if isinstance(fast, (list, tuple)) and isinstance(slow, (list, tuple)):
+        if len(fast) != len(slow):
+            diffs.append(f"{path}: length {len(fast)} vs {len(slow)}")
+            return 1
+        count = 0
+        for i, (f, s) in enumerate(zip(fast, slow)):
+            count += _diff_path(f, s, f"{path}[{i}]", diffs)
+        return count
+    if isinstance(fast, float) and isinstance(slow, float):
+        # Bit-identical floats, with NaN == NaN (dormant statistics).
+        same = fast == slow or (math.isnan(fast) and math.isnan(slow))
+        if not same:
+            diffs.append(f"{path}: {fast!r} vs {slow!r}")
+        return 1
+    if fast != slow:
+        diffs.append(f"{path}: {fast!r} vs {slow!r}")
+    return 1
+
+
+def _compare_memory(fast: dict, slow: dict, context: str) -> None:
+    if fast.keys() != slow.keys():
+        raise FastPathMismatch(
+            f"{context}: buffer sets differ: {sorted(fast)} vs {sorted(slow)}"
+        )
+    for name in fast:
+        if not np.array_equal(fast[name], slow[name]):
+            diff = np.flatnonzero(fast[name] != slow[name])
+            raise FastPathMismatch(
+                f"{context}: buffer {name!r} differs at {len(diff)} of "
+                f"{fast[name].size} words (first at word {int(diff[0])})"
+            )
+
+
+def _run_once(
+    launch: LaunchSpec,
+    policy: str | CompressionPolicy,
+    config: GPUConfig,
+    max_cycles: int,
+) -> tuple[SimulationResult, dict, float]:
+    gmem = launch.fresh_memory()
+    gpu = GPU(config=config, policy=policy, max_cycles=max_cycles)
+    start = perf_counter()
+    result = gpu.run(
+        launch.kernel, launch.grid_dim, launch.cta_dim, launch.params, gmem
+    )
+    elapsed = perf_counter() - start
+    return result, gmem.snapshot(), elapsed
+
+
+def verify_launch_fastpath(
+    launch: LaunchSpec,
+    policy: str | CompressionPolicy = "warped",
+    config: GPUConfig | None = None,
+    max_cycles: int = 20_000_000,
+) -> FastPathOutcome:
+    """Assert fast-on == fast-off for one launch; raise on any difference.
+
+    The supplied ``config`` (minus ``fast_path``) is used for both runs;
+    string policies are re-instantiated per run so no counter state leaks
+    across.  Policy *instances* cannot be shared between two runs, so
+    pass the spec string for anything stateful.
+    """
+    base = config or GPUConfig()
+    context = f"kernel {launch.kernel.name!r}"
+
+    fast_result, fast_mem, fast_secs = _run_once(
+        launch, policy, base.with_overrides(fast_path=True), max_cycles
+    )
+    with memo_disabled():
+        slow_result, slow_mem, slow_secs = _run_once(
+            launch, policy, base.with_overrides(fast_path=False), max_cycles
+        )
+
+    _compare_memory(fast_mem, slow_mem, context)
+    diffs: list[str] = []
+    compared = _diff_path(
+        _result_fields(fast_result), _result_fields(slow_result), "run", diffs
+    )
+    if diffs:
+        shown = "; ".join(diffs[:5])
+        raise FastPathMismatch(
+            f"{context}: fast path diverges in {len(diffs)} field(s): {shown}"
+        )
+    return FastPathOutcome(
+        kernel=launch.kernel.name,
+        policy=fast_result.stats.policy,
+        cycles=fast_result.cycles,
+        fast_seconds=fast_secs,
+        slow_seconds=slow_secs,
+        fields_compared=compared,
+    )
+
+
+def verify_benchmark_fastpath(
+    name: str,
+    scale: str = "small",
+    policy: str | CompressionPolicy = "warped",
+    config: GPUConfig | None = None,
+) -> FastPathOutcome:
+    """Fast-path equivalence for one registry benchmark at ``scale``."""
+    from repro.kernels.suite import get_benchmark
+
+    return verify_launch_fastpath(
+        get_benchmark(name).launch(scale), policy, config
+    )
+
+
+__all__ = [
+    "FastPathMismatch",
+    "FastPathOutcome",
+    "verify_benchmark_fastpath",
+    "verify_launch_fastpath",
+]

@@ -1,0 +1,146 @@
+"""Pure-math tests for the perf-regression bench (no simulation)."""
+
+import json
+
+import pytest
+
+from repro.harness.bench import (
+    SCHEMA_VERSION,
+    BenchReport,
+    KernelBench,
+    compare_reports,
+)
+
+
+def make_kernel(
+    name="aes",
+    cycles=1000,
+    fast_seconds=0.5,
+    slow_seconds=1.5,
+    memo_hit_rate=0.9,
+) -> KernelBench:
+    return KernelBench(
+        name=name,
+        cycles=cycles,
+        fast_seconds=fast_seconds,
+        slow_seconds=slow_seconds,
+        memo_hit_rate=memo_hit_rate,
+    )
+
+
+def make_report(*kernels: KernelBench) -> BenchReport:
+    return BenchReport(
+        scale="small", policy="warped", repeats=3, kernels=list(kernels)
+    )
+
+
+class TestKernelBench:
+    def test_speedup_and_throughput(self):
+        k = make_kernel(cycles=1000, fast_seconds=0.5, slow_seconds=1.5)
+        assert k.speedup == pytest.approx(3.0)
+        assert k.cycles_per_second == pytest.approx(2000.0)
+
+    def test_zero_fast_seconds_is_infinite_not_crash(self):
+        k = make_kernel(fast_seconds=0.0)
+        assert k.speedup == float("inf")
+        assert k.cycles_per_second == float("inf")
+
+    def test_to_dict_fields(self):
+        d = make_kernel().to_dict()
+        assert d == {
+            "cycles": 1000,
+            "fast_seconds": 0.5,
+            "slow_seconds": 1.5,
+            "speedup": 3.0,
+            "cycles_per_second": 2000.0,
+            "memo_hit_rate": 0.9,
+        }
+
+
+class TestBenchReport:
+    def test_totals(self):
+        report = make_report(
+            make_kernel("a", cycles=100, fast_seconds=1.0, slow_seconds=2.0),
+            make_kernel("b", cycles=300, fast_seconds=1.0, slow_seconds=4.0),
+        )
+        assert report.total_cycles == 400
+        assert report.total_fast_seconds == pytest.approx(2.0)
+        assert report.total_slow_seconds == pytest.approx(6.0)
+        assert report.total_speedup == pytest.approx(3.0)
+
+    def test_to_dict_roundtrips_through_json(self, tmp_path):
+        report = make_report(make_kernel())
+        report.reference = {"seed_seconds": 2.5}
+        path = tmp_path / "bench.json"
+        report.write_json(str(path))
+        data = json.loads(path.read_text())
+        assert data == report.to_dict()
+        assert data["schema_version"] == SCHEMA_VERSION
+        assert data["reference"] == {"seed_seconds": 2.5}
+        assert data["kernels"]["aes"]["speedup"] == 3.0
+
+    def test_reference_omitted_when_absent(self):
+        assert "reference" not in make_report(make_kernel()).to_dict()
+
+    def test_render_mentions_every_kernel_and_total(self):
+        report = make_report(make_kernel("aes"), make_kernel("nw"))
+        text = report.render()
+        assert "aes" in text
+        assert "nw" in text
+        assert "TOTAL" in text
+
+
+class TestCompareReports:
+    def baseline(self) -> dict:
+        return make_report(
+            make_kernel("aes", cycles=1000, fast_seconds=1.0, slow_seconds=3.0)
+        ).to_dict()
+
+    def test_identical_reports_are_clean(self):
+        base = self.baseline()
+        assert compare_reports(base, base) == []
+
+    def test_cycle_drift_warns(self):
+        current = make_report(
+            make_kernel("aes", cycles=1001, fast_seconds=1.0, slow_seconds=3.0)
+        ).to_dict()
+        warnings = compare_reports(current, self.baseline())
+        assert any("cycles changed" in w for w in warnings)
+
+    def test_speedup_regression_warns(self):
+        current = make_report(
+            make_kernel("aes", cycles=1000, fast_seconds=2.0, slow_seconds=3.0)
+        ).to_dict()
+        warnings = compare_reports(current, self.baseline())
+        assert any("speedup regressed" in w for w in warnings)
+        assert any("total fast-path speedup regressed" in w for w in warnings)
+
+    def test_regression_within_tolerance_is_clean(self):
+        # 3.0x -> 2.5x is a ~17% loss: inside the default 20% tolerance.
+        current = make_report(
+            make_kernel("aes", cycles=1000, fast_seconds=1.2, slow_seconds=3.0)
+        ).to_dict()
+        assert compare_reports(current, self.baseline()) == []
+
+    def test_tighter_tolerance_catches_small_regressions(self):
+        current = make_report(
+            make_kernel("aes", cycles=1000, fast_seconds=1.2, slow_seconds=3.0)
+        ).to_dict()
+        warnings = compare_reports(current, self.baseline(), tolerance=0.10)
+        assert any("speedup regressed" in w for w in warnings)
+
+    def test_kernel_missing_from_baseline_is_ignored(self):
+        current = make_report(
+            make_kernel("aes", cycles=1000, fast_seconds=1.0, slow_seconds=3.0),
+            make_kernel("new", cycles=50, fast_seconds=0.1, slow_seconds=0.1),
+        ).to_dict()
+        # The new kernel has no baseline entry; only totals could warn,
+        # and its 1.0x contribution is too small to drag them under.
+        assert compare_reports(current, self.baseline()) == []
+
+    def test_wall_clock_alone_never_warns(self):
+        # Same cycles and same speedup ratios on a 5x slower machine.
+        current = make_report(
+            make_kernel("aes", cycles=1000, fast_seconds=5.0, slow_seconds=15.0)
+        ).to_dict()
+        assert compare_reports(current, self.baseline()) == []

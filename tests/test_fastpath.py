@@ -1,0 +1,61 @@
+"""Fast-path equivalence suite: fast-on == fast-off, bit for bit.
+
+The production configuration (event-driven cycle skipping plus the codec
+memo cache) must be observationally identical to brute-force
+cycle-by-cycle simulation.  These tests drive
+:mod:`repro.verify.fastpath` over every registry kernel, over sampled
+configurations (so the interval timeline is compared row by row), and
+over a batch of fuzz-generated kernels.
+
+Set ``REPRO_FASTPATH_SEEDS=100`` to widen the fuzz batch (the acceptance
+run); the default keeps tier-1 fast.
+"""
+
+import os
+
+import pytest
+
+from repro.gpu.config import GPUConfig
+from repro.kernels.suite import benchmark_names
+from repro.verify.fastpath import (
+    FastPathOutcome,
+    verify_benchmark_fastpath,
+    verify_launch_fastpath,
+)
+from repro.verify.generator import GenSpec, generate_launch
+
+FUZZ_SEEDS = int(os.environ.get("REPRO_FASTPATH_SEEDS", "10"))
+
+
+def test_fast_path_is_the_default():
+    """The fast path is the production configuration, not an opt-in."""
+    assert GPUConfig().fast_path is True
+
+
+@pytest.mark.parametrize("name", benchmark_names())
+def test_registry_kernel_equivalence(name):
+    outcome = verify_benchmark_fastpath(name)
+    assert isinstance(outcome, FastPathOutcome)
+    assert outcome.cycles > 0
+    assert outcome.fields_compared > 0
+
+
+@pytest.mark.parametrize("name", ["aes", "nw"])
+def test_sampled_timeline_equivalence(name):
+    """With sampling on, the full interval timeline must match too."""
+    config = GPUConfig(sample_interval=64)
+    outcome = verify_benchmark_fastpath(name, config=config)
+    assert outcome.cycles > 0
+
+
+def test_equivalence_under_alternate_policy():
+    outcome = verify_benchmark_fastpath("bfs", policy="baseline")
+    assert outcome.cycles > 0
+
+
+@pytest.mark.parametrize("seed", range(FUZZ_SEEDS))
+def test_fuzzed_kernel_equivalence(seed):
+    launch = generate_launch(GenSpec(seed=seed))
+    outcome = verify_launch_fastpath(launch)
+    assert outcome.cycles > 0
+    assert outcome.fields_compared > 0

@@ -1,0 +1,160 @@
+"""Codec memo cache: bit-identity, LRU bounds, counters."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.codec import choose_mode, encode_register
+from repro.core.memo import (
+    DEFAULT_CAPACITY,
+    MEMO_CACHE,
+    CodecMemoCache,
+    memo_disabled,
+    set_memo_enabled,
+)
+from repro.obs.metrics import MetricRegistry
+
+
+def lanes_from(values) -> np.ndarray:
+    return np.asarray(values, dtype=np.uint32)
+
+
+# Registers seen in practice are similar-valued (the paper's whole
+# premise), so bias generation toward base-plus-small-delta images as
+# well as fully random ones.
+_random_lanes = st.lists(
+    st.integers(0, 2**32 - 1), min_size=32, max_size=32
+)
+_similar_lanes = st.tuples(
+    st.integers(0, 2**32 - 1),
+    st.lists(st.integers(-128, 127), min_size=32, max_size=32),
+).map(lambda t: [(t[0] + d) % 2**32 for d in t[1]])
+_uniform_lanes = st.integers(0, 2**32 - 1).map(lambda v: [v] * 32)
+_any_lanes = st.one_of(_similar_lanes, _uniform_lanes, _random_lanes)
+
+
+class TestMemoizedEncodingIdentity:
+    @settings(max_examples=200, deadline=None)
+    @given(values=_any_lanes)
+    def test_memoized_equals_direct(self, values):
+        """Cache hit, cache miss, and direct encode all agree exactly."""
+        lanes = lanes_from(values)
+        with memo_disabled():
+            direct = encode_register(lanes)
+        first = encode_register(lanes)  # miss (or hit from a prior example)
+        second = encode_register(lanes)  # guaranteed hit
+        assert first == direct
+        assert second == direct
+        assert choose_mode(lanes) == direct[0]
+
+    @settings(max_examples=50, deadline=None)
+    @given(values=_any_lanes)
+    def test_hit_does_not_mutate_outcome(self, values):
+        """Repeated hits keep returning equal objects."""
+        lanes = lanes_from(values)
+        outcomes = {encode_register(lanes) for _ in range(4)}
+        assert len(outcomes) == 1
+
+
+class TestCacheBounds:
+    def test_lru_eviction_order(self):
+        cache = CodecMemoCache(capacity=2)
+        cache.put(b"a", ("A",))
+        cache.put(b"b", ("B",))
+        assert cache.get(b"a") == ("A",)  # refresh "a": "b" is now LRU
+        cache.put(b"c", ("C",))
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        assert cache.get(b"b") is None  # evicted
+        assert cache.get(b"a") == ("A",)
+        assert cache.get(b"c") == ("C",)
+
+    def test_reinsert_refreshes_instead_of_evicting(self):
+        cache = CodecMemoCache(capacity=2)
+        cache.put(b"a", ("A",))
+        cache.put(b"b", ("B",))
+        cache.put(b"a", ("A2",))  # update in place, no eviction
+        assert cache.evictions == 0
+        assert cache.get(b"a") == ("A2",)
+
+    def test_resize_evicts_lru_first(self):
+        cache = CodecMemoCache(capacity=4)
+        for key in (b"a", b"b", b"c", b"d"):
+            cache.put(key, (key,))
+        cache.get(b"a")
+        cache.resize(2)
+        assert len(cache) == 2
+        assert cache.evictions == 2
+        assert cache.get(b"a") == (b"a",)
+        assert cache.get(b"d") == (b"d",)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            CodecMemoCache(capacity=0)
+        with pytest.raises(ValueError):
+            CodecMemoCache(capacity=8).resize(-1)
+
+    def test_global_cache_stays_bounded(self):
+        assert MEMO_CACHE.capacity == DEFAULT_CAPACITY
+        assert len(MEMO_CACHE) <= MEMO_CACHE.capacity
+
+
+class TestCounters:
+    def test_hit_miss_accounting_and_reset(self):
+        cache = CodecMemoCache(capacity=8)
+        assert cache.get(b"x") is None
+        cache.put(b"x", ("X",))
+        assert cache.get(b"x") == ("X",)
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.lookups == 2
+        assert cache.hit_rate == 0.5
+        cache.reset_counters()
+        assert (cache.hits, cache.misses, cache.evictions) == (0, 0, 0)
+        assert cache.hit_rate == 0.0
+        # clear() drops entries but keeps counters.
+        cache.put(b"y", ("Y",))
+        cache.get(b"y")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1
+
+    def test_metrics_probes(self):
+        cache = CodecMemoCache(capacity=8)
+        registry = MetricRegistry(enabled=True)
+        cache.attach_metrics(registry)
+        cache.put(b"x", ("X",))
+        cache.get(b"x")
+        cache.get(b"miss")
+        row = registry.read_all()
+        assert row["codec.memo_hits"] == 1.0
+        assert row["codec.memo_misses"] == 1.0
+        assert row["codec.memo_entries"] == 1.0
+
+
+class TestEnableDisable:
+    def test_memo_disabled_restores_state(self):
+        assert MEMO_CACHE.enabled
+        with memo_disabled():
+            assert not MEMO_CACHE.enabled
+            with memo_disabled():
+                assert not MEMO_CACHE.enabled
+            # Inner exit restores the *outer* disabled state.
+            assert not MEMO_CACHE.enabled
+        assert MEMO_CACHE.enabled
+
+    def test_memo_disabled_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with memo_disabled():
+                raise RuntimeError("boom")
+        assert MEMO_CACHE.enabled
+
+    def test_set_memo_enabled(self):
+        set_memo_enabled(False)
+        try:
+            lanes = lanes_from([7] * 32)
+            before = MEMO_CACHE.lookups
+            encode_register(lanes)
+            assert MEMO_CACHE.lookups == before  # bypassed entirely
+        finally:
+            set_memo_enabled(True)
