@@ -13,6 +13,19 @@ out across cores with ``--jobs``, and persist in a content-addressed
 on-disk cache (``.repro-cache`` by default, override with
 ``--cache-dir`` or ``$REPRO_CACHE_DIR``) so re-rendering a figure
 against a warm cache performs zero simulations.
+
+Parallelism knobs, disambiguated (they are easy to conflate):
+
+* ``--jobs N`` (this CLI) — *batch* parallelism: how many distinct
+  (kernel, config) pairs one invocation simulates concurrently;
+* ``repro serve --workers N`` / ``$REPRO_SERVE_WORKERS`` — *service*
+  parallelism: the long-lived server's simulation worker-pool size
+  (see :mod:`repro.serve`); its queue depth is bounded separately by
+  ``--max-queue``.
+
+Both paths share the same ``--cache-dir`` / ``$REPRO_CACHE_DIR``
+content-addressed cache, so a warm batch cache pre-answers server
+traffic and vice versa.
 """
 
 from __future__ import annotations

@@ -203,6 +203,15 @@ class MetricRegistry:
     def read_all(self) -> dict[str, float]:
         return {name: m.read() for name, m in sorted(self._metrics.items())}
 
+    def histograms(self) -> dict[str, dict]:
+        """Full bucket payloads for every histogram (``read_all`` only
+        surfaces the mean)."""
+        return {
+            name: m.to_dict()
+            for name, m in sorted(self._metrics.items())
+            if isinstance(m, Histogram)
+        }
+
     def __contains__(self, name: str) -> bool:
         return name in self._metrics
 

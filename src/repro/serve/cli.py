@@ -1,0 +1,226 @@
+"""CLI glue for ``repro serve`` and ``repro loadgen``.
+
+Kept separate from :mod:`repro.verify.cli` (which owns the ``repro``
+entry point and registers these subcommands) so the serving stack only
+imports when actually used.
+
+Knobs, mirroring the ``warped-compression`` runner's conventions:
+
+* ``--workers`` / ``$REPRO_SERVE_WORKERS`` — simulation worker-pool
+  size (the serving analogue of the runner's ``--jobs``);
+* ``--cache-dir`` / ``$REPRO_CACHE_DIR`` — shared content-addressed
+  result cache (same directory the CLI drivers use, so a warm CLI
+  cache pre-answers server traffic and vice versa).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.serve.loadgen import (
+    DEFAULT_BENCHMARKS,
+    LoadSpec,
+    run_loadgen,
+    verify_cold_run,
+    write_report,
+)
+from repro.serve.server import WORKERS_ENV, ServeConfig, run_server
+
+
+def _default_workers() -> int:
+    try:
+        return max(1, int(os.environ.get(WORKERS_ENV, "2")))
+    except ValueError:
+        return 2
+
+
+def add_serve_parser(sub) -> None:
+    serve = sub.add_parser(
+        "serve",
+        help="run the simulation-as-a-service HTTP server",
+        description="Long-lived asyncio JSON-over-HTTP server: submit "
+        "SimRequests, poll or stream job status, fetch RunResult "
+        "artifacts, scrape metrics.  Identical in-flight requests "
+        "coalesce onto one job; results persist in the shared "
+        "content-addressed cache; a bounded queue sheds overload with "
+        "429 + Retry-After; SIGTERM drains gracefully.",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8642)
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=_default_workers(),
+        metavar="N",
+        help="simulation worker-pool size (default: $REPRO_SERVE_WORKERS "
+        "or 2)",
+    )
+    serve.add_argument(
+        "--executor",
+        choices=("process", "thread"),
+        default="process",
+        help="worker pool kind (thread = in-process, for debugging)",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=256,
+        metavar="N",
+        help="admission-control bound on queued jobs (default 256)",
+    )
+    serve.add_argument(
+        "--timeout",
+        type=float,
+        default=300.0,
+        metavar="SECONDS",
+        help="per-attempt simulation timeout (default 300)",
+    )
+    serve.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="retries per job after timeout/crash, with exponential "
+        "backoff (default 2)",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="max wait for in-flight jobs on SIGTERM (default 30)",
+    )
+    serve.add_argument(
+        "--scale",
+        choices=("small", "default"),
+        default="small",
+        help="default workload scale for requests that omit one",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="result cache location (default: .repro-cache or "
+        "$REPRO_CACHE_DIR)",
+    )
+    serve.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk result cache (memo only)",
+    )
+
+
+def cmd_serve(args) -> int:
+    if args.workers < 1:
+        raise SystemExit("--workers must be at least 1")
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        executor=args.executor,
+        max_queue=args.max_queue,
+        job_timeout=args.timeout,
+        max_retries=args.retries,
+        drain_timeout=args.drain_timeout,
+        cache_dir=args.cache_dir,
+        use_disk_cache=not args.no_cache,
+        scale=args.scale,
+    )
+    return run_server(config)
+
+
+def add_loadgen_parser(sub) -> None:
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="replay a workload against a repro serve instance",
+        description="Open- or closed-loop load generation through the "
+        "serve client library; reports throughput, latency percentiles "
+        "(p50/p95/p99), backpressure retries, and the server's own "
+        "coalescing/cache counters to a JSON artifact.",
+    )
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, default=8642)
+    loadgen.add_argument(
+        "--requests", type=int, default=50, metavar="N",
+        help="total submissions (default 50)",
+    )
+    loadgen.add_argument(
+        "--concurrency", type=int, default=4, metavar="N",
+        help="closed-loop client count (default 4)",
+    )
+    loadgen.add_argument(
+        "--mode",
+        choices=("closed", "open"),
+        default="closed",
+        help="closed: next request on completion; open: fixed-rate "
+        "arrivals (default closed)",
+    )
+    loadgen.add_argument(
+        "--rate", type=float, default=10.0, metavar="RPS",
+        help="open-loop arrival rate (default 10/s)",
+    )
+    loadgen.add_argument(
+        "--distinct", type=int, default=10, metavar="N",
+        help="distinct kernels in the mix; the rest are duplicates "
+        "(default 10)",
+    )
+    loadgen.add_argument(
+        "--benchmarks", nargs="+", metavar="NAME",
+        help=f"kernel pool (default: {' '.join(DEFAULT_BENCHMARKS[:4])} "
+        "...)",
+    )
+    loadgen.add_argument(
+        "--seed", type=int, default=0,
+        help="workload shuffle seed (default 0)",
+    )
+    loadgen.add_argument(
+        "--timing", action="store_true",
+        help="submit cycle-level runs (default: functional)",
+    )
+    loadgen.add_argument(
+        "--policy", default="warped",
+        help="compression policy (default warped)",
+    )
+    loadgen.add_argument(
+        "--scale", choices=("small", "default"), default="small",
+    )
+    loadgen.add_argument(
+        "--out", metavar="FILE",
+        help="write the latency/throughput JSON artifact here",
+    )
+    loadgen.add_argument(
+        "--check-cold",
+        action="store_true",
+        help="assert the cold-cache service contract (zero failures, "
+        "one simulation per distinct key, duplicates coalesced/cached); "
+        "exit non-zero on violation",
+    )
+
+
+def cmd_loadgen(args) -> int:
+    spec = LoadSpec(
+        requests=args.requests,
+        concurrency=args.concurrency,
+        mode=args.mode,
+        rate=args.rate,
+        benchmarks=tuple(args.benchmarks or DEFAULT_BENCHMARKS),
+        distinct=args.distinct,
+        seed=args.seed,
+        timing=args.timing,
+        policy=args.policy,
+        scale=args.scale,
+    )
+    report = run_loadgen(args.host, args.port, spec)
+    print(report.render())
+    if args.out:
+        write_report(report, args.out)
+        print(f"wrote {args.out}")
+    if args.check_cold:
+        problems = verify_cold_run(report)
+        for problem in problems:
+            print(f"  CONTRACT VIOLATION: {problem}")
+        if problems:
+            return 1
+        print("cold-run contract held: one simulation per distinct key, "
+              "all duplicates coalesced or cache-served")
+        return 0
+    return 0 if report.failed == 0 else 1

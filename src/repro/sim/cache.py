@@ -99,7 +99,16 @@ class ResultCache:
         return result
 
     def put(self, key: str, material: dict, result: RunResult) -> None:
-        """Atomically persist one entry (key material kept for audit)."""
+        """Atomically persist one entry (key material kept for audit).
+
+        The payload is written to a uniquely-named tempfile *in the
+        destination directory* (so the rename never crosses a
+        filesystem), fsync'd, and moved into place with ``os.replace``.
+        Concurrent writers — parallel server workers, or two CLI
+        sessions sharing one cache — each publish a complete file; a
+        reader can observe the old entry or the new one, never a torn
+        mix, and a crash mid-write leaves at worst an orphaned ``.tmp``.
+        """
         path = self._entry_path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {"key": key, "material": material, "result": result.to_dict()}
@@ -109,6 +118,8 @@ class ResultCache:
         try:
             with os.fdopen(fd, "w") as fh:
                 json.dump(payload, fh, sort_keys=True)
+                fh.flush()
+                os.fsync(fh.fileno())
             os.replace(tmp, path)
         except BaseException:
             try:

@@ -237,6 +237,32 @@ class Session:
         self.simulated = 0
         self.memo_hits = 0
         self.disk_hits = 0
+        self.dedup_hits = 0
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def register_metrics(self, registry, prefix: str = "session.cache") -> None:
+        """Export cache behaviour as pull-based :mod:`repro.obs` probes.
+
+        Registers ``<prefix>.memo_hits`` / ``disk_hits`` / ``dedup_hits``
+        / ``simulated`` (delta counters) and ``<prefix>.memo_size`` (a
+        gauge), so server dashboards and interval-sampled timelines can
+        report cache effectiveness without log-scraping.
+        """
+        registry.probe(
+            f"{prefix}.memo_hits", lambda: self.memo_hits, kind="delta"
+        )
+        registry.probe(
+            f"{prefix}.disk_hits", lambda: self.disk_hits, kind="delta"
+        )
+        registry.probe(
+            f"{prefix}.dedup_hits", lambda: self.dedup_hits, kind="delta"
+        )
+        registry.probe(
+            f"{prefix}.simulated", lambda: self.simulated, kind="delta"
+        )
+        registry.probe(f"{prefix}.memo_size", lambda: len(self._memo))
 
     # ------------------------------------------------------------------
     # Request construction
@@ -253,11 +279,11 @@ class Session:
             request = self.request(request, **overrides)
         elif overrides:
             raise TypeError("overrides only apply to benchmark-name requests")
-        key, material, hit = self._lookup(request)
+        key, material, hit = self.lookup(request)
         if hit is not None:
             return hit
         result = self._execute(request, key)
-        self._store(key, material, result)
+        self.store(key, material, result)
         return result
 
     def run_many(
@@ -273,12 +299,12 @@ class Session:
         out: dict[SimRequest, RunResult] = {}
         misses: dict[str, tuple[SimRequest, dict]] = {}
         for request in requests:
-            key, material, hit = self._lookup(request)
+            key, material, hit = self.lookup(request)
             if hit is not None:
                 out[request] = hit
             elif key in misses:
                 # Equivalent request already queued: alias after execution.
-                pass
+                self.dedup_hits += 1
             else:
                 misses[key] = (request, material)
 
@@ -288,7 +314,7 @@ class Session:
             else:
                 for key, (request, material) in misses.items():
                     result = self._execute(request, key)
-                    self._store(key, material, result)
+                    self.store(key, material, result)
 
         # Resolve every original request (including aliases) via the memo.
         for request in requests:
@@ -322,7 +348,7 @@ class Session:
                         done, len(futures), label=request.benchmark
                     )
                 self._log(request)
-                self._store(key, material, result)
+                self.store(key, material, result)
 
     # Convenience wrappers mirroring the retired SimulationCache API.
     def timing_run(self, benchmark: str, **overrides) -> RunResult:
@@ -337,11 +363,19 @@ class Session:
         return subset or self.subset or benchmark_names()
 
     # ------------------------------------------------------------------
-    # Internals
+    # Cache plumbing (public: the serve layer orchestrates around it)
     # ------------------------------------------------------------------
-    def _lookup(
+    def lookup(
         self, request: SimRequest
     ) -> tuple[str, dict, RunResult | None]:
+        """Resolve ``request`` against the memo and disk cache.
+
+        Returns ``(key, key_material, hit)`` where ``hit`` is ``None``
+        on a miss; never executes anything.  External schedulers (the
+        ``repro.serve`` job queue) pair this with :meth:`store` to run
+        misses on their own executors while sharing the session's
+        dedup/caching discipline and hit accounting.
+        """
         material = request.key_material()
         key = fingerprint(material)
         if key in self._memo:
@@ -364,7 +398,8 @@ class Session:
             self.profiler.record_simulation(time.perf_counter() - start)
         return result
 
-    def _store(self, key: str, material: dict, result: RunResult) -> None:
+    def store(self, key: str, material: dict, result: RunResult) -> None:
+        """Publish one result to the memo and (if enabled) disk cache."""
         self._memo[key] = result
         if self._disk is not None:
             self._disk.put(key, material, result)

@@ -10,6 +10,8 @@ Examples::
     repro profile vecadd --limit 15          # host-side hot-spot table
     repro bench --quick                      # simulator perf smoke test
     repro bench --output BENCH_simulator.json  # full perf-regression bench
+    repro serve --port 8642 --workers 4      # simulation-as-a-service
+    repro loadgen --requests 50 --out load.json  # drive a live server
 
 Exit status is non-zero on any functional-vs-cycle mismatch,
 codec-vs-BDI mismatch, pipeline invariant violation, or (for ``trace``)
@@ -354,6 +356,12 @@ def main(argv: list[str] | None = None) -> int:
         "--quiet", action="store_true", help="suppress per-kernel progress"
     )
 
+    # The serving stack registers its own subcommands (serve, loadgen).
+    from repro.serve.cli import add_loadgen_parser, add_serve_parser
+
+    add_serve_parser(sub)
+    add_loadgen_parser(sub)
+
     args = parser.parse_args(argv)
 
     if args.command == "trace":
@@ -362,6 +370,17 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_profile(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "serve":
+        from repro.obs.log import configure_logging
+
+        from repro.serve.cli import cmd_serve
+
+        configure_logging("info")
+        return cmd_serve(args)
+    if args.command == "loadgen":
+        from repro.serve.cli import cmd_loadgen
+
+        return cmd_loadgen(args)
 
     if args.replay:
         try:

@@ -1,0 +1,148 @@
+"""Satellite coverage: crash/concurrency-safe cache writes and the
+Session cache-effectiveness probes exported through repro.obs.
+"""
+
+import json
+import multiprocessing
+import os
+
+from repro.obs.metrics import MetricRegistry
+from repro.sim import ResultCache, Session, SimRequest, simulate
+from repro.sim.cache import fingerprint
+
+
+def _hammer_put(root: str, key: str, payload: dict, rounds: int) -> None:
+    """Worker: repeatedly publish the same entry (distinct tempfiles)."""
+    from repro.sim.result import RunResult
+
+    cache = ResultCache(root)
+    result = RunResult.from_dict(payload)
+    material = {"who": os.getpid()}
+    for _ in range(rounds):
+        cache.put(key, material, result)
+
+
+class TestAtomicPut:
+    def test_concurrent_writers_never_expose_torn_entries(self, tmp_path):
+        """Parallel processes hammering one key: every read of the entry
+        file sees complete, parseable JSON with the full result."""
+        request = SimRequest(benchmark="lib", timing=False, scale="small")
+        result = simulate(request)
+        key = fingerprint(request.key_material())
+        payload = result.to_dict()
+        root = str(tmp_path / "cache")
+
+        ctx = multiprocessing.get_context("spawn")
+        writers = [
+            ctx.Process(
+                target=_hammer_put, args=(root, key, payload, 40)
+            )
+            for _ in range(3)
+        ]
+        for proc in writers:
+            proc.start()
+
+        cache = ResultCache(root)
+        entry = cache._entry_path(key)
+        reads = 0
+        while any(proc.is_alive() for proc in writers):
+            if entry.exists():
+                # Raw read: any torn write would raise here.
+                raw = json.loads(entry.read_text())
+                assert raw["key"] == key
+                assert raw["result"]["benchmark"] == "lib"
+                loaded = cache.get(key)
+                assert loaded is not None
+                assert loaded.cycles == result.cycles
+                reads += 1
+        for proc in writers:
+            proc.join()
+            assert proc.exitcode == 0
+        assert reads > 0
+        # No orphaned tempfiles survive a clean run.
+        leftovers = list(entry.parent.glob("*.tmp"))
+        assert leftovers == []
+
+    def test_failed_write_leaves_no_tempfile(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        request = SimRequest(benchmark="lib", timing=False, scale="small")
+        result = simulate(request)
+        key = fingerprint(request.key_material())
+
+        class Unserializable:
+            pass
+
+        try:
+            cache.put(key, {"bad": Unserializable()}, result)
+        except TypeError:
+            pass
+        parent = cache._entry_path(key).parent
+        assert not list(parent.glob("*.tmp"))
+        assert cache.get(key) is None
+
+
+class TestSessionProbes:
+    def test_cache_counters_exported_as_probes(self, tmp_path):
+        session = Session(
+            scale="small", cache_dir=tmp_path / "cache", use_disk_cache=True
+        )
+        registry = MetricRegistry(enabled=True)
+        session.register_metrics(registry)
+        names = registry.names()
+        for suffix in (
+            "memo_hits",
+            "disk_hits",
+            "dedup_hits",
+            "simulated",
+            "memo_size",
+        ):
+            assert f"session.cache.{suffix}" in names
+
+        request = session.request("lib", timing=False)
+        session.run(request)
+        assert registry.read("session.cache.simulated") == 1
+        assert registry.read("session.cache.memo_hits") == 0
+        session.run(request)
+        assert registry.read("session.cache.memo_hits") == 1
+        assert registry.read("session.cache.memo_size") == 1
+
+        # A fresh session over the same directory reads from disk.
+        warm = Session(
+            scale="small", cache_dir=tmp_path / "cache", use_disk_cache=True
+        )
+        warm_registry = MetricRegistry(enabled=True)
+        warm.register_metrics(warm_registry)
+        warm.run(request)
+        assert warm_registry.read("session.cache.disk_hits") == 1
+        assert warm_registry.read("session.cache.simulated") == 0
+
+    def test_dedup_hits_count_equivalent_requests(self):
+        session = Session(scale="small", use_disk_cache=False)
+        # Functional runs drop timing-only knobs from the key, so these
+        # distinct request objects are one cache entry.
+        requests = [
+            SimRequest(benchmark="lib", timing=False, scale="small"),
+            SimRequest(
+                benchmark="lib",
+                timing=False,
+                scale="small",
+                compression_latency=7,
+            ),
+            SimRequest(
+                benchmark="lib",
+                timing=False,
+                scale="small",
+                decompression_latency=5,
+            ),
+        ]
+        out = session.run_many(requests)
+        assert session.simulated == 1
+        assert session.dedup_hits == 2
+        assert len({id(result) for result in out.values()}) == 1
+
+    def test_probe_kinds_are_delta_for_counters(self):
+        session = Session(scale="small", use_disk_cache=False)
+        registry = MetricRegistry(enabled=True)
+        session.register_metrics(registry, prefix="s")
+        assert registry.kind("s.memo_hits") == "delta"
+        assert registry.kind("s.memo_size") == "gauge"

@@ -1,0 +1,206 @@
+"""Live-server tests: full client round trips over real TCP.
+
+Each test boots an :class:`EmbeddedServer` on an ephemeral port with
+in-process thread workers, then drives it exclusively through
+:class:`~repro.serve.client.ServeClient` — the same path ``repro
+loadgen`` uses — so the wire protocol, backpressure contract, and
+graceful drain are exercised end to end.
+"""
+
+import concurrent.futures
+import json
+import time
+
+import pytest
+from serve_helpers import EmbeddedServer
+
+from repro.serve.client import Backpressure, ServeClient, ServeError
+from repro.sim.session import SIM_COUNTER, SimRequest, simulate
+
+
+REQUEST = {"benchmark": "lib", "timing": False, "scale": "small"}
+
+
+class TestRoundTrip:
+    def test_submit_wait_fetch_matches_direct_simulation(self):
+        with EmbeddedServer() as server:
+            client = server.client()
+            served = client.run(REQUEST)
+        direct = simulate(
+            SimRequest(benchmark="lib", timing=False, scale="small")
+        )
+        assert served.benchmark == "lib"
+        assert not served.timing_mode
+        assert json.dumps(served.value.to_dict(), sort_keys=True) == (
+            json.dumps(direct.value.to_dict(), sort_keys=True)
+        )
+
+    def test_dataclass_request_and_cached_resubmission(self):
+        with EmbeddedServer() as server:
+            client = server.client()
+            request = SimRequest(
+                benchmark="pathfinder", timing=False, scale="small"
+            )
+            before = SIM_COUNTER.value
+            client.run(request)
+            client.run(request)  # second hit is answered from cache
+            assert SIM_COUNTER.value - before == 1
+            payload = client.submit(request)
+            assert payload["job"]["state"] == "done"
+            assert payload["job"]["source"] == "cache"
+
+    def test_long_poll_status(self):
+        with EmbeddedServer() as server:
+            client = server.client()
+            job = client.submit(REQUEST)["job"]
+            status = client.status(job["id"], wait=10)
+            assert status["state"] == "done"
+            assert status["attempts"] in (0, 1)  # 0 when cache-served
+
+    def test_event_stream_reaches_terminal_state(self):
+        with EmbeddedServer() as server:
+            client = server.client()
+            job = client.submit(REQUEST)["job"]
+            import http.client
+
+            conn = http.client.HTTPConnection(
+                server.host, server.port, timeout=30
+            )
+            conn.request("GET", f"/v1/jobs/{job['id']}/events")
+            response = conn.getresponse()
+            assert response.getheader("Content-Type") == "text/event-stream"
+            states = []
+            while True:
+                line = response.readline()
+                if not line:
+                    break
+                line = line.decode().strip()
+                if line.startswith("data: "):
+                    states.append(json.loads(line[6:])["state"])
+            conn.close()
+            assert states[-1] == "done"
+
+
+class TestErrors:
+    def test_unknown_benchmark_is_400(self):
+        with EmbeddedServer() as server:
+            client = server.client()
+            with pytest.raises(ServeError) as excinfo:
+                client.submit({"benchmark": "not-a-kernel"})
+            assert excinfo.value.status == 400
+            assert "unknown benchmark" in excinfo.value.detail
+
+    def test_unknown_fields_and_job_and_route(self):
+        with EmbeddedServer() as server:
+            client = server.client()
+            with pytest.raises(ServeError) as excinfo:
+                client.submit({"benchmark": "lib", "warp_speed": 9})
+            assert excinfo.value.status == 400
+            with pytest.raises(ServeError) as excinfo:
+                client.status("job-999999")
+            assert excinfo.value.status == 404
+            status, _, _ = client._call("GET", "/v1/nope")
+            assert status == 404
+
+    def test_result_conflict_before_done(self):
+        import threading
+
+        release = threading.Event()
+        slow = concurrent.futures.ThreadPoolExecutor(max_workers=1)
+        original = {}
+
+        def stall(request):
+            def _wait():
+                release.wait(10)
+                return original["fn"](request).result(30)
+
+            return slow.submit(_wait)
+
+        with EmbeddedServer(workers=1) as server:
+            original["fn"] = server.app.scheduler.submit_fn
+            server.app.scheduler.submit_fn = stall
+            client = server.client()
+            job = client.submit(REQUEST)["job"]
+            with pytest.raises(ServeError) as excinfo:
+                client.result(job["id"])
+            assert excinfo.value.status == 409
+            release.set()  # unblock so drain-on-exit completes normally
+            assert client.status(job["id"], wait=20)["state"] == "done"
+        slow.shutdown(wait=True)
+
+
+class TestBackpressure:
+    def test_bounded_queue_returns_429_with_retry_after(self):
+        """Overload provably sheds: 429 + Retry-After, no unbounded
+        queueing."""
+        import threading
+
+        release = threading.Event()
+        slow = concurrent.futures.ThreadPoolExecutor(max_workers=4)
+        original = {}
+
+        def stall(request):
+            def _wait():
+                release.wait(10)
+                return original["fn"](request).result(30)
+
+            return slow.submit(_wait)
+
+        with EmbeddedServer(workers=1, max_queue=2) as server:
+            original["fn"] = server.app.scheduler.submit_fn
+            server.app.scheduler.submit_fn = stall
+            client = server.client()
+            benchmarks = ("lib", "pathfinder", "hotspot", "nw", "bfs")
+            outcomes = []
+            for name in benchmarks:
+                try:
+                    client.submit({"benchmark": name, "timing": False})
+                    outcomes.append("accepted")
+                except Backpressure as exc:
+                    assert exc.retry_after >= 1.0
+                    outcomes.append("rejected")
+            # 1 running + 2 queued accepted; everything beyond shed.
+            assert outcomes.count("accepted") == 3
+            assert outcomes.count("rejected") == 2
+            assert len(server.app.scheduler.queue) <= 2
+            metrics = client.metrics()["metrics"]
+            assert metrics["serve.rejected"] == 2
+            assert metrics["serve.queue_depth"] <= 2
+            release.set()  # let the backlog drain on exit
+        slow.shutdown(wait=True)
+
+
+class TestOps:
+    def test_healthz_metrics_and_job_listing(self):
+        with EmbeddedServer() as server:
+            client = server.client()
+            assert client.health()["status"] == "ok"
+            client.run(REQUEST)
+            jobs = client.jobs()
+            assert len(jobs) == 1 and jobs[0]["state"] == "done"
+            payload = client.metrics()
+            metrics = payload["metrics"]
+            assert metrics["serve.submitted"] >= 1
+            assert metrics["serve.simulations"] == 1
+            # Session cache probes ride along for dashboards.
+            assert "session.cache.memo_hits" in metrics
+            assert "serve.latency_seconds" in payload["histograms"]
+            assert payload["histograms"]["serve.latency_seconds"]["total"] >= 1
+
+    def test_drain_endpoint_stops_admissions(self):
+        with EmbeddedServer() as server:
+            client = server.client()
+            client.run(REQUEST)
+            assert client.drain()["status"] == "draining"
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                try:
+                    client.submit(REQUEST)
+                except ServeError as exc:
+                    if exc.status == 503:
+                        break
+                except OSError:
+                    break  # listener already closed — also a valid stop
+                time.sleep(0.05)
+            else:
+                pytest.fail("drain never rejected new submissions")

@@ -1,0 +1,141 @@
+"""Load-generator tests: percentile math, workload determinism, and a
+full closed-loop run (with the cold-run contract check) against a live
+embedded server.
+"""
+
+import json
+
+import pytest
+from serve_helpers import EmbeddedServer
+
+from repro.serve.loadgen import (
+    LoadReport,
+    LoadSpec,
+    build_workload,
+    latency_summary,
+    percentile,
+    run_loadgen,
+    verify_cold_run,
+    write_report,
+)
+
+
+class TestPercentiles:
+    def test_nearest_rank(self):
+        values = [float(v) for v in range(1, 101)]  # 1..100
+        assert percentile(values, 50) == 50.0
+        assert percentile(values, 95) == 95.0
+        assert percentile(values, 99) == 99.0
+        assert percentile(values, 100) == 100.0
+
+    def test_small_samples_and_edges(self):
+        assert percentile([], 50) == 0.0
+        assert percentile([7.0], 99) == 7.0
+        assert percentile([3.0, 1.0, 2.0], 50) == 2.0
+        assert percentile([3.0, 1.0, 2.0], 0) == 1.0
+        with pytest.raises(ValueError):
+            percentile([1.0], 120)
+
+    def test_summary_shape(self):
+        summary = latency_summary([0.1, 0.2, 0.3, 0.4])
+        assert summary["count"] == 4
+        assert summary["mean"] == pytest.approx(0.25)
+        assert summary["p50"] == 0.2
+        assert summary["max"] == 0.4
+
+
+class TestWorkload:
+    def test_deterministic_and_duplicated(self):
+        spec = LoadSpec(requests=50, distinct=10, seed=3)
+        workload = build_workload(spec)
+        assert workload == build_workload(spec)
+        names = [item["benchmark"] for item in workload]
+        assert len(names) == 50
+        assert len(set(names)) == 10
+        # Round-robin base: every distinct kernel appears 5 times.
+        assert all(names.count(name) == 5 for name in set(names))
+
+    def test_distinct_capped_by_requests(self):
+        workload = build_workload(LoadSpec(requests=3, distinct=10))
+        assert len(workload) == 3
+        assert len({item["benchmark"] for item in workload}) == 3
+
+    def test_seed_changes_order_not_mix(self):
+        a = build_workload(LoadSpec(requests=20, distinct=5, seed=1))
+        b = build_workload(LoadSpec(requests=20, distinct=5, seed=2))
+        assert a != b
+        key = lambda w: sorted(item["benchmark"] for item in w)  # noqa: E731
+        assert key(a) == key(b)
+
+    def test_invalid_specs(self):
+        with pytest.raises(ValueError):
+            build_workload(LoadSpec(distinct=0))
+
+
+class TestContract:
+    def base_report(self) -> LoadReport:
+        spec = LoadSpec(requests=10, distinct=4)
+        report = LoadReport(spec=spec, ok=10, distinct_keys=4)
+        report.server_metrics = {
+            "metrics": {
+                "serve.simulations": 4,
+                "serve.coalesced": 3,
+                "serve.cache_hits": 3,
+            }
+        }
+        return report
+
+    def test_clean_report_passes(self):
+        assert verify_cold_run(self.base_report()) == []
+
+    def test_violations_detected(self):
+        report = self.base_report()
+        report.failed = 2
+        report.ok = 8
+        report.server_metrics["metrics"]["serve.simulations"] = 6
+        report.server_metrics["metrics"]["serve.coalesced"] = 0
+        report.server_metrics["metrics"]["serve.cache_hits"] = 0
+        problems = verify_cold_run(report)
+        assert len(problems) == 4
+        assert any("failed" in p for p in problems)
+        assert any("one per distinct key" in p for p in problems)
+        assert any("duplicate submissions" in p for p in problems)
+
+    def test_missing_metrics_flagged(self):
+        report = self.base_report()
+        report.server_metrics = {}
+        assert verify_cold_run(report) == ["no server metrics captured"]
+
+
+class TestClosedLoopLive:
+    def test_cold_run_contract_and_artifact(self, tmp_path):
+        spec = LoadSpec(requests=24, distinct=6, concurrency=4, seed=7)
+        with EmbeddedServer(workers=2) as server:
+            report = run_loadgen(server.host, server.port, spec)
+        assert report.ok == 24
+        assert report.failed == 0
+        assert report.distinct_keys == 6
+        assert verify_cold_run(report) == []
+        assert report.throughput_rps > 0
+        metrics = report.server_metrics["metrics"]
+        assert metrics["serve.simulations"] == 6
+        assert metrics["serve.coalesced"] + metrics["serve.cache_hits"] == 18
+
+        artifact = tmp_path / "loadgen.json"
+        write_report(report, str(artifact))
+        payload = json.loads(artifact.read_text())
+        assert payload["ok"] == 24
+        assert payload["latency_s"]["count"] == 24
+        assert payload["latency_s"]["p99"] >= payload["latency_s"]["p50"]
+        assert payload["spec"]["mode"] == "closed"
+        assert "24/24 ok" in report.render()
+
+    def test_open_loop_against_live_server(self):
+        spec = LoadSpec(
+            requests=8, distinct=4, mode="open", rate=40.0, seed=11
+        )
+        with EmbeddedServer(workers=2) as server:
+            report = run_loadgen(server.host, server.port, spec)
+        assert report.ok == 8
+        assert report.failed == 0
+        assert verify_cold_run(report) == []
