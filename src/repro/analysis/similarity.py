@@ -72,6 +72,45 @@ def classify_write(values: np.ndarray, mask: np.ndarray) -> SimilarityBin:
     return SimilarityBin.RANDOM
 
 
+def classify_write_full(values: np.ndarray) -> SimilarityBin:
+    """:func:`classify_write` for a fully-active warp (no mask array).
+
+    The replay and stats hot paths always bin the complete 32-lane
+    snapshot; skipping the mask indexing halves the cost of the common
+    case while giving the same answer as an all-true mask.
+    """
+    signed = np.asarray(values, dtype=np.uint32).view(np.int32).astype(np.int64)
+    if signed.size < 2:
+        return SimilarityBin.ZERO
+    worst = int(np.abs(signed[1:] - signed[:-1]).max())
+    if worst == 0:
+        return SimilarityBin.ZERO
+    if worst <= 128:
+        return SimilarityBin.D128
+    if worst <= 1 << 15:
+        return SimilarityBin.D32K
+    return SimilarityBin.RANDOM
+
+
+def classify_writes_batch(matrix: np.ndarray) -> np.ndarray:
+    """Batch :func:`classify_write_full` over a ``(n, warp_size)`` matrix.
+
+    Returns one :class:`SimilarityBin` value per row as ``int64``.
+    """
+    m = np.ascontiguousarray(matrix, dtype=np.uint32)
+    if m.ndim != 2:
+        raise ValueError(f"lane matrix must be 2-D, got shape {m.shape}")
+    if m.shape[0] == 0 or m.shape[1] < 2:
+        return np.zeros(m.shape[0], dtype=np.int64)
+    signed = m.view(np.int32).astype(np.int64)
+    worst = np.abs(signed[:, 1:] - signed[:, :-1]).max(axis=1)
+    bins = np.full(m.shape[0], int(SimilarityBin.RANDOM), dtype=np.int64)
+    bins[worst <= 1 << 15] = int(SimilarityBin.D32K)
+    bins[worst <= 128] = int(SimilarityBin.D128)
+    bins[worst == 0] = int(SimilarityBin.ZERO)
+    return bins
+
+
 #: Histogram keys of the Figure 5 study, in plot order.
 BDI_CHOICES = (
     "<4,0>",
@@ -123,3 +162,54 @@ def best_bdi_choice(values: np.ndarray) -> str:
         return "uncompressed"
     banks, _, name = min(candidates, key=lambda c: (c[0], c[1]))
     return name if banks < 8 else "uncompressed"
+
+
+#: The seven candidates of :func:`best_bdi_choice` sorted by its
+#: ``(banks, compressed size)`` preference key, plus the fallback.
+#: ``best_bdi_choice_indices`` picks the first matching entry per row.
+BDI_BATCH_ORDER = (
+    "<4,0>",  # 1 bank, 4 bytes
+    "<8,0>",  # 1 bank, 8 bytes
+    "<8,1>",  # 2 banks, 23 bytes
+    "<4,1>",  # 3 banks, 35 bytes
+    "<8,2>",  # 3 banks, 38 bytes
+    "<4,2>",  # 5 banks, 66 bytes
+    "<8,4>",  # 5 banks, 68 bytes
+    "uncompressed",
+)
+
+
+def best_bdi_choice_indices(matrix: np.ndarray) -> np.ndarray:
+    """Batch :func:`best_bdi_choice` over a ``(n, warp_size)`` matrix.
+
+    Returns, per row, the index into :data:`BDI_BATCH_ORDER` of the
+    encoding the exhaustive search would pick.
+    """
+    m = np.ascontiguousarray(matrix, dtype=np.uint32)
+    if m.ndim != 2:
+        raise ValueError(f"lane matrix must be 2-D, got shape {m.shape}")
+    if m.shape[1] % 2:
+        raise ValueError("warp register must have an even number of lanes")
+    if m.shape[0] == 0:
+        return np.zeros(0, dtype=np.int64)
+
+    d4 = (m - m[:, :1]).astype(np.int32)
+    hi4 = d4.max(axis=1).astype(np.int64)
+    lo4 = d4.min(axis=1).astype(np.int64)
+
+    chunks8 = m.view(np.uint64)
+    d8 = (chunks8 - chunks8[:, :1]).view(np.int64)
+    hi8 = d8.max(axis=1)
+    lo8 = d8.min(axis=1)
+
+    conditions = [
+        (hi4 == 0) & (lo4 == 0),  # <4,0>
+        (hi8 == 0) & (lo8 == 0),  # <8,0>
+        (hi8 < 1 << 7) & (lo8 >= -(1 << 7)),  # <8,1>
+        (hi4 <= 127) & (lo4 >= -128),  # <4,1>
+        (hi8 < 1 << 15) & (lo8 >= -(1 << 15)),  # <8,2>
+        (hi4 <= 32767) & (lo4 >= -32768),  # <4,2>
+        (hi8 < 1 << 31) & (lo8 >= -(1 << 31)),  # <8,4>
+    ]
+    choices = np.arange(len(conditions), dtype=np.int64)
+    return np.select(conditions, choices, default=len(BDI_BATCH_ORDER) - 1)

@@ -15,48 +15,99 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.analysis.similarity import (
+    BDI_BATCH_ORDER,
     SimilarityBin,
     best_bdi_choice,
+    best_bdi_choice_indices,
     classify_write,
+    classify_write_full,
+    classify_writes_batch,
 )
 from repro.core.banks import BANKS_PER_WARP_REGISTER
-from repro.core.codec import CompressionMode
+from repro.core.codec import MODE_BANKS_BY_ID, MODES_BY_ID, CompressionMode
+from repro.core.memo import PROFILE_CACHE
 
 _NONDIV, _DIV = 0, 1
 
 
-@dataclass
 class ValueStats:
     """Value-similarity and compression counters (phase-split).
 
     Phase index 0 is non-divergent, 1 is divergent, following the paired
     bars of Figures 2, 8 and 12.
+
+    The accumulators are plain Python ints/floats internally: the hot
+    recorders fire once per instruction or write, and a list-element
+    increment is an order of magnitude cheaper than a numpy scalar one.
+    The historical numpy-array attributes (``similarity``, ``writes``,
+    ...) survive as properties that materialise a fresh array per read —
+    cheap, because readers are end-of-run analysis code.
     """
 
-    collect_bdi: bool = False
-    similarity: np.ndarray = field(
-        default_factory=lambda: np.zeros((2, 4), dtype=np.int64)
-    )
-    instructions: int = 0
-    divergent_instructions: int = 0
-    writes: np.ndarray = field(
-        default_factory=lambda: np.zeros(2, dtype=np.int64)
-    )
-    achievable_banks: np.ndarray = field(
-        default_factory=lambda: np.zeros(2, dtype=np.int64)
-    )
-    stored_banks: np.ndarray = field(
-        default_factory=lambda: np.zeros(2, dtype=np.int64)
-    )
-    mode_histogram: Counter = field(default_factory=Counter)
-    bdi_histogram: Counter = field(default_factory=Counter)
-    movs_injected: int = 0
-    occupancy_sum: np.ndarray = field(
-        default_factory=lambda: np.zeros(2, dtype=np.float64)
-    )
-    occupancy_samples: np.ndarray = field(
-        default_factory=lambda: np.zeros(2, dtype=np.int64)
-    )
+    def __init__(self, collect_bdi: bool = False):
+        self.collect_bdi = collect_bdi
+        self._similarity = [0] * 8  # (2 phases x 4 bins), row-major
+        self.instructions = 0
+        self.divergent_instructions = 0
+        self._writes = [0, 0]
+        self._achievable_banks = [0, 0]
+        self._stored_banks = [0, 0]
+        self.mode_histogram: Counter = Counter()
+        self.bdi_histogram: Counter = Counter()
+        self.movs_injected = 0
+        self._occupancy_sum = [0.0, 0.0]
+        self._occupancy_samples = [0, 0]
+
+    # ------------------------------------------------------------------
+    # Array views (historical public attributes)
+    # ------------------------------------------------------------------
+    @property
+    def similarity(self) -> np.ndarray:
+        return np.asarray(self._similarity, dtype=np.int64).reshape(2, 4)
+
+    @similarity.setter
+    def similarity(self, value) -> None:
+        self._similarity = [int(x) for x in np.asarray(value).ravel()]
+
+    @property
+    def writes(self) -> np.ndarray:
+        return np.asarray(self._writes, dtype=np.int64)
+
+    @writes.setter
+    def writes(self, value) -> None:
+        self._writes = [int(x) for x in np.asarray(value).ravel()]
+
+    @property
+    def achievable_banks(self) -> np.ndarray:
+        return np.asarray(self._achievable_banks, dtype=np.int64)
+
+    @achievable_banks.setter
+    def achievable_banks(self, value) -> None:
+        self._achievable_banks = [int(x) for x in np.asarray(value).ravel()]
+
+    @property
+    def stored_banks(self) -> np.ndarray:
+        return np.asarray(self._stored_banks, dtype=np.int64)
+
+    @stored_banks.setter
+    def stored_banks(self, value) -> None:
+        self._stored_banks = [int(x) for x in np.asarray(value).ravel()]
+
+    @property
+    def occupancy_sum(self) -> np.ndarray:
+        return np.asarray(self._occupancy_sum, dtype=np.float64)
+
+    @occupancy_sum.setter
+    def occupancy_sum(self, value) -> None:
+        self._occupancy_sum = [float(x) for x in np.asarray(value).ravel()]
+
+    @property
+    def occupancy_samples(self) -> np.ndarray:
+        return np.asarray(self._occupancy_samples, dtype=np.int64)
+
+    @occupancy_samples.setter
+    def occupancy_samples(self, value) -> None:
+        self._occupancy_samples = [int(x) for x in np.asarray(value).ravel()]
 
     # ------------------------------------------------------------------
     # Recording
@@ -82,22 +133,106 @@ class ValueStats:
         grows under divergence (paper Figure 2).
         """
         phase = _DIV if divergent else _NONDIV
-        full = np.ones(len(values), dtype=bool)
-        self.similarity[phase, classify_write(values, full)] += 1
-        self.writes[phase] += 1
-        self.achievable_banks[phase] += achievable_mode.banks
-        self.stored_banks[phase] += stored_banks
+        # The characterisation profile (similarity bin, best-BDI choice)
+        # is a pure function of the register image, and images recur
+        # constantly (the paper's similarity observation) — memoize it
+        # in the content-keyed PROFILE_CACHE next to the codec's memo.
+        cache = PROFILE_CACHE
+        if cache.enabled:
+            key = values.tobytes()
+            profile = cache.get(key)
+            if profile is None:
+                profile = [classify_write_full(values), None]
+                cache.put(key, profile)
+            sim_bin = profile[0]
+            if self.collect_bdi:
+                if profile[1] is None:
+                    profile[1] = best_bdi_choice(values)
+                self.bdi_histogram[profile[1]] += 1
+        else:
+            sim_bin = classify_write(
+                values, np.ones(len(values), dtype=bool)
+            )
+            if self.collect_bdi:
+                self.bdi_histogram[best_bdi_choice(values)] += 1
+        self._similarity[phase * 4 + sim_bin] += 1
+        self._writes[phase] += 1
+        self._achievable_banks[phase] += achievable_mode.banks
+        self._stored_banks[phase] += stored_banks
         self.mode_histogram[stored_mode] += 1
+
+    def record_writes_batch(
+        self,
+        matrix: np.ndarray,
+        divergent: np.ndarray,
+        achievable_mode_ids: np.ndarray,
+        stored_banks: np.ndarray,
+        stored_mode_ids: np.ndarray,
+    ) -> None:
+        """Record ``n`` warp-register writes from whole-trace arrays.
+
+        The batch analogue of :meth:`record_write`, used by the
+        trace-replay tier: ``matrix`` is the ``(n, warp_size)`` merged
+        lane images, the remaining arguments are per-row vectors (mode
+        arguments as raw indicator ids).  Produces bit-identical
+        counters to ``n`` sequential :meth:`record_write` calls.
+        """
+        n = int(matrix.shape[0])
+        if n == 0:
+            return
+        phases = np.asarray(divergent, dtype=bool).astype(np.int64)
+        bins = classify_writes_batch(matrix)
+        for i, count in enumerate(np.bincount(phases * 4 + bins, minlength=8)):
+            self._similarity[i] += int(count)
+        for i, count in enumerate(np.bincount(phases, minlength=2)):
+            self._writes[i] += int(count)
+        achievable = np.bincount(
+            phases, weights=MODE_BANKS_BY_ID[achievable_mode_ids], minlength=2
+        ).astype(np.int64)
+        stored = np.bincount(
+            phases, weights=np.asarray(stored_banks, dtype=np.int64), minlength=2
+        ).astype(np.int64)
+        for i in range(2):
+            self._achievable_banks[i] += int(achievable[i])
+            self._stored_banks[i] += int(stored[i])
+        mode_counts = np.bincount(
+            np.asarray(stored_mode_ids, dtype=np.int64),
+            minlength=len(MODES_BY_ID),
+        )
+        for mode_id, count in enumerate(mode_counts):
+            if count:
+                self.mode_histogram[MODES_BY_ID[mode_id]] += int(count)
         if self.collect_bdi:
-            self.bdi_histogram[best_bdi_choice(values)] += 1
+            choice_counts = np.bincount(
+                best_bdi_choice_indices(matrix),
+                minlength=len(BDI_BATCH_ORDER),
+            )
+            for idx, count in enumerate(choice_counts):
+                if count:
+                    self.bdi_histogram[BDI_BATCH_ORDER[idx]] += int(count)
 
     def record_mov(self) -> None:
         self.movs_injected += 1
 
+    def record_movs(self, count: int) -> None:
+        self.movs_injected += int(count)
+
     def record_occupancy(self, compressed_fraction: float, divergent: bool) -> None:
         phase = _DIV if divergent else _NONDIV
-        self.occupancy_sum[phase] += compressed_fraction
-        self.occupancy_samples[phase] += 1
+        self._occupancy_sum[phase] += compressed_fraction
+        self._occupancy_samples[phase] += 1
+
+    def record_occupancy_batch(
+        self, fractions: np.ndarray, divergent: np.ndarray
+    ) -> None:
+        """Batch :meth:`record_occupancy` over per-write vectors."""
+        phases = np.asarray(divergent, dtype=bool).astype(np.int64)
+        fractions = np.asarray(fractions, dtype=np.float64)
+        sums = np.bincount(phases, weights=fractions, minlength=2)
+        counts = np.bincount(phases, minlength=2)
+        for i in range(2):
+            self._occupancy_sum[i] += float(sums[i])
+            self._occupancy_samples[i] += int(counts[i])
 
     # ------------------------------------------------------------------
     # Derived metrics
@@ -105,12 +240,11 @@ class ValueStats:
     def similarity_fractions(self, divergent: bool) -> dict[SimilarityBin, float]:
         """Figure 2: fraction of writes per bin for one phase."""
         phase = _DIV if divergent else _NONDIV
-        total = int(self.similarity[phase].sum())
+        row = self._similarity[phase * 4 : phase * 4 + 4]
+        total = sum(row)
         if total == 0:
             return {b: 0.0 for b in SimilarityBin}
-        return {
-            b: self.similarity[phase, b] / total for b in SimilarityBin
-        }
+        return {b: row[b] / total for b in SimilarityBin}
 
     @property
     def nondivergent_fraction(self) -> float:
@@ -126,20 +260,24 @@ class ValueStats:
         the compressed representations occupy.
         """
         phase = _DIV if divergent else _NONDIV
-        banks = self.achievable_banks if achievable else self.stored_banks
-        if self.writes[phase] == 0:
+        banks = (
+            self._achievable_banks if achievable else self._stored_banks
+        )
+        if self._writes[phase] == 0:
             return 1.0
         return (
-            BANKS_PER_WARP_REGISTER * int(self.writes[phase])
-        ) / int(banks[phase])
+            BANKS_PER_WARP_REGISTER * self._writes[phase]
+        ) / banks[phase]
 
     def overall_compression_ratio(self, achievable: bool = False) -> float:
         """Ratio over all writes regardless of phase."""
-        total_writes = int(self.writes.sum())
-        banks = self.achievable_banks if achievable else self.stored_banks
+        total_writes = sum(self._writes)
+        banks = (
+            self._achievable_banks if achievable else self._stored_banks
+        )
         if total_writes == 0:
             return 1.0
-        return (BANKS_PER_WARP_REGISTER * total_writes) / int(banks.sum())
+        return (BANKS_PER_WARP_REGISTER * total_writes) / sum(banks)
 
     @property
     def mov_fraction(self) -> float:
@@ -154,9 +292,9 @@ class ValueStats:
         benchmarks that do not diverge).
         """
         phase = _DIV if divergent else _NONDIV
-        if self.occupancy_samples[phase] == 0:
+        if self._occupancy_samples[phase] == 0:
             return None
-        return float(self.occupancy_sum[phase] / self.occupancy_samples[phase])
+        return self._occupancy_sum[phase] / self._occupancy_samples[phase]
 
     def bdi_fractions(self) -> dict[str, float]:
         """Figure 5: share of writes best served by each encoding."""
@@ -168,17 +306,19 @@ class ValueStats:
     # ------------------------------------------------------------------
     def merge(self, other: "ValueStats") -> None:
         """Fold another SM's counters into this one."""
-        self.similarity += other.similarity
+        for i, count in enumerate(other._similarity):
+            self._similarity[i] += count
         self.instructions += other.instructions
         self.divergent_instructions += other.divergent_instructions
-        self.writes += other.writes
-        self.achievable_banks += other.achievable_banks
-        self.stored_banks += other.stored_banks
+        for i in range(2):
+            self._writes[i] += other._writes[i]
+            self._achievable_banks[i] += other._achievable_banks[i]
+            self._stored_banks[i] += other._stored_banks[i]
+            self._occupancy_sum[i] += other._occupancy_sum[i]
+            self._occupancy_samples[i] += other._occupancy_samples[i]
         self.mode_histogram.update(other.mode_histogram)
         self.bdi_histogram.update(other.bdi_histogram)
         self.movs_injected += other.movs_injected
-        self.occupancy_sum += other.occupancy_sum
-        self.occupancy_samples += other.occupancy_samples
 
     # ------------------------------------------------------------------
     # Serialisation (RunResult artifacts)
@@ -187,12 +327,15 @@ class ValueStats:
         """Lossless JSON-compatible representation of every counter."""
         return {
             "collect_bdi": self.collect_bdi,
-            "similarity": self.similarity.tolist(),
+            "similarity": [
+                self._similarity[0:4],
+                self._similarity[4:8],
+            ],
             "instructions": int(self.instructions),
             "divergent_instructions": int(self.divergent_instructions),
-            "writes": self.writes.tolist(),
-            "achievable_banks": self.achievable_banks.tolist(),
-            "stored_banks": self.stored_banks.tolist(),
+            "writes": list(self._writes),
+            "achievable_banks": list(self._achievable_banks),
+            "stored_banks": list(self._stored_banks),
             "mode_histogram": {
                 str(int(mode)): int(count)
                 for mode, count in sorted(self.mode_histogram.items())
@@ -202,8 +345,8 @@ class ValueStats:
                 for choice, count in sorted(self.bdi_histogram.items())
             },
             "movs_injected": int(self.movs_injected),
-            "occupancy_sum": self.occupancy_sum.tolist(),
-            "occupancy_samples": self.occupancy_samples.tolist(),
+            "occupancy_sum": list(self._occupancy_sum),
+            "occupancy_samples": list(self._occupancy_samples),
         }
 
     @classmethod

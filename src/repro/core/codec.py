@@ -89,6 +89,14 @@ COMPRESSED_MODES = (
     CompressionMode.B4D2,
 )
 
+#: Indicator-id lookup tables for batch paths: raw 2-bit id -> enum /
+#: bank count without constructing an enum instance per register.
+MODES_BY_ID = tuple(CompressionMode)
+MODE_BANKS_BY_ID = np.array(
+    [_MODE_BANKS[mode] for mode in MODES_BY_ID], dtype=np.int64
+)
+MODE_BANKS_BY_ID.setflags(write=False)
+
 
 def _as_lanes(values: np.ndarray) -> np.ndarray:
     lanes = np.asarray(values, dtype=np.uint32)
@@ -143,6 +151,29 @@ def choose_mode(values: np.ndarray) -> CompressionMode:
     return _memoized_encode(_as_lanes(values))[0]
 
 
+def choose_mode_ids(matrix: np.ndarray) -> np.ndarray:
+    """Batch :func:`choose_mode` over a ``(n, warp_size)`` lane matrix.
+
+    Returns the raw 2-bit indicator ids as ``uint8`` — one per row —
+    computed with whole-matrix arithmetic instead of per-register
+    Python.  Same delta thresholds as :func:`_encode_lanes`; narrower
+    modes overwrite wider ones so each row lands on the cheapest fit.
+    """
+    m = np.ascontiguousarray(matrix, dtype=np.uint32)
+    if m.ndim != 2:
+        raise ValueError(f"lane matrix must be 2-D, got shape {m.shape}")
+    ids = np.full(m.shape[0], int(CompressionMode.UNCOMPRESSED), dtype=np.uint8)
+    if m.shape[0] == 0:
+        return ids
+    deltas = (m - m[:, :1]).astype(np.int32)
+    high = deltas.max(axis=1)
+    low = deltas.min(axis=1)
+    ids[(high <= 32767) & (low >= -32768)] = int(CompressionMode.B4D2)
+    ids[(high <= 127) & (low >= -128)] = int(CompressionMode.B4D1)
+    ids[(high == 0) & (low == 0)] = int(CompressionMode.B4D0)
+    return ids
+
+
 def encode_register(values: np.ndarray) -> tuple[CompressionMode, BDIBlock | None]:
     """Compress a warp register; returns the mode and block (``None`` raw).
 
@@ -175,6 +206,19 @@ class WarpRegisterCodec:
         self.modes = tuple(sorted(modes))
         self.compressions = 0
         self.decompressions = 0
+        # Raw-id remap table for the batch path: achievable indicator id
+        # -> id actually stored under this codec's allowed-mode set
+        # (first allowed mode at least as wide, else uncompressed).
+        table = np.full(
+            len(MODES_BY_ID), int(CompressionMode.UNCOMPRESSED), dtype=np.uint8
+        )
+        for mode in COMPRESSED_MODES:
+            for allowed in self.modes:
+                if allowed >= mode:
+                    table[int(mode)] = int(allowed)
+                    break
+        table.setflags(write=False)
+        self._mode_map = table
 
     def compress(self, values: np.ndarray) -> CompressionMode:
         """Pick a storage mode restricted to this codec's allowed modes."""
@@ -186,6 +230,14 @@ class WarpRegisterCodec:
             if allowed >= mode:
                 return allowed
         return CompressionMode.UNCOMPRESSED
+
+    def map_mode_ids(self, ids: np.ndarray) -> np.ndarray:
+        """Batch mode restriction: achievable ids -> stored ids.
+
+        The array analogue of the allowed-mode scan in :meth:`compress`;
+        callers account for compressor activations themselves.
+        """
+        return self._mode_map[ids]
 
     def decompress(self) -> None:
         """Record a decompression activation (values live uncompressed)."""
@@ -219,10 +271,13 @@ def compression_ratio(mode: CompressionMode) -> float:
 __all__ = [
     "BANK_BYTES",
     "COMPRESSED_MODES",
+    "MODE_BANKS_BY_ID",
+    "MODES_BY_ID",
     "CompressionMode",
     "WarpRegisterCodec",
     "bank_span",
     "choose_mode",
+    "choose_mode_ids",
     "compression_ratio",
     "decode_register",
     "encode_register",

@@ -11,7 +11,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.codec import CompressionMode
+from repro.core.codec import MODE_BANKS_BY_ID, MODES_BY_ID, CompressionMode
+
+_UNCOMPRESSED_ID = int(CompressionMode.UNCOMPRESSED)
+
+#: Bank counts by raw mode id as plain ints (per-slot probes stay off the
+#: numpy scalar path, which costs ~10x a tuple index).
+_MODE_BANKS = tuple(int(b) for b in MODE_BANKS_BY_ID)
 
 
 class CompressionRangeIndicator:
@@ -29,16 +35,21 @@ class CompressionRangeIndicator:
         if num_slots <= 0:
             raise ValueError(f"num_slots must be positive, got {num_slots}")
         self.num_slots = num_slots
-        # 2-bit values packed into a uint8 vector: keeps per-slot access
-        # O(1) while letting whole-vector consistency scans (the
-        # verify_level=2 checks in repro.verify) stay vectorised.
-        self._modes = np.full(
-            num_slots, int(CompressionMode.UNCOMPRESSED), dtype=np.uint8
+        # 2-bit values, one byte per slot.  A bytearray keeps per-slot
+        # probes at plain-int speed (every issue and commit touches the
+        # indicator); bulk scans (the verify_level=2 checks in
+        # repro.verify) view the same buffer through numpy.
+        self._modes = bytearray(
+            bytes([int(CompressionMode.UNCOMPRESSED)]) * num_slots
         )
 
     def get(self, slot: int) -> CompressionMode:
         """Mode of the register stored at ``slot``."""
-        return CompressionMode(int(self._modes[self._check(slot)]))
+        return MODES_BY_ID[self._modes[self._check(slot)]]
+
+    def is_compressed(self, slot: int) -> bool:
+        """Whether ``slot`` holds a compressed register (no enum churn)."""
+        return self._modes[self._check(slot)] != _UNCOMPRESSED_ID
 
     def set(self, slot: int, mode: CompressionMode) -> None:
         """Record the storage mode chosen for a register write."""
@@ -50,17 +61,15 @@ class CompressionRangeIndicator:
 
     def banks(self, slot: int) -> int:
         """Banks that must be accessed to read the register at ``slot``."""
-        return self.get(slot).banks
+        return _MODE_BANKS[self._modes[self._check(slot)]]
 
     def compressed_count(self) -> int:
         """Number of slots currently holding compressed registers."""
-        return int(
-            (self._modes != int(CompressionMode.UNCOMPRESSED)).sum()
-        )
+        return int((self.modes_array() != _UNCOMPRESSED_ID).sum())
 
     def modes_array(self) -> np.ndarray:
         """Read-only view of the raw 2-bit mode values (for bulk scans)."""
-        view = self._modes.view()
+        view = np.frombuffer(self._modes, dtype=np.uint8)
         view.flags.writeable = False
         return view
 

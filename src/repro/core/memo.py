@@ -107,27 +107,37 @@ class CodecMemoCache:
 #: The process-wide cache used by :mod:`repro.core.codec`.
 MEMO_CACHE = CodecMemoCache()
 
+#: Sibling cache for per-write characterisation profiles (similarity bin
+#: and Figure 5 best-BDI choice), keyed by the same raw lane bytes.  The
+#: entries are pure functions of the register image too, so the same
+#: bit-identity argument applies; it is toggled in lockstep with
+#: :data:`MEMO_CACHE` so fast/slow equivalence runs disable both.
+PROFILE_CACHE = CodecMemoCache()
+
 
 def set_memo_enabled(enabled: bool) -> None:
     """Globally enable/disable memoized encoding (tests, equivalence runs)."""
     MEMO_CACHE.enabled = enabled
+    PROFILE_CACHE.enabled = enabled
 
 
 @contextmanager
 def memo_disabled():
     """Context manager forcing direct (unmemoized) encoding."""
-    previous = MEMO_CACHE.enabled
+    previous = (MEMO_CACHE.enabled, PROFILE_CACHE.enabled)
     MEMO_CACHE.enabled = False
+    PROFILE_CACHE.enabled = False
     try:
         yield
     finally:
-        MEMO_CACHE.enabled = previous
+        MEMO_CACHE.enabled, PROFILE_CACHE.enabled = previous
 
 
 __all__ = [
     "DEFAULT_CAPACITY",
     "CodecMemoCache",
     "MEMO_CACHE",
+    "PROFILE_CACHE",
     "memo_disabled",
     "set_memo_enabled",
 ]

@@ -24,11 +24,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.banks import BANKS_PER_WARP_REGISTER, banks_required
+from repro.core.banks import BANK_BYTES, BANKS_PER_WARP_REGISTER, banks_required
 from repro.core.codec import (
     COMPRESSED_MODES,
+    MODE_BANKS_BY_ID,
     CompressionMode,
     WarpRegisterCodec,
+    choose_mode_ids,
 )
 
 
@@ -85,6 +87,27 @@ class CompressionPolicy:
         """Choose the storage representation for one register write."""
         raise NotImplementedError
 
+    def decide_batch(
+        self, matrix: np.ndarray, divergent: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batch :meth:`decide` over a ``(n, warp_size)`` lane matrix.
+
+        Returns ``(mode_ids, banks)`` as per-row vectors — raw 2-bit
+        indicator ids (``uint8``) and physical bank counts (``int64``).
+        The base implementation loops over :meth:`decide`; vector
+        policies override it with whole-matrix arithmetic.  Must produce
+        exactly the per-row outcome of sequential :meth:`decide` calls,
+        including side effects on activation counters.
+        """
+        n = int(matrix.shape[0])
+        mode_ids = np.empty(n, dtype=np.uint8)
+        banks = np.empty(n, dtype=np.int64)
+        for i in range(n):
+            decision = self.decide(matrix[i], bool(divergent[i]))
+            mode_ids[i] = int(decision.mode)
+            banks[i] = decision.banks
+        return mode_ids, banks
+
     def reset(self) -> None:
         """Clear any per-run counters."""
 
@@ -99,6 +122,16 @@ class UncompressedPolicy(CompressionPolicy):
         self, values: np.ndarray, divergent: bool
     ) -> CompressionDecision:
         return _UNCOMPRESSED_DECISION
+
+    def decide_batch(
+        self, matrix: np.ndarray, divergent: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        n = int(matrix.shape[0])
+        mode_ids = np.full(
+            n, int(CompressionMode.UNCOMPRESSED), dtype=np.uint8
+        )
+        banks = np.full(n, BANKS_PER_WARP_REGISTER, dtype=np.int64)
+        return mode_ids, banks
 
 
 class WarpedCompressionPolicy(CompressionPolicy):
@@ -137,6 +170,26 @@ class WarpedCompressionPolicy(CompressionPolicy):
             return _UNCOMPRESSED_DECISION
         mode = self.codec.compress(values)
         return CompressionDecision(mode, mode.banks, compressor_used=True)
+
+    def decide_batch(
+        self, matrix: np.ndarray, divergent: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        n = int(matrix.shape[0])
+        if self.compress_divergent:
+            eligible = np.ones(n, dtype=bool)
+        else:
+            eligible = ~np.asarray(divergent, dtype=bool)
+        mode_ids = np.full(
+            n, int(CompressionMode.UNCOMPRESSED), dtype=np.uint8
+        )
+        count = int(eligible.sum())
+        if count:
+            mode_ids[eligible] = self.codec.map_mode_ids(
+                choose_mode_ids(matrix[eligible])
+            )
+            self.codec.compressions += count
+        banks = MODE_BANKS_BY_ID[mode_ids]
+        return mode_ids, banks
 
     def reset(self) -> None:
         self.codec.reset_counters()
@@ -195,6 +248,24 @@ class PerThreadNarrowPolicy(CompressionPolicy):
             else CompressionMode.B4D2
         )
         return CompressionDecision(mode, banks, compressor_used=True)
+
+    def decide_batch(
+        self, matrix: np.ndarray, divergent: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        lanes = np.ascontiguousarray(matrix, dtype=np.uint32).astype(np.int64)
+        signed = np.where(lanes >= 1 << 31, lanes - (1 << 32), lanes)
+        nbytes = np.full(signed.shape, 4, dtype=np.int64)
+        nbytes[(signed >= -(1 << 15)) & (signed < 1 << 15)] = 2
+        nbytes[(signed >= -(1 << 7)) & (signed < 1 << 7)] = 1
+        totals = nbytes.sum(axis=1)
+        banks = -(-totals // BANK_BYTES)
+        np.clip(banks, 1, None, out=banks)
+        mode_ids = np.where(
+            banks >= BANKS_PER_WARP_REGISTER,
+            int(CompressionMode.UNCOMPRESSED),
+            int(CompressionMode.B4D2),
+        ).astype(np.uint8)
+        return mode_ids, banks
 
 
 def make_policy(name: str) -> CompressionPolicy:

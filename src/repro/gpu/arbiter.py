@@ -14,7 +14,9 @@ from __future__ import annotations
 
 from typing import Callable, Iterable
 
-from repro.power.gating import BankGatingController
+from repro.power.gating import BankGatingController, BankState
+
+_ON = BankState.ON
 
 
 class BankArbiter:
@@ -81,9 +83,19 @@ class BankArbiter:
         wake-up completes (the wake is initiated as a side effect).
         """
         granted = []
+        busy = self._read_busy
+        gating = self.gating
+        cycle = self._cycle
+        # Bank state is probed inline for the overwhelmingly-common ON
+        # case; only non-ON banks take the side-effectful wake path.
+        states = None if gating is None else gating._banks
         for bank in banks:
-            if not self._read_busy[bank] and self._bank_ready(bank):
-                self._read_busy[bank] = True
+            if not busy[bank] and (
+                states is None
+                or states[bank].state is _ON
+                or gating.ready_cycle_for_access(bank, cycle) <= cycle
+            ):
+                busy[bank] = True
                 granted.append(bank)
         self.read_grants += len(granted)
         self.reads_this_cycle += len(granted)
@@ -92,9 +104,17 @@ class BankArbiter:
     def grant_writes(self, banks: Iterable[int]) -> list[int]:
         """Write-port counterpart of :meth:`grant_reads`."""
         granted = []
+        busy = self._write_busy
+        gating = self.gating
+        cycle = self._cycle
+        states = None if gating is None else gating._banks
         for bank in banks:
-            if not self._write_busy[bank] and self._bank_ready(bank):
-                self._write_busy[bank] = True
+            if not busy[bank] and (
+                states is None
+                or states[bank].state is _ON
+                or gating.ready_cycle_for_access(bank, cycle) <= cycle
+            ):
+                busy[bank] = True
                 granted.append(bank)
         self.write_grants += len(granted)
         self.writes_this_cycle += len(granted)
@@ -108,4 +128,4 @@ class BankArbiter:
         asserts that, which would catch any future code path granting a
         bank's port twice in one cycle.
         """
-        return sum(self._read_busy), sum(self._write_busy)
+        return self._read_busy.count(True), self._write_busy.count(True)

@@ -68,6 +68,10 @@ class CollectorPool:
 
     capacity: int
     in_use: int = field(default=0, init=False)
+    #: Lifetime release count.  A collector-blocked warp stays blocked
+    #: until some collector frees, so the issue stage uses this as the
+    #: validity token for memoized "stalled on collector" verdicts.
+    releases: int = field(default=0, init=False)
 
     def __post_init__(self) -> None:
         if self.capacity <= 0:
@@ -86,6 +90,7 @@ class CollectorPool:
         if self.in_use <= 0:
             raise RuntimeError("releasing an unallocated collector")
         self.in_use -= 1
+        self.releases += 1
 
     def attach_metrics(self, registry) -> None:
         """Register collector occupancy into a metric registry."""

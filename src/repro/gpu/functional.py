@@ -62,32 +62,35 @@ class FunctionalRunner:
         num_ctas = grid_dim[0] * grid_dim[1]
 
         steps = 0
-        for cta_id in range(num_ctas):
-            shared = SharedMemory(kernel.shared_bytes)
-            warps = [
-                make_warp_context(
-                    kernel=kernel,
-                    warp_id=cta_id * warps_per_cta + w,
-                    cta_id=cta_id,
-                    cta_dim=cta_dim,
-                    grid_dim=grid_dim,
-                    warp_in_cta=w,
-                    params=params_arr,
-                    gmem=gmem,
-                    shared=shared,
-                    warp_size=self.warp_size,
-                )
-                for w in range(warps_per_cta)
-            ]
-            # Per-register storage mode under the policy (for MOV and
-            # occupancy accounting).
-            modes = {
-                ctx.warp_id: [CompressionMode.UNCOMPRESSED]
-                * kernel.num_registers
-                for ctx in warps
-            }
-            allocated = warps_per_cta * kernel.num_registers
-            steps = self._run_cta(warps, modes, allocated, stats, steps)
+        # The interpreter's float handlers carry no errstate of their own
+        # (see interpreter.py); hold one scope for the whole launch.
+        with np.errstate(all="ignore"):
+            for cta_id in range(num_ctas):
+                shared = SharedMemory(kernel.shared_bytes)
+                warps = [
+                    make_warp_context(
+                        kernel=kernel,
+                        warp_id=cta_id * warps_per_cta + w,
+                        cta_id=cta_id,
+                        cta_dim=cta_dim,
+                        grid_dim=grid_dim,
+                        warp_in_cta=w,
+                        params=params_arr,
+                        gmem=gmem,
+                        shared=shared,
+                        warp_size=self.warp_size,
+                    )
+                    for w in range(warps_per_cta)
+                ]
+                # Per-register storage mode under the policy (for MOV and
+                # occupancy accounting).
+                modes = {
+                    ctx.warp_id: [CompressionMode.UNCOMPRESSED]
+                    * kernel.num_registers
+                    for ctx in warps
+                }
+                allocated = warps_per_cta * kernel.num_registers
+                steps = self._run_cta(warps, modes, allocated, stats, steps)
         return RunStats(
             benchmark=kernel.name, policy=self.policy.name, value=stats
         )

@@ -112,36 +112,15 @@ class GPU:
         # verify_level 2 promises exhaustive per-cycle state scans, so the
         # fast path stands down and every cycle is ticked (and checked).
         fast_path = self.config.fast_path and self.config.verify_level < 2
-        cycles = 0
-        while any(sm.busy for sm in sms) or queue:
-            cycles += 1
-            if cycles > self.max_cycles:
-                raise RuntimeError(
-                    f"kernel {kernel.name!r} exceeded {self.max_cycles} cycles"
-                )
-            launched = False
-            for sm in sms:
-                if sm.busy:
-                    sm.tick()
-                while queue and sm.can_accept_cta():
-                    sm.launch_cta(queue.popleft())
-                    launched = True
-            if not fast_path or launched:
-                continue
-            # Event-driven cycle skipping: when no SM made progress this
-            # cycle and no CTA launched, every busy SM is frozen until its
-            # earliest pending event.  Fast-forward to the soonest one;
-            # each skipped cycle would have been an exact repeat of the
-            # tick above, so skip_cycles replays its per-cycle accounting.
-            busy = [sm for sm in sms if sm.busy]
-            if not busy:
-                continue
-            skip = min(sm.wake_hint() - sm.cycle for sm in busy) - 1
-            skip = min(skip, self.max_cycles - cycles)
-            if skip > 0:
-                cycles += skip
-                for sm in busy:
-                    sm.skip_cycles(skip)
+        # One errstate scope for the whole launch: the interpreter's float
+        # handlers deliberately carry none (entering an errstate costs as
+        # much as the 32-lane arithmetic it would guard), so inf/nan edge
+        # cases in kernels are silenced here instead.
+        with np.errstate(all="ignore"):
+            if len(sms) == 1:
+                self._run_one(sms[0], queue, fast_path, kernel)
+            else:
+                self._run_many(sms, queue, fast_path, kernel)
 
         self.last_sms = sms
         # Aggregate across SMs.
@@ -178,6 +157,81 @@ class GPU:
             timeline=timeline,
         )
         return SimulationResult(stats=stats, cycles=timing.cycles)
+
+    def _run_one(self, sm: SMCore, queue, fast_path: bool, kernel) -> None:
+        """Single-SM simulation loop.
+
+        Semantically identical to :meth:`_run_many` with one SM, but
+        without the per-cycle busy-list rebuilds — with the default
+        one-SM config this loop body runs once per ticked cycle, so its
+        constant factor is the simulator's floor.
+        """
+        max_cycles = self.max_cycles
+        cycles = 0
+        while sm.busy or queue:
+            cycles += 1
+            if cycles > max_cycles:
+                raise RuntimeError(
+                    f"kernel {kernel.name!r} exceeded {max_cycles} cycles"
+                )
+            if sm.busy:
+                sm.tick()
+            if queue:
+                launched = False
+                while queue and sm.can_accept_cta():
+                    sm.launch_cta(queue.popleft())
+                    launched = True
+                if launched:
+                    continue
+            if not fast_path or not sm.busy:
+                continue
+            skip = sm.wake_hint() - sm.cycle - 1
+            if skip > max_cycles - cycles:
+                skip = max_cycles - cycles
+            if skip > 0:
+                cycles += skip
+                sm.skip_cycles(skip)
+
+    def _run_many(
+        self, sms: list[SMCore], queue, fast_path: bool, kernel
+    ) -> None:
+        """Multi-SM simulation loop (CTA queue shared across SMs)."""
+        cycles = 0
+        while True:
+            busy = [sm for sm in sms if sm.busy]
+            if not busy and not queue:
+                break
+            cycles += 1
+            if cycles > self.max_cycles:
+                raise RuntimeError(
+                    f"kernel {kernel.name!r} exceeded "
+                    f"{self.max_cycles} cycles"
+                )
+            for sm in busy:
+                sm.tick()
+            launched = False
+            if queue:
+                for sm in sms:
+                    while queue and sm.can_accept_cta():
+                        sm.launch_cta(queue.popleft())
+                        launched = True
+            if not fast_path or launched:
+                continue
+            # Event-driven cycle skipping: when no SM made progress this
+            # cycle and no CTA launched, every busy SM is frozen until
+            # its earliest pending event.  Fast-forward to the soonest
+            # one; each skipped cycle would have been an exact repeat of
+            # the tick above, so skip_cycles replays its per-cycle
+            # accounting.
+            busy = [sm for sm in busy if sm.busy]
+            if not busy:
+                continue
+            skip = min(sm.wake_hint() - sm.cycle for sm in busy) - 1
+            skip = min(skip, self.max_cycles - cycles)
+            if skip > 0:
+                cycles += skip
+                for sm in busy:
+                    sm.skip_cycles(skip)
 
     def _merge_energy(self, sms: list[SMCore]) -> EnergyModel:
         merged = EnergyModel(

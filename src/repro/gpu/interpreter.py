@@ -78,6 +78,12 @@ _LANES = np.arange(64, dtype=np.uint64)
 #: (``writeable=False``) because callers only ever index with them.
 _COMMON_MASKS: dict[tuple[int, int], np.ndarray] = {}
 
+#: Frozen lane-broadcast arrays keyed ``(value, warp_size)``.  Immediate
+#: operands and kernel params repeat endlessly across a launch; handlers
+#: never mutate their operand arrays, so one shared read-only array per
+#: distinct value is safe and saves an allocation per execute.
+_BROADCAST_CACHE: dict[tuple[int, int], np.ndarray] = {}
+
 
 def _mask_array(mask: int, warp_size: int) -> np.ndarray:
     """Expand an int bitmask into a per-lane boolean array."""
@@ -110,6 +116,9 @@ class Interpreter:
     def __init__(self, warp_size: int = 32):
         self.warp_size = warp_size
         self._full = (1 << warp_size) - 1
+        # The all-lanes-active mask dominates execution; keep its array
+        # form at hand instead of going through the _COMMON_MASKS dict.
+        self._full_arr = _mask_array(self._full, warp_size)
 
     # ------------------------------------------------------------------
     # Fetch / peek
@@ -164,15 +173,22 @@ class Interpreter:
             return None
         instr, exec_mask, pc = peeked
         base_mask = ctx.stack.active_mask
+        # (op_class, source_registers) memoized per instruction object —
+        # same idiom as Instruction.issue_operands.
+        meta = instr.__dict__.get("_exec_meta")
+        if meta is None:
+            meta = (op_class(instr.op), instr.source_registers())
+            object.__setattr__(instr, "_exec_meta", meta)
+        full = self._full
         result = ExecResult(
             instr=instr,
             pc=pc,
             exec_mask=exec_mask,
             base_mask=base_mask,
-            divergent=exec_mask != self._full,
-            base_divergent=base_mask != self._full,
-            op_class=op_class(instr.op),
-            src_regs=instr.source_registers(),
+            divergent=exec_mask != full,
+            base_divergent=base_mask != full,
+            op_class=meta[0],
+            src_regs=meta[1],
         )
 
         if instr.op is Op.BRA:
@@ -193,7 +209,10 @@ class Interpreter:
             ctx.stack.advance()
             return result
 
-        mask_arr = _mask_array(exec_mask, self.warp_size)
+        if exec_mask == full:
+            mask_arr = self._full_arr
+        else:
+            mask_arr = _mask_array(exec_mask, self.warp_size)
         if instr.op in (Op.ISETP, Op.FSETP):
             self._setp(ctx, instr, mask_arr)
             ctx.stack.advance()
@@ -205,8 +224,14 @@ class Interpreter:
 
         computed = self._compute(ctx, instr, mask_arr)
         dst = instr.dst.index
-        merged = ctx.registers[dst].copy()
-        merged[mask_arr] = computed[mask_arr]
+        if exec_mask == self._full:
+            # Full-warp writeback: every handler returns a freshly
+            # allocated array, so the computed vector *is* the merged
+            # destination image — no copy-and-scatter needed.
+            merged = computed
+        else:
+            # Masked writeback: inactive lanes keep their old values.
+            merged = np.where(mask_arr, computed, ctx.registers[dst])
         result.dst = dst
         result.values = merged
         ctx.stack.advance()
@@ -228,7 +253,17 @@ class Interpreter:
         raise TypeError(f"unreadable operand {operand!r}")
 
     def _broadcast(self, ctx: WarpContext, value: int) -> np.ndarray:
-        return np.full(self.warp_size, value & 0xFFFFFFFF, dtype=np.uint32)
+        # Immediates and kernel params recur constantly; a cached frozen
+        # array per value beats an np.full allocation on every execute.
+        # Frozen (writeable=False) so any handler bug that tried to write
+        # through a broadcast raises instead of corrupting the cache.
+        key = (value & 0xFFFFFFFF, self.warp_size)
+        arr = _BROADCAST_CACHE.get(key)
+        if arr is None:
+            arr = np.full(self.warp_size, key[0], dtype=np.uint32)
+            arr.setflags(write=False)
+            _BROADCAST_CACHE[key] = arr
+        return arr
 
     # ------------------------------------------------------------------
     # Semantics
@@ -250,8 +285,7 @@ class Interpreter:
             a, b = a.view(np.int32), b.view(np.int32)
         else:
             a, b = a.view(np.float32), b.view(np.float32)
-        with np.errstate(all="ignore"):
-            outcome = _CMP_FNS[instr.cmp](a, b)
+        outcome = _CMP_FNS[instr.cmp](a, b)
         pred = ctx.preds[instr.pred_dst.index]
         pred[mask_arr] = outcome[mask_arr]
 
@@ -324,6 +358,13 @@ _CMP_FNS = {
 # Opcode dispatch table for :meth:`Interpreter._compute`.  Handlers take
 # ``(interp, ctx, instr, mask_arr)``; the table replaces a long if-chain
 # so every opcode resolves with one dict lookup on the hot path.
+#
+# Float handlers deliberately carry no ``np.errstate`` guard — entering
+# an errstate costs about as much as the arithmetic itself on 32-lane
+# arrays.  The simulation drivers (:meth:`GPU.run`, the functional
+# runner) hold one ``errstate(all="ignore")`` around their whole run
+# loop instead; a handler invoked outside such a scope computes the
+# same values but may emit RuntimeWarnings on inf/nan edge cases.
 # ----------------------------------------------------------------------
 def _h_mov(interp, ctx, instr, mask_arr):
     return interp._read(ctx, instr.srcs[0]).copy()
@@ -365,8 +406,7 @@ def _h_ffma(interp, ctx, instr, mask_arr):
     a = interp._read(ctx, instr.srcs[0]).view(np.float32)
     b = interp._read(ctx, instr.srcs[1]).view(np.float32)
     c = interp._read(ctx, instr.srcs[2]).view(np.float32)
-    with np.errstate(all="ignore"):
-        return (a * b + c).astype(np.float32).view(np.uint32)
+    return (a * b + c).astype(np.float32).view(np.uint32)
 
 
 def _h_not(interp, ctx, instr, mask_arr):
@@ -383,9 +423,8 @@ def _h_i2f(interp, ctx, instr, mask_arr):
 
 
 def _h_f2i(interp, ctx, instr, mask_arr):
-    with np.errstate(all="ignore"):
-        vals = np.trunc(interp._read(ctx, instr.srcs[0]).view(np.float32))
-        vals = np.nan_to_num(vals, nan=0.0, posinf=2**31 - 1, neginf=-(2**31))
+    vals = np.trunc(interp._read(ctx, instr.srcs[0]).view(np.float32))
+    vals = np.nan_to_num(vals, nan=0.0, posinf=2**31 - 1, neginf=-(2**31))
     return np.clip(vals, -(2**31), 2**31 - 1).astype(np.int32).view(np.uint32)
 
 
@@ -402,8 +441,7 @@ def _float_binop_handler(fn):
     def handler(interp, ctx, instr, mask_arr):
         a = interp._read(ctx, instr.srcs[0]).view(np.float32)
         b = interp._read(ctx, instr.srcs[1]).view(np.float32)
-        with np.errstate(all="ignore"):
-            return fn(a, b).astype(np.float32).view(np.uint32)
+        return fn(a, b).astype(np.float32).view(np.uint32)
 
     return handler
 
@@ -411,8 +449,7 @@ def _float_binop_handler(fn):
 def _float_unop_handler(fn):
     def handler(interp, ctx, instr, mask_arr):
         a = interp._read(ctx, instr.srcs[0]).view(np.float32)
-        with np.errstate(all="ignore"):
-            return fn(a).astype(np.float32).view(np.uint32)
+        return fn(a).astype(np.float32).view(np.uint32)
 
     return handler
 
@@ -439,6 +476,75 @@ _COMPUTE_DISPATCH.update(
 _COMPUTE_DISPATCH.update(
     {op: _float_unop_handler(fn) for op, fn in _FLOAT_UNOPS.items()}
 )
+
+
+# ----------------------------------------------------------------------
+# Public array-kernel entry points.  These expose the per-op vector
+# semantics on bare uint32 arrays — no WarpContext needed — so the
+# parity suite can drive each kernel against the scalar reference in
+# :mod:`repro.gpu.scalar`, and so other layers can batch arithmetic
+# over whole warp vectors.
+# ----------------------------------------------------------------------
+def compute_vector(op: Op, *operands: np.ndarray) -> np.ndarray:
+    """Apply one pure-arithmetic opcode to whole-warp lane vectors.
+
+    ``operands`` are uint32 bit-pattern arrays (float ops reinterpret
+    them as float32, exactly as :meth:`Interpreter._compute` does).
+    Returns a freshly allocated uint32 array.  Opcodes that need a
+    :class:`WarpContext` (moves, loads, predicates, control flow) are
+    rejected — their semantics live in the dispatch handlers above.
+    """
+    srcs = tuple(np.asarray(o, dtype=np.uint32) for o in operands)
+    fn = _INT_BINOPS.get(op)
+    if fn is not None:
+        return np.asarray(fn(*srcs), dtype=np.uint32)
+    fn = _FLOAT_BINOPS.get(op)
+    if fn is not None:
+        with np.errstate(all="ignore"):
+            return (
+                fn(*(s.view(np.float32) for s in srcs))
+                .astype(np.float32)
+                .view(np.uint32)
+            )
+    fn = _FLOAT_UNOPS.get(op)
+    if fn is not None:
+        with np.errstate(all="ignore"):
+            return fn(srcs[0].view(np.float32)).astype(np.float32).view(np.uint32)
+    if op is Op.IMAD:
+        a, b, c = srcs
+        return (a.astype(np.uint64) * b + c).astype(np.uint32)
+    if op is Op.FFMA:
+        a, b, c = (s.view(np.float32) for s in srcs)
+        with np.errstate(all="ignore"):
+            return (a * b + c).astype(np.float32).view(np.uint32)
+    if op is Op.NOT:
+        return ~srcs[0]
+    if op is Op.I2F:
+        return srcs[0].view(np.int32).astype(np.float32).view(np.uint32)
+    if op is Op.F2I:
+        with np.errstate(all="ignore"):
+            vals = np.trunc(srcs[0].view(np.float32))
+            vals = np.nan_to_num(
+                vals, nan=0.0, posinf=2**31 - 1, neginf=-(2**31)
+            )
+        return (
+            np.clip(vals, -(2**31), 2**31 - 1).astype(np.int32).view(np.uint32)
+        )
+    raise ValueError(f"{op} is not a pure-arithmetic opcode")
+
+
+def compare_vector(
+    cmp: Cmp, a: np.ndarray, b: np.ndarray, *, as_float: bool = False
+) -> np.ndarray:
+    """Apply one ISETP/FSETP comparator to whole-warp lane vectors."""
+    a = np.asarray(a, dtype=np.uint32)
+    b = np.asarray(b, dtype=np.uint32)
+    if as_float:
+        a, b = a.view(np.float32), b.view(np.float32)
+    else:
+        a, b = a.view(np.int32), b.view(np.int32)
+    with np.errstate(all="ignore"):
+        return np.asarray(_CMP_FNS[cmp](a, b), dtype=bool)
 
 
 def make_warp_context(

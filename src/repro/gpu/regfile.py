@@ -37,14 +37,35 @@ class RegisterFile:
             (self.num_slots, config.warp_size), dtype=np.uint32
         )
         self.indicator = CompressionRangeIndicator(self.num_slots)
-        self._banks_used = np.zeros(self.num_slots, dtype=np.int8)
-        self._valid = np.zeros(self.num_slots, dtype=bool)
+        # Per-slot bank counts and valid bits live in bytearrays: every
+        # issue/commit probes them a handful of times, and plain-int
+        # indexing is an order of magnitude cheaper than numpy scalars.
+        # Bulk scans view the same buffers through np.frombuffer.
+        self._banks_used = bytearray(self.num_slots)
+        self._valid = bytearray(self.num_slots)
         self._allocated = np.zeros(self.num_slots, dtype=bool)
+        self._num_clusters = config.num_clusters
         # Registers of one warp are laid out contiguously in slot space;
         # striping across clusters comes from slot -> cluster mapping.
         self._regs_per_warp = 0
         self.compressed_slots = 0
         self.allocated_slots = 0
+        # Precomputed bank-index tuples: _bank_tuples[cluster][nbanks] is
+        # the absolute banks of the first nbanks banks of that cluster.
+        # banks_of() is called for every read and write; building the
+        # ~36 possible tuples once beats a range+list per access.
+        self._bank_tuples = tuple(
+            tuple(
+                tuple(
+                    range(
+                        c * BANKS_PER_WARP_REGISTER,
+                        c * BANKS_PER_WARP_REGISTER + n,
+                    )
+                )
+                for n in range(BANKS_PER_WARP_REGISTER + 1)
+            )
+            for c in range(config.num_clusters)
+        )
 
     # ------------------------------------------------------------------
     # Geometry
@@ -54,15 +75,14 @@ class RegisterFile:
         return warp_slot * self._regs_per_warp + reg
 
     def cluster(self, slot: int) -> int:
-        return slot % self.config.num_clusters
+        return slot % self._num_clusters
 
     def entry(self, slot: int) -> int:
-        return slot // self.config.num_clusters
+        return slot // self._num_clusters
 
-    def banks_of(self, slot: int, nbanks: int) -> list[int]:
+    def banks_of(self, slot: int, nbanks: int) -> tuple[int, ...]:
         """Absolute bank indices of the first ``nbanks`` banks of a slot."""
-        base = self.cluster(slot) * BANKS_PER_WARP_REGISTER
-        return list(range(base, base + nbanks))
+        return self._bank_tuples[slot % self._num_clusters][nbanks]
 
     # ------------------------------------------------------------------
     # Warp allocation
@@ -98,11 +118,11 @@ class RegisterFile:
         hi = self.slot(warp_slot, self._regs_per_warp)
         for s in range(lo, hi):
             if self._valid[s] and self.gating is not None:
-                for bank in self.banks_of(s, int(self._banks_used[s])):
+                for bank in self.banks_of(s, self._banks_used[s]):
                     self.gating.entry_freed(bank, cycle)
-            if self.indicator.get(s).is_compressed:
+            if self.indicator.is_compressed(s):
                 self.compressed_slots -= 1
-            self._valid[s] = False
+            self._valid[s] = 0
             self._banks_used[s] = 0
             self.indicator.reset(s)
         self._allocated[lo:hi] = False
@@ -111,7 +131,7 @@ class RegisterFile:
     # ------------------------------------------------------------------
     # Access metadata
     # ------------------------------------------------------------------
-    def read_banks(self, warp_slot: int, reg: int) -> list[int]:
+    def read_banks(self, warp_slot: int, reg: int) -> tuple[int, ...]:
         """Banks that must be read to source this register.
 
         An unwritten register reads the full eight banks (its indicator is
@@ -119,14 +139,31 @@ class RegisterFile:
         """
         s = self.slot(warp_slot, reg)
         if self._valid[s]:
-            return self.banks_of(s, int(self._banks_used[s]))
+            return self.banks_of(s, self._banks_used[s])
         return self.banks_of(s, BANKS_PER_WARP_REGISTER)
 
     def mode_of(self, warp_slot: int, reg: int) -> CompressionMode:
         return self.indicator.get(self.slot(warp_slot, reg))
 
+    def read_meta(
+        self, warp_slot: int, reg: int
+    ) -> tuple[CompressionMode, tuple[int, ...]]:
+        """``(mode, banks to read)`` of one register in a single probe.
+
+        Fused :meth:`mode_of` + :meth:`read_banks` for the issue stage,
+        which needs both for every source operand it collects.
+        """
+        s = warp_slot * self._regs_per_warp + reg
+        nbanks = (
+            self._banks_used[s] if self._valid[s] else BANKS_PER_WARP_REGISTER
+        )
+        return (
+            self.indicator.get(s),
+            self._bank_tuples[s % self._num_clusters][nbanks],
+        )
+
     def is_compressed(self, warp_slot: int, reg: int) -> bool:
-        return self.mode_of(warp_slot, reg).is_compressed
+        return self.indicator.is_compressed(self.slot(warp_slot, reg))
 
     # ------------------------------------------------------------------
     # Write commit
@@ -138,7 +175,7 @@ class RegisterFile:
         mode: CompressionMode,
         banks: int,
         cycle: int,
-    ) -> list[int]:
+    ) -> tuple[int, ...]:
         """Update metadata for a committed write; returns banks written.
 
         The functional values are applied separately (they live in the
@@ -147,17 +184,17 @@ class RegisterFile:
         better compression are released, newly-occupied banks allocated.
         """
         s = self.slot(warp_slot, reg)
-        old_banks = int(self._banks_used[s]) if self._valid[s] else 0
-        was_compressed = self.indicator.get(s).is_compressed
+        old_banks = self._banks_used[s] if self._valid[s] else 0
+        was_compressed = self.indicator.is_compressed(s)
 
-        if self.gating is not None:
+        if self.gating is not None and old_banks != banks:
             cluster_banks = self.banks_of(s, BANKS_PER_WARP_REGISTER)
             for b in cluster_banks[old_banks:banks]:
                 self.gating.entry_allocated(b, cycle)
             for b in cluster_banks[banks:old_banks]:
                 self.gating.entry_freed(b, cycle)
 
-        self._valid[s] = True
+        self._valid[s] = 1
         self._banks_used[s] = banks
         self.indicator.set(s, mode)
         if mode.is_compressed and not was_compressed:
@@ -199,12 +236,13 @@ class RegisterFile:
         """
         occupancy = np.zeros(self.config.num_banks, dtype=np.int64)
         clusters = np.arange(self.num_slots) % self.config.num_clusters
-        banks = self._banks_used
+        banks = np.frombuffer(self._banks_used, dtype=np.uint8)
+        valid = np.frombuffer(self._valid, dtype=np.uint8) != 0
         per_cluster = occupancy.reshape(
             self.config.num_clusters, BANKS_PER_WARP_REGISTER
         )
         for j in range(BANKS_PER_WARP_REGISTER):
-            sel = self._valid & (banks > j)
+            sel = valid & (banks > j)
             per_cluster[:, j] = np.bincount(
                 clusters[sel], minlength=self.config.num_clusters
             )
@@ -221,26 +259,27 @@ class RegisterFile:
         from repro.verify.invariants import InvariantViolation
 
         modes = self.indicator.modes_array()
-        banks = self._banks_used
+        banks = np.frombuffer(self._banks_used, dtype=np.uint8)
+        valid = np.frombuffer(self._valid, dtype=np.uint8) != 0
         uncompressed = int(CompressionMode.UNCOMPRESSED)
 
-        bad = self._valid & ~self._allocated
+        bad = valid & ~self._allocated
         if bad.any():
             raise InvariantViolation(
                 f"valid slots outside any allocated warp: {np.flatnonzero(bad)[:8]}"
             )
-        bad = self._valid & ((banks < 1) | (banks > BANKS_PER_WARP_REGISTER))
+        bad = valid & ((banks < 1) | (banks > BANKS_PER_WARP_REGISTER))
         if bad.any():
             raise InvariantViolation(
                 f"valid slots with bank count out of [1, 8]: "
                 f"{np.flatnonzero(bad)[:8]}"
             )
-        bad = ~self._valid & (banks != 0)
+        bad = ~valid & (banks != 0)
         if bad.any():
             raise InvariantViolation(
                 f"invalid slots holding banks: {np.flatnonzero(bad)[:8]}"
             )
-        bad = ~self._valid & (modes != uncompressed)
+        bad = ~valid & (modes != uncompressed)
         if bad.any():
             raise InvariantViolation(
                 f"invalid slots with a compressed indicator: "
@@ -253,7 +292,7 @@ class RegisterFile:
             mode_banks = np.array(
                 [CompressionMode(v).banks for v in range(4)], dtype=np.int8
             )
-            bad = self._valid & (banks != mode_banks[modes])
+            bad = valid & (banks != mode_banks[modes])
             if bad.any():
                 s = int(np.flatnonzero(bad)[0])
                 raise InvariantViolation(
@@ -261,7 +300,7 @@ class RegisterFile:
                     f"implies {int(mode_banks[modes[s]])} banks but "
                     f"{int(banks[s])} are occupied"
                 )
-        recount = int((self._valid & (modes != uncompressed)).sum())
+        recount = int((valid & (modes != uncompressed)).sum())
         if recount != self.compressed_slots:
             raise InvariantViolation(
                 f"compressed_slots counter {self.compressed_slots} != "

@@ -20,50 +20,75 @@ class WarpScheduler:
             raise ValueError(f"unknown scheduler policy {policy!r}")
         self.policy = policy
         self._warps: list[int] = []  # insertion order = age order
+        self._warp_set: set[int] = set()  # O(1) membership for pick
         self._last_issued: int | None = None
         self._rr_index = 0
+        #: Bumped on every membership change; the SM's per-scheduler
+        #: blocked snapshots use it to detect warps arriving or retiring.
+        self.generation = 0
+        # Bind the policy dispatch once: pick() is called per scheduler
+        # per ticked cycle, so the per-call branch is worth removing.
+        self.pick = self._pick_gto if policy == "gto" else self._pick_lrr
 
     def add_warp(self, warp_slot: int) -> None:
         """Register a newly-launched warp (age = arrival order)."""
-        if warp_slot in self._warps:
+        if warp_slot in self._warp_set:
             raise ValueError(f"warp {warp_slot} already scheduled")
         self._warps.append(warp_slot)
+        self._warp_set.add(warp_slot)
+        self.generation += 1
 
     def remove_warp(self, warp_slot: int) -> None:
         """Drop a finished warp."""
         self._warps.remove(warp_slot)
+        self._warp_set.discard(warp_slot)
         if self._last_issued == warp_slot:
             self._last_issued = None
+        self.generation += 1
 
-    def pick(self, can_issue: Callable[[int], bool]) -> int | None:
-        """Select a warp to issue from this cycle, or ``None``.
+    # pick(can_issue, blocked) -> int | None selects a warp to issue this
+    # cycle; it is bound per-instance in __init__ to the policy's picker.
+    # ``can_issue`` encapsulates all readiness checks (scoreboard,
+    # barrier, collector availability, instruction availability).
+    # ``blocked`` is the SM's set of warps with a still-valid memoized
+    # cannot-issue verdict: skipping them is exactly equivalent to
+    # calling ``can_issue`` (which would return False with no side
+    # effects), just without the call.
 
-        ``can_issue`` encapsulates all readiness checks (scoreboard,
-        barrier, collector availability, instruction availability).
-        """
-        if not self._warps:
-            return None
-        if self.policy == "gto":
-            return self._pick_gto(can_issue)
-        return self._pick_lrr(can_issue)
+    _NONE_BLOCKED: frozenset[int] = frozenset()
 
-    def _pick_gto(self, can_issue: Callable[[int], bool]) -> int | None:
+    def _pick_gto(
+        self,
+        can_issue: Callable[[int], bool],
+        blocked: "set[int] | frozenset[int]" = _NONE_BLOCKED,
+    ) -> int | None:
         # Greedy: stick with the last-issued warp while it can issue.
-        if self._last_issued is not None and self._last_issued in self._warps:
-            if can_issue(self._last_issued):
-                return self._last_issued
+        last = self._last_issued
+        if (
+            last is not None
+            and last not in blocked
+            and last in self._warp_set
+            and can_issue(last)
+        ):
+            return last
         # Then-oldest: scan in age (arrival) order.
         for warp in self._warps:
-            if can_issue(warp):
+            if warp not in blocked and can_issue(warp):
                 self._last_issued = warp
                 return warp
         return None
 
-    def _pick_lrr(self, can_issue: Callable[[int], bool]) -> int | None:
+    def _pick_lrr(
+        self,
+        can_issue: Callable[[int], bool],
+        blocked: "set[int] | frozenset[int]" = _NONE_BLOCKED,
+    ) -> int | None:
         n = len(self._warps)
+        if not n:
+            return None
         for i in range(n):
             warp = self._warps[(self._rr_index + i) % n]
-            if can_issue(warp):
+            if warp not in blocked and can_issue(warp):
                 # Loose round-robin: next cycle starts after this warp.
                 self._rr_index = (self._warps.index(warp) + 1) % n
                 return warp

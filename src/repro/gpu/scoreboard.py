@@ -32,6 +32,14 @@ class Scoreboard:
         self.strict = strict
         self._regs: dict[int, set[int]] = defaultdict(set)
         self._preds: dict[int, set[int]] = defaultdict(set)
+        # Per-warp release generation.  While a warp is issue-blocked it
+        # cannot reserve anything new, so its blocked() verdict can only
+        # flip on a release — the issue stage memoizes "blocked on
+        # scoreboard" keyed on this counter.
+        self._epoch: dict[int, int] = defaultdict(int)
+        #: Lifetime release count across all warps.  Lets the issue stage
+        #: prove "no epoch changed anywhere" with one comparison.
+        self.releases = 0
 
     def reserve(
         self, warp_slot: int, reg: int | None, pred: int | None = None
@@ -68,6 +76,8 @@ class Scoreboard:
                     "which is not pending"
                 )
             self._preds[warp_slot].discard(pred)
+        self._epoch[warp_slot] += 1
+        self.releases += 1
 
     def blocked(
         self,
@@ -98,6 +108,12 @@ class Scoreboard:
         """Drop all state for a retired warp."""
         self._regs.pop(warp_slot, None)
         self._preds.pop(warp_slot, None)
+        self._epoch.pop(warp_slot, None)
+
+    def epoch(self, warp_slot: int) -> int:
+        """Release generation for a warp (validity token for memoized
+        issue-blocked verdicts)."""
+        return self._epoch[warp_slot]
 
     def pending(self, warp_slot: int) -> int:
         """Number of outstanding writes for a warp (drain check)."""

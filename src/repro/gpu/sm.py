@@ -63,6 +63,11 @@ DEFAULT_TRACE_INTERVAL = 64
 #: Distinguishes "no cache entry" from a cached ``None`` (drained warp).
 _PEEK_MISS = object()
 
+#: Blocker kinds for the memoized issue-readiness verdicts.  Each kind
+#: pairs with a validity token: DRAINED is permanent (an empty fetch
+#: never refills), COLLECTOR is keyed on the collector pool's release
+#: count, SCOREBOARD on the warp's scoreboard release epoch.
+
 
 class OpState(Enum):
     COLLECT = "collect"
@@ -155,6 +160,14 @@ class SMCore:
         self.cycle = 0
         self._warps: dict[int, WarpContext] = {}
         self._inflight: list[InflightOp] = []
+        # Live op count per pipeline state.  Each stage scans the whole
+        # inflight list for ops in its state; these let tick() skip the
+        # scans that would match nothing (most cycles, most stages are
+        # empty).  Maintained at every state transition.
+        self._n_collect = 0
+        self._n_exec = 0
+        self._n_compress = 0
+        self._n_write = 0
         self._ctas: dict[int, _CtaState] = {}
         self._warp_cta: dict[int, int] = {}
         self._free_slots: list[int] = []
@@ -187,6 +200,45 @@ class SMCore:
         #: the warp next issues a real instruction (dummy MOVs leave the
         #: fetch state untouched).
         self._peek_cache: dict[int, tuple | None] = {}
+        #: Warps whose (cached) fetch has come back empty.  Only these
+        #: can retire, so the retire stage scans this set instead of all
+        #: resident warps; every real peek keeps it up to date.
+        self._drained: set[int] = set()
+        #: Warps with a memoized issue-blocked verdict.  A blocked warp
+        #: stays blocked until the event that produced its verdict is
+        #: undone, so between events the scheduler pick loop skips it
+        #: without re-deriving the fetch/operand/hazard chain.  Disabled
+        #: whenever a tracer wants per-cycle stall causes or an RFC can
+        #: change operand cacheability without a scoreboard event.
+        self._blocked: set[int] = set()
+        #: Subset of ``_blocked`` whose verdict is "no collector free".
+        #: Those verdicts only flip when a collector is released, so they
+        #: are flushed in one batch when ``collectors.releases`` moves;
+        #: scoreboard verdicts are discarded eagerly at the release sites
+        #: (a warp only ever waits on its own pending registers), and
+        #: drained verdicts hold until the warp retires.  Entries are
+        #: therefore valid by construction, and the scheduler scan skips
+        #: a blocked warp with a set-membership test instead of a call.
+        self._blocked_collector: set[int] = set()
+        self._coll_flush_seen = 0
+        self._issue_cache_enabled = tracer is None and self.rfc is None
+        #: Whole-SM issue snapshot: when a full scheduler scan found every
+        #: resident warp memo-blocked, (collector releases, scoreboard
+        #: releases, blocked count, resident count) at that instant.  While
+        #: all four still match, the issue stage is a no-op.
+        self._all_blocked: tuple[int, int, int, int] | None = None
+        #: Per-scheduler variant of the same idea: when one scheduler's
+        #: scan found every one of its warps memo-blocked, (collector
+        #: releases, scoreboard releases, scheduler generation) at that
+        #: instant.  While all three match, that scheduler's pick is
+        #: skipped — the partial analogue for workloads where only some
+        #: schedulers idle.
+        self._sched_blocked: list[tuple[int, int, int] | None] = [
+            None for _ in self.schedulers
+        ]
+        #: Resident-warp count mirrored from the schedulers, so the issue
+        #: stage's snapshot checks don't re-sum scheduler lengths per tick.
+        self._resident = 0
         #: Precomputed issue-stage constants.
         self._full_mask = (1 << config.warp_size) - 1
         self._mov_candidate = (
@@ -275,6 +327,12 @@ class SMCore:
             )
         self._free_slots = list(range(max_warps))
         self._peek_cache.clear()
+        self._drained.clear()
+        self._blocked.clear()
+        self._blocked_collector.clear()
+        self._coll_flush_seen = self.collectors.releases
+        self._all_blocked = None
+        self._sched_blocked = [None for _ in self.schedulers]
 
     def can_accept_cta(self) -> bool:
         return len(self._free_slots) >= self._cta_warps
@@ -304,6 +362,11 @@ class SMCore:
             self._warp_cta[slot] = cta_id
             self._next_issue[slot] = self.cycle
             self.schedulers[slot % len(self.schedulers)].add_warp(slot)
+            self._resident += 1
+            # Warm the fetch cache so a warp with nothing to run is in
+            # _drained before the next retire scan (peek is pure, and the
+            # first real fetch would happen next tick regardless).
+            self._peek(slot, ctx)
             if self.tracer is not None:
                 self.tracer.name_track(
                     self.sm_index, slot + 1, f"warp {slot}"
@@ -322,15 +385,32 @@ class SMCore:
         self.cycle += 1
         self._progress = False
         self.arbiter.begin_cycle(self.cycle)
-        self._writeback_stage()
-        self._compress_stage()
-        self._execute_stage()
-        self._collect_stage()
-        idle_before = self.timing.issue_idle_cycles
-        stall_before = self.timing.collector_stall_cycles
-        self._issue_stage()
-        self._idle_delta = self.timing.issue_idle_cycles - idle_before
-        self._stall_delta = self.timing.collector_stall_cycles - stall_before
+        if self._inflight:
+            # Stage order (writeback → compress → execute → collect) is
+            # load-bearing: compress-stage compressor claims must precede
+            # execute-stage claims.  Skipping an empty stage is identical
+            # to scanning it — its loop body would never run.
+            if self._n_write:
+                self._writeback_stage()
+            if self._n_compress:
+                self._compress_stage()
+            if self._n_exec:
+                self._execute_stage()
+            if self._n_collect:
+                self._collect_stage()
+        timing = self.timing
+        idle_before = timing.issue_idle_cycles
+        if self._issue_cache_enabled:
+            # With the issue-blocked memo active, a repeat of this tick
+            # hits the memo and increments no collector-stall counters,
+            # so frozen cycles must replay a zero delta.
+            self._issue_stage()
+            self._stall_delta = 0
+        else:
+            stall_before = timing.collector_stall_cycles
+            self._issue_stage()
+            self._stall_delta = timing.collector_stall_cycles - stall_before
+        self._idle_delta = timing.issue_idle_cycles - idle_before
         self._retire_warps()
         if self.checker is not None:
             self.checker.check_tick(self)
@@ -537,10 +617,13 @@ class SMCore:
     # ----- writeback ---------------------------------------------------
     def _writeback_stage(self) -> None:
         retired_any = False
+        write_state = OpState.WRITE
+        cycle = self.cycle
+        arbiter = self.arbiter
         for op in self._inflight:
-            if op.state is not OpState.WRITE or self.cycle < op.write_ready:
+            if op.state is not write_state or cycle < op.write_ready:
                 continue
-            granted = self.arbiter.grant_writes(op.pending_write_banks)
+            granted = arbiter.grant_writes(op.pending_write_banks)
             if granted:
                 self._progress = True
                 self.energy.record_write(len(granted))
@@ -552,6 +635,7 @@ class SMCore:
                 self._commit(op)
                 op.retired = True
                 retired_any = True
+                self._n_write -= 1
                 if self.tracer is not None:
                     self._emit_op_spans(op)
         if retired_any:
@@ -579,6 +663,11 @@ class SMCore:
                 stored_mode=op.decision.mode,
             )
         self.scoreboard.release(op.warp_slot, result.dst)
+        # The release may flip the warp's memoized scoreboard-blocked
+        # verdict; a collector-blocked verdict is unaffected (it only
+        # flips on a collector release, flushed in the issue stage).
+        if op.warp_slot not in self._blocked_collector:
+            self._blocked.discard(op.warp_slot)
 
     # ----- compress ----------------------------------------------------
     def _compress_stage(self) -> None:
@@ -590,6 +679,8 @@ class SMCore:
                 continue  # both compressor issue slots taken this cycle
             self._progress = True
             op.state = OpState.WRITE
+            self._n_compress -= 1
+            self._n_write += 1
             op.write_ready = ready
             op.pending_write_banks = self.regfile.banks_of(
                 self.regfile.slot(op.warp_slot, op.result.dst),
@@ -599,10 +690,13 @@ class SMCore:
     # ----- execute -----------------------------------------------------
     def _execute_stage(self) -> None:
         retired_any = False
+        exec_state = OpState.EXEC
+        cycle = self.cycle
         for op in self._inflight:
-            if op.state is not OpState.EXEC or self.cycle < op.exec_done:
+            if op.state is not exec_state or cycle < op.exec_done:
                 continue
             self._progress = True
+            self._n_exec -= 1
             result = op.result
             if result.dst is None:
                 self.scoreboard.release(
@@ -612,6 +706,8 @@ class SMCore:
                     if result.instr.pred_dst
                     else None,
                 )
+                if op.warp_slot not in self._blocked_collector:
+                    self._blocked.discard(op.warp_slot)
                 op.retired = True
                 retired_any = True
                 if self.tracer is not None:
@@ -621,6 +717,8 @@ class SMCore:
                 self.scoreboard.release(
                     op.warp_slot, None, result.instr.pred_dst.index
                 )
+                if op.warp_slot not in self._blocked_collector:
+                    self._blocked.discard(op.warp_slot)
             if self.rfc is not None:
                 self._commit_to_cache(op)
                 op.retired = True
@@ -641,12 +739,16 @@ class SMCore:
                 ready = self.compressors.try_start(self.cycle)
                 if ready is not None:
                     op.state = OpState.WRITE
+                    self._n_write += 1
                     op.write_ready = ready
                     op.pending_write_banks = self.regfile.banks_of(
                         slot, op.decision.banks
                     )
+                else:
+                    self._n_compress += 1
             else:
                 op.state = OpState.WRITE
+                self._n_write += 1
                 op.write_ready = self.cycle
                 op.pending_write_banks = self.regfile.banks_of(
                     slot, op.decision.banks
@@ -667,19 +769,23 @@ class SMCore:
 
     # ----- collect -----------------------------------------------------
     def _collect_stage(self) -> None:
+        collect_state = OpState.COLLECT
+        cycle = self.cycle
+        arbiter = self.arbiter
+        decompressors = self.decompressors
         for op in self._inflight:
-            if op.state is not OpState.COLLECT:
+            if op.state is not collect_state:
                 continue
             all_ready = True
             for read in op.reads:
                 if read.pending_banks:
-                    granted = self.arbiter.grant_reads(read.pending_banks)
+                    granted = arbiter.grant_reads(read.pending_banks)
                     if granted:
                         self._progress = True
                         self.energy.record_read(len(granted))
                         read.pending_banks.difference_update(granted)
                 unscheduled = read.ready_at is None
-                if not read.advance(self.cycle, self.decompressors):
+                if not read.advance(cycle, decompressors):
                     all_ready = False
                 if unscheduled and read.ready_at is not None:
                     self._progress = True  # won a decompressor slot
@@ -705,19 +811,92 @@ class SMCore:
                     self.collectors.release()
                     op.holds_collector = False
                 op.state = OpState.EXEC
+                self._n_collect -= 1
+                self._n_exec += 1
                 op.collect_done = self.cycle
                 op.exec_done = self.cycle + self._latency[op.result.op_class]
 
     # ----- issue -------------------------------------------------------
     def _issue_stage(self) -> None:
-        for scheduler in self.schedulers:
-            picked = scheduler.pick(self._can_issue)
+        releases = self.collectors.releases
+        if releases != self._coll_flush_seen:
+            # A collector was released since the last issue scan, so every
+            # "no collector free" verdict is stale: flush them in one
+            # batch (their warps are re-derived by the pick loop below).
+            self._coll_flush_seen = releases
+            if self._blocked_collector:
+                self._blocked.difference_update(self._blocked_collector)
+                self._blocked_collector.clear()
+        token = self._all_blocked
+        if token is not None:
+            if (
+                token[0] == releases
+                and token[1] == self.scoreboard.releases
+                and token[2] == len(self._blocked)
+                and token[3] == self._resident
+            ):
+                # Every resident warp was verified memo-blocked on a full
+                # scheduler scan, and no release event (the only thing
+                # that can flip a memoized verdict) has happened since:
+                # nothing can issue.  Replay the idle accounting only.
+                for scheduler in self.schedulers:
+                    if scheduler._warps:
+                        self.timing.issue_idle_cycles += 1
+                return
+            self._all_blocked = None
+        issued = False
+        memo = self._issue_cache_enabled
+        blocked = self._blocked
+        sched_tokens = self._sched_blocked
+        for i, scheduler in enumerate(self.schedulers):
+            stoken = sched_tokens[i]
+            if stoken is not None:
+                if (
+                    stoken[0] == releases
+                    and stoken[1] == self.scoreboard.releases
+                    and stoken[2] == scheduler.generation
+                ):
+                    # Every warp in this scheduler was memo-blocked on its
+                    # last scan, membership is unchanged, and no release
+                    # event has happened since — its pick cannot succeed.
+                    self.timing.issue_idle_cycles += 1
+                    continue
+                sched_tokens[i] = None
+            picked = scheduler.pick(self._can_issue, blocked)
             if picked is not None:
                 self._progress = True
+                issued = True
                 self._issue(picked)
-            elif len(scheduler):
+            elif scheduler._warps:
                 # Resident warps exist but none could issue this cycle.
                 self.timing.issue_idle_cycles += 1
+                if memo:
+                    warps = scheduler._warps
+                    for warp in warps:
+                        if warp not in blocked:
+                            break
+                    else:
+                        sched_tokens[i] = (
+                            releases,
+                            self.scoreboard.releases,
+                            scheduler.generation,
+                        )
+        if not issued and memo:
+            # Blocked-set entries are valid by construction (stale ones
+            # are flushed or discarded at their release events), so after
+            # a no-issue pass a full set means every resident warp is
+            # provably stuck.  A warp blocked outside the memo (barrier,
+            # branch latency) is never in the set, which keeps the counts
+            # unequal — those verdicts are cycle-dependent and must be
+            # re-checked every tick.
+            resident = self._resident
+            if resident and len(blocked) == resident:
+                self._all_blocked = (
+                    releases,
+                    self.scoreboard.releases,
+                    resident,
+                    resident,
+                )
 
     def _needs_mov(self, warp_slot: int, instr: Instruction, exec_mask: int) -> bool:
         # _mov_candidate folds the two static disqualifiers: a register
@@ -739,20 +918,37 @@ class SMCore:
         return False
 
     def _can_issue(self, warp_slot: int) -> bool:
+        # Callers (the pick loop) skip warps in self._blocked, so this
+        # always re-derives the full readiness chain.  A blocked verdict
+        # is recorded into the set; it is only ever recorded for a warp
+        # that is past its barrier and branch latency, and neither can
+        # change while the warp is unable to issue (both are set by the
+        # warp's own issue), so the memoized verdict stays safe until the
+        # corresponding release event removes it.
+        memo = self._issue_cache_enabled
         ctx = self._warps[warp_slot]
         if ctx.at_barrier:
             return self._stalled(warp_slot, "barrier")
         if self.cycle < self._next_issue[warp_slot]:
             return self._stalled(warp_slot, "branch latency")
-        peeked = self._peek(warp_slot, ctx)
+        peeked = self._peek_cache.get(warp_slot, _PEEK_MISS)
+        if peeked is _PEEK_MISS:
+            peeked = self._peek(warp_slot, ctx)
         if peeked is None:
+            if memo:
+                self._blocked.add(warp_slot)
             return self._stalled(warp_slot, "drained")
         instr, exec_mask, _ = peeked
         srcs, read_preds, dst_index, pred_dst_index = instr.issue_operands()
         if self._needs_mov(warp_slot, instr, exec_mask):
             if not self.collectors.available:
+                if memo:
+                    self._blocked.add(warp_slot)
+                    self._blocked_collector.add(warp_slot)
                 return self._stalled(warp_slot, "collector")
             if self.scoreboard.blocked(warp_slot, (dst_index,), dst_index):
+                if memo:
+                    self._blocked.add(warp_slot)
                 return self._stalled(warp_slot, "scoreboard")
             return True
         # RFC hits bypass the operand collector, but RAW hazards must be
@@ -764,10 +960,15 @@ class SMCore:
             )
         if uncached and not self.collectors.available:
             self.timing.collector_stall_cycles += 1
+            if memo:
+                self._blocked.add(warp_slot)
+                self._blocked_collector.add(warp_slot)
             return self._stalled(warp_slot, "collector")
         if self.scoreboard.blocked(
             warp_slot, srcs, dst_index, read_preds, pred_dst_index
         ):
+            if memo:
+                self._blocked.add(warp_slot)
             return self._stalled(warp_slot, "scoreboard")
         return True
 
@@ -778,6 +979,8 @@ class SMCore:
             return cached
         peeked = self.interpreter.peek(ctx)
         self._peek_cache[warp_slot] = peeked
+        if peeked is None:
+            self._drained.add(warp_slot)
         return peeked
 
     def _issue(self, warp_slot: int) -> None:
@@ -792,8 +995,11 @@ class SMCore:
             return
         result = self.interpreter.execute(ctx, peeked)
         # The warp's stack (and possibly predicates) just moved; the next
-        # fetch must re-peek.
+        # fetch must re-peek.  Doing so immediately (rather than at the
+        # next readiness check) keeps _drained current for this tick's
+        # retire scan, at the same one-real-fetch-per-issue cost.
         del self._peek_cache[warp_slot]
+        self._peek(warp_slot, ctx)
         self.timing.issued += 1
         self.value_stats.record_instruction(result.base_divergent)
         self.value_stats.record_occupancy(
@@ -832,13 +1038,18 @@ class SMCore:
     def _enqueue(
         self, warp_slot: int, result: ExecResult, is_mov: bool
     ) -> None:
+        srcs = result.src_regs
+        if len(srcs) > 1:
+            # Repeated sources collect once (one port grant per operand).
+            srcs = tuple(dict.fromkeys(srcs))
         reads = []
-        for reg in dict.fromkeys(result.src_regs):
-            if self.rfc is not None and self.rfc.read(warp_slot, reg):
+        rfc = self.rfc
+        regfile = self.regfile
+        for reg in srcs:
+            if rfc is not None and rfc.read(warp_slot, reg):
                 self.energy.record_rfc(1)
                 continue
-            mode = self.regfile.mode_of(warp_slot, reg)
-            banks = self.regfile.read_banks(warp_slot, reg)
+            mode, banks = regfile.read_meta(warp_slot, reg)
             reads.append(
                 OperandRead(
                     warp_slot=warp_slot,
@@ -859,9 +1070,11 @@ class SMCore:
         if reads:
             self.collectors.allocate()
             op.holds_collector = True
+            self._n_collect += 1
         if not reads:
             # No operands to gather: skip straight to execution.
             op.state = OpState.EXEC
+            self._n_exec += 1
             op.collect_done = self.cycle
             op.exec_done = self.cycle + self._latency[result.op_class]
         if self.tracer is not None:
@@ -966,12 +1179,14 @@ class SMCore:
                 self._warps[s].at_barrier = False
 
     def _retire_warps(self) -> None:
+        # Drained ⟺ the (cached) fetch comes back empty, and every real
+        # peek registers empty fetches in _drained — so only that
+        # (almost always empty) set needs scanning, not all residents.
+        if not self._drained:
+            return
         inflight_slots = {op.warp_slot for op in self._inflight}
-        for warp_slot, ctx in list(self._warps.items()):
+        for warp_slot in sorted(self._drained):
             if warp_slot in inflight_slots or self.scoreboard.pending(warp_slot):
-                continue
-            # Drained ⟺ the (cached) fetch comes back empty.
-            if self._peek(warp_slot, ctx) is not None:
                 continue
             self._progress = True
             if self.rfc is not None:
@@ -980,10 +1195,14 @@ class SMCore:
             self.schedulers[warp_slot % len(self.schedulers)].remove_warp(
                 warp_slot
             )
+            self._resident -= 1
             self.scoreboard.clear_warp(warp_slot)
             del self._warps[warp_slot]
             del self._next_issue[warp_slot]
             self._peek_cache.pop(warp_slot, None)
+            self._drained.discard(warp_slot)
+            self._blocked.discard(warp_slot)
+            self._blocked_collector.discard(warp_slot)
             cta = self._ctas[self._warp_cta.pop(warp_slot)]
             cta.remaining -= 1
             if cta.remaining == 0:

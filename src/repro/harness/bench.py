@@ -24,6 +24,8 @@ below the baseline, or when cycle counts diverge.
 from __future__ import annotations
 
 import json
+import os
+import platform
 from dataclasses import dataclass, field
 from time import perf_counter
 
@@ -32,6 +34,16 @@ from repro.gpu.config import GPUConfig
 from repro.gpu.gpu import GPU
 
 SCHEMA_VERSION = 1
+
+#: BLAS/threading knobs that change numpy wall-clock without changing
+#: results; recorded per run so cross-machine baselines are interpretable.
+THREAD_ENV_VARS = (
+    "OMP_NUM_THREADS",
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+    "VECLIB_MAXIMUM_THREADS",
+)
 
 #: Spread of pipeline behaviours for ``--quick``: aes (compute-heavy,
 #: high memo traffic), bfs (divergent, short), nw (bank-wakeup bound),
@@ -157,6 +169,26 @@ class BenchReport:
         return "\n".join(lines)
 
 
+def runtime_environment() -> dict:
+    """Host provenance for the artifact's reference block.
+
+    Wall-clock seconds depend on the numpy build and the BLAS thread
+    pool as much as on the CPU, so every report records them; an unset
+    thread variable is recorded as ``"unset"`` (numpy then picks its
+    own default, typically all cores).
+    """
+    import numpy
+
+    return {
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "platform": platform.platform(),
+        "thread_env": {
+            var: os.environ.get(var, "unset") for var in THREAD_ENV_VARS
+        },
+    }
+
+
 def _time_run(launch, policy: str, config: GPUConfig, repeats: int):
     """Best-of-``repeats`` wall-clock for one launch; returns (s, cycles)."""
     best = float("inf")
@@ -226,7 +258,12 @@ def run_bench(
         names = QUICK_KERNELS if quick else benchmark_names()
     if quick:
         repeats = 1
-    report = BenchReport(scale=scale, policy=policy, repeats=repeats)
+    report = BenchReport(
+        scale=scale,
+        policy=policy,
+        repeats=repeats,
+        reference={"environment": runtime_environment()},
+    )
     for name in names:
         record = bench_kernel(name, scale=scale, policy=policy, repeats=repeats)
         report.kernels.append(record)
@@ -287,9 +324,11 @@ __all__ = [
     "DEFAULT_TOLERANCE",
     "QUICK_KERNELS",
     "SCHEMA_VERSION",
+    "THREAD_ENV_VARS",
     "BenchReport",
     "KernelBench",
     "bench_kernel",
     "compare_reports",
     "run_bench",
+    "runtime_environment",
 ]

@@ -45,6 +45,9 @@ class Variant:
     timing: bool = True
     collect_bdi: bool = False
     config_overrides: tuple[tuple[str, object], ...] = ()
+    #: functional variants only: price via the session's trace-replay
+    #: tier instead of executing the kernel (see repro.harness.sweeps)
+    replay: bool = False
 
     def request(self, benchmark: str, scale: str) -> SimRequest:
         """The simulation request this variant needs for one benchmark."""
@@ -59,6 +62,7 @@ class Variant:
             collect_bdi=self.collect_bdi,
             scale=scale,
             config_overrides=self.config_overrides,
+            replay=self.replay,
         )
 
 

@@ -115,6 +115,13 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="disable the on-disk result cache (in-process memo only)",
     )
+    parser.add_argument(
+        "--replay-tier",
+        action="store_true",
+        help="re-price all-functional experiments from stored register-"
+        "write traces (one capture per benchmark, zero simulations once "
+        "the trace exists); timing experiments run normally",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -157,10 +164,20 @@ def main(argv: list[str] | None = None) -> int:
     )
     blocks = []
     for exp_id in requested:
+        driver = ALL_DRIVERS[exp_id]
+        if args.replay_tier:
+            from repro.harness.engine import ExperimentSpec
+            from repro.harness.sweeps import replay_spec, replayable
+
+            if isinstance(driver, ExperimentSpec) and replayable(driver):
+                driver = replay_spec(driver)
+                logger.info(
+                    f"{exp_id}: replay tier (pricing from stored traces)"
+                )
         start = time.time()
         logger.info(f"running {exp_id} ...")
         with profiler.phase(exp_id):
-            result = ALL_DRIVERS[exp_id](session)
+            result = driver(session)
             text = result.render()
         if args.chart:
             from repro.analysis.plots import chart_experiment
@@ -172,6 +189,7 @@ def main(argv: list[str] | None = None) -> int:
 
     logger.info(
         f"session: {session.simulated} simulated, "
+        f"{session.replayed} trace-replayed, "
         f"{session.memo_hits} memo hits, "
         f"{session.disk_hits} disk-cache hits"
     )
@@ -182,6 +200,7 @@ def main(argv: list[str] | None = None) -> int:
         payload = profiler.to_dict()
         payload["session"] = {
             "simulated": session.simulated,
+            "replayed": session.replayed,
             "memo_hits": session.memo_hits,
             "disk_hits": session.disk_hits,
         }

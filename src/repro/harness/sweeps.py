@@ -1,15 +1,85 @@
-"""Deprecated module: superseded by :mod:`repro.sim`.
+"""The trace-replay sweep tier: re-price functional sweeps from traces.
 
-``SimulationCache`` was the harness's in-process memoizer.  The session
-layer (:class:`repro.sim.Session`) subsumes it — same memoization, plus
-content-addressed on-disk caching, canonical-config deduplication, and a
-multiprocess executor — and :class:`repro.sim.SimRequest` replaces
-``RunKey``.  These aliases keep old imports working.
+A functional experiment (``Variant(timing=False)``) asks only for value
+statistics — compression ratios, similarity histograms, dummy-MOV
+counts.  Those depend on the *sequence of register writes* a kernel
+produces, never on how it is timed, so once that sequence is captured
+(one trace per benchmark × scale, shared across every policy) the whole
+sweep can be **re-priced** by whole-trace array arithmetic instead of
+re-simulated: :func:`repro.gpu.trace.replay_trace` over the stored
+``.npz``.
+
+This module lifts that replay path to a first-class sweep tier over the
+experiment engine:
+
+* :func:`replay_variant` — the replay-tier twin of one functional
+  :class:`~repro.harness.engine.Variant`;
+* :func:`replay_spec` — the replay-tier twin of a whole functional
+  :class:`~repro.harness.engine.ExperimentSpec` (same grid, same
+  reduction, every variant priced from the shared trace);
+* :func:`replayable` — whether a spec is eligible (all-functional).
+
+The session guarantees the contract: a replayed request is
+byte-identical to a fresh trace-capturing simulation of the same
+(benchmark, policy) pair, and a sweep over a warm trace performs zero
+new simulations (``repro.sim.session.SIM_COUNTER`` stays put).  The CLI
+exposes the tier as ``warped-compression --replay-tier``.
+
+Legacy aliases: ``SimulationCache``/``RunKey`` predate :mod:`repro.sim`
+and remain importable here for old callers.
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
+
+from repro.harness.engine import ExperimentSpec, Variant
 from repro.sim.session import Session as SimulationCache
 from repro.sim.session import SimRequest as RunKey
 
-__all__ = ["RunKey", "SimulationCache"]
+__all__ = [
+    "RunKey",
+    "SimulationCache",
+    "replay_spec",
+    "replay_variant",
+    "replayable",
+]
+
+
+def replay_variant(variant: Variant) -> Variant:
+    """The replay-tier twin of a functional variant.
+
+    Raises ``ValueError`` for timing variants: a register-write trace
+    carries no cycle information, so timing runs cannot be re-priced.
+    """
+    if variant.timing:
+        raise ValueError(
+            f"variant {variant.name!r} is a timing run; only functional "
+            "variants can be priced by the trace-replay tier"
+        )
+    return replace(variant, replay=True)
+
+
+def replayable(spec: ExperimentSpec) -> bool:
+    """Whether every variant of ``spec`` can ride the replay tier."""
+    return bool(spec.variants) and all(
+        not variant.timing for variant in spec.variants
+    )
+
+
+def replay_spec(spec: ExperimentSpec) -> ExperimentSpec:
+    """The replay-tier twin of an all-functional experiment spec.
+
+    Same grid, same reduction, same table — but every cell is priced by
+    replaying the benchmark's stored register-write trace, so evaluating
+    the twin against a warm trace cache simulates nothing.
+    """
+    if not replayable(spec):
+        raise ValueError(
+            f"experiment {spec.exp_id!r} has timing variants; the "
+            "trace-replay tier only re-prices functional sweeps"
+        )
+    return replace(
+        spec,
+        variants=tuple(replay_variant(v) for v in spec.variants),
+    )

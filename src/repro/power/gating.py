@@ -86,6 +86,9 @@ class BankGatingController:
         #: settle() runs every cycle, so it must cost O(1) — not a bank
         #: sweep — when nothing can change.
         self._unsettled = 0
+        #: Banks currently in the ON state.  When every bank is ON the
+        #: arbiter can grant without a per-bank readiness probe.
+        self._on_count = 0
 
     # ------------------------------------------------------------------
     # Valid-entry bookkeeping
@@ -146,6 +149,7 @@ class BankGatingController:
         for b in self._banks:
             if b.state is BankState.WAKING and cycle >= b.ready_at:
                 b.state = BankState.ON
+                self._on_count += 1
                 self._unsettled -= 1
             if (
                 b.state is BankState.ON
@@ -153,9 +157,14 @@ class BankGatingController:
                 and cycle - b.empty_since >= self.gate_delay
             ):
                 b.state = BankState.GATED
+                self._on_count -= 1
                 b.interval_start = b.empty_since + self.gate_delay
                 b.empty_since = None
                 self._unsettled -= 1
+
+    def all_on(self) -> bool:
+        """Whether every bank is ON (no grant needs a readiness probe)."""
+        return self._on_count == self.num_banks
 
     def waking_ready_at(self, bank: int) -> int | None:
         """``ready_at`` of a WAKING bank, ``None`` otherwise.
@@ -268,4 +277,10 @@ class BankGatingController:
                 f"gating settle short-circuit counter drifted: tracks "
                 f"{self._unsettled} outstanding transitions, banks hold "
                 f"{expected_unsettled}"
+            )
+        expected_on = sum(1 for b in self._banks if b.state is BankState.ON)
+        if self._on_count != expected_on:
+            raise InvariantViolation(
+                f"gating ON-bank counter drifted: tracks {self._on_count}, "
+                f"banks hold {expected_on}"
             )

@@ -21,6 +21,12 @@ cache hits) process-wide, which is how the test suite *proves* the
 run-once/replay-many discipline: running the Figure 9 and Figure 14
 experiments back-to-back simulates each distinct pair exactly once, and
 a warm-cache rerun simulates nothing.
+
+Functional requests additionally support a **trace-replay tier**
+(``SimRequest(replay=True)``): the session captures one canonical
+register-write trace per (benchmark, scale) and re-prices every
+replayed policy/config against it with whole-trace array arithmetic —
+so a policy sweep over a warm trace performs zero new simulations.
 """
 
 from __future__ import annotations
@@ -36,7 +42,7 @@ from typing import Iterable
 from repro.gpu.config import GPUConfig
 from repro.gpu.functional import run_functional
 from repro.gpu.launch import run_kernel
-from repro.gpu.trace import capture_trace, replay_trace
+from repro.gpu.trace import RegisterTrace, capture_trace, replay_trace
 from repro.kernels import benchmark_names, get_benchmark
 from repro.obs.log import get_logger
 from repro.obs.profiler import HostProfiler
@@ -80,6 +86,13 @@ class SimRequest:
     config_overrides: tuple[tuple[str, object], ...] = ()
     #: functional runs only: also capture the register-write trace
     capture_trace: bool = False
+    #: functional runs only: price this request by replaying the stored
+    #: register-write trace instead of executing the kernel.  The session
+    #: shares one captured trace per (benchmark, scale) across every
+    #: replayed policy/config, so a warm trace re-prices a whole policy
+    #: sweep with zero new simulations.  Ignored for timing runs (a
+    #: trace carries no cycle information).
+    replay: bool = False
 
     def gpu_config(self) -> GPUConfig | None:
         """The canonical config this request simulates (timing only)."""
@@ -111,6 +124,7 @@ class SimRequest:
             "timing": self.timing,
             "collect_bdi": self.collect_bdi,
             "capture_trace": self.capture_trace and not self.timing,
+            "replay": self.replay and not self.timing,
             "config": asdict(config) if config is not None else None,
             "code": code_version(),
         }
@@ -124,6 +138,11 @@ def simulate(request: SimRequest, trace_destination: str | None = None) -> RunRe
     ``trace_destination`` and the run's statistics are produced by
     replaying it — guaranteeing the stored trace reproduces the result.
     """
+    if request.replay and not request.timing:
+        raise ValueError(
+            "replay requests are priced by the Session's replay tier, "
+            "never simulated directly"
+        )
     SIM_COUNTER.add()
     bench = get_benchmark(request.benchmark)
     spec = bench.launch(request.scale)
@@ -238,6 +257,8 @@ class Session:
         self.memo_hits = 0
         self.disk_hits = 0
         self.dedup_hits = 0
+        #: Requests priced by the trace-replay tier (no simulation).
+        self.replayed = 0
 
     # ------------------------------------------------------------------
     # Observability
@@ -261,6 +282,9 @@ class Session:
         )
         registry.probe(
             f"{prefix}.simulated", lambda: self.simulated, kind="delta"
+        )
+        registry.probe(
+            f"{prefix}.replayed", lambda: self.replayed, kind="delta"
         )
         registry.probe(f"{prefix}.memo_size", lambda: len(self._memo))
 
@@ -309,12 +333,26 @@ class Session:
                 misses[key] = (request, material)
 
         if misses:
-            if self.max_workers > 1 and len(misses) > 1:
-                self._run_pool(misses)
+            # Replay-tier misses never cross process boundaries: they are
+            # priced in-session from the shared trace (and may trigger the
+            # one source capture), so only real simulations go to the pool.
+            replays = {
+                key: job
+                for key, job in misses.items()
+                if job[0].replay and not job[0].timing
+            }
+            simulations = {
+                key: job for key, job in misses.items() if key not in replays
+            }
+            if self.max_workers > 1 and len(simulations) > 1:
+                self._run_pool(simulations)
             else:
-                for key, (request, material) in misses.items():
+                for key, (request, material) in simulations.items():
                     result = self._execute(request, key)
                     self.store(key, material, result)
+            for key, (request, material) in replays.items():
+                result = self._execute(request, key)
+                self.store(key, material, result)
 
         # Resolve every original request (including aliases) via the memo.
         for request in requests:
@@ -359,6 +397,12 @@ class Session:
         """A functional run (value stats only, much faster)."""
         return self.run(self.request(benchmark, timing=False, **overrides))
 
+    def replay_run(self, benchmark: str, **overrides) -> RunResult:
+        """A trace-replay-tier run: re-price from the stored trace."""
+        return self.run(
+            self.request(benchmark, timing=False, replay=True, **overrides)
+        )
+
     def benchmarks(self, subset: list[str] | None = None) -> list[str]:
         return subset or self.subset or benchmark_names()
 
@@ -390,6 +434,8 @@ class Session:
         return key, material, None
 
     def _execute(self, request: SimRequest, key: str) -> RunResult:
+        if request.replay and not request.timing:
+            return self._execute_replay(request)
         self._log(request)
         start = time.perf_counter()
         result = simulate(request, self._trace_destination(request, key))
@@ -397,6 +443,77 @@ class Session:
         if self.profiler is not None:
             self.profiler.record_simulation(time.perf_counter() - start)
         return result
+
+    # ------------------------------------------------------------------
+    # Trace-replay tier
+    # ------------------------------------------------------------------
+    def _replay_source(self, request: SimRequest) -> SimRequest:
+        """The one trace-capture run a replayed request prices against.
+
+        The captured write stream is policy-independent (capture always
+        runs the baseline functional interpreter), so every replayed
+        policy/config of a (benchmark, scale) pair shares this single
+        canonical source — and therefore one simulation, ever.
+        """
+        return SimRequest(
+            benchmark=request.benchmark,
+            policy="baseline",
+            timing=False,
+            scale=request.scale,
+            capture_trace=True,
+        )
+
+    def _execute_replay(self, request: SimRequest) -> RunResult:
+        source = self.run(self._replay_source(request))
+        trace = self._load_trace(request, source)
+        logger.debug(
+            f"  replaying {request.benchmark} [{request.policy}] "
+            "from stored trace"
+        )
+        stats = replay_trace(
+            trace,
+            policy=request.policy,
+            collect_bdi=request.collect_bdi,
+        )
+        self.replayed += 1
+        return RunResult(
+            benchmark=request.benchmark,
+            policy=request.policy,
+            scale=request.scale,
+            config=None,
+            timing_mode=False,
+            cycles=0,
+            value=stats.value,
+            trace_path=source.trace_path,
+        )
+
+    def _load_trace(
+        self, request: SimRequest, source: RunResult
+    ) -> RegisterTrace:
+        path = source.trace_path
+        if path is not None and Path(path).exists():
+            return RegisterTrace.load(path)
+        # The trace artifact went missing (pruned cache directory, dead
+        # temp dir from an earlier process): re-capture it once and
+        # refresh the cached source entry.
+        source_request = self._replay_source(request)
+        material = source_request.key_material()
+        key = fingerprint(material)
+        self._log(source_request)
+        start = time.perf_counter()
+        result = simulate(
+            source_request, self._trace_destination(source_request, key)
+        )
+        self.simulated += 1
+        if self.profiler is not None:
+            self.profiler.record_simulation(time.perf_counter() - start)
+        self.store(key, material, result)
+        if result.trace_path is None or not Path(result.trace_path).exists():
+            raise RuntimeError(
+                f"trace capture for {request.benchmark!r} produced no "
+                "loadable trace artifact"
+            )
+        return RegisterTrace.load(result.trace_path)
 
     def store(self, key: str, material: dict, result: RunResult) -> None:
         """Publish one result to the memo and (if enabled) disk cache."""

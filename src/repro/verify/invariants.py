@@ -224,25 +224,48 @@ class InvariantChecker:
                 f"arbiter cycle {sm.arbiter.cycle} out of sync with SM "
                 f"cycle {sm.cycle}"
             )
-        reads, writes = sm.arbiter.busy_port_counts()
-        if reads != sm.arbiter.reads_this_cycle:
-            raise InvariantViolation(
-                f"cycle {sm.cycle}: {sm.arbiter.reads_this_cycle} read "
-                f"grants but {reads} read ports claimed (>1 grant per "
-                "bank port)"
-            )
-        if writes != sm.arbiter.writes_this_cycle:
-            raise InvariantViolation(
-                f"cycle {sm.cycle}: {sm.arbiter.writes_this_cycle} write "
-                f"grants but {writes} write ports claimed (>1 grant per "
-                "bank port)"
-            )
+        # Port flags are all clear on a grant-free cycle (begin_cycle
+        # resets them after any granting cycle), so the cross-check is
+        # only informative when something was granted.
+        if sm.arbiter.reads_this_cycle or sm.arbiter.writes_this_cycle:
+            reads, writes = sm.arbiter.busy_port_counts()
+            if reads != sm.arbiter.reads_this_cycle:
+                raise InvariantViolation(
+                    f"cycle {sm.cycle}: {sm.arbiter.reads_this_cycle} read "
+                    f"grants but {reads} read ports claimed (>1 grant per "
+                    "bank port)"
+                )
+            if writes != sm.arbiter.writes_this_cycle:
+                raise InvariantViolation(
+                    f"cycle {sm.cycle}: {sm.arbiter.writes_this_cycle} write "
+                    f"grants but {writes} write ports claimed (>1 grant per "
+                    "bank port)"
+                )
         if self.level < 2:
             return
         self.ticks_checked += 1
         occupancy = sm.regfile.check_consistency(self.indicator_exact)
         if sm.gating is not None:
             sm.gating.check_consistency(occupancy)
+        # The per-state op counters that gate the stage scans must agree
+        # with a recount of the inflight list.
+        counts = {}
+        for op in sm._inflight:
+            counts[op.state] = counts.get(op.state, 0) + 1
+        from repro.gpu.sm import OpState
+
+        expected = {
+            OpState.COLLECT: sm._n_collect,
+            OpState.EXEC: sm._n_exec,
+            OpState.COMPRESS: sm._n_compress,
+            OpState.WRITE: sm._n_write,
+        }
+        for state, n in expected.items():
+            if counts.get(state, 0) != n:
+                raise InvariantViolation(
+                    f"cycle {sm.cycle}: stage counter for {state.name} is "
+                    f"{n} but {counts.get(state, 0)} ops are in that state"
+                )
         seen: set[tuple[int, int]] = set()
         for op in sm._inflight:
             dst = op.result.dst

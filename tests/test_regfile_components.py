@@ -33,9 +33,9 @@ class TestRegisterFileGeometry:
     def test_banks_of_low_banks_first(self):
         rf, _ = make_regfile()
         slot = rf.slot(0, 0)
-        assert rf.banks_of(slot, 3) == [0, 1, 2]
+        assert rf.banks_of(slot, 3) == (0, 1, 2)
         slot1 = rf.slot(0, 1)  # next cluster
-        assert rf.banks_of(slot1, 2) == [8, 9]
+        assert rf.banks_of(slot1, 2) == (8, 9)
 
     def test_entry_mapping(self):
         rf, _ = make_regfile()
@@ -83,7 +83,7 @@ class TestRegisterFileWriteCommit:
         rf, _ = make_regfile()
         rf.allocate_warp(0)
         rf.write_commit(0, 0, CompressionMode.B4D1, 3, cycle=1)
-        assert rf.read_banks(0, 0) == [0, 1, 2]
+        assert rf.read_banks(0, 0) == (0, 1, 2)
         assert rf.is_compressed(0, 0)
 
     def test_gating_valid_bits_follow_bank_span(self):

@@ -1,0 +1,233 @@
+"""The trace-replay sweep tier: byte-identity, zero-sim sweeps, cache keys.
+
+The tier's contract (see :mod:`repro.harness.sweeps`):
+
+* a replayed request returns results byte-identical to a fresh
+  trace-capturing simulation of the same (benchmark, policy) pair —
+  checked here across the full 12-kernel registry suite;
+* a policy sweep over a warm trace cache performs **zero** new
+  simulations (one baseline capture per benchmark × scale, ever);
+* replay artifacts are content-addressed separately from plain
+  functional runs and from their capture sources, so the tiers can
+  never serve each other's cache entries by accident.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.harness.engine import ExperimentSpec, Variant, experiment
+from repro.harness.experiments import EXPERIMENTS
+from repro.harness.sweeps import replay_spec, replay_variant, replayable
+from repro.kernels import benchmark_names
+from repro.sim.result import RunResult
+from repro.sim.session import SIM_COUNTER, Session, SimRequest, fingerprint, simulate
+
+POLICIES = ("warped", "static-4-0", "static-4-1", "static-4-2")
+
+
+def _session(tmp_path, **kwargs) -> Session:
+    return Session(scale="small", cache_dir=str(tmp_path / "cache"), **kwargs)
+
+
+def _comparable(result: RunResult) -> dict:
+    """to_dict minus provenance that legitimately differs between tiers.
+
+    ``trace_path`` points at the baseline capture for replayed results
+    but at the run's own artifact (or nothing) for fresh simulations;
+    ``from_cache`` is session bookkeeping.  Everything else — the full
+    value-statistics payload included — must match byte for byte.
+    """
+    data = result.to_dict()
+    data.pop("trace_path", None)
+    data.pop("from_cache", None)
+    return data
+
+
+# ----------------------------------------------------------------------
+# Byte-identity across the registry suite
+# ----------------------------------------------------------------------
+def test_replay_byte_identical_across_registry(tmp_path):
+    session = _session(tmp_path)
+    names = benchmark_names()
+    assert len(names) == 12
+    for name in names:
+        replayed = session.replay_run(name, policy="warped")
+        fresh = simulate(
+            SimRequest(
+                benchmark=name,
+                policy="warped",
+                timing=False,
+                scale="small",
+                capture_trace=True,
+            )
+        )
+        assert json.dumps(
+            _comparable(replayed), sort_keys=True
+        ) == json.dumps(_comparable(fresh), sort_keys=True), name
+
+
+def test_replay_matches_plain_functional_value_fields(tmp_path):
+    """Non-occupancy value stats also match a plain functional run.
+
+    A live functional run samples occupancy per *instruction* while the
+    replay prices it per *write*, so those two fields legitimately
+    differ; every other statistic the figures consume must agree.
+    """
+    session = _session(tmp_path)
+    replayed = session.replay_run("bfs", policy="warped")
+    live = simulate(
+        SimRequest(
+            benchmark="bfs", policy="warped", timing=False, scale="small"
+        )
+    )
+    got = replayed.value.to_dict()
+    want = live.value.to_dict()
+    for field in ("occupancy_sum", "occupancy_samples"):
+        got.pop(field), want.pop(field)
+    assert got == want
+
+
+# ----------------------------------------------------------------------
+# Zero new simulations on a warm trace cache
+# ----------------------------------------------------------------------
+def test_policy_sweep_replays_with_zero_simulations(tmp_path):
+    warm = _session(tmp_path)
+    for name in warm.benchmarks():
+        warm.replay_run(name, policy="warped")
+
+    sweep = _session(tmp_path)
+    SIM_COUNTER.reset()
+    for name in sweep.benchmarks():
+        for policy in POLICIES:
+            result = sweep.replay_run(name, policy=policy)
+            assert result.timing_mode is False
+    assert SIM_COUNTER.value == 0
+    assert sweep.simulated == 0
+    # The warped cells come straight from the warm pass's cache; the
+    # three static policies are fresh replays of the stored traces.
+    assert sweep.replayed == len(sweep.benchmarks()) * (len(POLICIES) - 1)
+    assert sweep.disk_hits >= len(sweep.benchmarks())
+
+
+def test_replay_spec_reprices_experiment_with_zero_simulations(tmp_path):
+    fig15 = EXPERIMENTS["fig15"]
+    assert replayable(fig15)
+
+    fresh_session = _session(tmp_path, subset=["bfs", "nw", "spmv"])
+    fresh = fig15(fresh_session).render()
+
+    replay_session = _session(tmp_path, subset=["bfs", "nw", "spmv"])
+    SIM_COUNTER.reset()
+    replayed = replay_spec(fig15)(replay_session).render()
+    # The fresh pass captured no traces, so the replay pass pays one
+    # baseline capture per benchmark — and nothing per policy.
+    assert SIM_COUNTER.value == 3
+    assert replay_session.replayed == 3 * len(fig15.variants)
+    assert replayed == fresh
+
+    warm_session = _session(tmp_path, subset=["bfs", "nw", "spmv"])
+    SIM_COUNTER.reset()
+    assert replay_spec(fig15)(warm_session).render() == fresh
+    assert SIM_COUNTER.value == 0
+    assert warm_session.simulated == 0
+
+
+def test_missing_trace_artifact_is_recaptured(tmp_path):
+    session = _session(tmp_path)
+    first = session.replay_run("bfs", policy="warped")
+    assert first.trace_path is not None
+    os.remove(first.trace_path)
+
+    again = _session(tmp_path)
+    result = again.replay_run("bfs", policy="static-4-1")
+    assert again.simulated == 1  # one re-capture, not one per policy
+    assert again.replayed == 1
+    assert result.value.to_dict() == _session(
+        tmp_path
+    ).replay_run("bfs", policy="static-4-1").value.to_dict()
+
+
+# ----------------------------------------------------------------------
+# Cache-key separation
+# ----------------------------------------------------------------------
+def test_replay_requests_are_content_addressed_separately():
+    plain = SimRequest(
+        benchmark="bfs", policy="warped", timing=False, scale="small"
+    )
+    replay = SimRequest(
+        benchmark="bfs",
+        policy="warped",
+        timing=False,
+        scale="small",
+        replay=True,
+    )
+    capture = SimRequest(
+        benchmark="bfs",
+        policy="warped",
+        timing=False,
+        scale="small",
+        capture_trace=True,
+    )
+    keys = {
+        fingerprint(plain.key_material()),
+        fingerprint(replay.key_material()),
+        fingerprint(capture.key_material()),
+    }
+    assert len(keys) == 3
+
+
+def test_replay_flag_folds_away_for_timing_requests():
+    timing = SimRequest(benchmark="bfs", policy="warped", scale="small")
+    timing_replay = SimRequest(
+        benchmark="bfs", policy="warped", scale="small", replay=True
+    )
+    assert fingerprint(timing.key_material()) == fingerprint(
+        timing_replay.key_material()
+    )
+
+
+def test_simulate_rejects_replay_requests():
+    request = SimRequest(
+        benchmark="bfs",
+        policy="warped",
+        timing=False,
+        scale="small",
+        replay=True,
+    )
+    with pytest.raises(ValueError, match="replay tier"):
+        simulate(request)
+
+
+# ----------------------------------------------------------------------
+# Spec plumbing
+# ----------------------------------------------------------------------
+def test_replay_variant_rejects_timing_variants():
+    with pytest.raises(ValueError, match="timing"):
+        replay_variant(Variant("timed"))
+
+
+def test_replay_spec_rejects_mixed_specs():
+    @experiment(
+        "mixed",
+        "one timing, one functional",
+        variants=[Variant("timed"), Variant("func", timing=False)],
+    )
+    def mixed(grid):  # pragma: no cover - never evaluated
+        raise AssertionError
+
+    assert isinstance(mixed, ExperimentSpec)
+    assert not replayable(mixed)
+    with pytest.raises(ValueError, match="timing"):
+        replay_spec(mixed)
+
+
+def test_replay_spec_marks_every_variant():
+    fig15 = EXPERIMENTS["fig15"]
+    twin = replay_spec(fig15)
+    assert twin.exp_id == fig15.exp_id
+    assert all(v.replay for v in twin.variants)
+    assert all(not v.replay for v in fig15.variants)
