@@ -161,6 +161,32 @@ class ValueStats:
         self._stored_banks[phase] += stored_banks
         self.mode_histogram[stored_mode] += 1
 
+    def record_write_prepared(
+        self,
+        divergent: bool,
+        sim_bin: int,
+        achievable_banks: int,
+        stored_banks: int,
+        stored_mode: CompressionMode,
+    ) -> None:
+        """Record one write whose characterisation is precomputed.
+
+        The cross-warp batched issue path (:mod:`repro.gpu.batch`)
+        classifies a whole region's writes in one vectorised pass at
+        gather time; commit then folds the precomputed similarity bin
+        and achievable bank count straight into the counters.
+        Bit-identical to :meth:`record_write` for the same write.  Only
+        used when BDI collection is off — the batched gather skips the
+        per-write best-encoding search, which this path therefore cannot
+        account for.
+        """
+        phase = _DIV if divergent else _NONDIV
+        self._similarity[phase * 4 + sim_bin] += 1
+        self._writes[phase] += 1
+        self._achievable_banks[phase] += achievable_banks
+        self._stored_banks[phase] += stored_banks
+        self.mode_histogram[stored_mode] += 1
+
     def record_writes_batch(
         self,
         matrix: np.ndarray,

@@ -28,6 +28,7 @@ from repro.core.banks import BANK_BYTES, BANKS_PER_WARP_REGISTER, banks_required
 from repro.core.codec import (
     COMPRESSED_MODES,
     MODE_BANKS_BY_ID,
+    MODES_BY_ID,
     CompressionMode,
     WarpRegisterCodec,
     choose_mode_ids,
@@ -59,6 +60,15 @@ class CompressionDecision:
 
 _UNCOMPRESSED_DECISION = CompressionDecision(
     CompressionMode.UNCOMPRESSED, BANKS_PER_WARP_REGISTER, compressor_used=False
+)
+
+#: Interned compressor-produced decisions, one per indicator id.  The
+#: batched issue path materialises a :class:`CompressionDecision` per
+#: write, and the outcome space is four points — sharing frozen
+#: instances keeps the gather pass allocation-free.
+_COMPRESSED_DECISIONS_BY_ID = tuple(
+    CompressionDecision(mode, mode.banks, compressor_used=True)
+    for mode in CompressionMode
 )
 
 
@@ -108,6 +118,25 @@ class CompressionPolicy:
             banks[i] = decision.banks
         return mode_ids, banks
 
+    def decide_many(
+        self, matrix: np.ndarray, divergent: np.ndarray
+    ) -> list[CompressionDecision]:
+        """Batch :meth:`decide` into per-row decision *objects*.
+
+        The cross-warp batched issue path (:mod:`repro.gpu.batch`) needs
+        the full :class:`CompressionDecision` per write, not just the
+        ``(mode_ids, banks)`` vectors of :meth:`decide_batch`.  Must be
+        bit-identical per row to sequential :meth:`decide` calls,
+        including side effects on activation counters.  The base
+        implementation loops :meth:`decide` so wrappers that override it
+        (e.g. the verification oracle's cross-checking policy) keep
+        their per-decision behaviour.
+        """
+        return [
+            self.decide(matrix[i], bool(divergent[i]))
+            for i in range(int(matrix.shape[0]))
+        ]
+
     def reset(self) -> None:
         """Clear any per-run counters."""
 
@@ -132,6 +161,11 @@ class UncompressedPolicy(CompressionPolicy):
         )
         banks = np.full(n, BANKS_PER_WARP_REGISTER, dtype=np.int64)
         return mode_ids, banks
+
+    def decide_many(
+        self, matrix: np.ndarray, divergent: np.ndarray
+    ) -> list[CompressionDecision]:
+        return [_UNCOMPRESSED_DECISION] * int(matrix.shape[0])
 
 
 class WarpedCompressionPolicy(CompressionPolicy):
@@ -190,6 +224,36 @@ class WarpedCompressionPolicy(CompressionPolicy):
             self.codec.compressions += count
         banks = MODE_BANKS_BY_ID[mode_ids]
         return mode_ids, banks
+
+    def decide_many(
+        self, matrix: np.ndarray, divergent: np.ndarray
+    ) -> list[CompressionDecision]:
+        n = int(matrix.shape[0])
+        if n < 16:
+            # Small groups: the per-row path probes the content-keyed
+            # codec memo (register images recur constantly), which beats
+            # the unmemoized vectorised classifier below.  Bit-identical
+            # either way, including the compression counters.
+            return [
+                self.decide(matrix[i], bool(divergent[i])) for i in range(n)
+            ]
+        if self.compress_divergent:
+            eligible = np.ones(n, dtype=bool)
+        else:
+            eligible = ~np.asarray(divergent, dtype=bool)
+        decisions = [_UNCOMPRESSED_DECISION] * n
+        count = int(eligible.sum())
+        if count:
+            stored = self.codec.map_mode_ids(
+                choose_mode_ids(matrix[eligible])
+            )
+            self.codec.compressions += count
+            interned = _COMPRESSED_DECISIONS_BY_ID
+            for row, mode_id in zip(
+                np.flatnonzero(eligible).tolist(), stored.tolist()
+            ):
+                decisions[row] = interned[mode_id]
+        return decisions
 
     def reset(self) -> None:
         self.codec.reset_counters()
@@ -266,6 +330,16 @@ class PerThreadNarrowPolicy(CompressionPolicy):
             int(CompressionMode.B4D2),
         ).astype(np.uint8)
         return mode_ids, banks
+
+    def decide_many(
+        self, matrix: np.ndarray, divergent: np.ndarray
+    ) -> list[CompressionDecision]:
+        mode_ids, banks = self.decide_batch(matrix, divergent)
+        modes = MODES_BY_ID
+        return [
+            CompressionDecision(modes[mid], b, compressor_used=True)
+            for mid, b in zip(mode_ids.tolist(), banks.tolist())
+        ]
 
 
 def make_policy(name: str) -> CompressionPolicy:

@@ -1,0 +1,583 @@
+"""Cross-warp batched execution over straight-line kernel regions.
+
+The SM issues one instruction per scheduler per cycle, but the *values*
+every issue computes are pure array math — and co-resident warps spend
+most of their lives marching through the same straight-line stretches of
+the kernel.  This module exploits that regularity:
+
+* :func:`compute_regions` pre-analyses a kernel once and finds every
+  *fusible region*: a maximal run of consecutive instructions containing
+  no control flow, no memory loads/stores, and no interior branch entry
+  point (branch targets, reconvergence points and fall-through pcs all
+  terminate a region, so a warp replaying one can never reconverge or
+  settle mid-region).  Every suffix of a run is itself a region, so a
+  warp entering the run late still finds a region head at its pc.
+* :func:`evaluate_region` takes a *group* of warps parked at the same
+  region head and pre-executes the whole region for all of them at once:
+  each instruction becomes one numpy dispatch over a stacked
+  ``(n_warps, warp_size)`` uint32 matrix (through the batched entry
+  points :func:`repro.gpu.interpreter.compute_vector_batch` /
+  :func:`~repro.gpu.interpreter.compare_vector_batch`), masked writeback
+  is a single ``np.where`` over the stacked rows, and the per-write
+  compression decisions and characterisation profiles are produced
+  through the same content-keyed memo caches the per-warp path uses
+  (``policy.decide_many``, :func:`repro.core.codec.choose_mode`, the
+  ``PROFILE_CACHE`` probe) — register images recur constantly, so the
+  memoized probes beat recomputation even for large groups.
+
+The result is a per-warp queue of :class:`QueuedOp` entries.  The SM
+*replays* the queue through its normal issue machinery — scoreboard
+checks, collector allocation, latencies, bank arbitration and dummy-MOV
+injection all still happen live, cycle by cycle — so the batched path is
+a value-precomputation layer only, and every architecturally visible
+outcome (cycles, stats, energy, gating, timelines) is bit-identical to
+the per-warp path.  The safety argument (why a gathered warp's operands
+are frozen for the whole region) lives in DESIGN.md §9 and is enforced
+end-to-end by :func:`repro.verify.fastpath.verify_launch_batched`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.similarity import classify_write, classify_write_full
+from repro.core.codec import choose_mode
+from repro.core.memo import PROFILE_CACHE
+from repro.gpu.interpreter import (
+    _COMPUTE_DISPATCH,
+    ExecResult,
+    compare_vector_batch,
+    compute_vector_batch,
+)
+from repro.gpu.isa import Instruction, Op, OpClass, Reg, op_class
+from repro.gpu.program import Kernel
+
+#: Opcodes a region may contain: every pure-compute opcode the
+#: interpreter dispatches, minus memory loads (their values depend on
+#: stores other warps may perform mid-region), plus the predicate
+#: setters (their outcome is a pure function of frozen operands).
+#: Control flow (BRA/BAR/EXIT/NOP) and stores are never fusible.
+FUSIBLE_OPS = frozenset(
+    (set(_COMPUTE_DISPATCH) - {Op.LDG, Op.LDS}) | {Op.ISETP, Op.FSETP}
+)
+
+# Step evaluation kinds (see _make_step): anything not special-cased
+# routes through compute_vector_batch.
+_K_VECTOR, _K_SETP, _K_MOV, _K_S2R, _K_PARAM, _K_SEL = range(6)
+
+_STEP_KINDS = {
+    Op.ISETP: _K_SETP,
+    Op.FSETP: _K_SETP,
+    Op.MOV: _K_MOV,
+    Op.S2R: _K_S2R,
+    Op.PARAM: _K_PARAM,
+    Op.SEL: _K_SEL,
+}
+
+#: Per-lane bit weights for packing boolean mask rows into int bitmasks.
+_POW2 = (np.uint64(1) << np.arange(64, dtype=np.uint64))
+
+#: Frozen broadcast rows keyed ``(value, warp_size)`` — the evaluator's
+#: analogue of the interpreter's immediate-operand cache.
+_ROW_CACHE: dict[tuple[int, int], np.ndarray] = {}
+
+
+def _broadcast_row(value: int, warp_size: int) -> np.ndarray:
+    key = (value & 0xFFFFFFFF, warp_size)
+    row = _ROW_CACHE.get(key)
+    if row is None:
+        row = np.full(warp_size, key[0], dtype=np.uint32)
+        row.setflags(write=False)
+        _ROW_CACHE[key] = row
+    return row
+
+
+def _mask_row(mask: int, warp_size: int) -> np.ndarray:
+    """Expand an int bitmask into a per-lane boolean row (fresh array)."""
+    return (
+        (np.uint64(mask) >> np.arange(warp_size, dtype=np.uint64))
+        & np.uint64(1)
+    ).astype(bool)
+
+
+@dataclass(frozen=True)
+class Step:
+    """One region instruction with its evaluation plan precomputed."""
+
+    instr: Instruction
+    pc: int
+    kind: int
+    op_class: OpClass
+    src_regs: tuple[int, ...]
+    dst: int | None
+    pred_dst: int | None
+    guard_index: int | None
+    guard_negated: bool
+
+
+@dataclass(frozen=True)
+class Region:
+    """A straight-line fusible run starting at ``head``.
+
+    ``live_in_full`` / ``live_in_div`` are the registers whose values the
+    region reads before (fully) writing them — the region's inputs.  A
+    warp may batch while it still has in-flight register writes as long
+    as none of them target a live-in register: everything else the warp's
+    pipeline commits mid-replay is either overwritten by the region
+    before any use or never read at all.  The ``div`` variant assumes a
+    partial base mask, under which *every* write merges with (i.e. reads)
+    its destination; the ``full`` variant only treats guarded writes
+    that way.  Predicates never appear: predicate values are written at
+    issue, so a pending predicate is already current when gathered.
+    """
+
+    head: int
+    steps: tuple[Step, ...]
+    live_in_full: frozenset[int]
+    live_in_div: frozenset[int]
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+
+class QueuedOp:
+    """One pre-executed instruction parked in a warp's region queue.
+
+    ``peek`` is exactly the tuple :meth:`Interpreter.peek` would return
+    for the warp at this point (instruction, execution mask, pc), so the
+    SM's readiness checks run unchanged against it.  ``result`` is the
+    finished :class:`ExecResult`; ``decision`` / ``achievable_banks`` /
+    ``sim_bin`` carry the pre-batched writeback work (``sim_bin`` is -1
+    when the commit must fall back to the per-write profile path, e.g.
+    for BDI-collection runs).
+    """
+
+    __slots__ = (
+        "peek",
+        "result",
+        "decision",
+        "achievable_banks",
+        "sim_bin",
+        "pred_index",
+        "pred_row",
+    )
+
+    def __init__(self, peek, result, decision, achievable_banks, sim_bin,
+                 pred_index, pred_row):
+        self.peek = peek
+        self.result = result
+        self.decision = decision
+        self.achievable_banks = achievable_banks
+        self.sim_bin = sim_bin
+        self.pred_index = pred_index
+        self.pred_row = pred_row
+
+
+class BatchStats:
+    """Process-wide batching counters (serve metrics, bench reports).
+
+    The SM's own registry-backed ``sm.batch_size`` histogram only exists
+    when interval sampling is on; these module-level counters are always
+    live so the serve path and the bench breakdown can report batching
+    behaviour without paying for a per-SM registry.
+    """
+
+    __slots__ = ("groups", "grouped_warps", "batched_ops", "singleton_groups")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.groups = 0
+        self.grouped_warps = 0
+        self.batched_ops = 0
+        self.singleton_groups = 0
+
+    def record(self, group_size: int, ops: int) -> None:
+        self.groups += 1
+        self.grouped_warps += group_size
+        self.batched_ops += ops
+        if group_size == 1:
+            self.singleton_groups += 1
+
+    @property
+    def mean_group_size(self) -> float:
+        return self.grouped_warps / self.groups if self.groups else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "groups": self.groups,
+            "grouped_warps": self.grouped_warps,
+            "batched_ops": self.batched_ops,
+            "singleton_groups": self.singleton_groups,
+            "mean_group_size": self.mean_group_size,
+        }
+
+
+#: Process-global batching accounting, reset-free by design: consumers
+#: (the serve ``/v1/metrics`` endpoint, bench reference blocks) read
+#: deltas or snapshots.
+BATCH_STATS = BatchStats()
+
+
+def _exec_meta(instr: Instruction) -> tuple[OpClass, tuple[int, ...]]:
+    # Same per-instruction memo the interpreter uses (shared attribute,
+    # so whichever path touches an instruction first pays the cost once).
+    meta = instr.__dict__.get("_exec_meta")
+    if meta is None:
+        meta = (op_class(instr.op), instr.source_registers())
+        object.__setattr__(instr, "_exec_meta", meta)
+    return meta
+
+
+def _make_step(instr: Instruction, pc: int) -> Step:
+    klass, src_regs = _exec_meta(instr)
+    guard = instr.guard
+    return Step(
+        instr=instr,
+        pc=pc,
+        kind=_STEP_KINDS.get(instr.op, _K_VECTOR),
+        op_class=klass,
+        src_regs=src_regs,
+        dst=instr.dst.index if instr.dst is not None else None,
+        pred_dst=instr.pred_dst.index if instr.pred_dst is not None else None,
+        guard_index=guard.index if guard is not None else None,
+        guard_negated=guard.negated if guard is not None else False,
+    )
+
+
+def _live_in(steps: tuple[Step, ...], assume_partial_writes: bool) -> frozenset[int]:
+    """Registers whose pre-region values ``steps`` can read.
+
+    A source register is live-in until the region writes it.  A write's
+    *destination* also counts as a read on first access when the merge
+    keeps stale lanes — always under a partial base mask
+    (``assume_partial_writes``), otherwise only for guarded writes.
+    """
+    live: set[int] = set()
+    written: set[int] = set()
+    for st in steps:
+        for r in st.src_regs:
+            if r not in written:
+                live.add(r)
+        dst = st.dst
+        if dst is not None:
+            if dst not in written and (
+                assume_partial_writes or st.guard_index is not None
+            ):
+                live.add(dst)
+            written.add(dst)
+    return frozenset(live)
+
+
+def compute_regions(kernel: Kernel) -> dict[int, Region]:
+    """Region table of a kernel: head pc → :class:`Region`.
+
+    Maximal fusible runs are split at *entry points* — pc 0, branch
+    targets, reconvergence pcs and branch fall-throughs — so no region
+    interior can ever be jumped into or reconverged at; a warp replaying
+    a region therefore never settles its SIMT stack mid-region.  Within
+    each split segment every start with at least two remaining
+    instructions gets its own (suffix) region, so warps arriving at any
+    offset of the run can still batch.  Cached on the kernel object.
+    """
+    cached = kernel.__dict__.get("_batch_regions")
+    if cached is not None:
+        return cached
+    instrs = kernel.instructions
+    entries = {0}
+    for pc, ins in enumerate(instrs):
+        if ins.op is Op.BRA:
+            entries.add(ins.target)
+            entries.add(ins.reconv)
+            entries.add(pc + 1)
+    regions: dict[int, Region] = {}
+    n = len(instrs)
+    start: int | None = None
+    for pc in range(n + 1):
+        fusible = pc < n and instrs[pc].op in FUSIBLE_OPS
+        if start is not None and (not fusible or pc in entries):
+            if pc - start >= 2:
+                steps = tuple(
+                    _make_step(instrs[p], p) for p in range(start, pc)
+                )
+                for s in range(start, pc - 1):
+                    suffix = steps[s - start :]
+                    regions[s] = Region(
+                        head=s,
+                        steps=suffix,
+                        live_in_full=_live_in(suffix, False),
+                        live_in_div=_live_in(suffix, True),
+                    )
+            start = None
+        if fusible and start is None:
+            start = pc
+    kernel.__dict__["_batch_regions"] = regions
+    return regions
+
+
+def evaluate_region(
+    region: Region,
+    ctxs: list,
+    entries: list[int],
+    policy,
+    warp_size: int,
+    collect_bdi: bool,
+) -> list[deque]:
+    """Pre-execute ``region`` for a group of warps parked inside it.
+
+    ``ctxs`` are the group's :class:`~repro.gpu.interpreter.WarpContext`
+    objects in issue-replay order; ``entries[i]`` is warp *i*'s offset
+    into ``region.steps`` (0 for a warp at the head, larger for warps
+    that already progressed into the run — the region is the longest
+    common suffix, so late entrants simply skip the steps before their
+    own pc).  Caller guarantees every warp's pc is
+    ``region.head + entries[i]``, its SIMT stack is settled, and none of
+    its pending in-flight register writes target its own suffix's
+    live-in set — which together freeze all operands that warp's steps
+    can read for the whole replay window (in-flight writes to
+    non-live-in registers may land mid-replay, but the suffix either
+    overwrites those registers before reading them or never reads them
+    at all; pending *predicate* writes are harmless because predicate
+    values land at issue and are already current here).  Rows are
+    evaluated independently — a step touches only the rows whose entry
+    offset covers it, so group membership never changes any warp's
+    values.
+
+    Returns one queue of :class:`QueuedOp` per warp, aligned with
+    ``ctxs``.  Every queued value, mask, predicate row, compression
+    decision and similarity bin is bit-identical to what the per-warp
+    path would produce at the (later) cycles the SM replays them.
+    """
+    g = len(ctxs)
+    full_mask = (1 << warp_size) - 1
+    pow2 = _POW2[:warp_size]
+    max_entry = max(entries)
+    all_rows = list(range(g))
+
+    base_masks = [ctx.stack.active_mask for ctx in ctxs]
+    base_bool = np.empty((g, warp_size), dtype=bool)
+    for i, m in enumerate(base_masks):
+        base_bool[i] = _mask_row(m, warp_size)
+    base_divs = [m != full_mask for m in base_masks]
+    all_base_full = not any(base_divs)
+
+    # Copy-on-read snapshots + copy-on-write overlays.  Register and
+    # predicate rows are stacked from the contexts the first time an
+    # instruction reads them; region writes replace whole (g, warp_size)
+    # matrices, so snapshots are never mutated and intra-region RAW
+    # chains read exactly the values the earlier write produced.
+    reg_rows_cache: dict[int, np.ndarray] = {}
+    pred_rows_cache: dict[int, np.ndarray] = {}
+
+    def reg_rows(idx: int) -> np.ndarray:
+        rows = reg_rows_cache.get(idx)
+        if rows is None:
+            rows = np.stack([ctx.registers[idx] for ctx in ctxs])
+            reg_rows_cache[idx] = rows
+        return rows
+
+    def pred_rows(idx: int) -> np.ndarray:
+        rows = pred_rows_cache.get(idx)
+        if rows is None:
+            rows = np.stack([ctx.preds[idx] for ctx in ctxs])
+            pred_rows_cache[idx] = rows
+        return rows
+
+    def operand_rows(operand) -> np.ndarray:
+        if type(operand) is Reg:
+            return reg_rows(operand.index)
+        return np.broadcast_to(
+            _broadcast_row(operand.u32, warp_size), (g, warp_size)
+        )
+
+    queues: list[deque] = [deque() for _ in range(g)]
+
+    with np.errstate(all="ignore"):
+        for j, step in enumerate(region.steps):
+            instr = step.instr
+            # Rows whose entry offset covers this step.  A row that has
+            # not entered yet is simply masked out: its merged values
+            # stay the snapshot, and it emits no QueuedOp.
+            if j >= max_entry:
+                act_idx = all_rows
+                act_bool = base_bool
+                act_full = True
+            else:
+                act_idx = [i for i in all_rows if entries[i] <= j]
+                act_bool = base_bool & np.fromiter(
+                    (e <= j for e in entries), dtype=bool, count=g
+                ).reshape(g, 1)
+                act_full = False
+            if step.guard_index is None:
+                exec_bool = act_bool
+                if act_full:
+                    exec_masks = base_masks
+                    all_full = all_base_full
+                else:
+                    exec_masks = [
+                        base_masks[i] if entries[i] <= j else 0
+                        for i in all_rows
+                    ]
+                    all_full = False
+            else:
+                bits = pred_rows(step.guard_index)
+                if step.guard_negated:
+                    bits = ~bits
+                exec_bool = act_bool & bits
+                exec_masks = [
+                    int(x)
+                    for x in (exec_bool * pow2).sum(axis=1).tolist()
+                ]
+                all_full = act_full and all(
+                    m == full_mask for m in exec_masks
+                )
+
+            kind = step.kind
+            if kind == _K_SETP:
+                a = operand_rows(instr.srcs[0])
+                b = operand_rows(instr.srcs[1])
+                outcome = compare_vector_batch(
+                    instr.cmp, a, b, as_float=instr.op is Op.FSETP
+                )
+                pidx = step.pred_dst
+                merged_pred = np.where(exec_bool, outcome, pred_rows(pidx))
+                pred_rows_cache[pidx] = merged_pred
+                for i in act_idx:
+                    em = exec_masks[i]
+                    result = ExecResult(
+                        instr=instr,
+                        pc=step.pc,
+                        exec_mask=em,
+                        base_mask=base_masks[i],
+                        divergent=em != full_mask,
+                        base_divergent=base_divs[i],
+                        op_class=step.op_class,
+                        src_regs=step.src_regs,
+                    )
+                    queues[i].append(
+                        QueuedOp(
+                            (instr, em, step.pc),
+                            result,
+                            None,
+                            0,
+                            -1,
+                            pidx,
+                            merged_pred[i],
+                        )
+                    )
+                continue
+
+            if kind == _K_VECTOR:
+                computed = compute_vector_batch(
+                    instr.op, *(operand_rows(s) for s in instr.srcs)
+                )
+            elif kind == _K_MOV:
+                computed = operand_rows(instr.srcs[0])
+            elif kind == _K_S2R:
+                computed = np.stack([ctx.sregs[instr.sreg] for ctx in ctxs])
+            elif kind == _K_PARAM:
+                # Launch parameters are shared by every warp of a launch.
+                computed = np.broadcast_to(
+                    _broadcast_row(
+                        int(ctxs[0].params[instr.param_index]), warp_size
+                    ),
+                    (g, warp_size),
+                )
+            else:  # _K_SEL
+                pbits = pred_rows(instr.pred_src.index)
+                if instr.pred_src.negated:
+                    pbits = ~pbits
+                computed = np.where(
+                    pbits,
+                    operand_rows(instr.srcs[0]),
+                    operand_rows(instr.srcs[1]),
+                ).astype(np.uint32)
+
+            dst = step.dst
+            if all_full:
+                merged = computed
+            else:
+                merged = np.where(exec_bool, computed, reg_rows(dst))
+            reg_rows_cache[dst] = merged
+
+            act_divs = (
+                [False] * len(act_idx)
+                if all_full
+                else [exec_masks[i] != full_mask for i in act_idx]
+            )
+            decisions = policy.decide_many(
+                merged if act_full else merged[act_idx],
+                np.asarray(act_divs, dtype=bool),
+            )
+            if collect_bdi:
+                # BDI-collection runs keep the per-write profile path at
+                # commit (it owns the best-encoding histogram).
+                ach_banks = None
+                bins = None
+            else:
+                # Per-row memoized probes: register images recur across
+                # writes, so the content-keyed caches (same ones the
+                # per-warp path fills) beat a fresh vectorised pass.
+                ach_banks = []
+                bins = []
+                cache = PROFILE_CACHE
+                for i in act_idx:
+                    row = merged[i]
+                    ach_banks.append(choose_mode(row).banks)
+                    if cache.enabled:
+                        key = row.tobytes()
+                        profile = cache.get(key)
+                        if profile is None:
+                            profile = [classify_write_full(row), None]
+                            cache.put(key, profile)
+                        bins.append(profile[0])
+                    else:
+                        bins.append(
+                            classify_write(
+                                row, np.ones(warp_size, dtype=bool)
+                            )
+                        )
+
+            for k, i in enumerate(act_idx):
+                em = exec_masks[i]
+                result = ExecResult(
+                    instr=instr,
+                    pc=step.pc,
+                    exec_mask=em,
+                    base_mask=base_masks[i],
+                    divergent=em != full_mask,
+                    base_divergent=base_divs[i],
+                    op_class=step.op_class,
+                    dst=dst,
+                    values=merged[i],
+                    src_regs=step.src_regs,
+                )
+                queues[i].append(
+                    QueuedOp(
+                        (instr, em, step.pc),
+                        result,
+                        decisions[k],
+                        ach_banks[k] if ach_banks is not None else 0,
+                        bins[k] if bins is not None else -1,
+                        -1,
+                        None,
+                    )
+                )
+
+    return queues
+
+
+__all__ = [
+    "BATCH_STATS",
+    "FUSIBLE_OPS",
+    "BatchStats",
+    "QueuedOp",
+    "Region",
+    "Step",
+    "compute_regions",
+    "evaluate_region",
+]

@@ -65,6 +65,17 @@ class GPUConfig:
     #: an exhaustive scan of every simulated cycle.
     fast_path: bool = True
 
+    #: Cross-warp batched execution: straight-line kernel regions are
+    #: pre-evaluated as stacked ``(n_warps, 32)`` array programs, with
+    #: co-resident warps parked at the same region head dispatched as
+    #: one same-opcode group (see :mod:`repro.gpu.batch`).  Issue-time
+    #: semantics, cycles, stats, energy, gating, and timelines are
+    #: bit-identical to the per-warp path — the contract is enforced by
+    #: :func:`repro.verify.fastpath.verify_launch_batched`.  Ignored
+    #: (treated as off) when a register file cache is configured
+    #: (``rfc_entries_per_warp > 0``) and at ``verify_level`` 2.
+    batched: bool = True
+
     # ----- observability -----------------------------------------------
     #: Interval-sampler period in cycles (:mod:`repro.obs`): every N
     #: cycles each SM snapshots its metric registry into the run's

@@ -547,6 +547,40 @@ def compare_vector(
         return np.asarray(_CMP_FNS[cmp](a, b), dtype=bool)
 
 
+def compute_vector_batch(op: Op, *operands: np.ndarray) -> np.ndarray:
+    """Apply one pure-arithmetic opcode to a stacked warp group.
+
+    ``operands`` are ``(n_warps, warp_size)`` uint32 bit-pattern arrays —
+    one row per warp in a same-opcode group.  Every opcode's semantics
+    are elementwise across lanes, so a single numpy dispatch over the
+    stacked rows computes all warps at once and is bit-identical to
+    ``n_warps`` separate :func:`compute_vector` calls (the parity suite
+    in ``tests/test_batch_parity.py`` pins this row-for-row).
+    """
+    srcs = tuple(np.asarray(o, dtype=np.uint32) for o in operands)
+    for s in srcs:
+        if s.ndim != 2:
+            raise ValueError(
+                f"batched operands must be stacked (n_warps, warp_size) "
+                f"arrays, got shape {s.shape}"
+            )
+    return compute_vector(op, *srcs)
+
+
+def compare_vector_batch(
+    cmp: Cmp, a: np.ndarray, b: np.ndarray, *, as_float: bool = False
+) -> np.ndarray:
+    """Apply one comparator to a stacked ``(n_warps, warp_size)`` group."""
+    a = np.asarray(a, dtype=np.uint32)
+    b = np.asarray(b, dtype=np.uint32)
+    if a.ndim != 2 or b.ndim != 2:
+        raise ValueError(
+            f"batched operands must be stacked (n_warps, warp_size) "
+            f"arrays, got shapes {a.shape} and {b.shape}"
+        )
+    return compare_vector(cmp, a, b, as_float=as_float)
+
+
 def make_warp_context(
     kernel: Kernel,
     warp_id: int,

@@ -119,6 +119,16 @@ class Scoreboard:
         """Number of outstanding writes for a warp (drain check)."""
         return len(self._regs[warp_slot]) + len(self._preds[warp_slot])
 
+    def pending_regs(self, warp_slot: int) -> set[int]:
+        """Registers with outstanding writes for a warp (live view).
+
+        Predicates are excluded on purpose: predicate *values* are
+        written at issue (only the scoreboard release is deferred), so a
+        pending predicate is already architecturally current — the
+        batched-gather eligibility check only cares about registers.
+        """
+        return self._regs[warp_slot]
+
     def is_pending(self, warp_slot: int, reg: int) -> bool:
         """Whether register ``reg`` has an outstanding write."""
         return reg in self._regs[warp_slot]

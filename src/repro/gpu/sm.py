@@ -34,6 +34,13 @@ from repro.core.codec import CompressionMode, choose_mode
 from repro.core.policy import CompressionDecision, CompressionPolicy
 from repro.core.units import UnitPool
 from repro.gpu.arbiter import BankArbiter
+from repro.gpu.batch import (
+    BATCH_STATS,
+    QueuedOp,
+    Region,
+    compute_regions,
+    evaluate_region,
+)
 from repro.gpu.collector import CollectorPool, OperandRead
 from repro.gpu.config import GPUConfig
 from repro.gpu.interpreter import (
@@ -49,7 +56,7 @@ from repro.gpu.regfile import RegisterFile
 from repro.gpu.rfc import RegisterFileCache
 from repro.gpu.scheduler import WarpScheduler
 from repro.gpu.scoreboard import Scoreboard
-from repro.obs.metrics import MetricRegistry
+from repro.obs.metrics import NULL_GAUGE, NULL_HISTOGRAM, MetricRegistry
 from repro.obs.sampler import IntervalSampler
 from repro.obs.tracer import COMPRESSOR_TID, DECOMPRESSOR_TID, EventTracer
 from repro.power.energy import EnergyModel
@@ -93,6 +100,14 @@ class InflightOp:
     #: Deferred-removal flag: stages mark finished ops and the in-flight
     #: list is rebuilt once, instead of copying it every cycle.
     retired: bool = False
+    # Pre-batched writeback work (cross-warp batched issue path): the
+    # compression decision chosen at gather time, plus the precomputed
+    # characterisation profile folded into the stats at commit.  A
+    # negative ``prepared_sim_bin`` means commit takes the normal
+    # per-write profile path.
+    predecided: CompressionDecision | None = None
+    prepared_sim_bin: int = -1
+    prepared_achievable_banks: int = 0
     # Stage-boundary timestamps (cycle numbers) for the event tracer.
     issued_at: int = 0
     collect_done: int = -1
@@ -244,6 +259,25 @@ class SMCore:
         self._mov_candidate = (
             self.rfc is None and policy.requires_mov_on_divergent_write
         )
+        # ----- cross-warp batched execution (repro.gpu.batch) ----------
+        #: warp slot → deque of pre-executed :class:`QueuedOp`s replayed
+        #: through the normal issue machinery.  A queued warp's peek
+        #: cache entry always mirrors its queue head, so readiness
+        #: checks (_can_issue) run unchanged against queued work.
+        self._region_queues: dict[int, object] = {}
+        #: head pc → :class:`Region` for the current kernel.
+        self._regions: dict[int, Region] = {}
+        #: segment end pc → cycle before which failed gathers for that
+        #: segment are not retried (host-side cost control only).
+        self._gather_backoff: dict[int, int] = {}
+        #: Batching precomputes compression decisions at gather time,
+        #: which an RFC's different decide semantics and verify level
+        #: 2's exhaustive per-cycle contract both preclude.
+        self._batch_gate = (
+            config.batched and self.rfc is None and config.verify_level < 2
+        )
+        self._batch_hist = NULL_HISTOGRAM
+        self._group_gauge = NULL_GAUGE
         # ----- observability (repro.obs) -------------------------------
         self.sm_index = sm_index
         self.tracer = tracer
@@ -284,6 +318,10 @@ class SMCore:
         )
         registry.probe("sm.inflight_ops", lambda: len(self._inflight))
         registry.probe("sm.resident_warps", lambda: len(self._warps))
+        self._batch_hist = registry.histogram(
+            "sm.batch_size", bounds=(1, 2, 4, 8, 16, 32, 48)
+        )
+        self._group_gauge = registry.gauge("sm.opcode_group_occupancy")
         from repro.core.memo import MEMO_CACHE
 
         MEMO_CACHE.attach_metrics(registry)
@@ -333,6 +371,9 @@ class SMCore:
         self._coll_flush_seen = self.collectors.releases
         self._all_blocked = None
         self._sched_blocked = [None for _ in self.schedulers]
+        self._region_queues.clear()
+        self._gather_backoff.clear()
+        self._regions = compute_regions(kernel) if self._batch_gate else {}
 
     def can_accept_cta(self) -> bool:
         return len(self._free_slots) >= self._cta_warps
@@ -466,6 +507,22 @@ class SMCore:
         for next_issue in self._next_issue.values():
             if next_issue > cycle and (wake is None or next_issue < wake):
                 wake = next_issue
+        if self._region_queues:
+            # Warps parked in a pending region queue carry no timestamp
+            # of their own: their readiness flips on release events the
+            # in-flight scan above only bounds when the blocking op
+            # belongs to this SM's current freeze picture.  Any queued
+            # warp that is past barrier/branch delay and not memo-blocked
+            # could issue on the very next tick, so never skip past it.
+            for w in self._region_queues:
+                ctx = self._warps.get(w)
+                if (
+                    ctx is not None
+                    and not ctx.at_barrier
+                    and w not in self._blocked
+                    and self._next_issue[w] <= cycle
+                ):
+                    return cycle + 1
         if wake is None:
             return cycle + 1  # nothing schedulable: never skip blindly
         if self.sampler is not None:
@@ -655,13 +712,22 @@ class SMCore:
             self.cycle,
         )
         if not op.is_mov:
-            self.value_stats.record_write(
-                result.values,
-                result.divergent,
-                achievable_mode=choose_mode(result.values),
-                stored_banks=op.decision.banks,
-                stored_mode=op.decision.mode,
-            )
+            if op.prepared_sim_bin >= 0:
+                self.value_stats.record_write_prepared(
+                    result.divergent,
+                    op.prepared_sim_bin,
+                    op.prepared_achievable_banks,
+                    stored_banks=op.decision.banks,
+                    stored_mode=op.decision.mode,
+                )
+            else:
+                self.value_stats.record_write(
+                    result.values,
+                    result.divergent,
+                    achievable_mode=choose_mode(result.values),
+                    stored_banks=op.decision.banks,
+                    stored_mode=op.decision.mode,
+                )
         self.scoreboard.release(op.warp_slot, result.dst)
         # The release may flip the warp's memoized scoreboard-blocked
         # verdict; a collector-blocked verdict is unaffected (it only
@@ -726,7 +792,11 @@ class SMCore:
                 if self.tracer is not None:
                     self._emit_op_spans(op)
                 continue
-            op.decision = self._decide(op)
+            op.decision = (
+                op.predecided
+                if op.predecided is not None
+                else self._decide(op)
+            )
             slot = self.regfile.slot(op.warp_slot, result.dst)
             if (
                 self.policy.enabled
@@ -990,9 +1060,30 @@ class SMCore:
         if self._needs_mov(warp_slot, instr, exec_mask):
             # The dummy MOV issues *instead of* the peeked instruction,
             # which stays pending: the fetch state is untouched and the
-            # peek cache entry stays valid.
+            # peek cache entry stays valid.  A region queue head stays
+            # valid too — the MOV rewrites the destination with its own
+            # committed value, changing storage layout but not contents.
             self._issue_mov(warp_slot, instr.dst.index)
             return
+        queue = self._region_queues.get(warp_slot)
+        if queue is not None:
+            self._issue_from_queue(warp_slot, ctx, queue)
+            return
+        if self._batch_gate and self._resident > 1:
+            region = self._regions.get(pc)
+            if (
+                region is not None
+                and self._gather_backoff.get(
+                    region.head + len(region.steps), 0
+                )
+                <= self.cycle
+                and self._batchable(warp_slot, ctx, region)
+                and self._gather_region(warp_slot, region)
+            ):
+                self._issue_from_queue(
+                    warp_slot, ctx, self._region_queues[warp_slot]
+                )
+                return
         result = self.interpreter.execute(ctx, peeked)
         # The warp's stack (and possibly predicates) just moved; the next
         # fetch must re-peek.  Doing so immediately (rather than at the
@@ -1035,8 +1126,145 @@ class SMCore:
         self.timing.issued += 1
         self._enqueue(warp_slot, result, is_mov=True)
 
+    # ----- cross-warp batched issue (repro.gpu.batch) -------------------
+    def _batchable(
+        self, warp_slot: int, ctx: WarpContext, region: Region
+    ) -> bool:
+        """Whether a warp parked at ``region``'s head may join a group.
+
+        The warp's in-flight register writes must not target anything
+        the region reads: its live-in set (the stricter ``div`` variant
+        when the warp's base mask is partial, because then every region
+        write also merges stale destination lanes).  Registers outside
+        the live-in set may land mid-replay — the region overwrites them
+        before any read or never reads them.  Pending *predicate*
+        releases are ignored: predicate values are written at issue and
+        already current here.
+        """
+        pend = self.scoreboard.pending_regs(warp_slot)
+        if not pend:
+            return True
+        live = (
+            region.live_in_full
+            if ctx.stack.active_mask == self._full_mask
+            else region.live_in_div
+        )
+        return pend.isdisjoint(live)
+
+    def _gather_region(self, warp_slot: int, region: Region) -> bool:
+        """Pre-execute the segment around ``region`` for eligible warps.
+
+        Called from :meth:`_issue` the moment ``warp_slot`` is about to
+        issue ``region``'s head.  The sweep collects every co-resident
+        warp parked anywhere in the *same straight-line segment* — all
+        suffix regions of one segment share their end pc, so a warp at a
+        different offset joins with a later entry into the longest
+        member suffix — provided none of its in-flight writes touch its
+        own suffix's live-in set (see :meth:`_batchable`).  From gather
+        until its queue empties, every value a member's steps read is
+        frozen — the only writers left are the region's own instructions
+        (modelled by the evaluator's overlays) and value-neutral dummy
+        MOVs.  Warps still inside barrier or branch delay may join;
+        their timing is enforced per-cycle by the unchanged readiness
+        checks when their queued ops actually issue.  Group membership
+        affects no architectural outcome (rows are evaluated
+        independently), so gathering across both schedulers is free
+        parallelism.
+
+        Returns ``False`` without queueing anything when no other warp
+        can join: a singleton group would pay the evaluator's stacking
+        overhead with nothing to amortise it against, so the caller
+        falls through to the (memoized) per-warp issue path instead.
+        """
+        regions = self._regions
+        end = region.head + len(region.steps)
+        queues_by_slot = self._region_queues
+        group: list[int] = []
+        member_regions: dict[int, Region] = {warp_slot: region}
+        for scheduler in self.schedulers:
+            for w in scheduler._warps:
+                if w in queues_by_slot:
+                    continue
+                if w == warp_slot:
+                    group.append(w)
+                    continue
+                wctx = self._warps[w]
+                peeked = self._peek(w, wctx)
+                if peeked is None:
+                    continue
+                wregion = regions.get(peeked[2])
+                if (
+                    wregion is not None
+                    and wregion.head + len(wregion.steps) == end
+                    and self._batchable(w, wctx, wregion)
+                ):
+                    group.append(w)
+                    member_regions[w] = wregion
+        if len(group) < 2:
+            # Nobody to amortise against right now; don't re-sweep this
+            # segment every issue — peers arrive on warp-switch
+            # timescales, so a short host-side cooldown costs at most a
+            # few missed two-warp groups.  (Timing-neutral: the warp
+            # falls through to the normal per-warp issue either way.)
+            self._gather_backoff[end] = self.cycle + 16
+            return False
+        group.sort()
+        base_head = min(member_regions[w].head for w in group)
+        entries = [member_regions[w].head - base_head for w in group]
+        queues = evaluate_region(
+            regions[base_head],
+            [self._warps[w] for w in group],
+            entries,
+            self.policy,
+            self.config.warp_size,
+            self.value_stats.collect_bdi,
+        )
+        for w, q in zip(group, queues):
+            queues_by_slot[w] = q
+        n = len(group)
+        BATCH_STATS.record(n, sum(len(q) for q in queues))
+        self._batch_hist.observe(n)
+        if self._resident:
+            self._group_gauge.set(n / self._resident)
+        return True
+
+    def _issue_from_queue(
+        self, warp_slot: int, ctx: WarpContext, queue
+    ) -> None:
+        """Issue the head of a warp's region queue.
+
+        Replays exactly what :meth:`_issue` does for the same
+        instruction, with the interpreter's work already done: the SIMT
+        stack advances (region interiors exclude every reconvergence
+        point, so a bare advance is the whole stack update), a
+        precomputed predicate row replaces the setp-at-issue write, and
+        the peek cache is repointed at the next queue entry so readiness
+        checks keep running against the warp's true next instruction.
+        """
+        qop: QueuedOp = queue.popleft()
+        ctx.stack.advance()
+        if qop.pred_index >= 0:
+            ctx.preds[qop.pred_index] = qop.pred_row
+        if queue:
+            self._peek_cache[warp_slot] = queue[0].peek
+        else:
+            del self._region_queues[warp_slot]
+            del self._peek_cache[warp_slot]
+            self._peek(warp_slot, ctx)
+        result = qop.result
+        self.timing.issued += 1
+        self.value_stats.record_instruction(result.base_divergent)
+        self.value_stats.record_occupancy(
+            self.regfile.compressed_fraction, result.base_divergent
+        )
+        self._enqueue(warp_slot, result, is_mov=False, queued=qop)
+
     def _enqueue(
-        self, warp_slot: int, result: ExecResult, is_mov: bool
+        self,
+        warp_slot: int,
+        result: ExecResult,
+        is_mov: bool,
+        queued: QueuedOp | None = None,
     ) -> None:
         srcs = result.src_regs
         if len(srcs) > 1:
@@ -1067,6 +1295,10 @@ class SMCore:
             is_mov=is_mov,
             issued_at=self.cycle,
         )
+        if queued is not None:
+            op.predecided = queued.decision
+            op.prepared_sim_bin = queued.sim_bin
+            op.prepared_achievable_banks = queued.achievable_banks
         if reads:
             self.collectors.allocate()
             op.holds_collector = True
@@ -1200,6 +1432,7 @@ class SMCore:
             del self._warps[warp_slot]
             del self._next_issue[warp_slot]
             self._peek_cache.pop(warp_slot, None)
+            self._region_queues.pop(warp_slot, None)
             self._drained.discard(warp_slot)
             self._blocked.discard(warp_slot)
             self._blocked_collector.discard(warp_slot)

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from time import perf_counter
 
 from repro.core.memo import MEMO_CACHE, memo_disabled
+from repro.gpu.batch import BATCH_STATS
 from repro.gpu.config import GPUConfig
 from repro.gpu.gpu import GPU
 
@@ -166,6 +167,25 @@ class BenchReport:
             f"{self.total_fast_seconds:>8.3f} "
             f"{self.total_slow_seconds:>8.3f} {self.total_speedup:>7.2f}x"
         )
+        ref = self.reference or {}
+        batching = ref.get("batching")
+        if batching:
+            lines.append(
+                f"batching: {batching['groups']} groups, "
+                f"mean size {batching['mean_group_size']:.2f}, "
+                f"{batching['batched_ops']} ops dispatched batched"
+            )
+        breakdown = ref.get("stage_breakdown")
+        if breakdown:
+            lines.append("stage breakdown (diagnostic pass, fast path on):")
+            lines.append(f"  {'stage':<14} {'seconds':>8} {'calls':>10}")
+            for name, entry in sorted(
+                breakdown.items(), key=lambda kv: -kv[1]["seconds"]
+            ):
+                lines.append(
+                    f"  {name:<14} {entry['seconds']:>8.3f} "
+                    f"{entry['calls']:>10d}"
+                )
         return "\n".join(lines)
 
 
@@ -227,7 +247,10 @@ def bench_kernel(
 
     with memo_disabled():
         slow_seconds, slow_cycles = _time_run(
-            launch, policy, base.with_overrides(fast_path=False), repeats
+            launch,
+            policy,
+            base.with_overrides(fast_path=False, batched=False),
+            repeats,
         )
     if slow_cycles != cycles:
         raise RuntimeError(
@@ -241,6 +264,101 @@ def bench_kernel(
         slow_seconds=slow_seconds,
         memo_hit_rate=hit_rate,
     )
+
+
+#: SM tick stages instrumented by :func:`profile_stages`, in pipeline
+#: order.  ``gather`` (the cross-warp batch sweep) runs *inside* the
+#: issue stage, so its seconds are a subset of ``issue``, not additive.
+STAGE_METHODS = (
+    ("writeback", "_writeback_stage"),
+    ("compress", "_compress_stage"),
+    ("execute", "_execute_stage"),
+    ("collect", "_collect_stage"),
+    ("issue", "_issue_stage"),
+    ("gather", "_gather_region"),
+    ("retire", "_retire_warps"),
+)
+
+
+def profile_stages(
+    names=None,
+    scale: str = "small",
+    policy: str = "warped",
+) -> dict:
+    """Per-stage wall-clock breakdown of one fast-path pass over ``names``.
+
+    Temporarily wraps the SM tick-stage methods class-wide with
+    ``perf_counter`` accumulators and runs each kernel once in the
+    production configuration.  The instrumentation itself perturbs the
+    timings (seven extra calls per warp per cycle), so this is a
+    *separate diagnostic pass* — the headline fast/slow seconds of
+    :func:`bench_kernel` are never measured with the wrappers installed.
+
+    Returns ``{"sm.<stage>": {"seconds": float, "calls": int}, ...}``
+    plus an ``"untimed"`` entry for run() time outside the wrapped
+    stages (CTA dispatch, cycle-skip bookkeeping, result reduction).
+    """
+    from repro.gpu.sm import SMCore
+    from repro.kernels.suite import benchmark_names, get_benchmark
+    from repro.obs.profiler import HostProfiler
+
+    if names is None:
+        names = benchmark_names()
+
+    profiler = HostProfiler()
+    totals: dict[str, list] = {label: [0.0, 0] for label, _ in STAGE_METHODS}
+    saved = {}
+
+    def _wrap(label: str, fn):
+        cell = totals[label]
+
+        def timed(self, *args, **kwargs):
+            start = perf_counter()
+            try:
+                return fn(self, *args, **kwargs)
+            finally:
+                cell[0] += perf_counter() - start
+                cell[1] += 1
+
+        return timed
+
+    for label, attr in STAGE_METHODS:
+        saved[attr] = getattr(SMCore, attr)
+        setattr(SMCore, attr, _wrap(label, saved[attr]))
+
+    wall = 0.0
+    try:
+        for name in names:
+            launch = get_benchmark(name).launch(scale)
+            gmem = launch.fresh_memory()
+            gpu = GPU(config=GPUConfig(), policy=policy, max_cycles=20_000_000)
+            start = perf_counter()
+            gpu.run(
+                launch.kernel,
+                launch.grid_dim,
+                launch.cta_dim,
+                launch.params,
+                gmem,
+            )
+            wall += perf_counter() - start
+    finally:
+        for attr, fn in saved.items():
+            setattr(SMCore, attr, fn)
+
+    for label, _ in STAGE_METHODS:
+        seconds, calls = totals[label]
+        if calls:
+            profiler.add_phase_seconds(f"sm.{label}", seconds, calls)
+    # Gather nests inside issue: exclude it from the stage sum so the
+    # untimed remainder is wall minus *disjoint* stage time.
+    staged = sum(
+        totals[label][0] for label, _ in STAGE_METHODS if label != "gather"
+    )
+    profiler.add_phase_seconds("untimed", max(0.0, wall - staged), len(names))
+    return {
+        name: dict(entry)
+        for name, entry in profiler.to_dict()["phases"].items()
+    }
 
 
 def run_bench(
@@ -264,6 +382,7 @@ def run_bench(
         repeats=repeats,
         reference={"environment": runtime_environment()},
     )
+    batch0 = BATCH_STATS.snapshot()
     for name in names:
         record = bench_kernel(name, scale=scale, policy=policy, repeats=repeats)
         report.kernels.append(record)
@@ -272,6 +391,23 @@ def run_bench(
                 f"{name}: {record.fast_seconds:.3f}s fast, "
                 f"{record.slow_seconds:.3f}s slow ({record.speedup:.2f}x)"
             )
+    batch1 = BATCH_STATS.snapshot()
+    delta = {
+        key: batch1[key] - batch0[key]
+        for key in ("groups", "grouped_warps", "batched_ops", "singleton_groups")
+    }
+    delta["mean_group_size"] = round(
+        delta["grouped_warps"] / delta["groups"] if delta["groups"] else 0.0, 4
+    )
+    report.reference["batching"] = delta
+    if progress is not None:
+        progress("profiling per-stage breakdown (diagnostic pass)...")
+    report.reference["stage_breakdown"] = {
+        name: {"seconds": round(entry["seconds"], 6), "calls": entry["calls"]}
+        for name, entry in profile_stages(
+            names, scale=scale, policy=policy
+        ).items()
+    }
     return report
 
 
@@ -324,11 +460,13 @@ __all__ = [
     "DEFAULT_TOLERANCE",
     "QUICK_KERNELS",
     "SCHEMA_VERSION",
+    "STAGE_METHODS",
     "THREAD_ENV_VARS",
     "BenchReport",
     "KernelBench",
     "bench_kernel",
     "compare_reports",
+    "profile_stages",
     "run_bench",
     "runtime_environment",
 ]

@@ -70,6 +70,19 @@ class HostProfiler:
             self.phases[name] = self.phases.get(name, 0.0) + elapsed
             self.phase_calls[name] = self.phase_calls.get(name, 0) + 1
 
+    def add_phase_seconds(
+        self, name: str, seconds: float, calls: int = 1
+    ) -> None:
+        """Fold externally measured wall-clock into a named phase.
+
+        For callers that already hold timings (e.g. the bench's
+        instrumented per-stage pass) and only need them aggregated into
+        the same ``phases`` table the :meth:`phase` context manager
+        feeds.
+        """
+        self.phases[name] = self.phases.get(name, 0.0) + seconds
+        self.phase_calls[name] = self.phase_calls.get(name, 0) + calls
+
     # ------------------------------------------------------------------
     # Simulation accounting
     # ------------------------------------------------------------------

@@ -254,7 +254,10 @@ class ServeApp:
                 await writer.drain()
                 writer.close()
                 await writer.wait_closed()
-            except (ConnectionError, RuntimeError):
+            except (ConnectionError, RuntimeError, asyncio.CancelledError):
+                # CancelledError: the loop is tearing down mid-close
+                # (drain-initiated shutdown); the socket is going away
+                # with it, so there is nothing left to clean up.
                 pass
 
     @staticmethod
@@ -350,9 +353,15 @@ class ServeApp:
         await self._respond(writer, 404, {"error": f"no route {path}"})
 
     def _metrics_payload(self) -> dict:
+        # Cross-warp batching counters are process-global; under the
+        # process-pool executor the workers accumulate their own copies,
+        # so this snapshot covers in-process (thread-executor) runs only.
+        from repro.gpu.batch import BATCH_STATS
+
         return {
             "metrics": self.metrics.read_all(),
             "histograms": self.metrics.histograms(),
+            "batching": BATCH_STATS.snapshot(),
             "draining": self.scheduler.draining,
         }
 

@@ -61,12 +61,25 @@ class FastPathOutcome:
         return self.slow_seconds / self.fast_seconds
 
 
-def _timeline_fields(timeline) -> dict | None:
-    """Timeline rows minus the memo cache's own hit/miss diagnostics.
+_MEMO_DIAGNOSTIC_PREFIXES = ("codec.memo_",)
+#: Batched-dispatch observability series: the batched-off reference run
+#: never gathers, so these differ by design, like the memo diagnostics.
+_BATCH_DIAGNOSTIC_PREFIXES = _MEMO_DIAGNOSTIC_PREFIXES + (
+    "sm.batch_",
+    "sm.opcode_group_",
+)
+
+
+def _timeline_fields(
+    timeline, exclude_prefixes: tuple[str, ...] = _MEMO_DIAGNOSTIC_PREFIXES
+) -> dict | None:
+    """Timeline rows minus self-diagnostics of the layer under test.
 
     ``codec.memo_*`` tracks observe the memoization layer itself — the
     slow run deliberately disables it, so those series differ by design
-    and say nothing about simulation fidelity.
+    and say nothing about simulation fidelity.  The batched comparer
+    additionally drops the ``sm.batch_*`` / ``sm.opcode_group_*``
+    series for the same reason.
     """
     if timeline is None:
         return None
@@ -76,12 +89,15 @@ def _timeline_fields(timeline) -> dict | None:
             data[section] = {
                 k: v
                 for k, v in data[section].items()
-                if not k.startswith("codec.memo_")
+                if not k.startswith(exclude_prefixes)
             }
     return data
 
 
-def _result_fields(result: SimulationResult) -> dict:
+def _result_fields(
+    result: SimulationResult,
+    exclude_prefixes: tuple[str, ...] = _MEMO_DIAGNOSTIC_PREFIXES,
+) -> dict:
     """Every comparable output of one run, as a JSON-ish nested dict."""
     stats = result.stats
     return {
@@ -99,7 +115,7 @@ def _result_fields(result: SimulationResult) -> dict:
             if stats.gated_fractions is not None
             else None
         ),
-        "timeline": _timeline_fields(stats.timeline),
+        "timeline": _timeline_fields(stats.timeline, exclude_prefixes),
     }
 
 
@@ -220,9 +236,75 @@ def verify_benchmark_fastpath(
     )
 
 
+def verify_launch_batched(
+    launch: LaunchSpec,
+    policy: str | CompressionPolicy = "warped",
+    config: GPUConfig | None = None,
+    max_cycles: int = 20_000_000,
+) -> FastPathOutcome:
+    """Assert batched-on == batched-off for one launch.
+
+    Both runs keep ``fast_path=True`` and the memo cache enabled, so the
+    *only* varied ingredient is the cross-warp batched dispatch of
+    :mod:`repro.gpu.batch` — any cycle, stats, energy, gating, timeline
+    or memory divergence is attributable to it alone.  The batching
+    observability series (``sm.batch_*``, ``sm.opcode_group_*``) and the
+    memo diagnostics are excluded from the timeline comparison: the
+    reference run never gathers, so they differ by design.
+    """
+    base = config or GPUConfig()
+    context = f"kernel {launch.kernel.name!r} (batched)"
+
+    on_result, on_mem, on_secs = _run_once(
+        launch, policy, base.with_overrides(batched=True), max_cycles
+    )
+    off_result, off_mem, off_secs = _run_once(
+        launch, policy, base.with_overrides(batched=False), max_cycles
+    )
+
+    _compare_memory(on_mem, off_mem, context)
+    diffs: list[str] = []
+    compared = _diff_path(
+        _result_fields(on_result, _BATCH_DIAGNOSTIC_PREFIXES),
+        _result_fields(off_result, _BATCH_DIAGNOSTIC_PREFIXES),
+        "run",
+        diffs,
+    )
+    if diffs:
+        shown = "; ".join(diffs[:5])
+        raise FastPathMismatch(
+            f"{context}: batched dispatch diverges in "
+            f"{len(diffs)} field(s): {shown}"
+        )
+    return FastPathOutcome(
+        kernel=launch.kernel.name,
+        policy=on_result.stats.policy,
+        cycles=on_result.cycles,
+        fast_seconds=on_secs,
+        slow_seconds=off_secs,
+        fields_compared=compared,
+    )
+
+
+def verify_benchmark_batched(
+    name: str,
+    scale: str = "small",
+    policy: str | CompressionPolicy = "warped",
+    config: GPUConfig | None = None,
+) -> FastPathOutcome:
+    """Batched-dispatch equivalence for one registry benchmark."""
+    from repro.kernels.suite import get_benchmark
+
+    return verify_launch_batched(
+        get_benchmark(name).launch(scale), policy, config
+    )
+
+
 __all__ = [
     "FastPathMismatch",
     "FastPathOutcome",
+    "verify_benchmark_batched",
     "verify_benchmark_fastpath",
+    "verify_launch_batched",
     "verify_launch_fastpath",
 ]

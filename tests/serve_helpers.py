@@ -9,6 +9,7 @@ this process, so ``SIM_COUNTER`` deltas stay observable.
 from __future__ import annotations
 
 import asyncio
+import concurrent.futures
 import threading
 
 from repro.serve.client import ServeClient
@@ -53,8 +54,11 @@ class EmbeddedServer:
                     self.app.shutdown(drain=True), self._loop
                 )
                 future.result(30)
-            except RuntimeError:
-                pass  # loop closed mid-flight (server-initiated drain)
+            except (RuntimeError, concurrent.futures.CancelledError):
+                # Loop closed mid-flight (server-initiated drain) — either
+                # scheduling fails outright or the pending shutdown call
+                # is cancelled when the loop stops first.
+                pass
         if self._thread is not None:
             self._thread.join(10)
 

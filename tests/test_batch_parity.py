@@ -1,0 +1,332 @@
+"""Cross-warp batched dispatch parity: three models, one answer.
+
+The batched fast path stacks same-opcode groups of warps into
+``(n_warps, 32)`` arrays and executes them with one numpy dispatch
+(:func:`repro.gpu.interpreter.compute_vector_batch` and friends).  This
+suite pins that path against the two slower models:
+
+* **row parity** (hypothesis): each row of a batched result must equal
+  the per-warp :func:`compute_vector` result, which in turn must equal
+  the lane-by-lane :mod:`repro.gpu.scalar` reference — integer
+  wraparound, shift masking, and IEEE specials included;
+* **launch parity**: handwritten kernels engineered to stress the
+  gather path — divergent guard masks that differ *across the warps of
+  one group*, loops whose trip counts retire group members at
+  different times, and the single-warp degenerate launch where the
+  gather gate must stand down — run batched-on vs batched-off through
+  the full comparer of :mod:`repro.verify.fastpath`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu import scalar as ref
+from repro.gpu.batch import BATCH_STATS
+from repro.gpu.builder import KernelBuilder
+from repro.gpu.config import GPUConfig
+from repro.gpu.interpreter import (
+    compare_vector,
+    compare_vector_batch,
+    compute_vector,
+    compute_vector_batch,
+)
+from repro.gpu.isa import Cmp, Op
+from repro.gpu.launch import LaunchSpec, run_kernel
+from repro.gpu.memory import GlobalMemory
+from repro.verify.fastpath import verify_launch_batched
+
+WARP = 32
+
+#: Same semantic fault lines as tests/test_vector_parity.py: sign
+#: boundaries, shift amounts at and past 31, IEEE zeros/inf/NaN.
+EDGE_BITS = (
+    0x0000_0000,
+    0x0000_0001,
+    0x0000_001F,
+    0x0000_0020,
+    0x3F80_0000,
+    0x7F7F_FFFF,
+    0x7F80_0000,
+    0x7FC0_0000,
+    0x7FFF_FFFF,
+    0x8000_0000,
+    0x8000_0001,
+    0xBF80_0000,
+    0xFF80_0000,
+    0xFFC0_0000,
+    0xFFFF_FFFF,
+)
+
+u32_bits = st.one_of(
+    st.sampled_from(EDGE_BITS),
+    st.integers(min_value=0, max_value=0xFFFF_FFFF),
+)
+
+
+@st.composite
+def stacked_groups(draw, rows: int = 2):
+    """``rows`` stacked (n_warps, WARP) uint32 operand matrices."""
+    n = draw(st.integers(min_value=1, max_value=4))
+    mats = []
+    for _ in range(rows):
+        bits = draw(
+            st.lists(u32_bits, min_size=n * WARP, max_size=n * WARP)
+        )
+        mats.append(np.array(bits, dtype=np.uint32).reshape(n, WARP))
+    return tuple(mats)
+
+
+INT_BINOPS = (
+    Op.IADD,
+    Op.ISUB,
+    Op.IMUL,
+    Op.IMIN,
+    Op.IMAX,
+    Op.AND,
+    Op.OR,
+    Op.XOR,
+    Op.SHL,
+    Op.SHR,
+    Op.SAR,
+)
+FLOAT_BINOPS = (Op.FADD, Op.FSUB, Op.FMUL, Op.FMIN, Op.FMAX, Op.FDIV)
+
+
+def _is_nan_bits(bits: int) -> bool:
+    return (bits & 0x7F80_0000) == 0x7F80_0000 and (bits & 0x007F_FFFF) != 0
+
+
+def _assert_rows_match(op, batched, per_warp, *, float_op=False):
+    """Batched row == per-warp vector row, bit for bit (NaN ~ NaN)."""
+    __tracebackhide__ = True
+    assert batched.shape == per_warp.shape
+    for r in range(batched.shape[0]):
+        for lane, (g, w) in enumerate(zip(batched[r], per_warp[r])):
+            g, w = int(g), int(w)
+            if g == w:
+                continue
+            if float_op and _is_nan_bits(g) and _is_nan_bits(w):
+                continue
+            pytest.fail(
+                f"{op}: row {r} lane {lane}: batched {g:#010x} "
+                f"!= per-warp {w:#010x}"
+            )
+
+
+# ----------------------------------------------------------------------
+# Row parity: batched == per-warp vectorized == scalar
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("op", INT_BINOPS, ids=lambda op: op.name)
+@settings(max_examples=40, deadline=None)
+@given(mats=stacked_groups())
+def test_int_binop_batch_rows(op, mats):
+    a, b = mats
+    batched = compute_vector_batch(op, a, b)
+    rows = np.stack([compute_vector(op, a[r], b[r]) for r in range(len(a))])
+    _assert_rows_match(op, batched, rows)
+    # One spot lane per row against the scalar reference closes the
+    # triangle: batched == vectorized == scalar.
+    for r in range(len(a)):
+        want = ref.scalar_compute(op, int(a[r, 0]), int(b[r, 0]))
+        assert int(batched[r, 0]) == want
+
+
+@pytest.mark.parametrize("op", FLOAT_BINOPS, ids=lambda op: op.name)
+@settings(max_examples=40, deadline=None)
+@given(mats=stacked_groups())
+def test_float_binop_batch_rows(op, mats):
+    a, b = mats
+    batched = compute_vector_batch(op, a, b)
+    rows = np.stack([compute_vector(op, a[r], b[r]) for r in range(len(a))])
+    _assert_rows_match(op, batched, rows, float_op=True)
+
+
+@pytest.mark.parametrize("op", (Op.IMAD, Op.FFMA), ids=lambda op: op.name)
+@settings(max_examples=40, deadline=None)
+@given(mats=stacked_groups(rows=3))
+def test_ternary_batch_rows(op, mats):
+    a, b, c = mats
+    batched = compute_vector_batch(op, a, b, c)
+    rows = np.stack(
+        [compute_vector(op, a[r], b[r], c[r]) for r in range(len(a))]
+    )
+    _assert_rows_match(op, batched, rows, float_op=op is Op.FFMA)
+
+
+@pytest.mark.parametrize("as_float", (False, True), ids=("int", "float"))
+@pytest.mark.parametrize("cmp", list(Cmp), ids=lambda c: c.name)
+@settings(max_examples=25, deadline=None)
+@given(mats=stacked_groups())
+def test_compare_batch_rows(cmp, as_float, mats):
+    a, b = mats
+    batched = compare_vector_batch(cmp, a, b, as_float=as_float)
+    for r in range(len(a)):
+        row = compare_vector(cmp, a[r], b[r], as_float=as_float)
+        assert batched[r].tolist() == row.tolist(), (cmp, r)
+        want = ref.scalar_compare(
+            cmp, int(a[r, 0]), int(b[r, 0]), as_float=as_float
+        )
+        assert bool(batched[r, 0]) == want
+
+
+def test_single_row_degenerate_group():
+    """An (1, 32) stack is a legal group and matches the unstacked call."""
+    rng = np.random.default_rng(7)
+    a = rng.integers(0, 2**32, (1, WARP), dtype=np.uint32)
+    b = rng.integers(0, 2**32, (1, WARP), dtype=np.uint32)
+    batched = compute_vector_batch(Op.IMUL, a, b)
+    assert np.array_equal(batched[0], compute_vector(Op.IMUL, a[0], b[0]))
+
+
+def test_batch_rejects_unstacked_operands():
+    flat = np.zeros(WARP, dtype=np.uint32)
+    with pytest.raises(ValueError):
+        compute_vector_batch(Op.IADD, flat, flat)
+    with pytest.raises(ValueError):
+        compare_vector_batch(Cmp.LT, flat, flat)
+
+
+# ----------------------------------------------------------------------
+# Launch parity: gather-stressing kernels, batched on vs off
+# ----------------------------------------------------------------------
+def _out_launch(kernel, cta_threads: int, out_words: int = 256):
+    """LaunchSpec with one zeroed ``out`` buffer at the heap base."""
+
+    def factory():
+        gmem = GlobalMemory()
+        base = gmem.alloc(out_words, "out")
+        assert base == _OUT_BASE
+        return gmem
+
+    return LaunchSpec(
+        kernel=kernel,
+        grid_dim=(1, 1),
+        cta_dim=(cta_threads, 1),
+        params=[_OUT_BASE],
+        gmem_factory=factory,
+        buffers={"out": _OUT_BASE},
+    )
+
+
+_OUT_BASE = 0x1000  # GlobalMemory's default heap base: the first alloc
+
+
+def _divergent_mask_launch():
+    """Four warps whose guard masks all differ inside one group.
+
+    ``tid % 97 < cut`` activates a different lane subset per warp, so a
+    gathered group replays with four distinct exec masks; the guarded
+    body is a fusible straight-line run (IMAD/IADD/XOR) long enough to
+    form a region.
+    """
+    b = KernelBuilder("divergent-masks", params=("out",))
+    tid = b.global_tid_x()
+    out = b.param("out")
+    cut = b.iadd(b.imul(tid, 0), 48)  # uniform 48 via registers
+    p = b.isetp(Cmp.LT, b.and_(tid, 63), cut)
+    with b.if_(p):
+        v = b.imad(tid, 2654435761, 12345)
+        v = b.xor(v, b.iadd(tid, 7))
+        v = b.imad(v, 3, 1)
+        b.stg(b.imad(tid, 4, out), v)
+    return _out_launch(b.build(), 128)
+
+
+def _staggered_retire_launch():
+    """Loop trip counts keyed on the warp id: members retire early.
+
+    Warp ``w`` iterates ``2 + 3*w`` times, so a gathered group loses
+    members round by round — the remaining warps must keep batching (or
+    fall back to per-warp issue) without any timing or value drift.
+    """
+    b = KernelBuilder("staggered-retire", params=("out",))
+    tid = b.global_tid_x()
+    out = b.param("out")
+    warp = b.shr(tid, 5)
+    trips = b.imad(warp, 3, 2)
+    acc = b.mov(1)
+    with b.for_range(0, trips) as i:
+        acc = b.imad(acc, 5, b.xor(i, tid), dst=acc)
+        acc = b.iadd(acc, 3, dst=acc)
+    b.stg(b.imad(tid, 4, out), acc)
+    return _out_launch(b.build(), 128)
+
+
+def _single_warp_launch():
+    """One resident warp: the gather gate must stand down entirely."""
+    b = KernelBuilder("lone-warp", params=("out",))
+    tid = b.global_tid_x()
+    out = b.param("out")
+    v = b.imad(tid, 1664525, 1013904223)
+    v = b.xor(v, b.shr(v, 13))
+    v = b.imad(v, 9, 5)
+    b.stg(b.imad(tid, 4, out), v)
+    return _out_launch(b.build(), 32)
+
+
+def test_divergent_masks_across_group_members():
+    before = BATCH_STATS.groups
+    outcome = verify_launch_batched(_divergent_mask_launch())
+    assert outcome.cycles > 0
+    assert outcome.fields_compared > 0
+    # The parity claim is vacuous if the gate never fired.
+    assert BATCH_STATS.groups > before
+
+
+def test_partially_retired_batches():
+    before = BATCH_STATS.groups
+    outcome = verify_launch_batched(_staggered_retire_launch())
+    assert outcome.cycles > 0
+    assert BATCH_STATS.groups > before
+
+
+def test_single_warp_launch_never_batches():
+    before = BATCH_STATS.groups
+    outcome = verify_launch_batched(_single_warp_launch())
+    assert outcome.cycles > 0
+    assert BATCH_STATS.groups == before
+
+
+def test_divergent_masks_with_sampling():
+    """Interval timelines must match row-by-row under batching too."""
+    outcome = verify_launch_batched(
+        _divergent_mask_launch(), config=GPUConfig(sample_interval=32)
+    )
+    assert outcome.cycles > 0
+
+
+def test_wake_hint_with_queued_groups_fastpath_matrix():
+    """Cycle skipping must not sleep past a warp parked in a batch queue.
+
+    The staggered-retire kernel keeps warps parked in pending opcode
+    groups while their group-mates loop; with ``fast_path`` on, the
+    SM's wake hint has to count those queued warps as wakeable or the
+    event-driven skip would overshoot their replay cycle.  All four
+    ``fast_path`` × ``batched`` combinations must agree on cycles and
+    on every output word.
+    """
+    launch = _staggered_retire_launch()
+    results = {}
+    for fast in (True, False):
+        for batched in (True, False):
+            gmem = launch.fresh_memory()
+            res = run_kernel(
+                launch.kernel,
+                launch.grid_dim,
+                launch.cta_dim,
+                launch.params,
+                gmem,
+                config=GPUConfig(fast_path=fast, batched=batched),
+            )
+            results[(fast, batched)] = (res.cycles, gmem.snapshot())
+
+    ref_cycles, ref_mem = results[(True, True)]
+    assert ref_cycles > 0
+    for combo, (cycles, mem) in results.items():
+        assert cycles == ref_cycles, combo
+        for name in ref_mem:
+            assert np.array_equal(mem[name], ref_mem[name]), (combo, name)

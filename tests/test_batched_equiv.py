@@ -1,0 +1,94 @@
+"""Batched-dispatch equivalence suite: batched-on == batched-off.
+
+The cross-warp batched fast path (:mod:`repro.gpu.batch`) must be
+observationally invisible: gathering ready warps into same-opcode
+groups and replaying pre-evaluated results may change nothing but host
+wall-clock.  These tests drive :mod:`repro.verify.fastpath`'s batched
+comparer over every registry kernel, over sampled configurations (the
+interval timeline compared row by row), and over fuzz-generated
+kernels, mirroring the fast-path suite in ``tests/test_fastpath.py``.
+
+Set ``REPRO_FASTPATH_SEEDS=100`` to widen the fuzz batch (the
+acceptance run); the default keeps tier-1 fast.
+"""
+
+import os
+
+import pytest
+
+from repro.gpu.config import GPUConfig
+from repro.kernels.suite import benchmark_names
+from repro.verify.fastpath import (
+    FastPathOutcome,
+    verify_benchmark_batched,
+    verify_launch_batched,
+)
+from repro.verify.generator import GenSpec, generate_launch
+
+FUZZ_SEEDS = int(os.environ.get("REPRO_FASTPATH_SEEDS", "10"))
+
+
+def test_batched_is_the_default():
+    """Batched dispatch ships on, like the rest of the fast path."""
+    assert GPUConfig().batched is True
+
+
+@pytest.mark.parametrize("name", benchmark_names())
+def test_registry_kernel_batched_equivalence(name):
+    outcome = verify_benchmark_batched(name)
+    assert isinstance(outcome, FastPathOutcome)
+    assert outcome.cycles > 0
+    assert outcome.fields_compared > 0
+
+
+@pytest.mark.parametrize("name", ["aes", "nw"])
+def test_sampled_timeline_batched_equivalence(name):
+    """With sampling on, the full interval timeline must match too."""
+    config = GPUConfig(sample_interval=64)
+    outcome = verify_benchmark_batched(name, config=config)
+    assert outcome.cycles > 0
+
+
+def test_batched_equivalence_under_alternate_policy():
+    outcome = verify_benchmark_batched("bfs", policy="baseline")
+    assert outcome.cycles > 0
+
+
+@pytest.mark.parametrize("seed", range(FUZZ_SEEDS))
+def test_fuzzed_kernel_batched_equivalence(seed):
+    launch = generate_launch(GenSpec(seed=seed))
+    outcome = verify_launch_batched(launch)
+    assert outcome.cycles > 0
+    assert outcome.fields_compared > 0
+
+
+@pytest.mark.parametrize("name", ["nw", "spmv"])
+def test_cycle_equality_across_fastpath_batched_matrix(name):
+    """All four fast_path × batched combinations simulate the same run.
+
+    ``nw`` is bank-wakeup bound, the historical trap for wake-hint
+    bugs: a warp parked in a pending opcode group must still count as
+    wakeable or event-driven skipping overshoots its replay cycle.
+    """
+    from repro.gpu.gpu import GPU
+    from repro.kernels.suite import get_benchmark
+
+    launch = get_benchmark(name).launch("small")
+    cycles = {}
+    for fast in (True, False):
+        for batched in (True, False):
+            gmem = launch.fresh_memory()
+            gpu = GPU(
+                config=GPUConfig(fast_path=fast, batched=batched),
+                policy="warped",
+                max_cycles=20_000_000,
+            )
+            result = gpu.run(
+                launch.kernel,
+                launch.grid_dim,
+                launch.cta_dim,
+                launch.params,
+                gmem,
+            )
+            cycles[(fast, batched)] = result.cycles
+    assert len(set(cycles.values())) == 1, cycles
