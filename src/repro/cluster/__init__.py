@@ -1,0 +1,44 @@
+"""Distributed sweep execution: coordinator, workers, tiered cache.
+
+``repro.cluster`` scales the :mod:`repro.sim` session layer from one
+host to a fleet:
+
+* a **coordinator** (:mod:`repro.cluster.coordinator`) expands
+  experiment grids into content-addressed cache keys, partitions the
+  unfilled keys into shards, and hands shards to registered workers
+  with heartbeat-based dead-worker detection and reassignment;
+* **workers** (:mod:`repro.cluster.worker`) are thin loops around the
+  existing :class:`~repro.sim.session.Session`, leasing shards and
+  publishing every result back through the shared cache tier;
+* a **tiered result cache** (:mod:`repro.cluster.cache`) stacks the
+  local on-disk :class:`~repro.sim.cache.ResultCache` over a peer HTTP
+  tier — content-addressed keys make remote fills safe, ``get`` falls
+  through and backfills, ``put`` writes through — so every worker and
+  serve replica shares one result universe;
+* :class:`~repro.cluster.session.ClusterSession` drop-in replaces
+  :class:`~repro.sim.session.Session` in the harness drivers, so any
+  figure/ablation run can target the fleet unchanged.
+
+Everything speaks the same stdlib JSON-over-HTTP dialect as
+:mod:`repro.serve` (shared plumbing in :mod:`repro.serve.http`).
+"""
+
+from repro.cluster.cache import PeerUnreachable, RemoteCacheTier, TieredResultCache
+from repro.cluster.client import (
+    ClusterError,
+    CoordinatorClient,
+    UnknownShard,
+    UnknownWorker,
+)
+from repro.cluster.session import ClusterSession
+
+__all__ = [
+    "ClusterError",
+    "ClusterSession",
+    "CoordinatorClient",
+    "PeerUnreachable",
+    "RemoteCacheTier",
+    "TieredResultCache",
+    "UnknownShard",
+    "UnknownWorker",
+]

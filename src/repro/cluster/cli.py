@@ -1,0 +1,242 @@
+"""CLI glue for ``repro cluster coordinator|worker|run|status``.
+
+Kept separate from :mod:`repro.verify.cli` (which owns the ``repro``
+entry point and registers this subcommand) so the cluster stack only
+imports when actually used.
+
+A minimal two-worker local cluster, in four shells::
+
+    repro cluster coordinator --port 8650
+    repro cluster worker --coordinator 127.0.0.1:8650
+    repro cluster worker --coordinator 127.0.0.1:8650
+    repro cluster run fig09 --coordinator 127.0.0.1:8650 --scale small
+
+``run`` is the distributed twin of the ``warped-compression`` runner:
+it delegates to the same experiment drivers with a
+:class:`~repro.cluster.session.ClusterSession`, so output is
+byte-identical to a single-host run.  Because sweep submission is
+idempotent (content-addressed sweep ids, cache-probed keys), *resuming
+an interrupted sweep is just running the same command again* — only
+still-unfilled keys are rescheduled; ``--resume`` exists to make that
+intent explicit in scripts.
+
+All parties honor ``$REPRO_CACHE_DIR`` (or ``--cache-dir``) for their
+local tier; the coordinator's cache directory is the shared tier of
+record.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.serve.http import parse_hostport
+
+
+def _add_coordinator_flag(parser) -> None:
+    parser.add_argument(
+        "--coordinator",
+        default="127.0.0.1:8650",
+        metavar="HOST:PORT",
+        help="coordinator endpoint (default 127.0.0.1:8650)",
+    )
+
+
+def add_cluster_parser(sub) -> None:
+    cluster = sub.add_parser(
+        "cluster",
+        help="distributed sweep execution (coordinator, workers, run)",
+        description="Run experiment grids on a fleet: a coordinator "
+        "expands grids into content-addressed cache keys and leases "
+        "shards to workers; workers simulate through the ordinary "
+        "session layer and publish results through a shared tiered "
+        "cache; dead workers are detected by heartbeat and their "
+        "shards reassigned.",
+    )
+    csub = cluster.add_subparsers(dest="cluster_command", required=True)
+
+    coord = csub.add_parser(
+        "coordinator",
+        help="run the sweep coordinator",
+        description="Own the shared cache tier, expand submitted grids, "
+        "lease shards, reap dead workers.  State journals to "
+        "<cache>/cluster/journal.json; restarting resumes "
+        "automatically (cache contents decide what is already done).",
+    )
+    coord.add_argument("--host", default="127.0.0.1")
+    coord.add_argument("--port", type=int, default=8650)
+    coord.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="shared result cache root (default: .repro-cache or "
+        "$REPRO_CACHE_DIR)",
+    )
+    coord.add_argument(
+        "--shard-size",
+        type=int,
+        default=4,
+        metavar="N",
+        help="cache keys per shard lease (default 4)",
+    )
+    coord.add_argument(
+        "--heartbeat-timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="silence after which a worker is declared dead (default 10)",
+    )
+    coord.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="heartbeat cadence advertised to workers (default 2)",
+    )
+    coord.add_argument(
+        "--fresh",
+        action="store_true",
+        help="ignore any existing journal instead of resuming from it",
+    )
+
+    worker = csub.add_parser(
+        "worker",
+        help="run one worker agent",
+        description="Register with a coordinator and loop: lease a "
+        "shard, simulate it through the ordinary session layer "
+        "(results publish fleet-wide via cache write-through), report, "
+        "repeat.",
+    )
+    _add_coordinator_flag(worker)
+    worker.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="local cache tier root (default: .repro-cache or "
+        "$REPRO_CACHE_DIR)",
+    )
+    worker.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="parallel simulations per shard (default 1)",
+    )
+    worker.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="sleep between idle lease attempts (default 0.5)",
+    )
+    worker.add_argument(
+        "--exit-when-idle",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="exit after this long with no work (default: run forever)",
+    )
+    worker.add_argument("--name", help="worker display name (default: pid)")
+
+    run = csub.add_parser(
+        "run",
+        help="run experiments against the fleet (single-host-identical)",
+        description="The distributed twin of the warped-compression "
+        "runner: same experiment ids, same rendered tables, but cache "
+        "misses are simulated by the fleet.  Re-running the same "
+        "command after an interruption resumes the sweep (submission "
+        "is idempotent); --resume states that intent explicitly.",
+    )
+    _add_coordinator_flag(run)
+    run.add_argument(
+        "experiments",
+        nargs="*",
+        default=["all"],
+        help="experiment ids, as for the warped-compression CLI",
+    )
+    run.add_argument(
+        "--scale", choices=("small", "default"), default="default"
+    )
+    run.add_argument("--benchmarks", nargs="+", metavar="NAME")
+    run.add_argument("--out", help="also write rendered results here")
+    run.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="local cache tier root (default: .repro-cache or "
+        "$REPRO_CACHE_DIR)",
+    )
+    run.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume an interrupted sweep (a documented no-op: "
+        "submission is already idempotent)",
+    )
+    run.add_argument("--quiet", action="store_true")
+
+    status = csub.add_parser(
+        "status",
+        help="print a coordinator's status (and optionally metrics)",
+    )
+    _add_coordinator_flag(status)
+    status.add_argument(
+        "--metrics",
+        action="store_true",
+        help="also print the cluster.* metric registry",
+    )
+
+
+def cmd_cluster(args) -> int:
+    if args.cluster_command == "coordinator":
+        from repro.cluster.coordinator import CoordinatorConfig, run_coordinator
+
+        return run_coordinator(
+            CoordinatorConfig(
+                host=args.host,
+                port=args.port,
+                cache_dir=args.cache_dir,
+                shard_size=args.shard_size,
+                heartbeat_timeout=args.heartbeat_timeout,
+                heartbeat_interval=args.heartbeat_interval,
+                fresh=args.fresh,
+            )
+        )
+
+    if args.cluster_command == "worker":
+        from repro.cluster.worker import WorkerConfig, run_worker
+
+        host, port = parse_hostport(args.coordinator, 8650)
+        return run_worker(
+            WorkerConfig(
+                host=host,
+                port=port,
+                cache_dir=args.cache_dir,
+                jobs=args.jobs,
+                poll_interval=args.poll_interval,
+                exit_when_idle=args.exit_when_idle,
+                name=args.name,
+            )
+        )
+
+    if args.cluster_command == "run":
+        from repro.harness import runner
+
+        argv = list(args.experiments)
+        argv += ["--cluster", args.coordinator, "--scale", args.scale]
+        if args.benchmarks:
+            argv += ["--benchmarks", *args.benchmarks]
+        if args.out:
+            argv += ["--out", args.out]
+        if args.cache_dir:
+            argv += ["--cache-dir", args.cache_dir]
+        if args.quiet:
+            argv += ["--quiet"]
+        return runner.main(argv)
+
+    if args.cluster_command == "status":
+        from repro.cluster.client import CoordinatorClient
+
+        host, port = parse_hostport(args.coordinator, 8650)
+        client = CoordinatorClient(host, port)
+        print(json.dumps(client.status(), indent=2, sort_keys=True))
+        if args.metrics:
+            print(json.dumps(client.metrics(), indent=2, sort_keys=True))
+        return 0
+
+    raise SystemExit(f"unknown cluster command {args.cluster_command!r}")

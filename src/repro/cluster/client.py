@@ -1,0 +1,168 @@
+"""Blocking client for the cluster coordinator's control plane.
+
+Workers, :class:`~repro.cluster.session.ClusterSession`, and the
+``repro cluster run|status`` CLIs all drive the coordinator exclusively
+through this module, so (like :mod:`repro.serve.client` for the serve
+stack) it doubles as the reference for the wire protocol:
+
+====== ================================ ================================
+POST   ``/v1/sweeps``                   submit a request grid; returns
+                                        the (content-addressed) sweep
+                                        status
+GET    ``/v1/sweeps/<id>``              poll one sweep's status
+POST   ``/v1/workers/register``         join the fleet; returns
+                                        ``worker_id`` + heartbeat knobs
+POST   ``/v1/workers/<id>/heartbeat``   liveness + stats snapshot
+POST   ``/v1/workers/<id>/lease``       claim the next shard (or idle)
+POST   ``/v1/shards/<id>/report``       per-key completion/failures
+GET    ``/v1/cache/<key>``              shared cache tier read
+PUT    ``/v1/cache/<key>``              shared cache tier write-through
+GET    ``/v1/status``                   whole-cluster status view
+GET    ``/v1/metrics``                  coordinator metric registry
+GET    ``/healthz``                     liveness
+====== ================================ ================================
+
+Network failures surface as
+:class:`~repro.cluster.cache.PeerUnreachable`; protocol-level failures
+as :class:`ClusterError` (with :class:`UnknownWorker` /
+:class:`UnknownShard` for the two staleness cases a worker must handle
+by re-registering or dropping the shard).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.cluster.cache import DEFAULT_COORDINATOR_PORT, PeerUnreachable
+from repro.serve.http import http_json_call
+
+
+class ClusterError(Exception):
+    """Protocol-level failure (4xx/5xx from the coordinator)."""
+
+    def __init__(self, status: int, detail: str):
+        super().__init__(f"HTTP {status}: {detail}")
+        self.status = status
+        self.detail = detail
+
+
+class UnknownWorker(ClusterError):
+    """The coordinator does not know this worker (it likely restarted)."""
+
+
+class UnknownShard(ClusterError):
+    """The coordinator does not know this shard (stale lease)."""
+
+
+class CoordinatorClient:
+    """Blocking JSON-over-HTTP client for one coordinator endpoint."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_COORDINATOR_PORT,
+        timeout: float = 30.0,
+    ):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Raw round trip
+    # ------------------------------------------------------------------
+    def _call(self, method: str, path: str, body: dict | None = None) -> dict:
+        try:
+            status, _headers, payload = http_json_call(
+                self.host, self.port, method, path, body, timeout=self.timeout
+            )
+        except OSError as exc:
+            raise PeerUnreachable(
+                f"coordinator {self.host}:{self.port} unreachable: {exc}"
+            ) from exc
+        if status >= 400:
+            detail = payload.get("error", str(payload))
+            code = payload.get("code")
+            if code == "unknown-worker":
+                raise UnknownWorker(status, detail)
+            if code == "unknown-shard":
+                raise UnknownShard(status, detail)
+            raise ClusterError(status, detail)
+        return payload
+
+    # ------------------------------------------------------------------
+    # Control plane
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        return self._call("GET", "/healthz")
+
+    def status(self) -> dict:
+        return self._call("GET", "/v1/status")
+
+    def metrics(self) -> dict:
+        return self._call("GET", "/v1/metrics")
+
+    def submit_sweep(
+        self, requests: list[dict], shard_size: int | None = None
+    ) -> dict:
+        """Submit a grid of request payloads; returns the sweep status.
+
+        Submission is idempotent: the sweep id is content-addressed
+        over the grid's cache keys, already-cached keys are skipped,
+        and keys already scheduled stay scheduled — resubmitting after
+        a crash simply attaches to the surviving state.
+        """
+        body: dict = {"requests": requests}
+        if shard_size is not None:
+            body["shard_size"] = shard_size
+        return self._call("POST", "/v1/sweeps", body)["sweep"]
+
+    def sweep(self, sweep_id: str) -> dict:
+        return self._call("GET", f"/v1/sweeps/{sweep_id}")["sweep"]
+
+    # ------------------------------------------------------------------
+    # Worker protocol
+    # ------------------------------------------------------------------
+    def register(self, info: dict) -> dict:
+        return self._call("POST", "/v1/workers/register", info)
+
+    def heartbeat(self, worker_id: str, stats: dict) -> dict:
+        return self._call(
+            "POST", f"/v1/workers/{worker_id}/heartbeat", {"stats": stats}
+        )
+
+    def lease(self, worker_id: str) -> dict:
+        """Claim the next shard; ``{"shard": None, ...}`` when idle."""
+        return self._call("POST", f"/v1/workers/{worker_id}/lease", {})
+
+    def report(
+        self,
+        shard_id: str,
+        worker_id: str,
+        done: list[str] = (),
+        failed: dict[str, str] | None = None,
+        stats: dict | None = None,
+    ) -> dict:
+        return self._call(
+            "POST",
+            f"/v1/shards/{shard_id}/report",
+            {
+                "worker_id": worker_id,
+                "done": list(done),
+                "failed": failed or {},
+                "stats": stats or {},
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Boot helper
+    # ------------------------------------------------------------------
+    def wait_ready(self, deadline: float = 10.0) -> bool:
+        """Poll ``/healthz`` until the coordinator answers."""
+        give_up = time.monotonic() + deadline
+        while time.monotonic() < give_up:
+            try:
+                self.health()
+                return True
+            except (PeerUnreachable, ClusterError):
+                time.sleep(0.05)
+        return False

@@ -1,0 +1,167 @@
+"""ClusterSession: a drop-in Session that runs misses on the fleet.
+
+:class:`ClusterSession` subclasses :class:`~repro.sim.session.Session`
+and changes exactly one thing: before executing cache misses locally,
+:meth:`run_many` submits them to a cluster coordinator as a sweep and
+waits for the fleet to fill the shared cache.  Everything downstream —
+memoization, key computation, result shapes, the harness drivers that
+consume the session — is inherited unchanged, which is what makes
+``repro run --cluster host:port`` byte-identical to a single-host run:
+the *same* code computes the keys and parses the results; only *where*
+the simulation executed differs.
+
+The escape hatches keep it honest as a drop-in:
+
+* an unreachable coordinator flips the session to local-only (one
+  warning, no error): a laptop run with a dead fleet still completes;
+* requests the fleet cannot serve — trace captures and trace replays,
+  whose ``.npz`` artifacts never travel — are executed locally as
+  always;
+* keys the fleet *failed* are re-executed locally so the caller sees
+  the real exception, not a secondhand error string.
+
+The local probe deliberately checks the **local** cache tier only
+(memo + disk, no network): remote fills happen exactly once, inside
+the inherited execution path, after the sweep has completed.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.cluster.cache import (
+    DEFAULT_COORDINATOR_PORT,
+    PeerUnreachable,
+    RemoteCacheTier,
+    TieredResultCache,
+)
+from repro.cluster.client import CoordinatorClient
+from repro.obs.log import get_logger
+from repro.sim.cache import fingerprint, resolve_cache_dir
+from repro.sim.result import RunResult
+from repro.sim.session import Session, SimRequest
+
+logger = get_logger("cluster.session")
+
+
+class ClusterSession(Session):
+    """A Session whose cache misses are simulated by a worker fleet."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_COORDINATOR_PORT,
+        *,
+        shard_size: int | None = None,
+        sweep_timeout: float = 3600.0,
+        poll_interval: float = 0.5,
+        cache_dir: str | None = None,
+        **session_kwargs,
+    ):
+        session_kwargs.setdefault(
+            "result_cache",
+            TieredResultCache(
+                resolve_cache_dir(cache_dir), RemoteCacheTier(host, port)
+            ),
+        )
+        super().__init__(**session_kwargs)
+        self.client = CoordinatorClient(host, port)
+        self.shard_size = shard_size
+        self.sweep_timeout = sweep_timeout
+        self.poll_interval = poll_interval
+        #: requests handed to the fleet (counted once per dispatch)
+        self.dispatched = 0
+        #: set after the first failed coordinator round trip; the
+        #: session quietly degrades to plain local execution
+        self.fleet_down = False
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _remote_eligible(request: SimRequest) -> bool:
+        """Whether the fleet can serve this request's cache entry.
+
+        Trace-capture and trace-replay requests pin to the local host:
+        their ``.npz`` artifacts live outside the cache entry and never
+        travel the cache tier (see :mod:`repro.cluster.cache`).
+        """
+        if request.timing:
+            return True
+        return not (request.capture_trace or request.replay)
+
+    def _local_probe(self, key: str) -> RunResult | None:
+        """Memo + local disk tier only; never touches the network."""
+        if key in self._memo:
+            return self._memo[key]
+        if self._disk is None:
+            return None
+        local_get = getattr(self._disk, "local_get", self._disk.get)
+        return local_get(key)
+
+    # ------------------------------------------------------------------
+    def run(self, request: SimRequest | str, **overrides) -> RunResult:
+        if isinstance(request, str):
+            request = self.request(request, **overrides)
+        elif overrides:
+            raise TypeError("overrides only apply to benchmark-name requests")
+        return self.run_many([request])[request]
+
+    def run_many(self, requests) -> dict[SimRequest, RunResult]:
+        """Dispatch eligible misses to the fleet, then resolve locally."""
+        requests = list(dict.fromkeys(requests))
+        if not self.fleet_down:
+            pending = [
+                request
+                for request in requests
+                if self._remote_eligible(request)
+                and self._local_probe(fingerprint(request.key_material()))
+                is None
+            ]
+            if pending:
+                self._dispatch(pending)
+        # The inherited path resolves every request: fleet-filled keys
+        # arrive as (remote) disk hits through the tiered cache, and
+        # anything the fleet missed or failed executes locally.
+        return super().run_many(requests)
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, pending: list[SimRequest]) -> None:
+        payloads = [request.to_payload() for request in pending]
+        try:
+            sweep = self.client.submit_sweep(payloads, self.shard_size)
+        except PeerUnreachable as exc:
+            self._mark_fleet_down(exc)
+            return
+        self.dispatched += len(pending)
+        sweep_id = sweep["sweep_id"]
+        logger.info(
+            f"dispatched {len(pending)} requests to the fleet "
+            f"({sweep_id}: {sweep['done']}/{sweep['total']} already done)"
+        )
+        deadline = time.monotonic() + self.sweep_timeout
+        while not sweep.get("complete"):
+            if time.monotonic() >= deadline:
+                logger.warning(
+                    f"{sweep_id} incomplete after "
+                    f"{self.sweep_timeout:.0f}s; finishing locally"
+                )
+                return
+            time.sleep(self.poll_interval)
+            try:
+                sweep = self.client.sweep(sweep_id)
+            except PeerUnreachable as exc:
+                self._mark_fleet_down(exc)
+                return
+        failed = sweep.get("failed") or {}
+        if failed:
+            logger.warning(
+                f"{sweep_id}: fleet failed {len(failed)} keys; "
+                "re-executing them locally"
+            )
+
+    def _mark_fleet_down(self, exc: Exception) -> None:
+        if not self.fleet_down:
+            self.fleet_down = True
+            logger.warning(
+                f"cluster coordinator unavailable ({exc}); "
+                "continuing with local execution only"
+            )

@@ -23,9 +23,19 @@ Parallelism knobs, disambiguated (they are easy to conflate):
   (see :mod:`repro.serve`); its queue depth is bounded separately by
   ``--max-queue``.
 
-Both paths share the same ``--cache-dir`` / ``$REPRO_CACHE_DIR``
-content-addressed cache, so a warm batch cache pre-answers server
-traffic and vice versa.
+* ``--cluster HOST:PORT`` (this CLI) — *fleet* parallelism: cache
+  misses are shipped to a ``repro cluster`` coordinator and simulated
+  by its workers; results are byte-identical to a local run because
+  the same session code computes keys and parses results either way.
+
+**Cache directory resolution** (one rule for every entry point —
+this runner, ``repro serve``, ``repro cluster coordinator|worker``,
+``repro verify``'s artifact root, and ``repro cache``): an explicit
+``--cache-dir`` wins, else ``$REPRO_CACHE_DIR``, else ``.repro-cache``
+in the working directory.  Point ``$REPRO_CACHE_DIR`` at one directory
+and every tool shares one result universe — a warm batch cache
+pre-answers server traffic, a fleet's results re-render figures
+locally, and vice versa.
 """
 
 from __future__ import annotations
@@ -116,6 +126,13 @@ def main(argv: list[str] | None = None) -> int:
         help="disable the on-disk result cache (in-process memo only)",
     )
     parser.add_argument(
+        "--cluster",
+        metavar="HOST:PORT",
+        help="run cache misses on a worker fleet via this cluster "
+        "coordinator (see `repro cluster`); results are byte-identical "
+        "to a local run",
+    )
+    parser.add_argument(
         "--replay-tier",
         action="store_true",
         help="re-price all-functional experiments from stored register-"
@@ -153,15 +170,33 @@ def main(argv: list[str] | None = None) -> int:
     configure_logging(level)
 
     profiler = HostProfiler()
-    session = Session(
-        scale=args.scale,
-        verbose=not args.quiet,
-        subset=args.benchmarks,
-        cache_dir=args.cache_dir,
-        use_disk_cache=not args.no_cache,
-        max_workers=args.jobs,
-        profiler=profiler,
-    )
+    if args.cluster:
+        if args.no_cache:
+            parser.error("--cluster needs the disk cache (drop --no-cache)")
+        from repro.cluster.session import ClusterSession
+        from repro.serve.http import parse_hostport
+
+        host, port = parse_hostport(args.cluster, 8650)
+        session = ClusterSession(
+            host,
+            port,
+            cache_dir=args.cache_dir,
+            scale=args.scale,
+            verbose=not args.quiet,
+            subset=args.benchmarks,
+            max_workers=args.jobs,
+            profiler=profiler,
+        )
+    else:
+        session = Session(
+            scale=args.scale,
+            verbose=not args.quiet,
+            subset=args.benchmarks,
+            cache_dir=args.cache_dir,
+            use_disk_cache=not args.no_cache,
+            max_workers=args.jobs,
+            profiler=profiler,
+        )
     blocks = []
     for exp_id in requested:
         driver = ALL_DRIVERS[exp_id]

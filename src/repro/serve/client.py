@@ -18,11 +18,10 @@ until terminal, fetch the :class:`~repro.sim.result.RunResult`.
 
 from __future__ import annotations
 
-import http.client
-import json
 import time
 from dataclasses import asdict
 
+from repro.serve.http import http_json_call
 from repro.sim.result import RunResult
 from repro.sim.session import SimRequest
 
@@ -73,22 +72,9 @@ class ServeClient:
     # Raw HTTP
     # ------------------------------------------------------------------
     def _call(self, method: str, path: str, body: dict | None = None):
-        conn = http.client.HTTPConnection(
-            self.host, self.port, timeout=self.timeout
+        return http_json_call(
+            self.host, self.port, method, path, body, timeout=self.timeout
         )
-        try:
-            data = json.dumps(body).encode() if body is not None else None
-            headers = {"Content-Type": "application/json"} if data else {}
-            conn.request(method, path, body=data, headers=headers)
-            response = conn.getresponse()
-            raw = response.read()
-            try:
-                payload = json.loads(raw) if raw else {}
-            except json.JSONDecodeError:
-                payload = {"error": raw.decode("utf-8", "replace")}
-            return response.status, dict(response.getheaders()), payload
-        finally:
-            conn.close()
 
     def _checked(self, method: str, path: str, body: dict | None = None):
         status, headers, payload = self._call(method, path, body)

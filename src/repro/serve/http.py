@@ -1,0 +1,145 @@
+"""Shared JSON-over-HTTP plumbing for the service layers (stdlib only).
+
+Both ``repro.serve`` (the simulation service) and ``repro.cluster`` (the
+distributed sweep coordinator) speak the same deliberately small dialect:
+HTTP/1.1 over ``asyncio`` streams on the server side, one connection per
+request (``Connection: close``), JSON bodies both ways.  This module is
+the one implementation of that dialect:
+
+* :func:`read_request` / :func:`respond` — the async server half,
+  shared by :class:`~repro.serve.server.ServeApp` and the cluster
+  coordinator;
+* :func:`http_json_call` — the blocking client half
+  (:mod:`http.client`), shared by :class:`~repro.serve.client.ServeClient`
+  and the cluster worker/session clients;
+* :class:`BadRequest` — the client-error exception every route handler
+  raises to produce a 400 with the message as detail.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+
+#: Status-line reason phrases for the statuses the services emit.
+REASONS = {
+    200: "OK",
+    201: "Created",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    410: "Gone",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+#: Longest accepted request body.  SimRequests are tiny; the largest
+#: legitimate payload is a cache write-through (a serialized RunResult
+#: with its sampled timeline), which still fits comfortably.
+MAX_BODY = 8 << 20
+
+
+class BadRequest(Exception):
+    """Client error turned into a 400 with the message as detail."""
+
+
+def parse_hostport(value: str, default_port: int) -> tuple[str, int]:
+    """Parse a ``HOST[:PORT]`` CLI argument."""
+    host, _, port = value.partition(":")
+    if not host:
+        raise ValueError(f"empty host in {value!r}")
+    if not port:
+        return host, default_port
+    try:
+        return host, int(port)
+    except ValueError as exc:
+        raise ValueError(f"bad port in {value!r}") from exc
+
+
+async def read_request(reader) -> tuple[str, str, dict[str, str], bytes]:
+    """Read one HTTP/1.1 request: ``(method, path, query, body)``.
+
+    Raises :class:`BadRequest` on malformed input and
+    ``ConnectionError`` when the client hung up before sending one.
+    """
+    line = await reader.readline()
+    if not line:
+        raise ConnectionError("client closed")
+    try:
+        method, target, _version = line.decode("ascii").split()
+    except ValueError as exc:
+        raise BadRequest("malformed request line") from exc
+    headers: dict[str, str] = {}
+    while True:
+        raw = await reader.readline()
+        if raw in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = raw.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or 0)
+    if length > MAX_BODY:
+        raise BadRequest("request body too large")
+    body = await reader.readexactly(length) if length else b""
+    path, _, raw_query = target.partition("?")
+    query: dict[str, str] = {}
+    for pair in raw_query.split("&"):
+        if pair:
+            k, _, v = pair.partition("=")
+            query[k] = v
+    return method.upper(), path, query, body
+
+
+async def respond(
+    writer,
+    status: int,
+    payload: dict,
+    *,
+    extra_headers: dict[str, str] | None = None,
+) -> None:
+    """Write one complete JSON response and flush it."""
+    body = json.dumps(payload, sort_keys=True).encode()
+    headers = [
+        f"HTTP/1.1 {status} {REASONS.get(status, 'Unknown')}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    for name, value in (extra_headers or {}).items():
+        headers.append(f"{name}: {value}")
+    writer.write("\r\n".join(headers).encode() + b"\r\n\r\n" + body)
+    await writer.drain()
+
+
+def http_json_call(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: dict | None = None,
+    timeout: float = 30.0,
+) -> tuple[int, dict[str, str], dict]:
+    """One blocking JSON round trip: ``(status, headers, payload)``.
+
+    A non-JSON response body is wrapped as ``{"error": <text>}`` so
+    callers always get a dict.  Network failures surface as ``OSError``
+    (including ``ConnectionError`` / ``socket.timeout``) for callers to
+    map onto their own unreachable-peer handling.
+    """
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        data = json.dumps(body).encode() if body is not None else None
+        headers = {"Content-Type": "application/json"} if data else {}
+        conn.request(method, path, body=data, headers=headers)
+        response = conn.getresponse()
+        raw = response.read()
+        try:
+            payload = json.loads(raw) if raw else {}
+        except json.JSONDecodeError:
+            payload = {"error": raw.decode("utf-8", "replace")}
+        return response.status, dict(response.getheaders()), payload
+    finally:
+        conn.close()

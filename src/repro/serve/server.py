@@ -42,6 +42,12 @@ from dataclasses import dataclass
 
 from repro.obs.log import get_logger
 from repro.obs.metrics import MetricRegistry
+from repro.serve.http import (
+    MAX_BODY,
+    BadRequest,
+    read_request,
+    respond,
+)
 from repro.serve.jobs import (
     Draining,
     JobScheduler,
@@ -50,25 +56,21 @@ from repro.serve.jobs import (
 )
 from repro.sim.session import Session, SimRequest
 
+__all__ = [
+    "BadRequest",
+    "MAX_BODY",
+    "ServeApp",
+    "ServeConfig",
+    "WORKERS_ENV",
+    "parse_sim_request",
+    "run_server",
+    "start_app",
+]
+
 logger = get_logger("serve.server")
 
 #: Environment variable providing the default worker-pool size.
 WORKERS_ENV = "REPRO_SERVE_WORKERS"
-
-_REASONS = {
-    200: "OK",
-    202: "Accepted",
-    400: "Bad Request",
-    404: "Not Found",
-    405: "Method Not Allowed",
-    409: "Conflict",
-    429: "Too Many Requests",
-    500: "Internal Server Error",
-    503: "Service Unavailable",
-}
-
-#: Longest accepted request body (a SimRequest is tiny).
-MAX_BODY = 1 << 20
 
 
 @dataclass(frozen=True)
@@ -88,10 +90,6 @@ class ServeConfig:
     cache_dir: str | None = None
     use_disk_cache: bool = True
     scale: str = "small"
-
-
-class BadRequest(Exception):
-    """Client error turned into a 400 with the message as detail."""
 
 
 def parse_sim_request(payload: dict, default_scale: str) -> SimRequest:
@@ -260,53 +258,10 @@ class ServeApp:
                 # with it, so there is nothing left to clean up.
                 pass
 
-    @staticmethod
-    async def _read_request(reader):
-        line = await reader.readline()
-        if not line:
-            raise ConnectionError("client closed")
-        try:
-            method, target, _version = line.decode("ascii").split()
-        except ValueError as exc:
-            raise BadRequest("malformed request line") from exc
-        headers: dict[str, str] = {}
-        while True:
-            raw = await reader.readline()
-            if raw in (b"\r\n", b"\n", b""):
-                break
-            name, _, value = raw.decode("latin-1").partition(":")
-            headers[name.strip().lower()] = value.strip()
-        length = int(headers.get("content-length", "0") or 0)
-        if length > MAX_BODY:
-            raise BadRequest("request body too large")
-        body = await reader.readexactly(length) if length else b""
-        path, _, raw_query = target.partition("?")
-        query: dict[str, str] = {}
-        for pair in raw_query.split("&"):
-            if pair:
-                k, _, v = pair.partition("=")
-                query[k] = v
-        return method.upper(), path, query, body
-
-    @staticmethod
-    async def _respond(
-        writer,
-        status: int,
-        payload: dict,
-        *,
-        extra_headers: dict[str, str] | None = None,
-    ) -> None:
-        body = json.dumps(payload, sort_keys=True).encode()
-        headers = [
-            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
-            "Content-Type: application/json",
-            f"Content-Length: {len(body)}",
-            "Connection: close",
-        ]
-        for name, value in (extra_headers or {}).items():
-            headers.append(f"{name}: {value}")
-        writer.write("\r\n".join(headers).encode() + b"\r\n\r\n" + body)
-        await writer.drain()
+    # The wire dialect lives in repro.serve.http, shared with the
+    # cluster coordinator; these aliases keep call sites short.
+    _read_request = staticmethod(read_request)
+    _respond = staticmethod(respond)
 
     # ------------------------------------------------------------------
     # Routing

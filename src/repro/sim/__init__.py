@@ -13,6 +13,7 @@ from repro.sim.cache import (
     ResultCache,
     code_version,
     default_cache_dir,
+    resolve_cache_dir,
 )
 from repro.sim.result import RunResult
 from repro.sim.session import SIM_COUNTER, Session, SimRequest, simulate
@@ -27,5 +28,6 @@ __all__ = [
     "SimRequest",
     "code_version",
     "default_cache_dir",
+    "resolve_cache_dir",
     "simulate",
 ]

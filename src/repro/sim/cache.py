@@ -63,6 +63,22 @@ def default_cache_dir() -> Path:
     return Path(os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR))
 
 
+def resolve_cache_dir(explicit: str | Path | None = None) -> Path:
+    """The one cache-directory resolution rule for every entry point.
+
+    Precedence: an explicit path (a ``--cache-dir`` flag, a config
+    field) wins; otherwise ``$REPRO_CACHE_DIR``; otherwise
+    ``.repro-cache`` in the working directory.  The runner, ``repro
+    serve``, the cluster coordinator/workers, the fuzzer's artifact
+    root, and the ``repro cache`` maintenance CLI all funnel through
+    here, so one environment variable points them all at the same
+    result universe.
+    """
+    if explicit is not None and str(explicit):
+        return Path(explicit)
+    return default_cache_dir()
+
+
 def fingerprint(material: dict) -> str:
     """SHA-256 of canonical JSON — the cache key for one request."""
     canonical = json.dumps(material, sort_keys=True, separators=(",", ":"))
@@ -82,6 +98,58 @@ class ResultCache:
     def trace_path(self, key: str) -> Path:
         """Where a captured register trace for ``key`` belongs."""
         return self.root / "traces" / f"{key}.npz"
+
+    # ------------------------------------------------------------------
+    def read_entry(self, key: str) -> dict | None:
+        """The raw on-disk payload for ``key`` (``None`` on miss/corrupt).
+
+        This is the wire shape of the shared cache tier: the cluster
+        coordinator serves it verbatim over ``GET /v1/cache/<key>`` and
+        peers backfill their local tier from it via :meth:`put_payload`.
+        """
+        try:
+            with open(self._entry_path(key)) as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict) or payload.get("key") != key:
+            return None
+        return payload
+
+    @staticmethod
+    def parse_payload(key: str, payload: dict) -> tuple[dict, RunResult]:
+        """Validate a raw entry payload the hard way.
+
+        The result must parse and the key must match the fingerprint of
+        the stored material, so a corrupt or mislabelled peer response
+        can never poison a local tier.  Raises ``ValueError`` /
+        ``KeyError`` / ``TypeError`` on any mismatch.
+        """
+        material = payload.get("material")
+        result = RunResult.from_dict(payload["result"])
+        if not isinstance(material, dict) or fingerprint(material) != key:
+            raise ValueError(
+                f"cache payload material does not hash to key {key[:12]}…"
+            )
+        return material, result
+
+    def put_payload(self, key: str, payload: dict) -> None:
+        """Persist a raw entry payload fetched from a peer tier."""
+        material, result = self.parse_payload(key, payload)
+        # Write the *base* tier directly: a backfilled peer entry must
+        # never be echoed back out through a tiered subclass's put.
+        ResultCache.put(self, key, material, result)
+
+    def contains(self, key: str) -> bool:
+        """Whether an entry file exists (no validation, no parsing)."""
+        return self._entry_path(key).is_file()
+
+    def entry_keys(self) -> list[str]:
+        """Keys of every entry file currently on disk (sorted)."""
+        results = self.root / "results"
+        if not results.is_dir():
+            return []
+        return sorted(path.stem for path in results.rglob("*.json"))
 
     # ------------------------------------------------------------------
     def get(self, key: str) -> RunResult | None:

@@ -1,0 +1,312 @@
+"""``repro cache`` — maintenance CLI for the content-addressed cache.
+
+Three subcommands, all rooted at the same directory every other entry
+point resolves (``--cache-dir`` flag, else ``$REPRO_CACHE_DIR``, else
+``.repro-cache``; see :func:`repro.sim.cache.resolve_cache_dir`):
+
+* ``stats`` — entry/trace counts and byte totals; with ``--peer
+  HOST:PORT`` also scrapes a live coordinator's cache-tier hit/miss
+  counters from its ``/v1/metrics``;
+* ``gc`` — prune by age (``--max-age 7d``) and/or total size
+  (``--max-bytes 500M``, oldest entries first), plus orphaned ``.tmp``
+  files and trace artifacts no entry references; ``--dry-run`` prints
+  the plan without deleting;
+* ``fsck`` — re-verify every entry the hard way (filename == stored
+  key == fingerprint of the stored material, result parses).  Corrupt
+  entries are **quarantined** to ``<root>/quarantine/``, never
+  deleted: a corrupt entry is evidence worth keeping.
+
+Content-addressing is what makes ``gc`` safe: deleting an entry can
+never lose information that a re-run cannot regenerate bit-identically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.sim.cache import fingerprint, resolve_cache_dir
+from repro.sim.result import RunResult
+
+_AGE_UNITS = {"s": 1, "m": 60, "h": 3600, "d": 86400, "w": 604800}
+_SIZE_UNITS = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30, "t": 1 << 40}
+
+
+def parse_age(text: str) -> float:
+    """``"7d"``/``"12h"``/``"90m"``/``"3600"`` → seconds."""
+    text = text.strip().lower()
+    unit = 1
+    if text and text[-1] in _AGE_UNITS:
+        unit = _AGE_UNITS[text[-1]]
+        text = text[:-1]
+    try:
+        value = float(text)
+    except ValueError as exc:
+        raise SystemExit(f"bad age {text!r} (use e.g. 7d, 12h, 3600)") from exc
+    return value * unit
+
+
+def parse_size(text: str) -> int:
+    """``"500M"``/``"2G"``/``"1048576"`` → bytes."""
+    text = text.strip().lower().rstrip("b")
+    unit = 1
+    if text and text[-1] in _SIZE_UNITS:
+        unit = _SIZE_UNITS[text[-1]]
+        text = text[:-1]
+    try:
+        value = float(text)
+    except ValueError as exc:
+        raise SystemExit(f"bad size {text!r} (use e.g. 500M, 2G)") from exc
+    return int(value * unit)
+
+
+def _format_bytes(n: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if n < 1024 or unit == "GiB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{int(n)} B"
+        n /= 1024
+    return f"{n:.1f} GiB"  # pragma: no cover - unreachable
+
+
+def _entry_files(root: Path) -> list[Path]:
+    results = root / "results"
+    return sorted(results.rglob("*.json")) if results.is_dir() else []
+
+
+def _trace_files(root: Path) -> list[Path]:
+    traces = root / "traces"
+    return sorted(traces.rglob("*.npz")) if traces.is_dir() else []
+
+
+def _tmp_files(root: Path) -> list[Path]:
+    results = root / "results"
+    return sorted(results.rglob("*.tmp")) if results.is_dir() else []
+
+
+# ----------------------------------------------------------------------
+# stats
+# ----------------------------------------------------------------------
+def cmd_stats(args) -> int:
+    root = resolve_cache_dir(args.cache_dir)
+    entries = _entry_files(root)
+    traces = _trace_files(root)
+    tmps = _tmp_files(root)
+    entry_bytes = sum(p.stat().st_size for p in entries)
+    trace_bytes = sum(p.stat().st_size for p in traces)
+    print(f"cache root: {root}")
+    print(f"  entries: {len(entries)} ({_format_bytes(entry_bytes)})")
+    print(f"  traces:  {len(traces)} ({_format_bytes(trace_bytes)})")
+    if tmps:
+        print(f"  orphaned tmp files: {len(tmps)} (run `repro cache gc`)")
+    quarantine = root / "quarantine"
+    if quarantine.is_dir():
+        bad = list(quarantine.iterdir())
+        if bad:
+            print(f"  quarantined entries: {len(bad)} (see {quarantine})")
+    if args.peer:
+        from repro.serve.http import http_json_call, parse_hostport
+
+        host, port = parse_hostport(args.peer, 8650)
+        try:
+            _status, _headers, payload = http_json_call(
+                host, port, "GET", "/v1/metrics", timeout=10.0
+            )
+        except OSError as exc:
+            print(f"  peer {host}:{port} unreachable: {exc}")
+            return 1
+        metrics = payload.get("metrics", {})
+        print(f"  peer {host}:{port} cache-tier counters:")
+        for name in sorted(metrics):
+            if "cache" in name or name.startswith("cluster.put"):
+                print(f"    {name}: {metrics[name]:g}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# gc
+# ----------------------------------------------------------------------
+def cmd_gc(args) -> int:
+    if args.max_age is None and args.max_bytes is None and not args.orphans:
+        raise SystemExit(
+            "nothing to do: give --max-age, --max-bytes, and/or --orphans"
+        )
+    root = resolve_cache_dir(args.cache_dir)
+    now = time.time()
+    doomed: list[Path] = []
+    entries = _entry_files(root)
+
+    if args.max_age is not None:
+        horizon = now - parse_age(args.max_age)
+        expired = [p for p in entries if p.stat().st_mtime < horizon]
+        doomed.extend(expired)
+        entries = [p for p in entries if p not in set(expired)]
+
+    if args.max_bytes is not None:
+        budget = parse_size(args.max_bytes)
+        # Oldest first: survivors are the most recently written entries.
+        by_age = sorted(entries, key=lambda p: p.stat().st_mtime, reverse=True)
+        total = 0
+        for path in by_age:
+            total += path.stat().st_size
+            if total > budget:
+                doomed.append(path)
+
+    # Orphans are always collected once gc runs at all: half-written
+    # .tmp files, and trace artifacts whose entry is gone (or doomed).
+    surviving = {
+        p.stem for p in _entry_files(root) if p not in set(doomed)
+    }
+    orphan_traces = [
+        p for p in _trace_files(root) if p.stem not in surviving
+    ]
+    tmps = _tmp_files(root)
+
+    freed = sum(
+        p.stat().st_size for p in (*doomed, *orphan_traces, *tmps)
+    )
+    verb = "would delete" if args.dry_run else "deleted"
+    print(
+        f"{verb} {len(doomed)} entries, {len(orphan_traces)} orphan "
+        f"traces, {len(tmps)} tmp files ({_format_bytes(freed)}) "
+        f"from {root}"
+    )
+    if args.dry_run:
+        for path in (*doomed, *orphan_traces, *tmps):
+            print(f"  {path}")
+        return 0
+    # Entries left referencing a now-deleted trace self-heal: the cache
+    # treats a missing trace artifact as a miss and re-captures.
+    for path in (*doomed, *orphan_traces, *tmps):
+        try:
+            path.unlink()
+        except OSError as exc:
+            print(f"  could not delete {path}: {exc}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# fsck
+# ----------------------------------------------------------------------
+def cmd_fsck(args) -> int:
+    root = resolve_cache_dir(args.cache_dir)
+    quarantine = root / "quarantine"
+    checked = 0
+    quarantined: list[tuple[Path, str]] = []
+    for path in _entry_files(root):
+        checked += 1
+        problem = _check_entry(path)
+        if problem is None:
+            continue
+        quarantined.append((path, problem))
+        if not args.dry_run:
+            quarantine.mkdir(parents=True, exist_ok=True)
+            os.replace(path, quarantine / path.name)
+    verb = "would quarantine" if args.dry_run else "quarantined"
+    print(
+        f"fsck {root}: {checked} entries checked, "
+        f"{len(quarantined)} corrupt ({verb})"
+    )
+    for path, problem in quarantined:
+        print(f"  {path.name}: {problem}")
+    # Corruption is an error exit so CI can gate on fsck.
+    return 1 if quarantined else 0
+
+
+def _check_entry(path: Path) -> str | None:
+    """One entry's full integrity check; returns the problem or None."""
+    try:
+        with open(path) as fh:
+            payload = json.load(fh)
+    except (OSError, ValueError) as exc:
+        return f"unreadable JSON: {exc}"
+    if not isinstance(payload, dict):
+        return "payload is not an object"
+    key = payload.get("key")
+    if key != path.stem:
+        return f"stored key {str(key)[:12]!r}… does not match filename"
+    material = payload.get("material")
+    if not isinstance(material, dict):
+        return "missing key material"
+    if fingerprint(material) != key:
+        return "key is not the fingerprint of the stored material"
+    try:
+        RunResult.from_dict(payload["result"])
+    except (KeyError, TypeError, ValueError) as exc:
+        return f"result does not parse: {exc}"
+    return None
+
+
+# ----------------------------------------------------------------------
+# argparse wiring (registered by repro.verify.cli)
+# ----------------------------------------------------------------------
+def add_cache_parser(sub) -> None:
+    cache = sub.add_parser(
+        "cache",
+        help="inspect and maintain the content-addressed result cache",
+        description="Maintenance for the shared result cache used by the "
+        "runner, repro serve, and the cluster stack.  All subcommands "
+        "resolve the same directory: --cache-dir, else $REPRO_CACHE_DIR, "
+        "else .repro-cache.",
+    )
+    cache.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="cache root (default: .repro-cache or $REPRO_CACHE_DIR)",
+    )
+    msub = cache.add_subparsers(dest="cache_command", required=True)
+
+    stats = msub.add_parser(
+        "stats", help="entry/trace counts, byte totals, peer counters"
+    )
+    stats.add_argument(
+        "--peer",
+        metavar="HOST:PORT",
+        help="also scrape a live coordinator's cache-tier hit/miss "
+        "counters from /v1/metrics",
+    )
+
+    gc = msub.add_parser(
+        "gc", help="prune entries by age/size plus orphaned files"
+    )
+    gc.add_argument(
+        "--max-age",
+        metavar="AGE",
+        help="delete entries older than AGE (e.g. 7d, 12h, 3600)",
+    )
+    gc.add_argument(
+        "--max-bytes",
+        metavar="SIZE",
+        help="keep newest entries up to SIZE total (e.g. 500M, 2G)",
+    )
+    gc.add_argument(
+        "--orphans",
+        action="store_true",
+        help="collect orphaned tmp/trace files even with no age/size bound",
+    )
+    gc.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print what would be deleted without deleting",
+    )
+
+    fsck = msub.add_parser(
+        "fsck",
+        help="verify every entry; quarantine (never delete) corruption",
+    )
+    fsck.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report corruption without moving files",
+    )
+
+
+def cmd_cache(args) -> int:
+    if args.cache_command == "stats":
+        return cmd_stats(args)
+    if args.cache_command == "gc":
+        return cmd_gc(args)
+    if args.cache_command == "fsck":
+        return cmd_fsck(args)
+    raise SystemExit(f"unknown cache command {args.cache_command!r}")

@@ -46,7 +46,12 @@ from repro.gpu.trace import RegisterTrace, capture_trace, replay_trace
 from repro.kernels import benchmark_names, get_benchmark
 from repro.obs.log import get_logger
 from repro.obs.profiler import HostProfiler
-from repro.sim.cache import ResultCache, code_version, default_cache_dir, fingerprint
+from repro.sim.cache import (
+    ResultCache,
+    code_version,
+    fingerprint,
+    resolve_cache_dir,
+)
 from repro.sim.result import RunResult
 
 logger = get_logger("sim.session")
@@ -128,6 +133,39 @@ class SimRequest:
             "config": asdict(config) if config is not None else None,
             "code": code_version(),
         }
+
+    # ------------------------------------------------------------------
+    # Wire round trip (the serve submission body and the cluster shard
+    # protocol both carry requests in this shape)
+    # ------------------------------------------------------------------
+    def to_payload(self) -> dict:
+        """JSON-safe representation; :meth:`from_payload` inverts it."""
+        payload = asdict(self)
+        if self.config_overrides:
+            payload["config_overrides"] = dict(self.config_overrides)
+        else:
+            payload.pop("config_overrides", None)
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "SimRequest":
+        """Rebuild a request from :meth:`to_payload` output.
+
+        Raises ``TypeError``/``ValueError`` on unknown or malformed
+        fields — the cluster worker calls this on coordinator-supplied
+        payloads and must fail loudly rather than simulate the wrong
+        thing.
+        """
+        spec = dict(payload)
+        overrides = spec.pop("config_overrides", None)
+        if overrides:
+            if not isinstance(overrides, dict):
+                raise TypeError("config_overrides must be an object")
+            spec["config_overrides"] = tuple(sorted(overrides.items()))
+        unknown = set(spec) - set(cls.__dataclass_fields__)
+        if unknown:
+            raise TypeError(f"unknown request fields: {sorted(unknown)}")
+        return cls(**spec)
 
 
 def simulate(request: SimRequest, trace_destination: str | None = None) -> RunResult:
@@ -241,6 +279,7 @@ class Session:
         use_disk_cache: bool = True,
         max_workers: int = 1,
         profiler: HostProfiler | None = None,
+        result_cache: ResultCache | None = None,
     ):
         self.scale = scale
         self.verbose = verbose
@@ -249,8 +288,12 @@ class Session:
         self.profiler = profiler
         self._memo: dict[str, RunResult] = {}
         self._disk: ResultCache | None = None
-        if use_disk_cache:
-            self._disk = ResultCache(cache_dir or default_cache_dir())
+        if result_cache is not None:
+            # A pre-built cache (e.g. the cluster's tiered local→peer
+            # stack) takes precedence over directory-based construction.
+            self._disk = result_cache
+        elif use_disk_cache:
+            self._disk = ResultCache(resolve_cache_dir(cache_dir))
         self._tmp_trace_dir: str | None = None
         # Per-session accounting (SIM_COUNTER is the process-wide proof).
         self.simulated = 0

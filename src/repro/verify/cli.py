@@ -12,6 +12,12 @@ Examples::
     repro bench --output BENCH_simulator.json  # full perf-regression bench
     repro serve --port 8642 --workers 4      # simulation-as-a-service
     repro loadgen --requests 50 --out load.json  # drive a live server
+    repro cluster coordinator --port 8650    # distributed sweep control
+    repro cluster worker --coordinator 127.0.0.1:8650
+    repro cluster run fig09 --coordinator 127.0.0.1:8650
+    repro cache stats                        # cache size/entry report
+    repro cache gc --max-age 7d --max-bytes 2G
+    repro cache fsck                         # quarantine corrupt entries
 
 Exit status is non-zero on any functional-vs-cycle mismatch,
 codec-vs-BDI mismatch, pipeline invariant violation, or (for ``trace``)
@@ -369,11 +375,16 @@ def main(argv: list[str] | None = None) -> int:
         "--quiet", action="store_true", help="suppress per-kernel progress"
     )
 
-    # The serving stack registers its own subcommands (serve, loadgen).
+    # The serving stack registers its own subcommands (serve, loadgen),
+    # as do the cluster stack and the cache-maintenance tools.
+    from repro.cluster.cli import add_cluster_parser
     from repro.serve.cli import add_loadgen_parser, add_serve_parser
+    from repro.sim.maintenance import add_cache_parser
 
     add_serve_parser(sub)
     add_loadgen_parser(sub)
+    add_cluster_parser(sub)
+    add_cache_parser(sub)
 
     args = parser.parse_args(argv)
 
@@ -394,6 +405,17 @@ def main(argv: list[str] | None = None) -> int:
         from repro.serve.cli import cmd_loadgen
 
         return cmd_loadgen(args)
+    if args.command == "cluster":
+        from repro.obs.log import configure_logging
+
+        from repro.cluster.cli import cmd_cluster
+
+        configure_logging("info")
+        return cmd_cluster(args)
+    if args.command == "cache":
+        from repro.sim.maintenance import cmd_cache
+
+        return cmd_cache(args)
 
     if args.replay:
         try:

@@ -26,7 +26,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.gpu.config import GPUConfig
-from repro.sim.cache import code_version, default_cache_dir, fingerprint
+from repro.sim.cache import code_version, fingerprint, resolve_cache_dir
 from repro.verify.generator import GenSpec, generate_launch
 from repro.verify.oracle import run_differential
 
@@ -195,7 +195,7 @@ def shrink(
 # Artifacts
 # ----------------------------------------------------------------------
 def artifact_dir(root: Path | str | None = None) -> Path:
-    base = Path(root) if root is not None else default_cache_dir()
+    base = resolve_cache_dir(root)
     return base / "verify"
 
 

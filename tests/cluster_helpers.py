@@ -1,0 +1,100 @@
+"""Shared test helpers: an embedded cluster coordinator + worker threads.
+
+The coordinator's asyncio loop runs on a daemon thread (same pattern as
+``serve_helpers.EmbeddedServer``); worker agents run on plain threads in
+*this* process so their simulations land on the test's ``SIM_COUNTER``
+and the zero-duplicate proofs stay observable.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import threading
+
+from repro.cluster.client import CoordinatorClient
+from repro.cluster.coordinator import CoordinatorApp, CoordinatorConfig
+from repro.cluster.worker import WorkerAgent, WorkerConfig
+
+
+class EmbeddedCoordinator:
+    """Context manager: boot on port 0, expose host/port/app/state."""
+
+    def __init__(self, **config_kwargs):
+        config_kwargs.setdefault("port", 0)
+        self.config = CoordinatorConfig(**config_kwargs)
+        self.app: CoordinatorApp | None = None
+        self.host = ""
+        self.port = 0
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._boot_error: BaseException | None = None
+
+    def __enter__(self) -> "EmbeddedCoordinator":
+        self._thread = threading.Thread(target=self._main, daemon=True)
+        self._thread.start()
+        if not self._ready.wait(10):
+            raise RuntimeError("embedded coordinator failed to boot")
+        if self._boot_error is not None:
+            raise self._boot_error
+        assert self.client().wait_ready(10)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if (
+            self._loop is not None
+            and self.app is not None
+            and not self._loop.is_closed()
+        ):
+            try:
+                future = asyncio.run_coroutine_threadsafe(
+                    self.app.shutdown(), self._loop
+                )
+                future.result(30)
+            except (RuntimeError, concurrent.futures.CancelledError):
+                pass
+        if self._thread is not None:
+            self._thread.join(10)
+
+    def _main(self) -> None:
+        async def serve() -> None:
+            try:
+                self.app = CoordinatorApp(self.config)
+                self.host, self.port = await self.app.start()
+                self._loop = asyncio.get_running_loop()
+            except BaseException as exc:  # noqa: BLE001 - surfaced to tester
+                self._boot_error = exc
+                self._ready.set()
+                raise
+            self._ready.set()
+            await self.app.serve_until_stopped()
+
+        try:
+            asyncio.run(serve())
+        except BaseException:  # noqa: BLE001 - boot errors already captured
+            pass
+
+    def client(self, timeout: float = 30.0) -> CoordinatorClient:
+        return CoordinatorClient(self.host, self.port, timeout=timeout)
+
+
+class WorkerThread:
+    """One in-process worker agent on a background thread."""
+
+    def __init__(self, coordinator: EmbeddedCoordinator, **config_kwargs):
+        config_kwargs.setdefault("host", coordinator.host)
+        config_kwargs.setdefault("port", coordinator.port)
+        config_kwargs.setdefault("poll_interval", 0.05)
+        self.agent = WorkerAgent(WorkerConfig(**config_kwargs))
+        self._thread: threading.Thread | None = None
+
+    def __enter__(self) -> "WorkerThread":
+        self._thread = threading.Thread(target=self.agent.run, daemon=True)
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.agent.stop()
+        if self._thread is not None:
+            self._thread.join(10)

@@ -1,0 +1,191 @@
+"""Coverage for the ``repro cache`` maintenance CLI (stats/gc/fsck)."""
+
+import json
+import os
+import time
+
+from repro.sim import ResultCache, Session, SimRequest, simulate
+from repro.sim.cache import fingerprint
+from repro.sim.maintenance import parse_age, parse_size
+from repro.verify.cli import main as repro_main
+
+
+def _populate(root, policies=("baseline", "warped")) -> list[str]:
+    session = Session(scale="small", cache_dir=root)
+    keys = []
+    for policy in policies:
+        request = SimRequest(
+            benchmark="lib", policy=policy, timing=False, scale="small"
+        )
+        session.run(request)
+        keys.append(fingerprint(request.key_material()))
+    return keys
+
+
+class TestParsers:
+    def test_parse_age(self):
+        assert parse_age("3600") == 3600
+        assert parse_age("2h") == 7200
+        assert parse_age("7d") == 7 * 86400
+        assert parse_age("90m") == 5400
+
+    def test_parse_size(self):
+        assert parse_size("1048576") == 1 << 20
+        assert parse_size("2M") == 2 << 20
+        assert parse_size("1G") == 1 << 30
+        assert parse_size("500kb") == 500 << 10
+
+
+class TestStats:
+    def test_stats_reports_entries_and_bytes(self, tmp_path, capsys):
+        root = tmp_path / "cache"
+        _populate(root)
+        rc = repro_main(["cache", "--cache-dir", str(root), "stats"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "entries: 2" in out
+        assert str(root) in out
+
+    def test_stats_honors_env_var(self, tmp_path, capsys, monkeypatch):
+        root = tmp_path / "envcache"
+        _populate(root)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(root))
+        rc = repro_main(["cache", "stats"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "entries: 2" in out
+
+
+class TestGc:
+    def test_max_age_prunes_old_entries(self, tmp_path, capsys):
+        root = tmp_path / "cache"
+        keys = _populate(root)
+        cache = ResultCache(root)
+        old = cache._entry_path(keys[0])
+        stale = time.time() - 10 * 86400
+        os.utime(old, (stale, stale))
+        rc = repro_main(
+            ["cache", "--cache-dir", str(root), "gc", "--max-age", "7d"]
+        )
+        assert rc == 0
+        assert cache.get(keys[0]) is None
+        assert cache.get(keys[1]) is not None
+
+    def test_max_bytes_keeps_newest(self, tmp_path):
+        root = tmp_path / "cache"
+        keys = _populate(root)
+        cache = ResultCache(root)
+        # Force distinct mtimes so "newest" is well-defined.
+        past = time.time() - 1000
+        os.utime(cache._entry_path(keys[0]), (past, past))
+        one_entry = cache._entry_path(keys[1]).stat().st_size + 1
+        rc = repro_main(
+            ["cache", "--cache-dir", str(root),
+             "gc", "--max-bytes", str(one_entry)]
+        )
+        assert rc == 0
+        assert cache.get(keys[0]) is None  # oldest evicted
+        assert cache.get(keys[1]) is not None
+
+    def test_dry_run_deletes_nothing(self, tmp_path, capsys):
+        root = tmp_path / "cache"
+        keys = _populate(root)
+        rc = repro_main(
+            ["cache", "--cache-dir", str(root),
+             "gc", "--max-age", "0s", "--dry-run"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "would delete 2 entries" in out
+        cache = ResultCache(root)
+        assert all(cache.get(k) is not None for k in keys)
+
+    def test_orphan_tmp_and_trace_collection(self, tmp_path):
+        root = tmp_path / "cache"
+        _populate(root)
+        cache = ResultCache(root)
+        orphan_tmp = root / "results" / "zz" / "junk.tmp"
+        orphan_tmp.parent.mkdir(parents=True, exist_ok=True)
+        orphan_tmp.write_text("half-written")
+        orphan_trace = root / "traces" / ("f" * 64 + ".npz")
+        orphan_trace.parent.mkdir(parents=True, exist_ok=True)
+        orphan_trace.write_bytes(b"dead")
+        rc = repro_main(
+            ["cache", "--cache-dir", str(root), "gc", "--orphans"]
+        )
+        assert rc == 0
+        assert not orphan_tmp.exists()
+        assert not orphan_trace.exists()
+        assert len(cache) == 2  # real entries untouched
+
+
+class TestFsck:
+    def test_clean_cache_passes(self, tmp_path, capsys):
+        root = tmp_path / "cache"
+        _populate(root)
+        rc = repro_main(["cache", "--cache-dir", str(root), "fsck"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "0 corrupt" in out
+        assert not (root / "quarantine").exists()
+
+    def test_corrupt_entry_quarantined_not_deleted(self, tmp_path, capsys):
+        root = tmp_path / "cache"
+        keys = _populate(root)
+        cache = ResultCache(root)
+        victim = cache._entry_path(keys[0])
+        victim.write_text("{ torn json")
+        rc = repro_main(["cache", "--cache-dir", str(root), "fsck"])
+        assert rc == 1
+        assert not victim.exists()
+        quarantined = root / "quarantine" / victim.name
+        assert quarantined.exists()  # evidence kept, never deleted
+        assert quarantined.read_text() == "{ torn json"
+        assert cache.get(keys[1]) is not None
+
+    def test_fsck_catches_key_material_mismatch(self, tmp_path):
+        """An entry whose content no longer hashes to its key — the
+        corruption read_entry alone cannot see."""
+        root = tmp_path / "cache"
+        keys = _populate(root)
+        cache = ResultCache(root)
+        victim = cache._entry_path(keys[0])
+        payload = json.loads(victim.read_text())
+        payload["material"]["benchmark"] = "tampered"
+        victim.write_text(json.dumps(payload))
+        rc = repro_main(["cache", "--cache-dir", str(root), "fsck"])
+        assert rc == 1
+        assert (root / "quarantine" / victim.name).exists()
+
+    def test_fsck_dry_run_moves_nothing(self, tmp_path):
+        root = tmp_path / "cache"
+        keys = _populate(root)
+        cache = ResultCache(root)
+        victim = cache._entry_path(keys[0])
+        victim.write_text("garbage")
+        rc = repro_main(
+            ["cache", "--cache-dir", str(root), "fsck", "--dry-run"]
+        )
+        assert rc == 1
+        assert victim.exists()
+        assert not (root / "quarantine").exists()
+
+    def test_misfiled_entry_quarantined(self, tmp_path):
+        root = tmp_path / "cache"
+        _populate(root)
+        request = SimRequest(
+            benchmark="lib", policy="per-thread", timing=False, scale="small"
+        )
+        material = request.key_material()
+        key = fingerprint(material)
+        result = simulate(request)
+        cache = ResultCache(root)
+        # File a valid entry under the wrong name.
+        wrong = "0" * 64
+        payload = {"key": key, "material": material, "result": result.to_dict()}
+        path = cache._entry_path(wrong)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload))
+        rc = repro_main(["cache", "--cache-dir", str(root), "fsck"])
+        assert rc == 1
+        assert (root / "quarantine" / path.name).exists()

@@ -1,0 +1,98 @@
+"""Regression: every entry point resolves the SAME cache directory.
+
+One rule — explicit flag wins, else ``$REPRO_CACHE_DIR``, else
+``.repro-cache`` — enforced by :func:`repro.sim.cache.resolve_cache_dir`
+and honored by the runner session, ``repro serve``, the cluster
+coordinator/worker/driver session, the fuzzer's artifact root, and the
+``repro cache`` maintenance CLI.  A divergent entry point silently
+splits the result universe; this module is the tripwire.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.sim.cache import (
+    CACHE_DIR_ENV,
+    DEFAULT_CACHE_DIR,
+    resolve_cache_dir,
+)
+
+
+@pytest.fixture
+def env_root(tmp_path, monkeypatch) -> Path:
+    root = tmp_path / "one-true-cache"
+    monkeypatch.setenv(CACHE_DIR_ENV, str(root))
+    return root
+
+
+class TestResolutionRule:
+    def test_explicit_beats_env(self, env_root, tmp_path):
+        explicit = tmp_path / "explicit"
+        assert resolve_cache_dir(explicit) == explicit
+        assert resolve_cache_dir(str(explicit)) == explicit
+
+    def test_env_beats_default(self, env_root):
+        assert resolve_cache_dir(None) == env_root
+
+    def test_default_when_nothing_set(self, monkeypatch):
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        assert resolve_cache_dir(None) == Path(DEFAULT_CACHE_DIR)
+
+    def test_empty_string_means_unset(self, env_root):
+        # argparse defaults and dataclass fields pass "" / None through.
+        assert resolve_cache_dir("") == env_root
+
+
+class TestEveryEntryPointAgrees:
+    """Each entry point, configured with *no* explicit directory, must
+    land on $REPRO_CACHE_DIR."""
+
+    def test_session_default(self, env_root):
+        from repro.sim import Session
+
+        assert Session(scale="small")._disk.root == env_root
+
+    def test_serve_app(self, env_root):
+        from repro.serve.server import ServeApp, ServeConfig
+
+        app = ServeApp(
+            ServeConfig(port=0, executor="thread", workers=1)
+        )
+        try:
+            assert app.session._disk.root == env_root
+        finally:
+            app.executor.shutdown(wait=False, cancel_futures=True)
+
+    def test_cluster_coordinator(self, env_root):
+        from repro.cluster.coordinator import CoordinatorApp, CoordinatorConfig
+
+        app = CoordinatorApp(CoordinatorConfig(port=0))
+        assert app.cache.root == env_root
+        assert app.state.journal_path == env_root / "cluster" / "journal.json"
+
+    def test_cluster_worker(self, env_root):
+        from repro.cluster.worker import WorkerAgent, WorkerConfig
+
+        agent = WorkerAgent(WorkerConfig())
+        assert agent.cache.root == env_root
+        assert agent.session._disk is agent.cache
+
+    def test_cluster_session(self, env_root):
+        from repro.cluster.session import ClusterSession
+
+        session = ClusterSession()
+        assert session._disk.root == env_root
+
+    def test_fuzz_artifact_root(self, env_root):
+        from repro.verify.fuzz import artifact_dir
+
+        assert artifact_dir(None) == env_root / "verify"
+        # The flag still wins there too.
+        assert artifact_dir("elsewhere") == Path("elsewhere") / "verify"
+
+    def test_maintenance_cli(self, env_root, capsys):
+        from repro.verify.cli import main as repro_main
+
+        assert repro_main(["cache", "stats"]) == 0
+        assert str(env_root) in capsys.readouterr().out
